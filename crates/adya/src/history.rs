@@ -1,0 +1,293 @@
+//! Transactional histories: the input to Adya's algorithms.
+//!
+//! A history is (a) the per-transaction operation sequences, each `GET`
+//! annotated with its dictating write (the *TxOp order* in the paper's
+//! terminology), and (b) a *version order*: a global total order over the
+//! installed (final, committed) writes of each key. In Karousos, (a)
+//! comes from the transaction logs and (b) from the `writeOrder` advice.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a transaction in a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// A reference to an operation: the `index`-th operation of `txn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpRef {
+    /// The issuing transaction.
+    pub txn: TxnId,
+    /// Zero-based position within that transaction's operation list.
+    pub index: u32,
+}
+
+/// One operation in a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A write of `key`. Values are irrelevant to isolation testing; only
+    /// write identity matters.
+    Put {
+        /// The written key.
+        key: String,
+    },
+    /// A read of `key`, dictated by the write `from` (`None` = the
+    /// initial, never-written state).
+    Get {
+        /// The read key.
+        key: String,
+        /// The dictating write, if any.
+        from: Option<OpRef>,
+    },
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> &str {
+        match self {
+            Op::Put { key } | Op::Get { key, .. } => key,
+        }
+    }
+}
+
+/// The record of a single transaction within a history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// The transaction's operations, in issue order.
+    pub ops: Vec<Op>,
+    /// Whether the transaction committed.
+    pub committed: bool,
+}
+
+impl TxnRecord {
+    /// Index of the final `PUT` to `key`, if the transaction wrote it.
+    pub fn last_put_to(&self, key: &str) -> Option<u32> {
+        self.ops
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, op)| matches!(op, Op::Put { key: k } if k == key))
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// A complete history: transactions plus the global version order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    /// Every transaction, keyed by id.
+    pub txns: BTreeMap<TxnId, TxnRecord>,
+    /// Installed writes in version order. Each entry must reference a
+    /// `PUT`; [`check_isolation`](crate::check_isolation) validates this.
+    pub version_order: Vec<OpRef>,
+}
+
+impl History {
+    /// Looks up the operation referenced by `r`, if it exists.
+    pub fn op(&self, r: OpRef) -> Option<&Op> {
+        self.txns.get(&r.txn)?.ops.get(r.index as usize)
+    }
+
+    /// Whether `txn` committed.
+    pub fn is_committed(&self, txn: TxnId) -> bool {
+        self.txns.get(&txn).is_some_and(|t| t.committed)
+    }
+
+    /// The version order restricted to `key`, in order.
+    pub fn version_order_of(&self, key: &str) -> Vec<OpRef> {
+        self.version_order
+            .iter()
+            .copied()
+            .filter(|r| self.op(*r).is_some_and(|op| op.key() == key))
+            .collect()
+    }
+
+    /// Every key mentioned anywhere in the history, deduplicated.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .txns
+            .values()
+            .flat_map(|t| t.ops.iter().map(|op| op.key().to_string()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+/// Incremental builder producing a [`History`].
+///
+/// The builder also derives a *default version order* — committed final
+/// writes in commit order — which is what a correctly behaving store
+/// produces (it matches the `kvstore` binlog). Callers that have an
+/// explicit version order (the Karousos verifier, with its untrusted
+/// `writeOrder` advice) should override it with
+/// [`HistoryBuilder::set_version_order`].
+#[derive(Debug, Clone, Default)]
+pub struct HistoryBuilder {
+    txns: BTreeMap<TxnId, TxnRecord>,
+    commit_order: Vec<TxnId>,
+    explicit_version_order: Option<Vec<OpRef>>,
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a `PUT` by `txn`, returning its [`OpRef`].
+    pub fn put(&mut self, txn: TxnId, key: &str) -> OpRef {
+        let rec = self.txns.entry(txn).or_default();
+        rec.ops.push(Op::Put {
+            key: key.to_string(),
+        });
+        OpRef {
+            txn,
+            index: (rec.ops.len() - 1) as u32,
+        }
+    }
+
+    /// Records a `GET` by `txn` dictated by `from` (a `(txn, index)`
+    /// pair, or `None` for the initial state), returning its [`OpRef`].
+    pub fn get(&mut self, txn: TxnId, key: &str, from: Option<(TxnId, u32)>) -> OpRef {
+        let rec = self.txns.entry(txn).or_default();
+        rec.ops.push(Op::Get {
+            key: key.to_string(),
+            from: from.map(|(t, i)| OpRef { txn: t, index: i }),
+        });
+        OpRef {
+            txn,
+            index: (rec.ops.len() - 1) as u32,
+        }
+    }
+
+    /// Marks `txn` committed.
+    pub fn commit(&mut self, txn: TxnId) {
+        let rec = self.txns.entry(txn).or_default();
+        rec.committed = true;
+        self.commit_order.push(txn);
+    }
+
+    /// Ensures `txn` exists (useful for explicitly-aborted transactions).
+    pub fn touch(&mut self, txn: TxnId) {
+        self.txns.entry(txn).or_default();
+    }
+
+    /// Overrides the derived version order.
+    pub fn set_version_order(&mut self, order: Vec<OpRef>) {
+        self.explicit_version_order = Some(order);
+    }
+
+    /// Finalizes the history.
+    pub fn finish(self) -> History {
+        let version_order = match self.explicit_version_order {
+            Some(o) => o,
+            None => {
+                // Derived order: for each commit (in commit order), the
+                // final PUT per key in first-PUT order — the same shape
+                // the kvstore binlog has.
+                let mut order = Vec::new();
+                for txn in &self.commit_order {
+                    let rec = &self.txns[txn];
+                    let mut seen = Vec::new();
+                    for op in &rec.ops {
+                        if let Op::Put { key } = op {
+                            if !seen.iter().any(|k| k == key) {
+                                seen.push(key.clone());
+                            }
+                        }
+                    }
+                    for key in seen {
+                        let index = rec
+                            .last_put_to(&key)
+                            .expect("key came from a PUT of this txn");
+                        order.push(OpRef { txn: *txn, index });
+                    }
+                }
+                order
+            }
+        };
+        History {
+            txns: self.txns,
+            version_order,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_derives_binlog_like_version_order() {
+        let mut b = HistoryBuilder::new();
+        b.put(TxnId(0), "a");
+        b.put(TxnId(0), "b");
+        b.put(TxnId(0), "a"); // final write to a is index 2
+        b.commit(TxnId(0));
+        b.put(TxnId(1), "a");
+        b.commit(TxnId(1));
+        let h = b.finish();
+        assert_eq!(
+            h.version_order,
+            vec![
+                OpRef {
+                    txn: TxnId(0),
+                    index: 2
+                },
+                OpRef {
+                    txn: TxnId(0),
+                    index: 1
+                },
+                OpRef {
+                    txn: TxnId(1),
+                    index: 0
+                },
+            ]
+        );
+        assert_eq!(h.version_order_of("a").len(), 2);
+        assert_eq!(h.version_order_of("b").len(), 1);
+    }
+
+    #[test]
+    fn aborted_txns_not_in_version_order() {
+        let mut b = HistoryBuilder::new();
+        b.put(TxnId(0), "a");
+        // no commit
+        let h = b.finish();
+        assert!(h.version_order.is_empty());
+        assert!(!h.is_committed(TxnId(0)));
+    }
+
+    #[test]
+    fn op_lookup_and_keys() {
+        let mut b = HistoryBuilder::new();
+        let p = b.put(TxnId(0), "x");
+        b.get(TxnId(1), "x", Some((TxnId(0), 0)));
+        let h = b.finish();
+        assert!(matches!(h.op(p), Some(Op::Put { .. })));
+        assert!(h
+            .op(OpRef {
+                txn: TxnId(9),
+                index: 0
+            })
+            .is_none());
+        assert_eq!(h.keys(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn last_put_to_finds_final_write() {
+        let rec = TxnRecord {
+            ops: vec![
+                Op::Put { key: "k".into() },
+                Op::Get {
+                    key: "k".into(),
+                    from: None,
+                },
+                Op::Put { key: "k".into() },
+            ],
+            committed: true,
+        };
+        assert_eq!(rec.last_put_to("k"), Some(2));
+        assert_eq!(rec.last_put_to("other"), None);
+    }
+}

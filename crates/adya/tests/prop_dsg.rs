@@ -1,0 +1,107 @@
+//! Property tests for the direct serialization graph.
+
+use adya::{check_isolation, Dsg, EdgeKind, HistoryBuilder, IsolationLevel, TxnId};
+use proptest::prelude::*;
+
+/// A random sequential history: transactions run one at a time, each
+/// reading keys (from the latest committed installer) and writing keys.
+/// Such histories are serial by construction, so they must pass every
+/// isolation level.
+fn serial_history(ops: Vec<(u8, bool, u8)>) -> adya::History {
+    let mut b = HistoryBuilder::new();
+    // last committed final write per key: (txn, index)
+    let mut installed: std::collections::HashMap<u8, (TxnId, u32)> = Default::default();
+    let mut txn = 0u64;
+    let mut pending: Vec<(u8, u32)> = Vec::new(); // key → op index of last put
+    for (key, is_write, commit_roll) in ops {
+        let id = TxnId(txn);
+        b.touch(id);
+        if is_write {
+            let r = b.put(id, &format!("k{key}"));
+            pending.retain(|(k, _)| *k != key);
+            pending.push((key, r.index));
+        } else {
+            let from = installed.get(&key).copied();
+            b.get(id, &format!("k{key}"), from);
+        }
+        if commit_roll % 3 == 0 {
+            // Commit this transaction: its pending writes install.
+            b.commit(id);
+            for (k, i) in pending.drain(..) {
+                installed.insert(k, (id, i));
+            }
+            txn += 1;
+        } else if commit_roll % 7 == 0 {
+            // Abort: nothing installs.
+            pending.clear();
+            txn += 1;
+        }
+    }
+    // Abandon (abort) the trailing transaction.
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serial histories pass all three levels.
+    #[test]
+    fn serial_histories_pass_everything(ops in prop::collection::vec((0u8..3, any::<bool>(), 0u8..21), 1..40)) {
+        let h = serial_history(ops);
+        for level in [
+            IsolationLevel::ReadUncommitted,
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::Serializable,
+        ] {
+            prop_assert!(check_isolation(&h, level).is_ok(), "level {level:?}");
+        }
+    }
+
+    /// DSG edges never originate from or point to uncommitted
+    /// transactions, and never self-loop.
+    #[test]
+    fn dsg_edges_are_between_distinct_committed_txns(ops in prop::collection::vec((0u8..3, any::<bool>(), 0u8..21), 1..40)) {
+        let h = serial_history(ops);
+        let g = Dsg::build(&h);
+        let nodes: std::collections::HashSet<TxnId> = g.nodes().collect();
+        for (a, b, _) in g.edges() {
+            prop_assert!(a != b, "self loop {a:?}");
+            prop_assert!(nodes.contains(&a) && nodes.contains(&b));
+            prop_assert!(h.is_committed(a) && h.is_committed(b));
+        }
+    }
+
+    /// Write-dependency edges per key form a path (no branching): each
+    /// transaction has at most one ww successor per key chain in a
+    /// serial history.
+    #[test]
+    fn ww_edges_follow_version_order_shape(ops in prop::collection::vec((0u8..2, any::<bool>(), 0u8..21), 1..40)) {
+        let h = serial_history(ops);
+        let g = Dsg::build(&h);
+        // In a serial history the ww subgraph must be acyclic.
+        prop_assert!(g.find_cycle(&[EdgeKind::WriteDepend]).is_none());
+    }
+}
+
+/// Reading the initial state of a key whose first version was installed
+/// earlier creates an anti-dependency that breaks serializability when
+/// it contradicts a read dependency.
+#[test]
+fn init_read_anti_dependency_cycles() {
+    let mut b = HistoryBuilder::new();
+    // T0 installs k. T1 reads k's *initial* state (claims it ran
+    // before T0) but also reads a value T0 wrote to another key j —
+    // contradiction.
+    b.put(TxnId(0), "k");
+    b.put(TxnId(0), "j");
+    b.commit(TxnId(0));
+    b.get(TxnId(1), "k", None); // initial read ⇒ T1 → T0 (anti)
+    b.get(TxnId(1), "j", Some((TxnId(0), 1))); // reads T0 ⇒ T0 → T1 (wr)
+    b.commit(TxnId(1));
+    let h = b.finish();
+    assert!(check_isolation(&h, IsolationLevel::ReadCommitted).is_ok());
+    assert!(matches!(
+        check_isolation(&h, IsolationLevel::Serializable),
+        Err(adya::Violation::G2 { .. })
+    ));
+}

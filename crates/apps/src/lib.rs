@@ -1,0 +1,59 @@
+//! The evaluation applications of the Karousos paper (§6), written in
+//! KJS against the `kem` runtime:
+//!
+//! * [`motd`] — *Message of the day*: get/set a message, per-day or
+//!   global, stored in a shared hashmap (no transactional store). A
+//!   single request handler — the paper's pathological case where every
+//!   access is cross-request and hence logged.
+//! * [`stacks`] — *Stack dump logging*: report/count/list stack dumps
+//!   in the transactional store, with conflict-retry errors and a
+//!   shared digest index; exercises the PUT/GET interface and deep
+//!   continuation trees.
+//! * [`wiki`] — a Wiki.js-like application: page creation, comments,
+//!   renders; mixes transactional state, shared variables, and event
+//!   hooks.
+//!
+//! Each module exposes `program()` (the KJS program) plus request
+//! constructors used by the `workload` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod middleware;
+pub mod motd;
+pub mod stacks;
+pub mod wiki;
+
+/// The three applications, for harness iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// Message of the day.
+    Motd,
+    /// Stack dump logging.
+    Stacks,
+    /// The wiki.
+    Wiki,
+}
+
+impl App {
+    /// All applications.
+    pub const ALL: [App; 3] = [App::Motd, App::Stacks, App::Wiki];
+
+    /// Display name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Motd => "motd",
+            App::Stacks => "stacks",
+            App::Wiki => "wiki",
+        }
+    }
+
+    /// Builds the application's program.
+    pub fn program(self) -> kem::Program {
+        match self {
+            App::Motd => motd::program(),
+            App::Stacks => stacks::program(),
+            App::Wiki => wiki::program(),
+        }
+    }
+}

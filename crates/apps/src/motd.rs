@@ -1,0 +1,159 @@
+//! Message of the day (paper §6, *Message of the day*).
+//!
+//! Users get or set a "message of the day". Setting specifies whether
+//! the message is for every day (`day = "all"`) or one particular day.
+//! "Messages and metadata are stored in a local hashmap rather than in
+//! a transactional store" — here the loggable shared variables `motd`
+//! (per-day map) and `motd_default`.
+//!
+//! The application has a single request handler, so every handler
+//! activation is a child of the initialization activation `I`: all
+//! cross-request accesses are R-concurrent and get logged, and
+//! Karousos's grouping degenerates to Orochi's — exactly the
+//! pathological behaviour §6.2 dissects.
+
+use kem::dsl::*;
+use kem::{Program, ProgramBuilder, Value};
+
+use crate::middleware::with_middleware;
+
+/// Builds the MOTD program.
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new();
+    // day → {msg, ts, author}.
+    b.shared_var("motd", Value::empty_map(), true);
+    // The every-day message.
+    b.shared_var(
+        "motd_default",
+        Value::map([
+            ("msg", Value::str("welcome")),
+            ("ts", Value::int(0)),
+            ("author", Value::str("system")),
+        ]),
+        true,
+    );
+    // Set counter, kept as metadata (also loggable shared state).
+    b.shared_var("set_count", Value::Int(0), true);
+    // Full message history: every set appends here, so the value grows
+    // with the write count — the pathological hashmap of §6.2 whose
+    // accesses dominate both the server's logging and the verifier's
+    // value dictionary.
+    b.shared_var("motd_history", Value::empty_map(), true);
+
+    b.function(
+        "handle",
+        with_middleware(
+            60,
+            vec![iff(
+                eq(field(payload(), "op"), lit("get")),
+                // GET: day-specific message if present, else the default.
+                vec![
+                    let_("day", field(payload(), "day")),
+                    let_("m", sread("motd")),
+                    iff(
+                        contains(local("m"), local("day")),
+                        vec![respond(mapv(vec![
+                            ("msg", field(index(local("m"), local("day")), "msg")),
+                            ("ts", field(index(local("m"), local("day")), "ts")),
+                            ("scope", lit("day")),
+                        ]))],
+                        vec![respond(mapv(vec![
+                            ("msg", field(sread("motd_default"), "msg")),
+                            ("ts", field(sread("motd_default"), "ts")),
+                            ("scope", lit("default")),
+                        ]))],
+                    ),
+                ],
+                // SET: per-day or every-day, with a recorded timestamp.
+                vec![
+                    nondet_counter("ts"),
+                    let_(
+                        "entry",
+                        mapv(vec![
+                            ("msg", field(payload(), "msg")),
+                            ("ts", local("ts")),
+                            ("author", field(payload(), "author")),
+                        ]),
+                    ),
+                    swrite("set_count", add(sread("set_count"), lit(1i64))),
+                    swrite(
+                        "motd_history",
+                        map_insert(
+                            sread("motd_history"),
+                            add(add(field(payload(), "day"), lit(":")), to_str(local("ts"))),
+                            local("entry"),
+                        ),
+                    ),
+                    iff(
+                        eq(field(payload(), "day"), lit("all")),
+                        vec![swrite("motd_default", local("entry"))],
+                        vec![swrite(
+                            "motd",
+                            map_insert(sread("motd"), field(payload(), "day"), local("entry")),
+                        )],
+                    ),
+                    respond(mapv(vec![("ok", lit(true)), ("sets", sread("set_count"))])),
+                ],
+            )],
+        ),
+    );
+    b.request_handler("handle");
+    b.build().expect("motd program is well-formed")
+}
+
+/// A `get` request for `day`.
+pub fn get(day: &str) -> Value {
+    Value::map([("op", Value::str("get")), ("day", Value::str(day))])
+}
+
+/// A `set` request: `day` may be `"all"` for the every-day message.
+pub fn set(day: &str, msg: &str, author: &str) -> Value {
+    Value::map([
+        ("op", Value::str("set")),
+        ("day", Value::str(day)),
+        ("msg", Value::str(msg)),
+        ("author", Value::str(author)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::{NoopHooks, RequestId, ServerConfig};
+
+    fn run(inputs: &[Value]) -> kem::RunOutput {
+        kem::run_server(&program(), inputs, &ServerConfig::default(), &mut NoopHooks).unwrap()
+    }
+
+    #[test]
+    fn get_before_set_returns_default() {
+        let out = run(&[get("mon")]);
+        let resp = out.trace.output_of(RequestId(0)).unwrap();
+        assert_eq!(resp.field("scope").unwrap(), &Value::str("default"));
+        assert_eq!(resp.field("msg").unwrap(), &Value::str("welcome"));
+    }
+
+    #[test]
+    fn set_then_get_day_specific() {
+        let out = run(&[set("mon", "hello monday", "cam"), get("mon"), get("tue")]);
+        let mon = out.trace.output_of(RequestId(1)).unwrap();
+        assert_eq!(mon.field("msg").unwrap(), &Value::str("hello monday"));
+        assert_eq!(mon.field("scope").unwrap(), &Value::str("day"));
+        let tue = out.trace.output_of(RequestId(2)).unwrap();
+        assert_eq!(tue.field("scope").unwrap(), &Value::str("default"));
+    }
+
+    #[test]
+    fn set_all_changes_default() {
+        let out = run(&[set("all", "global msg", "cam"), get("fri")]);
+        let fri = out.trace.output_of(RequestId(1)).unwrap();
+        assert_eq!(fri.field("msg").unwrap(), &Value::str("global msg"));
+    }
+
+    #[test]
+    fn set_count_increments() {
+        let out = run(&[set("a", "1", "x"), set("b", "2", "x")]);
+        let second = out.trace.output_of(RequestId(1)).unwrap();
+        assert_eq!(second.field("sets").unwrap(), &Value::int(2));
+    }
+}

@@ -1,0 +1,373 @@
+//! Stack dump logging (paper §6, *Stack dump logging*).
+//!
+//! Users submit stack dumps, count how many times a dump has been
+//! reported, and list unique dumps. Dumps and their report counts live
+//! in the transactional store, keyed by the dump's digest. When a
+//! report conflicts with a concurrent report of the same dump, the
+//! store's lock-conflict abort surfaces as a *retry* error — the
+//! behaviour the paper uses to avoid deadlocks. `list` issues one query
+//! per digest recorded in the shared `digests` variable, so it builds a
+//! continuation chain whose depth equals the number of unique dumps —
+//! plenty of concurrently-activated handlers, the workload where
+//! Karousos's tree-shaped grouping beats Orochi-JS (§6.2).
+
+use kem::dsl::*;
+use kem::{Program, ProgramBuilder, Value};
+
+use crate::middleware::with_middleware;
+
+/// Builds the stack-dump program.
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new();
+    // All digests stored in the table, in insertion order.
+    b.shared_var("digests", Value::list([]), true);
+    // Request statistics, updated by a sibling handler that runs
+    // concurrently with the transactional continuation chain — the
+    // source of per-request handler reordering that defeats Orochi-JS's
+    // sequence-based grouping (§6.2).
+    b.shared_var("stats_total", Value::Int(0), true);
+
+    b.function(
+        "handle",
+        with_middleware(
+            900,
+            vec![
+                emit("req_note", field(payload(), "op")),
+                iff(
+                    eq(field(payload(), "op"), lit("report")),
+                    vec![
+                        let_("dg", digest(field(payload(), "dump"))),
+                        tx_start(
+                            mapv(vec![
+                                ("op", lit("report")),
+                                ("dg", local("dg")),
+                                ("dump", field(payload(), "dump")),
+                            ]),
+                            "started",
+                        ),
+                    ],
+                    vec![iff(
+                        eq(field(payload(), "op"), lit("count")),
+                        vec![
+                            let_("dg", digest(field(payload(), "dump"))),
+                            tx_start(
+                                mapv(vec![("op", lit("count")), ("dg", local("dg"))]),
+                                "started",
+                            ),
+                        ],
+                        // list
+                        vec![tx_start(
+                            mapv(vec![("op", lit("list")), ("digests", sread("digests"))]),
+                            "started",
+                        )],
+                    )],
+                ),
+            ],
+        ),
+    );
+
+    b.function(
+        "started",
+        vec![
+            let_("ctx", field(payload(), "ctx")),
+            let_("tx", field(payload(), "tx")),
+            iff(
+                eq(field(local("ctx"), "op"), lit("report")),
+                vec![tx_get(
+                    local("tx"),
+                    field(local("ctx"), "dg"),
+                    local("ctx"),
+                    "rep_got",
+                )],
+                vec![iff(
+                    eq(field(local("ctx"), "op"), lit("count")),
+                    vec![tx_get(
+                        local("tx"),
+                        field(local("ctx"), "dg"),
+                        local("ctx"),
+                        "cnt_got",
+                    )],
+                    vec![iff(
+                        eq(len(field(local("ctx"), "digests")), lit(0i64)),
+                        vec![tx_commit(local("tx"), listv(vec![]), "list_done")],
+                        vec![tx_get(
+                            local("tx"),
+                            index(field(local("ctx"), "digests"), lit(0i64)),
+                            mapv(vec![
+                                ("digests", field(local("ctx"), "digests")),
+                                ("i", lit(0i64)),
+                                ("acc", listv(vec![])),
+                            ]),
+                            "list_got",
+                        )],
+                    )],
+                )],
+            ),
+        ],
+    );
+
+    // --- report path -------------------------------------------------
+    b.function(
+        "rep_got",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                iff(
+                    field(payload(), "found"),
+                    vec![tx_put(
+                        field(payload(), "tx"),
+                        field(local("ctx"), "dg"),
+                        mapv(vec![
+                            ("dump", field(field(payload(), "value"), "dump")),
+                            (
+                                "count",
+                                add(field(field(payload(), "value"), "count"), lit(1i64)),
+                            ),
+                        ]),
+                        mapv(vec![
+                            ("is_new", lit(false)),
+                            ("dg", field(local("ctx"), "dg")),
+                        ]),
+                        "rep_put_done",
+                    )],
+                    vec![tx_put(
+                        field(payload(), "tx"),
+                        field(local("ctx"), "dg"),
+                        mapv(vec![
+                            ("dump", field(local("ctx"), "dump")),
+                            ("count", lit(1i64)),
+                        ]),
+                        mapv(vec![
+                            ("is_new", lit(true)),
+                            ("dg", field(local("ctx"), "dg")),
+                        ]),
+                        "rep_put_done",
+                    )],
+                ),
+            ],
+            // A concurrent request reported the same dump: retry.
+            vec![respond(mapv(vec![("error", lit("retry"))]))],
+        )],
+    );
+    b.function(
+        "rep_put_done",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![tx_commit(
+                field(payload(), "tx"),
+                field(payload(), "ctx"),
+                "rep_committed",
+            )],
+            vec![respond(mapv(vec![("error", lit("retry"))]))],
+        )],
+    );
+    b.function(
+        "rep_committed",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                iff(
+                    field(local("ctx"), "is_new"),
+                    vec![swrite(
+                        "digests",
+                        list_push(sread("digests"), field(local("ctx"), "dg")),
+                    )],
+                    vec![],
+                ),
+                respond(mapv(vec![
+                    ("ok", lit(true)),
+                    ("new", field(local("ctx"), "is_new")),
+                ])),
+            ],
+            vec![respond(mapv(vec![("error", lit("retry"))]))],
+        )],
+    );
+
+    // --- count path --------------------------------------------------
+    b.function(
+        "cnt_got",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![iff(
+                field(payload(), "found"),
+                vec![tx_commit(
+                    field(payload(), "tx"),
+                    mapv(vec![
+                        ("found", lit(true)),
+                        ("count", field(field(payload(), "value"), "count")),
+                    ]),
+                    "cnt_done",
+                )],
+                vec![tx_commit(
+                    field(payload(), "tx"),
+                    mapv(vec![("found", lit(false)), ("count", lit(0i64))]),
+                    "cnt_done",
+                )],
+            )],
+            vec![respond(mapv(vec![("error", lit("retry"))]))],
+        )],
+    );
+    b.function(
+        "cnt_done",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![respond(field(payload(), "ctx"))],
+            vec![respond(mapv(vec![("error", lit("retry"))]))],
+        )],
+    );
+
+    // --- list path ---------------------------------------------------
+    b.function(
+        "list_got",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                let_("i", field(local("ctx"), "i")),
+                let_("digests", field(local("ctx"), "digests")),
+                let_(
+                    "acc",
+                    list_push(
+                        field(local("ctx"), "acc"),
+                        mapv(vec![
+                            ("dg", index(local("digests"), local("i"))),
+                            ("count", field(field(payload(), "value"), "count")),
+                        ]),
+                    ),
+                ),
+                let_("next", add(local("i"), lit(1i64))),
+                iff(
+                    lt(local("next"), len(local("digests"))),
+                    vec![tx_get(
+                        field(payload(), "tx"),
+                        index(local("digests"), local("next")),
+                        mapv(vec![
+                            ("digests", local("digests")),
+                            ("i", local("next")),
+                            ("acc", local("acc")),
+                        ]),
+                        "list_got",
+                    )],
+                    vec![tx_commit(field(payload(), "tx"), local("acc"), "list_done")],
+                ),
+            ],
+            vec![respond(mapv(vec![("error", lit("retry"))]))],
+        )],
+    );
+    b.function(
+        "list_done",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![respond(mapv(vec![("dumps", field(payload(), "ctx"))]))],
+            vec![respond(mapv(vec![("error", lit("retry"))]))],
+        )],
+    );
+
+    // Bookkeeping sibling: activated by `handle` and scheduled
+    // independently of the transactional continuations.
+    b.function(
+        "note_req",
+        vec![swrite("stats_total", add(sread("stats_total"), lit(1i64)))],
+    );
+
+    b.request_handler("handle");
+    b.global_registration("req_note", "note_req");
+    b.build().expect("stacks program is well-formed")
+}
+
+/// A `report` request submitting `dump`.
+pub fn report(dump: &str) -> Value {
+    Value::map([("op", Value::str("report")), ("dump", Value::str(dump))])
+}
+
+/// A `count` request for `dump`.
+pub fn count(dump: &str) -> Value {
+    Value::map([("op", Value::str("count")), ("dump", Value::str(dump))])
+}
+
+/// A `list` request.
+pub fn list() -> Value {
+    Value::map([("op", Value::str("list"))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::{NoopHooks, RequestId, ServerConfig};
+
+    fn run(inputs: &[Value]) -> kem::RunOutput {
+        kem::run_server(&program(), inputs, &ServerConfig::default(), &mut NoopHooks).unwrap()
+    }
+
+    #[test]
+    fn report_new_then_existing() {
+        let out = run(&[report("stack A"), report("stack A"), report("stack B")]);
+        let first = out.trace.output_of(RequestId(0)).unwrap();
+        assert_eq!(first.field("new").unwrap(), &Value::Bool(true));
+        let second = out.trace.output_of(RequestId(1)).unwrap();
+        assert_eq!(second.field("new").unwrap(), &Value::Bool(false));
+        let third = out.trace.output_of(RequestId(2)).unwrap();
+        assert_eq!(third.field("new").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn count_reflects_reports() {
+        let out = run(&[report("s"), report("s"), count("s"), count("unknown")]);
+        let c = out.trace.output_of(RequestId(2)).unwrap();
+        assert_eq!(c.field("count").unwrap(), &Value::int(2));
+        assert_eq!(c.field("found").unwrap(), &Value::Bool(true));
+        let u = out.trace.output_of(RequestId(3)).unwrap();
+        assert_eq!(u.field("found").unwrap(), &Value::Bool(false));
+    }
+
+    #[test]
+    fn list_enumerates_unique_dumps() {
+        let out = run(&[report("a"), report("b"), report("a"), list()]);
+        let l = out.trace.output_of(RequestId(3)).unwrap();
+        let dumps = l.field("dumps").unwrap().as_list().unwrap();
+        assert_eq!(dumps.len(), 2);
+        let counts: Vec<i64> = dumps
+            .iter()
+            .map(|d| d.field("count").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(counts.iter().sum::<i64>(), 3);
+    }
+
+    #[test]
+    fn empty_list() {
+        let out = run(&[list()]);
+        let l = out.trace.output_of(RequestId(0)).unwrap();
+        assert_eq!(l.field("dumps").unwrap().as_list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_dump_reports_can_retry() {
+        // With concurrency, two reports of the same dump can conflict;
+        // at least one schedule in the seed range must produce a retry.
+        let inputs = vec![report("same"), report("same"), report("same")];
+        let mut saw_retry = false;
+        for seed in 0..60u64 {
+            let cfg = ServerConfig {
+                concurrency: 3,
+                policy: kem::SchedPolicy::Random { seed },
+                ..Default::default()
+            };
+            let out = kem::run_server(&program(), &inputs, &cfg, &mut NoopHooks).unwrap();
+            for i in 0..3 {
+                let resp = out.trace.output_of(RequestId(i)).unwrap();
+                if resp.field("error").is_some() {
+                    saw_retry = true;
+                }
+            }
+            if saw_retry {
+                break;
+            }
+        }
+        assert!(
+            saw_retry,
+            "expected a conflicting schedule to produce a retry"
+        );
+    }
+}

@@ -1,0 +1,649 @@
+//! A Wiki.js-like application (paper §6, *Wiki.js*).
+//!
+//! Three request types, with ratios from the paper's workload: page
+//! creation, comment creation, and renders. Pages and comment lists
+//! live in the transactional store; a loggable `page_index` map and a
+//! loggable connection-`pool` object are shared program state. The pool
+//! object is written at request entry and release, so its logged
+//! values grow with the number of concurrent requests — reproducing
+//! the paper's observation that wiki advice grows with concurrency
+//! because "some of the logged objects (for example, an object that
+//! pools connections to the transactional store) increase in size with
+//! the degree of concurrency" (§6.3).
+
+use kem::dsl::*;
+use kem::{Expr, Program, ProgramBuilder, Stmt, Value};
+
+use crate::middleware::with_middleware;
+
+/// First phase of pool release: mark the slot draining.
+///
+/// Release is two-phase (mark draining, then remove), like a real pool
+/// returning a connection: the second write immediately overwrites the
+/// first *within one handler*, so it is always R-ordered — Karousos
+/// never logs it, Orochi-JS always does (§4.2).
+fn pool_mark_draining(ctx: Expr) -> Stmt {
+    swrite(
+        "pool",
+        map_insert(sread("pool"), field(ctx, "slot"), lit("draining")),
+    )
+}
+
+/// Second phase of release: remove the slot.
+fn pool_remove(ctx: Expr) -> Stmt {
+    swrite("pool", map_remove(sread("pool"), field(ctx, "slot")))
+}
+
+/// First phase of context-registry release: record completion.
+///
+/// Like the pool, the registry is updated two-phase in one handler, so
+/// the second write is always R-ordered (never logged by Karousos).
+fn ctx_mark_done(ctx: Expr) -> Stmt {
+    swrite(
+        "req_ctx",
+        map_insert(sread("req_ctx"), field(ctx, "slot"), lit("done")),
+    )
+}
+
+/// Second phase of context-registry release: clear the entry.
+fn ctx_remove(ctx: Expr) -> Stmt {
+    swrite("req_ctx", map_remove(sread("req_ctx"), field(ctx, "slot")))
+}
+
+/// Retry response after releasing the pool.
+fn retry_respond(ctx: Expr) -> Vec<Stmt> {
+    vec![
+        pool_mark_draining(ctx.clone()),
+        pool_remove(ctx.clone()),
+        ctx_mark_done(ctx.clone()),
+        ctx_remove(ctx),
+        respond(mapv(vec![("error", lit("retry"))])),
+    ]
+}
+
+/// Builds the wiki program.
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.shared_var("page_index", Value::empty_map(), true);
+    b.shared_var("pool", Value::empty_map(), true);
+    b.shared_var("render_count", Value::Int(0), true);
+    // The per-request context registry: each request writes its own
+    // context at entry and its continuation handlers read it back.
+    // Those reads are usually dictated by the request's *own* write
+    // (R-ordered), so Karousos skips them while Orochi-JS logs them —
+    // the source of Karousos's ~50% advice saving on the wiki (§6.3).
+    b.shared_var("req_ctx", Value::empty_map(), true);
+
+    b.function(
+        "handle",
+        with_middleware(
+            600,
+            vec![
+                // Acquire a pool slot; the slot name is recorded
+                // nondeterminism (a fresh ticket per request).
+                nondet_counter("ticket"),
+                let_("slot", to_str(local("ticket"))),
+                swrite(
+                    "pool",
+                    map_insert(sread("pool"), local("slot"), lit("pending")),
+                ),
+                swrite(
+                    "pool",
+                    map_insert(sread("pool"), local("slot"), lit("active")),
+                ),
+                swrite(
+                    "req_ctx",
+                    map_insert(
+                        sread("req_ctx"),
+                        local("slot"),
+                        mapv(vec![("op", field(payload(), "op"))]),
+                    ),
+                ),
+                swrite(
+                    "req_ctx",
+                    map_insert(
+                        sread("req_ctx"),
+                        local("slot"),
+                        mapv(vec![("op", field(payload(), "op")), ("started", lit(true))]),
+                    ),
+                ),
+                // Audit trail sibling: dispatched independently of the
+                // transactional chain, so its completion order within the
+                // request varies across schedules.
+                emit("audit", local("slot")),
+                iff(
+                    eq(field(payload(), "op"), lit("create_page")),
+                    vec![tx_start(
+                        mapv(vec![
+                            ("op", lit("create_page")),
+                            ("id", field(payload(), "id")),
+                            ("title", field(payload(), "title")),
+                            ("content", field(payload(), "content")),
+                            ("slot", local("slot")),
+                        ]),
+                        "w_started",
+                    )],
+                    vec![iff(
+                        eq(field(payload(), "op"), lit("comment")),
+                        vec![tx_start(
+                            mapv(vec![
+                                ("op", lit("comment")),
+                                ("page", field(payload(), "page")),
+                                ("text", field(payload(), "text")),
+                                ("slot", local("slot")),
+                            ]),
+                            "w_started",
+                        )],
+                        vec![iff(
+                            eq(field(payload(), "op"), lit("edit_page")),
+                            vec![tx_start(
+                                mapv(vec![
+                                    ("op", lit("edit_page")),
+                                    ("page", field(payload(), "page")),
+                                    ("content", field(payload(), "content")),
+                                    ("slot", local("slot")),
+                                ]),
+                                "w_started",
+                            )],
+                            vec![tx_start(
+                                mapv(vec![
+                                    ("op", lit("render")),
+                                    ("page", field(payload(), "page")),
+                                    ("slot", local("slot")),
+                                ]),
+                                "w_started",
+                            )],
+                        )],
+                    )],
+                ),
+            ],
+        ),
+    );
+
+    // The audit hook: reads the request's own context back (an
+    // R-ordered read in most schedules).
+    b.function(
+        "audit_note",
+        vec![let_("my_ctx", index(sread("req_ctx"), payload()))],
+    );
+
+    b.function(
+        "w_started",
+        vec![
+            let_("ctx", field(payload(), "ctx")),
+            let_("tx", field(payload(), "tx")),
+            let_("rc", index(sread("req_ctx"), field(local("ctx"), "slot"))),
+            iff(
+                eq(field(local("ctx"), "op"), lit("create_page")),
+                vec![tx_put(
+                    local("tx"),
+                    add(lit("page:"), field(local("ctx"), "id")),
+                    mapv(vec![
+                        ("title", field(local("ctx"), "title")),
+                        ("content", field(local("ctx"), "content")),
+                        ("rev", lit(1i64)),
+                    ]),
+                    local("ctx"),
+                    "create_page_put",
+                )],
+                vec![iff(
+                    eq(field(local("ctx"), "op"), lit("comment")),
+                    vec![tx_get(
+                        local("tx"),
+                        add(lit("comments:"), field(local("ctx"), "page")),
+                        local("ctx"),
+                        "comment_got",
+                    )],
+                    vec![iff(
+                        eq(field(local("ctx"), "op"), lit("edit_page")),
+                        vec![tx_get(
+                            local("tx"),
+                            add(lit("page:"), field(local("ctx"), "page")),
+                            local("ctx"),
+                            "edit_got",
+                        )],
+                        vec![tx_get(
+                            local("tx"),
+                            add(lit("page:"), field(local("ctx"), "page")),
+                            local("ctx"),
+                            "render_page_got",
+                        )],
+                    )],
+                )],
+            ),
+        ],
+    );
+
+    // --- create_page path --------------------------------------------
+    b.function(
+        "create_page_put",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![tx_put(
+                field(payload(), "tx"),
+                add(lit("comments:"), field(field(payload(), "ctx"), "id")),
+                listv(vec![]),
+                field(payload(), "ctx"),
+                "create_comments_put",
+            )],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    b.function(
+        "create_comments_put",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![tx_commit(
+                field(payload(), "tx"),
+                field(payload(), "ctx"),
+                "create_committed",
+            )],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    b.function(
+        "create_committed",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                emit(
+                    "page_created",
+                    mapv(vec![
+                        ("id", field(local("ctx"), "id")),
+                        ("title", field(local("ctx"), "title")),
+                    ]),
+                ),
+                pool_mark_draining(local("ctx")),
+                pool_remove(local("ctx")),
+                ctx_mark_done(local("ctx")),
+                ctx_remove(local("ctx")),
+                respond(mapv(vec![
+                    ("ok", lit(true)),
+                    ("id", field(local("ctx"), "id")),
+                ])),
+            ],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    // Global hook: keep the in-memory page index up to date.
+    b.function(
+        "index_page",
+        vec![swrite(
+            "page_index",
+            map_insert(
+                sread("page_index"),
+                field(payload(), "id"),
+                field(payload(), "title"),
+            ),
+        )],
+    );
+
+    // --- edit_page path ----------------------------------------------
+    b.function(
+        "edit_got",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                iff(
+                    field(payload(), "found"),
+                    vec![
+                        let_("old", field(payload(), "value")),
+                        let_("rev", add(field(local("old"), "rev"), lit(1i64))),
+                        tx_put(
+                            field(payload(), "tx"),
+                            add(lit("page:"), field(local("ctx"), "page")),
+                            mapv(vec![
+                                ("title", field(local("old"), "title")),
+                                ("content", field(local("ctx"), "content")),
+                                ("rev", local("rev")),
+                            ]),
+                            mapv(vec![
+                                ("slot", field(local("ctx"), "slot")),
+                                ("rev", local("rev")),
+                            ]),
+                            "edit_put",
+                        ),
+                    ],
+                    // Editing a missing page: abort, 404.
+                    vec![tx_abort(field(payload(), "tx"), local("ctx"), "render_404")],
+                ),
+            ],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    b.function(
+        "edit_put",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![tx_commit(
+                field(payload(), "tx"),
+                field(payload(), "ctx"),
+                "edit_committed",
+            )],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    b.function(
+        "edit_committed",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                pool_mark_draining(local("ctx")),
+                pool_remove(local("ctx")),
+                ctx_mark_done(local("ctx")),
+                ctx_remove(local("ctx")),
+                respond(mapv(vec![
+                    ("ok", lit(true)),
+                    ("rev", field(local("ctx"), "rev")),
+                ])),
+            ],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+
+    // --- comment path ------------------------------------------------
+    b.function(
+        "comment_got",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                let_("rc", index(sread("req_ctx"), field(local("ctx"), "slot"))),
+                iff(
+                    field(payload(), "found"),
+                    vec![let_("comments", field(payload(), "value"))],
+                    vec![let_("comments", listv(vec![]))],
+                ),
+                let_(
+                    "updated",
+                    list_push(
+                        local("comments"),
+                        mapv(vec![("text", field(local("ctx"), "text"))]),
+                    ),
+                ),
+                tx_put(
+                    field(payload(), "tx"),
+                    add(lit("comments:"), field(local("ctx"), "page")),
+                    local("updated"),
+                    mapv(vec![
+                        ("slot", field(local("ctx"), "slot")),
+                        ("count", len(local("updated"))),
+                    ]),
+                    "comment_put",
+                ),
+            ],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    b.function(
+        "comment_put",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![tx_commit(
+                field(payload(), "tx"),
+                field(payload(), "ctx"),
+                "comment_committed",
+            )],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    b.function(
+        "comment_committed",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                pool_mark_draining(local("ctx")),
+                pool_remove(local("ctx")),
+                ctx_mark_done(local("ctx")),
+                ctx_remove(local("ctx")),
+                respond(mapv(vec![
+                    ("ok", lit(true)),
+                    ("count", field(local("ctx"), "count")),
+                ])),
+            ],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+
+    // --- render path -------------------------------------------------
+    b.function(
+        "render_page_got",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                iff(
+                    field(payload(), "found"),
+                    vec![tx_get(
+                        field(payload(), "tx"),
+                        add(lit("comments:"), field(local("ctx"), "page")),
+                        mapv(vec![
+                            ("slot", field(local("ctx"), "slot")),
+                            ("page", field(local("ctx"), "page")),
+                            ("title", field(field(payload(), "value"), "title")),
+                            ("content", field(field(payload(), "value"), "content")),
+                        ]),
+                        "render_comments_got",
+                    )],
+                    // Missing page: abort and 404.
+                    vec![tx_abort(field(payload(), "tx"), local("ctx"), "render_404")],
+                ),
+            ],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    b.function(
+        "render_404",
+        vec![
+            let_("ctx", field(payload(), "ctx")),
+            pool_mark_draining(local("ctx")),
+            pool_remove(local("ctx")),
+            ctx_mark_done(local("ctx")),
+            ctx_remove(local("ctx")),
+            respond(mapv(vec![
+                ("status", lit(404i64)),
+                ("page", field(local("ctx"), "page")),
+            ])),
+        ],
+    );
+    b.function(
+        "render_comments_got",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                let_("rc", index(sread("req_ctx"), field(local("ctx"), "slot"))),
+                iff(
+                    field(payload(), "found"),
+                    vec![let_("comments", field(payload(), "value"))],
+                    vec![let_("comments", listv(vec![]))],
+                ),
+                let_(
+                    "html",
+                    add(
+                        add(lit("<h1>"), field(local("ctx"), "title")),
+                        add(
+                            add(lit("</h1><p>"), field(local("ctx"), "content")),
+                            lit("</p><ul>"),
+                        ),
+                    ),
+                ),
+                for_each(
+                    "c",
+                    local("comments"),
+                    vec![let_(
+                        "html",
+                        add(
+                            local("html"),
+                            add(lit("<li>"), add(field(local("c"), "text"), lit("</li>"))),
+                        ),
+                    )],
+                ),
+                let_("html", add(local("html"), lit("</ul>"))),
+                swrite("render_count", add(sread("render_count"), lit(1i64))),
+                tx_commit(
+                    field(payload(), "tx"),
+                    mapv(vec![
+                        ("slot", field(local("ctx"), "slot")),
+                        ("html", local("html")),
+                    ]),
+                    "render_committed",
+                ),
+            ],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+    b.function(
+        "render_committed",
+        vec![iff(
+            field(payload(), "ok"),
+            vec![
+                let_("ctx", field(payload(), "ctx")),
+                pool_mark_draining(local("ctx")),
+                pool_remove(local("ctx")),
+                ctx_mark_done(local("ctx")),
+                ctx_remove(local("ctx")),
+                respond(mapv(vec![
+                    ("html", field(local("ctx"), "html")),
+                    ("renders", sread("render_count")),
+                ])),
+            ],
+            retry_respond(field(payload(), "ctx")),
+        )],
+    );
+
+    b.request_handler("handle");
+    b.global_registration("page_created", "index_page");
+    b.global_registration("audit", "audit_note");
+    b.build().expect("wiki program is well-formed")
+}
+
+/// A page-creation request.
+pub fn create_page(id: &str, title: &str, content: &str) -> Value {
+    Value::map([
+        ("op", Value::str("create_page")),
+        ("id", Value::str(id)),
+        ("title", Value::str(title)),
+        ("content", Value::str(content)),
+    ])
+}
+
+/// A comment-creation request.
+pub fn comment(page: &str, text: &str) -> Value {
+    Value::map([
+        ("op", Value::str("comment")),
+        ("page", Value::str(page)),
+        ("text", Value::str(text)),
+    ])
+}
+
+/// A page-edit request: replaces the content, bumping the revision.
+pub fn edit_page(page: &str, content: &str) -> Value {
+    Value::map([
+        ("op", Value::str("edit_page")),
+        ("page", Value::str(page)),
+        ("content", Value::str(content)),
+    ])
+}
+
+/// A render request.
+pub fn render(page: &str) -> Value {
+    Value::map([("op", Value::str("render")), ("page", Value::str(page))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::{NoopHooks, RequestId, ServerConfig};
+
+    fn run(inputs: &[Value]) -> kem::RunOutput {
+        kem::run_server(&program(), inputs, &ServerConfig::default(), &mut NoopHooks).unwrap()
+    }
+
+    #[test]
+    fn create_then_render() {
+        let out = run(&[create_page("home", "Home", "hello world"), render("home")]);
+        let created = out.trace.output_of(RequestId(0)).unwrap();
+        assert_eq!(created.field("ok").unwrap(), &Value::Bool(true));
+        let rendered = out.trace.output_of(RequestId(1)).unwrap();
+        let html = rendered.field("html").unwrap().as_str().unwrap();
+        assert!(html.contains("<h1>Home</h1>"));
+        assert!(html.contains("hello world"));
+        assert_eq!(rendered.field("renders").unwrap(), &Value::int(1));
+    }
+
+    #[test]
+    fn comments_appear_in_render() {
+        let out = run(&[
+            create_page("p", "P", "body"),
+            comment("p", "first!"),
+            comment("p", "second"),
+            render("p"),
+        ]);
+        let c2 = out.trace.output_of(RequestId(2)).unwrap();
+        assert_eq!(c2.field("count").unwrap(), &Value::int(2));
+        let html = out
+            .trace
+            .output_of(RequestId(3))
+            .unwrap()
+            .field("html")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(html.contains("<li>first!</li>"));
+        assert!(html.contains("<li>second</li>"));
+    }
+
+    #[test]
+    fn render_missing_page_is_404() {
+        let out = run(&[render("ghost")]);
+        let resp = out.trace.output_of(RequestId(0)).unwrap();
+        assert_eq!(resp.field("status").unwrap(), &Value::int(404));
+    }
+
+    #[test]
+    fn edit_bumps_revision_and_changes_render() {
+        let out = run(&[
+            create_page("p", "P", "v1 content"),
+            edit_page("p", "v2 content"),
+            edit_page("p", "v3 content"),
+            render("p"),
+        ]);
+        let e1 = out.trace.output_of(RequestId(1)).unwrap();
+        assert_eq!(e1.field("rev").unwrap(), &Value::int(2));
+        let e2 = out.trace.output_of(RequestId(2)).unwrap();
+        assert_eq!(e2.field("rev").unwrap(), &Value::int(3));
+        let html = out
+            .trace
+            .output_of(RequestId(3))
+            .unwrap()
+            .field("html")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(html.contains("v3 content"));
+        assert!(!html.contains("v1 content"));
+    }
+
+    #[test]
+    fn edit_missing_page_is_404() {
+        let out = run(&[edit_page("ghost", "content")]);
+        let resp = out.trace.output_of(RequestId(0)).unwrap();
+        assert_eq!(resp.field("status").unwrap(), &Value::int(404));
+    }
+
+    #[test]
+    fn comment_on_missing_page_starts_fresh_list() {
+        // Comments can exist without a page (as in the real app, where
+        // the row is created lazily).
+        let out = run(&[comment("lazy", "hi")]);
+        let resp = out.trace.output_of(RequestId(0)).unwrap();
+        assert_eq!(resp.field("count").unwrap(), &Value::int(1));
+    }
+}

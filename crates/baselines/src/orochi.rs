@@ -1,0 +1,112 @@
+//! Orochi-JS: Orochi's algorithms on the Karousos codebase (§6).
+//!
+//! The paper cannot run Orochi directly (its implementation is bound to
+//! PHP), so it reimplements Orochi's two distinguishing policies on the
+//! shared codebase:
+//!
+//! 1. **Grouping**: "requests are placed in a re-executed batch only if
+//!    they induce the identical *sequence* of handlers, not merely a
+//!    topologically equivalent tree" — the order-sensitive tag of
+//!    [`karousos::CollectorMode::OrochiJs`].
+//! 2. **Logging**: "all accesses to (loggable) variables are logged,
+//!    rather than only the R-concurrent accesses".
+//!
+//! The verifier machinery is shared: Orochi-JS advice is simply advice
+//! in which every access is logged and groups are finer, so
+//! [`karousos::audit`] handles both.
+
+use karousos::{audit, run_instrumented_server, Advice, AuditReport, CollectorMode, RejectReason};
+use kem::{Program, RunOutput, RuntimeError, ServerConfig, Trace, Value};
+use kvstore::IsolationLevel;
+
+/// Runs the server with Orochi-JS advice collection.
+pub fn orochi_collect(
+    program: &Program,
+    inputs: &[Value],
+    cfg: &ServerConfig,
+) -> Result<(RunOutput, Advice), RuntimeError> {
+    run_instrumented_server(program, inputs, cfg, CollectorMode::OrochiJs)
+}
+
+/// Audits a trace against Orochi-JS advice (same verifier machinery).
+pub fn orochi_audit(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: IsolationLevel,
+) -> Result<AuditReport, RejectReason> {
+    audit(program, trace, advice, isolation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::dsl::*;
+    use kem::{ProgramBuilder, SchedPolicy};
+
+    /// A program whose two sibling handlers can run in either order:
+    /// Karousos batches the two orders together, Orochi-JS must not.
+    fn sibling_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.shared_var("x", Value::Int(0), true);
+        b.function(
+            "handle",
+            vec![emit("a", null()), emit("b", null()), respond(lit("ok"))],
+        );
+        b.function("on_a", vec![swrite("x", add(sread("x"), lit(1i64)))]);
+        b.function("on_b", vec![swrite("x", add(sread("x"), lit(10i64)))]);
+        b.request_handler("handle");
+        b.global_registration("a", "on_a");
+        b.global_registration("b", "on_b");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn orochi_honest_accepts() {
+        let p = sibling_program();
+        let cfg = ServerConfig {
+            concurrency: 4,
+            policy: SchedPolicy::Random { seed: 7 },
+            ..Default::default()
+        };
+        let (out, advice) = orochi_collect(&p, &vec![Value::Null; 6], &cfg).unwrap();
+        orochi_audit(&p, &out.trace, &advice, IsolationLevel::Serializable).unwrap();
+    }
+
+    #[test]
+    fn orochi_logs_at_least_as_much_as_karousos() {
+        let p = sibling_program();
+        let cfg = ServerConfig {
+            concurrency: 4,
+            policy: SchedPolicy::Random { seed: 7 },
+            ..Default::default()
+        };
+        let inputs = vec![Value::Null; 6];
+        let (_, oro) = orochi_collect(&p, &inputs, &cfg).unwrap();
+        let (_, kar) = run_instrumented_server(&p, &inputs, &cfg, CollectorMode::Karousos).unwrap();
+        assert!(oro.var_log_entries() >= kar.var_log_entries());
+        assert!(
+            karousos::encode_advice(&oro).len() >= karousos::encode_advice(&kar).len(),
+            "Orochi-JS advice should not be smaller"
+        );
+    }
+
+    #[test]
+    fn orochi_groups_are_never_coarser() {
+        let p = sibling_program();
+        let inputs = vec![Value::Null; 10];
+        for seed in 0..6u64 {
+            let cfg = ServerConfig {
+                concurrency: 5,
+                policy: SchedPolicy::Random { seed },
+                ..Default::default()
+            };
+            let (out_o, oro) = orochi_collect(&p, &inputs, &cfg).unwrap();
+            let (out_k, kar) =
+                run_instrumented_server(&p, &inputs, &cfg, CollectorMode::Karousos).unwrap();
+            let go = oro.groups(&out_o.trace.request_ids()).len();
+            let gk = kar.groups(&out_k.trace.request_ids()).len();
+            assert!(go >= gk, "seed {seed}: orochi {go} groups < karousos {gk}");
+        }
+    }
+}

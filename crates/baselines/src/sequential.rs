@@ -1,0 +1,91 @@
+//! The sequential re-execution baseline.
+//!
+//! Replays the trace's requests one at a time (window of one, FIFO
+//! scheduling), against a fresh store, with no advice. This measures
+//! the cost a verifier would pay *without* batched re-execution — the
+//! lower curve Karousos is compared to in Figure 7.
+//!
+//! Because the original execution may have been concurrent (conflicts,
+//! interleaving-dependent values), the sequential replay's responses
+//! can legitimately differ from the trace; this baseline is a *timing*
+//! baseline, so it reports match/mismatch counts instead of
+//! accepting/rejecting.
+
+use kem::{NoopHooks, Program, RuntimeError, SchedPolicy, ServerConfig, Trace, Value};
+use kvstore::IsolationLevel;
+
+/// Outcome of a sequential replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequentialReport {
+    /// Requests replayed.
+    pub replayed: usize,
+    /// Responses equal to the trace's.
+    pub matched: usize,
+    /// Responses that differed (possible when the original execution
+    /// was concurrent).
+    pub mismatched: usize,
+    /// Handler activations executed during replay.
+    pub activations: u64,
+}
+
+/// Replays `trace` sequentially under `isolation`.
+pub fn sequential_reexecute(
+    program: &Program,
+    trace: &Trace,
+    isolation: IsolationLevel,
+) -> Result<SequentialReport, RuntimeError> {
+    let inputs: Vec<Value> = trace
+        .request_ids()
+        .iter()
+        .map(|rid| trace.input_of(*rid).expect("balanced trace").clone())
+        .collect();
+    let cfg = ServerConfig {
+        concurrency: 1,
+        isolation,
+        policy: SchedPolicy::Fifo,
+        ..Default::default()
+    };
+    let out = kem::run_server(program, &inputs, &cfg, &mut NoopHooks)?;
+    let mut matched = 0;
+    let mut mismatched = 0;
+    for (i, rid) in trace.request_ids().iter().enumerate() {
+        let original = trace.output_of(*rid);
+        let replayed = out.trace.output_of(kem::RequestId(i as u64));
+        if original == replayed {
+            matched += 1;
+        } else {
+            mismatched += 1;
+        }
+    }
+    Ok(SequentialReport {
+        replayed: inputs.len(),
+        matched,
+        mismatched,
+        activations: out.activations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::dsl::*;
+    use kem::ProgramBuilder;
+
+    #[test]
+    fn sequential_replay_matches_sequential_original() {
+        let mut b = ProgramBuilder::new();
+        b.shared_var("n", Value::Int(0), true);
+        b.function(
+            "handle",
+            vec![swrite("n", add(sread("n"), lit(1i64))), respond(sread("n"))],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let cfg = ServerConfig::default();
+        let out = kem::run_server(&p, &vec![Value::Null; 5], &cfg, &mut NoopHooks).unwrap();
+        let report = sequential_reexecute(&p, &out.trace, IsolationLevel::Serializable).unwrap();
+        assert_eq!(report.replayed, 5);
+        assert_eq!(report.matched, 5);
+        assert_eq!(report.mismatched, 0);
+    }
+}

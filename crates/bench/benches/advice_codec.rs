@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 8's machinery: advice encoding and
+//! decoding throughput (the bytes measured in Fig. 8 cross this codec).
+
+use apps::App;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use karousos::{decode_advice, encode_advice};
+use workload::Mix;
+
+const REQUESTS: usize = 120;
+const CONCURRENCY: usize = 8;
+
+fn bench_app(c: &mut Criterion, app: App, mix: Mix) {
+    let p = bench::prepare(app, mix, REQUESTS, CONCURRENCY, 1);
+    let bytes = encode_advice(&p.karousos);
+    let mut group = c.benchmark_group(format!("fig8/{}", app.name()));
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function(BenchmarkId::new("encode", mix.name()), |b| {
+        b.iter(|| encode_advice(&p.karousos))
+    });
+    group.bench_function(BenchmarkId::new("decode", mix.name()), |b| {
+        b.iter(|| decode_advice(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_app(c, App::Motd, Mix::WriteHeavy);
+    bench_app(c, App::Wiki, Mix::Wiki);
+}
+
+criterion_group! {
+    name = fig8;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig8);

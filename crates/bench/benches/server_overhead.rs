@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 6: server processing time with and
+//! without advice collection, per application.
+//!
+//! The harness binary (`cargo run -p bench --bin harness -- fig6`)
+//! prints the full sweep; this bench gives statistically robust
+//! per-configuration numbers for the three headline workloads.
+
+use apps::App;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use karousos::{run_instrumented_server_encoded, CollectorMode};
+use kem::NoopHooks;
+use workload::{Experiment, Mix};
+
+const REQUESTS: usize = 120;
+const CONCURRENCY: usize = 8;
+
+fn bench_app(c: &mut Criterion, app: App, mix: Mix) {
+    let mut exp = Experiment::paper_default(app, mix, CONCURRENCY, 1);
+    exp.requests = REQUESTS;
+    let program = app.program();
+    let inputs = exp.inputs();
+    let cfg = exp.server_config();
+
+    let mut group = c.benchmark_group(format!("fig6/{}", app.name()));
+    group.bench_function(BenchmarkId::new("unmodified", mix.name()), |b| {
+        b.iter(|| kem::run_server(&program, &inputs, &cfg, &mut NoopHooks).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("karousos", mix.name()), |b| {
+        b.iter(|| {
+            run_instrumented_server_encoded(&program, &inputs, &cfg, CollectorMode::Karousos)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_app(c, App::Motd, Mix::WriteHeavy);
+    bench_app(c, App::Stacks, Mix::ReadHeavy);
+    bench_app(c, App::Wiki, Mix::Wiki);
+}
+
+criterion_group! {
+    name = fig6;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig6);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 7: verification time — Karousos vs the
+//! Orochi-JS and sequential re-execution baselines.
+
+use apps::App;
+use baselines::sequential_reexecute;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use karousos::audit_encoded;
+use workload::Mix;
+
+const REQUESTS: usize = 120;
+const CONCURRENCY: usize = 8;
+
+fn bench_app(c: &mut Criterion, app: App, mix: Mix) {
+    let p = bench::prepare(app, mix, REQUESTS, CONCURRENCY, 1);
+    let mut group = c.benchmark_group(format!("fig7/{}", app.name()));
+    group.bench_function(BenchmarkId::new("karousos", mix.name()), |b| {
+        b.iter(|| audit_encoded(&p.program, &p.trace, &p.karousos_bytes, p.exp.isolation).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("orochi-js", mix.name()), |b| {
+        b.iter(|| audit_encoded(&p.program, &p.trace, &p.orochi_bytes, p.exp.isolation).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("sequential", mix.name()), |b| {
+        b.iter(|| sequential_reexecute(&p.program, &p.trace, p.exp.isolation).unwrap())
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_app(c, App::Motd, Mix::WriteHeavy);
+    bench_app(c, App::Stacks, Mix::ReadHeavy);
+    bench_app(c, App::Wiki, Mix::Wiki);
+}
+
+criterion_group! {
+    name = fig7;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig7);

@@ -1,0 +1,380 @@
+//! The evaluation harness: regenerates every figure of the paper.
+//!
+//! ```text
+//! harness [figure] [--requests N] [--iters K] [--seed S]
+//!
+//!   figure ∈ { fig6, fig7, fig8, fig9, fig10, fig11, fig12, ratios, all }
+//! ```
+//!
+//! Figure ↔ paper mapping:
+//!
+//! * `fig6`  — server advice-collection overhead (MOTD 90% writes,
+//!   stacks 90% reads, wiki mix), Karousos vs unmodified server.
+//! * `fig7`  — verifier time vs sequential re-execution and Orochi-JS.
+//! * `fig8`  — advice size (MOTD, wiki), Karousos vs Orochi-JS.
+//! * `fig9`  — MOTD mixed: (a) server, (b) verifier, (c) advice size.
+//! * `fig10` — MOTD 90% reads: (a)(b)(c).
+//! * `fig11` — stacks mixed: (a)(b)(c).
+//! * `fig12` — stacks 90% writes: (a)(b)(c).
+//! * `ratios` — the headline ratio bands quoted in §6.1–§6.3.
+
+use apps::App;
+use bench::{
+    advice_size, ms, server_overhead, server_overhead_with_seeds, verification,
+    verification_with_seeds, AdviceSizeRow, Percentiles, ServerOverheadRow, VerificationRow,
+    CONCURRENCY_SWEEP,
+};
+use workload::Mix;
+
+struct Opts {
+    figure: String,
+    requests: usize,
+    iters: usize,
+    seed: u64,
+    seeds: u64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        figure: "all".to_string(),
+        requests: 600,
+        iters: 3,
+        seed: 1,
+        seeds: 10,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let numeric = |flag: &str, raw: Option<&String>| -> u64 {
+        match raw.map(|r| r.parse::<u64>()) {
+            Some(Ok(v)) => v,
+            _ => {
+                eprintln!("{flag} requires a positive integer value");
+                std::process::exit(2);
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" => {
+                opts.requests = numeric("--requests", args.get(i + 1)) as usize;
+                i += 2;
+            }
+            "--iters" => {
+                opts.iters = numeric("--iters", args.get(i + 1)).max(1) as usize;
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = numeric("--seed", args.get(i + 1));
+                i += 2;
+            }
+            "--seeds" => {
+                opts.seeds = numeric("--seeds", args.get(i + 1)).max(1);
+                i += 2;
+            }
+            other => {
+                opts.figure = other.to_string();
+                i += 1;
+            }
+        }
+    }
+    opts
+}
+
+fn print_server_rows(label: &str, rows: &[ServerOverheadRow]) {
+    println!("\n  {label}");
+    println!(
+        "    {:>11} {:>14} {:>12} {:>9}",
+        "concurrency", "unmodified ms", "karousos ms", "overhead"
+    );
+    for r in rows {
+        println!(
+            "    {:>11} {:>14} {:>12} {:>8.2}x",
+            r.concurrency,
+            ms(r.unmodified),
+            ms(r.karousos),
+            r.overhead()
+        );
+    }
+}
+
+fn print_verif_rows(label: &str, rows: &[VerificationRow]) {
+    println!("\n  {label}");
+    println!(
+        "    {:>11} {:>11} {:>10} {:>13} {:>8} {:>8}",
+        "concurrency", "karousos ms", "orochi ms", "sequential ms", "k-groups", "o-groups"
+    );
+    for r in rows {
+        println!(
+            "    {:>11} {:>11} {:>10} {:>13} {:>8} {:>8}",
+            r.concurrency,
+            ms(r.karousos),
+            ms(r.orochi),
+            ms(r.sequential),
+            r.karousos_groups,
+            r.orochi_groups
+        );
+    }
+}
+
+fn print_size_rows(label: &str, rows: &[AdviceSizeRow]) {
+    println!("\n  {label}");
+    println!(
+        "    {:>11} {:>12} {:>11} {:>10} {:>12}",
+        "concurrency", "karousos KB", "orochi KB", "k/o ratio", "var-log %"
+    );
+    for r in rows {
+        println!(
+            "    {:>11} {:>12} {:>11} {:>9.2}x {:>11}%",
+            r.concurrency,
+            r.karousos / 1024,
+            r.orochi / 1024,
+            r.karousos as f64 / r.orochi.max(1) as f64,
+            r.var_log_share
+        );
+    }
+}
+
+fn sweep_server(app: App, mix: Mix, o: &Opts) -> Vec<ServerOverheadRow> {
+    CONCURRENCY_SWEEP
+        .iter()
+        .map(|&c| server_overhead(app, mix, o.requests, c, o.seed, o.iters))
+        .collect()
+}
+
+fn sweep_verif(app: App, mix: Mix, o: &Opts) -> Vec<VerificationRow> {
+    CONCURRENCY_SWEEP
+        .iter()
+        .map(|&c| verification(app, mix, o.requests, c, o.seed, o.iters))
+        .collect()
+}
+
+fn sweep_size(app: App, mix: Mix, o: &Opts) -> Vec<AdviceSizeRow> {
+    CONCURRENCY_SWEEP
+        .iter()
+        .map(|&c| advice_size(app, mix, o.requests, c, o.seed))
+        .collect()
+}
+
+fn fig6(o: &Opts) {
+    println!(
+        "== Figure 6: server processing time, Karousos vs unmodified ({} requests) ==",
+        o.requests
+    );
+    print_server_rows(
+        "motd, 90% writes",
+        &sweep_server(App::Motd, Mix::WriteHeavy, o),
+    );
+    print_server_rows(
+        "stacks, 90% reads",
+        &sweep_server(App::Stacks, Mix::ReadHeavy, o),
+    );
+    print_server_rows(
+        "wiki, mixed workload",
+        &sweep_server(App::Wiki, Mix::Wiki, o),
+    );
+}
+
+fn fig7(o: &Opts) {
+    println!(
+        "== Figure 7: verification time vs baselines ({} requests) ==",
+        o.requests
+    );
+    print_verif_rows(
+        "motd, 90% writes",
+        &sweep_verif(App::Motd, Mix::WriteHeavy, o),
+    );
+    print_verif_rows(
+        "stacks, 90% reads",
+        &sweep_verif(App::Stacks, Mix::ReadHeavy, o),
+    );
+    print_verif_rows(
+        "wiki, mixed workload",
+        &sweep_verif(App::Wiki, Mix::Wiki, o),
+    );
+}
+
+fn fig8(o: &Opts) {
+    println!("== Figure 8: advice size ({} requests) ==", o.requests);
+    print_size_rows(
+        "motd, 90% writes",
+        &sweep_size(App::Motd, Mix::WriteHeavy, o),
+    );
+    print_size_rows("wiki, mixed workload", &sweep_size(App::Wiki, Mix::Wiki, o));
+}
+
+fn fig_triple(n: u32, app: App, mix: Mix, o: &Opts) {
+    println!("== Figure {n}: {} ({}) ==", app.name(), mix.name());
+    print_server_rows("(a) server overhead", &sweep_server(app, mix, o));
+    print_verif_rows("(b) verification time", &sweep_verif(app, mix, o));
+    print_size_rows("(c) advice size", &sweep_size(app, mix, o));
+}
+
+fn ratios(o: &Opts) {
+    println!("== §6.1–§6.3 headline ratios ({} requests) ==", o.requests);
+    println!("\n  server overhead bands (min–max over concurrency sweep):");
+    for (app, mixes) in [
+        (App::Motd, &Mix::RW_MIXES[..]),
+        (App::Stacks, &Mix::RW_MIXES[..]),
+        (App::Wiki, &[Mix::Wiki][..]),
+    ] {
+        for &mix in mixes {
+            let rows = sweep_server(app, mix, o);
+            let (lo, hi) = rows.iter().fold((f64::MAX, 0f64), |(lo, hi), r| {
+                (lo.min(r.overhead()), hi.max(r.overhead()))
+            });
+            println!(
+                "    {:<7} {:<11} {lo:.2}x – {hi:.2}x",
+                app.name(),
+                mix.name()
+            );
+        }
+    }
+    println!("\n  wiki verifier speedup over Orochi-JS (grows with concurrency):");
+    for row in sweep_verif(App::Wiki, Mix::Wiki, o) {
+        let speedup = (row.orochi.as_secs_f64() / row.karousos.as_secs_f64() - 1.0) * 100.0;
+        println!("    concurrency {:>2}: {speedup:+.1}%", row.concurrency);
+    }
+    println!("\n  advice size, Karousos vs Orochi-JS at max concurrency:");
+    for (app, mix) in [(App::Motd, Mix::WriteHeavy), (App::Wiki, Mix::Wiki)] {
+        let row = advice_size(app, mix, o.requests, 60, o.seed);
+        println!(
+            "    {:<7} karousos {:>6} KB vs orochi {:>6} KB ({:.0}%)",
+            app.name(),
+            row.karousos / 1024,
+            row.orochi / 1024,
+            row.karousos as f64 * 100.0 / row.orochi.max(1) as f64
+        );
+    }
+}
+
+fn pct(p: Percentiles) -> String {
+    format!("{} [{}, {}]", ms(p.median), ms(p.p5), ms(p.p95))
+}
+
+/// The paper's statistical presentation: medians over independent
+/// experiments with 5th/95th-percentile error bars (§6 "graphs show the
+/// median from 10 experiments").
+fn errorbars(o: &Opts) {
+    println!(
+        "== medians over {} experiments with [p5, p95] error bars ({} requests) ==",
+        o.seeds, o.requests
+    );
+    for (app, mix) in [
+        (App::Motd, Mix::WriteHeavy),
+        (App::Stacks, Mix::ReadHeavy),
+        (App::Wiki, Mix::Wiki),
+    ] {
+        println!(
+            "
+  {} ({})",
+            app.name(),
+            mix.name()
+        );
+        println!("    server processing (unmodified vs karousos):");
+        for &c in &[1usize, 15, 60] {
+            let (unmod, kar) = server_overhead_with_seeds(app, mix, o.requests, c, o.seeds);
+            println!("      c={c:>2}: {} vs {}", pct(unmod), pct(kar));
+        }
+        println!("    verification (karousos / orochi-js / sequential):");
+        for &c in &[1usize, 15, 60] {
+            let (k, or, seq) = verification_with_seeds(app, mix, o.requests, c, o.seeds);
+            println!("      c={c:>2}: {} / {} / {}", pct(k), pct(or), pct(seq));
+        }
+    }
+}
+
+/// Ablations of Karousos's individual techniques (DESIGN.md §6):
+/// R-concurrent-only logging, tree-shaped tags, and SIMD-on-demand,
+/// each quantified against the log-everything / sequence-tag / expanded
+/// alternative.
+fn ablations(o: &Opts) {
+    use karousos::{advice_sizes, audit, ooo_audit, ReplaySchedule};
+    println!("== ablations ({} requests, concurrency 8) ==", o.requests);
+    for (app, mix) in [
+        (App::Motd, Mix::Mixed),
+        (App::Stacks, Mix::Mixed),
+        (App::Wiki, Mix::Wiki),
+    ] {
+        let p = bench::prepare(app, mix, o.requests, 8, o.seed);
+        let report_k = audit(&p.program, &p.trace, &p.karousos, p.exp.isolation).unwrap();
+        let report_o = audit(&p.program, &p.trace, &p.orochi, p.exp.isolation).unwrap();
+        let sk = advice_sizes(&p.karousos);
+        let so = advice_sizes(&p.orochi);
+        println!("\n  {} ({})", app.name(), mix.name());
+        println!(
+            "    logging   : {} var-log entries (R-concurrent only) vs {} (log everything); \
+             {} vs {} KB variable logs",
+            p.karousos.var_log_entries(),
+            p.orochi.var_log_entries(),
+            sk.var_logs / 1024,
+            so.var_logs / 1024
+        );
+        println!(
+            "    grouping  : {} groups (handler trees) vs {} (handler sequences)",
+            report_k.reexec.groups, report_o.reexec.groups
+        );
+        println!(
+            "    dedup     : {} handler bodies interpreted for {} activations \
+             ({:.1}x deduplication)",
+            report_k.reexec.handlers_executed,
+            report_k.reexec.activations_covered,
+            report_k.reexec.activations_covered as f64
+                / report_k.reexec.handlers_executed.max(1) as f64
+        );
+        println!(
+            "    multivalue: {} collapsed vs {} expanded operand sets",
+            report_k.reexec.uniform_ops, report_k.reexec.expanded_ops
+        );
+        println!(
+            "    graph     : {} nodes, {} edges, acyclic",
+            report_k.graph_nodes, report_k.graph_edges
+        );
+        // What batching buys: the same verifier with grouping disabled
+        // (the paper's OOOExec, Fig. 22).
+        let (t_batched, _) = bench::time_median(o.iters, || {
+            audit(&p.program, &p.trace, &p.karousos, p.exp.isolation).unwrap()
+        });
+        let (t_ooo, _) = bench::time_median(o.iters, || {
+            ooo_audit(&p.program, &p.trace, &p.karousos, p.exp.isolation, ReplaySchedule::Fifo)
+                .unwrap()
+        });
+        println!(
+            "    batching  : {} ms batched vs {} ms ungrouped (OOOExec) — {:.2}x",
+            ms(t_batched),
+            ms(t_ooo),
+            t_ooo.as_secs_f64() / t_batched.as_secs_f64().max(1e-9)
+        );
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    match o.figure.as_str() {
+        "fig6" => fig6(&o),
+        "fig7" => fig7(&o),
+        "fig8" => fig8(&o),
+        "fig9" => fig_triple(9, App::Motd, Mix::Mixed, &o),
+        "fig10" => fig_triple(10, App::Motd, Mix::ReadHeavy, &o),
+        "fig11" => fig_triple(11, App::Stacks, Mix::Mixed, &o),
+        "fig12" => fig_triple(12, App::Stacks, Mix::WriteHeavy, &o),
+        "ratios" => ratios(&o),
+        "errorbars" => errorbars(&o),
+        "ablations" => ablations(&o),
+        "all" => {
+            fig6(&o);
+            fig7(&o);
+            fig8(&o);
+            fig_triple(9, App::Motd, Mix::Mixed, &o);
+            fig_triple(10, App::Motd, Mix::ReadHeavy, &o);
+            fig_triple(11, App::Stacks, Mix::Mixed, &o);
+            fig_triple(12, App::Stacks, Mix::WriteHeavy, &o);
+            ratios(&o);
+        }
+        other => {
+            eprintln!(
+                "unknown figure {other:?}; try fig6..fig12, ratios, errorbars, ablations, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Advice: everything the untrusted server sends the verifier (§C.1.3).
+//!
+//! The advice comprises:
+//!
+//! * control-flow **tags** per request (the groupings `C`, §4.1);
+//! * **handler logs** `HL` — per request, the ordered register / emit /
+//!   unregister operations;
+//! * **variable logs** `VL` — per loggable variable, the R-concurrent
+//!   accesses (Fig. 13);
+//! * **transaction logs** `TXL` — per transaction, its operations with
+//!   each `GET`'s dictating `PUT` (§4.4);
+//! * the **write order** — the alleged global order of committed final
+//!   writes (from the store binlog);
+//! * `responseEmittedBy` and `opcounts` maps;
+//! * the **nondeterminism log** (§5).
+//!
+//! All of it is *untrusted*: the verifier validates every piece during
+//! the audit. [`Advice`] is a plain data structure so that adversarial
+//! tests (and a malicious server) can construct or mutate arbitrary
+//! instances.
+
+use std::collections::BTreeMap;
+
+use kem::{HandlerId, OpRef, RequestId, Value, VarId};
+
+/// Karousos's transaction identifier: the coordinate of the `tx_start`
+/// operation (§C.3.1 "both executions compute the same tid as
+/// (hid, opnum)"), qualified by the request.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KTxId {
+    /// The request that started the transaction.
+    pub rid: RequestId,
+    /// The handler that issued `tx_start`.
+    pub hid: HandlerId,
+    /// The opnum of the `tx_start` within that handler.
+    pub opnum: u32,
+}
+
+impl std::fmt::Display for KTxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tx({}, {}, {})", self.rid, self.hid, self.opnum)
+    }
+}
+
+/// A position within a transaction log: `index`-th entry of `tx`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxPos {
+    /// The transaction.
+    pub tx: KTxId,
+    /// Zero-based index into its log ( = the paper's `txnum`).
+    pub index: u32,
+}
+
+/// A handler-log operation (§C.1.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandlerOp {
+    /// `register(event, function)`.
+    Register {
+        /// Event name.
+        event: String,
+        /// Registered function.
+        function: kem::FunctionId,
+    },
+    /// `unregister(event, function)`.
+    Unregister {
+        /// Event name.
+        event: String,
+        /// Unregistered function.
+        function: kem::FunctionId,
+    },
+    /// `emit(event)`.
+    Emit {
+        /// Event name.
+        event: String,
+    },
+    /// A check operation inspecting the handlers registered for an
+    /// event (§C.1.3 "Check operations").
+    Check {
+        /// Event name inspected.
+        event: String,
+    },
+}
+
+/// One handler-log entry: which operation of which handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerLogEntry {
+    /// Issuing handler.
+    pub hid: HandlerId,
+    /// Operation number within the handler.
+    pub opnum: u32,
+    /// The operation.
+    pub op: HandlerOp,
+}
+
+/// Whether a variable-log entry records a read or a write (Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessType {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// One variable-log entry (Fig. 13).
+///
+/// `READ` entries reference the write they observed; `WRITE` entries
+/// carry the value written and reference the write they overwrote
+/// (`None` for backfilled entries, logged lazily when a later
+/// R-concurrent access observed them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarLogEntry {
+    /// Read or write.
+    pub access: AccessType,
+    /// `Write`: the value written. `Read`: unused (`None`).
+    pub value: Option<Value>,
+    /// The preceding operation: dictating write (reads) or overwritten
+    /// write (writes).
+    pub prec: Option<OpRef>,
+}
+
+/// The variable log of one loggable variable: entries keyed by the
+/// access's coordinate.
+pub type VarLog = BTreeMap<OpRef, VarLogEntry>;
+
+/// The transactional operation types as logged (§C.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOpType {
+    /// `tx_start`.
+    Start,
+    /// `GET`.
+    Get,
+    /// `PUT`.
+    Put,
+    /// `tx_commit`.
+    Commit,
+    /// `tx_abort` (explicit, or the record of a conflict-aborted op).
+    Abort,
+}
+
+/// Contents of a transaction-log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxOpContents {
+    /// No contents (`tx_start`, `tx_commit`, `tx_abort`).
+    None,
+    /// `PUT`: the value written.
+    Put {
+        /// The written value.
+        value: Value,
+    },
+    /// `GET`: the position of the dictating `PUT` (`None` = the read
+    /// observed the initial, never-written state).
+    Get {
+        /// Dictating write position.
+        from: Option<TxPos>,
+    },
+}
+
+/// One transaction-log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxLogEntry {
+    /// Issuing handler.
+    pub hid: HandlerId,
+    /// Operation number within the handler.
+    pub opnum: u32,
+    /// Operation type as logged.
+    pub optype: TxOpType,
+    /// Row key (`GET`/`PUT`; also kept on conflict-abort records).
+    pub key: Option<String>,
+    /// Operation contents.
+    pub contents: TxOpContents,
+}
+
+/// The complete advice for one audit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Advice {
+    /// Control-flow tag per request; equal tags ⇒ same alleged
+    /// re-execution group (§4.1).
+    pub tags: BTreeMap<RequestId, u64>,
+    /// Handler logs per request.
+    pub handler_logs: BTreeMap<RequestId, Vec<HandlerLogEntry>>,
+    /// Variable logs per loggable variable.
+    pub var_logs: BTreeMap<VarId, VarLog>,
+    /// Transaction logs.
+    pub tx_logs: BTreeMap<KTxId, Vec<TxLogEntry>>,
+    /// Alleged global order of committed final writes.
+    pub write_order: Vec<TxPos>,
+    /// For each request: the handler that sent the response and the
+    /// number of operations it had issued beforehand.
+    pub response_emitted_by: BTreeMap<RequestId, (HandlerId, u32)>,
+    /// Total operations issued by each executed handler (possibly 0).
+    pub opcounts: BTreeMap<(RequestId, HandlerId), u32>,
+    /// Recorded nondeterministic values.
+    pub nondet: BTreeMap<OpRef, Value>,
+}
+
+impl Advice {
+    /// Groups request ids by tag, preserving first-appearance order of
+    /// groups and of requests within a group (the order `trace_order`
+    /// provides, normally the trace's arrival order).
+    pub fn groups(&self, trace_order: &[RequestId]) -> Vec<Vec<RequestId>> {
+        let mut order: Vec<u64> = Vec::new();
+        let mut by_tag: BTreeMap<u64, Vec<RequestId>> = BTreeMap::new();
+        for rid in trace_order {
+            if let Some(tag) = self.tags.get(rid) {
+                let bucket = by_tag.entry(*tag).or_default();
+                if bucket.is_empty() {
+                    order.push(*tag);
+                }
+                bucket.push(*rid);
+            }
+        }
+        order
+            .into_iter()
+            .map(|t| by_tag.remove(&t).expect("tag recorded"))
+            .collect()
+    }
+
+    /// Looks up a transaction-log entry by position.
+    pub fn tx_entry(&self, pos: &TxPos) -> Option<&TxLogEntry> {
+        self.tx_logs.get(&pos.tx)?.get(pos.index as usize)
+    }
+
+    /// Total number of variable-log entries (all variables).
+    pub fn var_log_entries(&self) -> usize {
+        self.var_logs.values().map(BTreeMap::len).sum()
+    }
+
+    /// Total number of handler-log entries (all requests).
+    pub fn handler_log_entries(&self) -> usize {
+        self.handler_logs.values().map(Vec::len).sum()
+    }
+
+    /// Total number of transaction-log entries.
+    pub fn tx_log_entries(&self) -> usize {
+        self.tx_logs.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::FunctionId;
+
+    #[test]
+    fn groups_preserve_first_appearance_order() {
+        let mut a = Advice::default();
+        let r = |i| RequestId(i);
+        a.tags.insert(r(0), 7);
+        a.tags.insert(r(1), 9);
+        a.tags.insert(r(2), 7);
+        a.tags.insert(r(3), 9);
+        let groups = a.groups(&[r(0), r(1), r(2), r(3)]);
+        assert_eq!(groups, vec![vec![r(0), r(2)], vec![r(1), r(3)]]);
+    }
+
+    #[test]
+    fn groups_skip_requests_without_tags() {
+        let mut a = Advice::default();
+        a.tags.insert(RequestId(0), 1);
+        let groups = a.groups(&[RequestId(0), RequestId(1)]);
+        assert_eq!(groups, vec![vec![RequestId(0)]]);
+    }
+
+    #[test]
+    fn tx_entry_lookup() {
+        let mut a = Advice::default();
+        let hid = HandlerId::root(FunctionId(0));
+        let tx = KTxId {
+            rid: RequestId(0),
+            hid: hid.clone(),
+            opnum: 1,
+        };
+        a.tx_logs.insert(
+            tx.clone(),
+            vec![TxLogEntry {
+                hid,
+                opnum: 1,
+                optype: TxOpType::Start,
+                key: None,
+                contents: TxOpContents::None,
+            }],
+        );
+        assert!(a
+            .tx_entry(&TxPos {
+                tx: tx.clone(),
+                index: 0
+            })
+            .is_some());
+        assert!(a.tx_entry(&TxPos { tx, index: 5 }).is_none());
+    }
+
+    #[test]
+    fn counters() {
+        let a = Advice::default();
+        assert_eq!(a.var_log_entries(), 0);
+        assert_eq!(a.handler_log_entries(), 0);
+        assert_eq!(a.tx_log_entries(), 0);
+    }
+}

@@ -1,0 +1,728 @@
+//! The advice collector: the instrumented (Karousos) server.
+//!
+//! Implements [`kem::ExecHooks`] to record, during live execution,
+//! everything §C.1.3 requires: handler logs, variable logs (the Fig. 13
+//! `OnInitialize`/`OnRead`/`OnWrite` logic, logging only R-concurrent
+//! accesses), transaction logs, `responseEmittedBy`, `opcounts`, the
+//! nondeterminism log, and the per-request control-flow tags used for
+//! grouping (§4.1, §5 "Identifying batches").
+//!
+//! The collector also supports **Orochi-JS mode** (§6 "Baselines"): the
+//! same codebase, but (a) requests are grouped only when they induce the
+//! *identical sequence* of handlers (order-sensitive tag, vs Karousos's
+//! order-invariant handler-tree tag), and (b) *all* loggable-variable
+//! accesses are logged rather than only R-concurrent ones.
+
+use std::collections::HashMap;
+
+use kem::{ExecHooks, Fnv, HandlerId, OpRef, RequestId, TxOpKind, TxOpRecord, Value, VarId};
+use kvstore::{Binlog, TxnId};
+
+use crate::advice::{
+    AccessType, Advice, HandlerLogEntry, HandlerOp, KTxId, TxLogEntry, TxOpContents, TxOpType,
+    TxPos, VarLogEntry,
+};
+use crate::rorder::r_concurrent;
+
+/// Which advice-collection algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectorMode {
+    /// The paper's system: tree-shaped order-invariant tags, R-concurrent
+    /// logging only.
+    Karousos,
+    /// The Orochi-JS baseline: sequence tags, log-everything.
+    OrochiJs,
+}
+
+/// Per-variable bookkeeping (the `v.value`/`v.rid`/`v.hid`/`v.opnum`
+/// fields of Fig. 13).
+#[derive(Debug, Clone)]
+struct VarRec {
+    last_write: OpRef,
+    last_value: Value,
+}
+
+/// Stable digest of a handler id's path.
+fn hid_digest(hid: &HandlerId) -> u64 {
+    let mut h = Fnv::new();
+    for (f, op) in hid.path() {
+        h.write_u64(f.0 as u64);
+        h.write_u64(op as u64);
+    }
+    h.finish()
+}
+
+/// The advice collector; plug into [`kem::run_server`] as the hooks.
+#[derive(Debug)]
+pub struct Collector {
+    mode: CollectorMode,
+    advice: Advice,
+    vars: HashMap<VarId, VarRec>,
+    tx_of: HashMap<TxnId, KTxId>,
+    /// Control-flow digest of the currently-running / completed handlers.
+    cf: HashMap<(RequestId, HandlerId), Fnv>,
+    /// Completed handlers per request with their control-flow digests.
+    per_request: HashMap<RequestId, Vec<(HandlerId, u64)>>,
+    /// Orochi-JS order-sensitive tag chains.
+    seq_digest: HashMap<RequestId, Fnv>,
+}
+
+impl Collector {
+    /// Creates a collector in the given mode.
+    pub fn new(mode: CollectorMode) -> Self {
+        Collector {
+            mode,
+            advice: Advice::default(),
+            vars: HashMap::new(),
+            tx_of: HashMap::new(),
+            cf: HashMap::new(),
+            per_request: HashMap::new(),
+            seq_digest: HashMap::new(),
+        }
+    }
+
+    /// The collection mode.
+    pub fn mode(&self) -> CollectorMode {
+        self.mode
+    }
+
+    /// Finalizes collection: computes tags and converts the store binlog
+    /// into the write-order advice (the paper's binlog processor, §5).
+    pub fn finish(mut self, binlog: &Binlog) -> Advice {
+        for entry in binlog.entries() {
+            let tx = self
+                .tx_of
+                .get(&entry.txn)
+                .expect("every committed transaction was started through the collector")
+                .clone();
+            self.advice.write_order.push(TxPos {
+                tx,
+                index: entry.tag,
+            });
+        }
+        let rids: Vec<RequestId> = self.per_request.keys().copied().collect();
+        for rid in rids {
+            let tag = match self.mode {
+                CollectorMode::Karousos => {
+                    // Order-invariant: digest of the sorted multiset of
+                    // (handler id, control-flow digest) pairs — requests
+                    // with the same handler *tree* and branches batch
+                    // together regardless of activation order (§4.1).
+                    let mut handlers = self.per_request.remove(&rid).unwrap_or_default();
+                    handlers.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                    let mut h = Fnv::new();
+                    for (hid, cf) in &handlers {
+                        h.write_u64(hid_digest(hid));
+                        h.write_u64(*cf);
+                    }
+                    h.finish()
+                }
+                CollectorMode::OrochiJs => {
+                    // Order-sensitive: the running chain folded at each
+                    // handler completion, in execution order (§2.3).
+                    self.seq_digest
+                        .get(&rid)
+                        .map(|f| f.finish())
+                        .unwrap_or_default()
+                }
+            };
+            self.advice.tags.insert(rid, tag);
+        }
+        self.advice
+    }
+
+    /// Ensures the dictating/preceding write has a (possibly backfilled)
+    /// log entry, per Fig. 13 lines 14–15 / 21–22.
+    fn backfill_write(&mut self, var: VarId, rec: &VarRec) {
+        let log = self.advice.var_logs.entry(var).or_default();
+        log.entry(rec.last_write.clone())
+            .or_insert_with(|| VarLogEntry {
+                access: AccessType::Write,
+                value: Some(rec.last_value.clone()),
+                prec: None,
+            });
+    }
+}
+
+impl ExecHooks for Collector {
+    fn on_request(&mut self, rid: RequestId, _input: &Value) {
+        self.per_request.entry(rid).or_default();
+        self.seq_digest.entry(rid).or_default();
+    }
+
+    fn on_handler_start(&mut self, rid: RequestId, hid: &HandlerId) {
+        self.cf.insert((rid, hid.clone()), Fnv::new());
+    }
+
+    fn on_handler_end(&mut self, rid: RequestId, hid: &HandlerId, opcount: u32) {
+        self.advice.opcounts.insert((rid, hid.clone()), opcount);
+        let digest = self
+            .cf
+            .remove(&(rid, hid.clone()))
+            .map(|f| f.finish())
+            .unwrap_or_default();
+        self.per_request
+            .entry(rid)
+            .or_default()
+            .push((hid.clone(), digest));
+        let seq = self.seq_digest.entry(rid).or_default();
+        seq.write_u64(hid_digest(hid));
+        seq.write_u64(digest);
+    }
+
+    fn on_var_init(
+        &mut self,
+        var: VarId,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        value: &Value,
+    ) {
+        self.vars.insert(
+            var,
+            VarRec {
+                last_write: OpRef::new(rid, hid.clone(), opnum),
+                last_value: value.clone(),
+            },
+        );
+    }
+
+    fn on_var_read(
+        &mut self,
+        var: VarId,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        _value: &Value,
+    ) {
+        let op = OpRef::new(rid, hid.clone(), opnum);
+        let rec = self
+            .vars
+            .get(&var)
+            .expect("reads follow initialization")
+            .clone();
+        let log_it = match self.mode {
+            CollectorMode::Karousos => r_concurrent(&op, &rec.last_write),
+            CollectorMode::OrochiJs => true,
+        };
+        if log_it {
+            self.backfill_write(var, &rec);
+            self.advice.var_logs.entry(var).or_default().insert(
+                op,
+                VarLogEntry {
+                    access: AccessType::Read,
+                    value: None,
+                    prec: Some(rec.last_write.clone()),
+                },
+            );
+        }
+    }
+
+    fn on_var_write(
+        &mut self,
+        var: VarId,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        value: &Value,
+    ) {
+        let op = OpRef::new(rid, hid.clone(), opnum);
+        let rec = self
+            .vars
+            .get(&var)
+            .expect("writes follow initialization")
+            .clone();
+        let log_it = match self.mode {
+            CollectorMode::Karousos => r_concurrent(&op, &rec.last_write),
+            CollectorMode::OrochiJs => true,
+        };
+        if log_it {
+            self.backfill_write(var, &rec);
+            self.advice.var_logs.entry(var).or_default().insert(
+                op.clone(),
+                VarLogEntry {
+                    access: AccessType::Write,
+                    value: Some(value.clone()),
+                    prec: Some(rec.last_write.clone()),
+                },
+            );
+        }
+        self.vars.insert(
+            var,
+            VarRec {
+                last_write: op,
+                last_value: value.clone(),
+            },
+        );
+    }
+
+    fn on_branch(&mut self, rid: RequestId, hid: &HandlerId, taken: bool) {
+        if let Some(f) = self.cf.get_mut(&(rid, hid.clone())) {
+            f.write(&[taken as u8]);
+        }
+    }
+
+    fn on_emit(
+        &mut self,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        event: &str,
+        _activated: &[HandlerId],
+    ) {
+        self.advice
+            .handler_logs
+            .entry(rid)
+            .or_default()
+            .push(HandlerLogEntry {
+                hid: hid.clone(),
+                opnum,
+                op: HandlerOp::Emit {
+                    event: event.to_string(),
+                },
+            });
+    }
+
+    fn on_register(
+        &mut self,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        event: &str,
+        function: kem::FunctionId,
+    ) {
+        self.advice
+            .handler_logs
+            .entry(rid)
+            .or_default()
+            .push(HandlerLogEntry {
+                hid: hid.clone(),
+                opnum,
+                op: HandlerOp::Register {
+                    event: event.to_string(),
+                    function,
+                },
+            });
+    }
+
+    fn on_unregister(
+        &mut self,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        event: &str,
+        function: kem::FunctionId,
+    ) {
+        self.advice
+            .handler_logs
+            .entry(rid)
+            .or_default()
+            .push(HandlerLogEntry {
+                hid: hid.clone(),
+                opnum,
+                op: HandlerOp::Unregister {
+                    event: event.to_string(),
+                    function,
+                },
+            });
+    }
+
+    fn on_check_op(
+        &mut self,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        event: &str,
+        _count: i64,
+    ) {
+        // Only the operation and its arguments are logged (§C.1.3);
+        // the verifier recomputes the observed count from the handler
+        // log's registration history.
+        self.advice
+            .handler_logs
+            .entry(rid)
+            .or_default()
+            .push(HandlerLogEntry {
+                hid: hid.clone(),
+                opnum,
+                op: HandlerOp::Check {
+                    event: event.to_string(),
+                },
+            });
+    }
+
+    fn on_respond(&mut self, rid: RequestId, hid: &HandlerId, ops_before: u32, _output: &Value) {
+        self.advice
+            .response_emitted_by
+            .insert(rid, (hid.clone(), ops_before));
+    }
+
+    fn on_tx_op(
+        &mut self,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        record: &TxOpRecord,
+        _activates: &HandlerId,
+    ) {
+        if record.kind == TxOpKind::Start {
+            let ktx = KTxId {
+                rid,
+                hid: hid.clone(),
+                opnum,
+            };
+            self.tx_of.insert(record.txn, ktx.clone());
+            self.advice.tx_logs.insert(
+                ktx,
+                vec![TxLogEntry {
+                    hid: hid.clone(),
+                    opnum,
+                    optype: TxOpType::Start,
+                    key: None,
+                    contents: TxOpContents::None,
+                }],
+            );
+            return;
+        }
+        let ktx = self
+            .tx_of
+            .get(&record.txn)
+            .expect("ops follow tx_start")
+            .clone();
+        let entry = if record.effective_abort {
+            TxLogEntry {
+                hid: hid.clone(),
+                opnum,
+                optype: TxOpType::Abort,
+                key: record.key.clone(),
+                contents: TxOpContents::None,
+            }
+        } else {
+            match record.kind {
+                TxOpKind::Get => TxLogEntry {
+                    hid: hid.clone(),
+                    opnum,
+                    optype: TxOpType::Get,
+                    key: record.key.clone(),
+                    contents: TxOpContents::Get {
+                        from: record.writer.map(|w| TxPos {
+                            tx: self
+                                .tx_of
+                                .get(&w.txn)
+                                .expect("dictating writers were started through the collector")
+                                .clone(),
+                            index: w.tag,
+                        }),
+                    },
+                },
+                TxOpKind::Put => TxLogEntry {
+                    hid: hid.clone(),
+                    opnum,
+                    optype: TxOpType::Put,
+                    key: record.key.clone(),
+                    contents: TxOpContents::Put {
+                        value: record.value.clone().expect("PUT records carry a value"),
+                    },
+                },
+                TxOpKind::Commit => TxLogEntry {
+                    hid: hid.clone(),
+                    opnum,
+                    optype: TxOpType::Commit,
+                    key: None,
+                    contents: TxOpContents::None,
+                },
+                TxOpKind::Abort => TxLogEntry {
+                    hid: hid.clone(),
+                    opnum,
+                    optype: TxOpType::Abort,
+                    key: None,
+                    contents: TxOpContents::None,
+                },
+                TxOpKind::Start => unreachable!("handled above"),
+            }
+        };
+        self.advice
+            .tx_logs
+            .get_mut(&ktx)
+            .expect("log created at start")
+            .push(entry);
+    }
+
+    fn on_nondet(
+        &mut self,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+        value: &Value,
+    ) -> Option<Value> {
+        self.advice
+            .nondet
+            .insert(OpRef::new(rid, hid.clone(), opnum), value.clone());
+        None
+    }
+}
+
+/// Runs the instrumented server end-to-end: executes `program` on
+/// `inputs` with a [`Collector`] attached and returns the run output
+/// (including the trusted trace) together with the finished advice.
+pub fn run_instrumented_server(
+    program: &kem::Program,
+    inputs: &[Value],
+    cfg: &kem::ServerConfig,
+    mode: CollectorMode,
+) -> Result<(kem::RunOutput, Advice), kem::RuntimeError> {
+    let mut collector = Collector::new(mode);
+    let out = kem::run_server(program, inputs, cfg, &mut collector)?;
+    let advice = collector.finish(&out.binlog);
+    Ok((out, advice))
+}
+
+/// Like [`run_instrumented_server`], but additionally *serializes* the
+/// advice — the form the server actually ships to the verifier. Use
+/// this variant when measuring server overhead: serialization is part
+/// of the server's advice-collection cost (the paper's server writes
+/// its logs out, §5).
+pub fn run_instrumented_server_encoded(
+    program: &kem::Program,
+    inputs: &[Value],
+    cfg: &kem::ServerConfig,
+    mode: CollectorMode,
+) -> Result<(kem::RunOutput, Vec<u8>), kem::RuntimeError> {
+    let (out, advice) = run_instrumented_server(program, inputs, cfg, mode)?;
+    Ok((out, crate::wire::encode_advice(&advice)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::dsl::*;
+    use kem::{ProgramBuilder, ServerConfig};
+
+    fn counter_program() -> kem::Program {
+        let mut b = ProgramBuilder::new();
+        b.shared_var("count", Value::Int(0), true);
+        b.function(
+            "handle",
+            vec![
+                swrite("count", add(sread("count"), lit(1i64))),
+                respond(sread("count")),
+            ],
+        );
+        b.request_handler("handle");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn collects_opcounts_and_responses() {
+        let p = counter_program();
+        let (out, advice) = run_instrumented_server(
+            &p,
+            &[Value::Null, Value::Null],
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        assert!(out.trace.is_balanced());
+        assert_eq!(advice.opcounts.len(), 2);
+        assert_eq!(advice.response_emitted_by.len(), 2);
+        // Each handler: read, write, read = 3 ops.
+        for count in advice.opcounts.values() {
+            assert_eq!(*count, 3);
+        }
+    }
+
+    #[test]
+    fn cross_request_accesses_are_logged() {
+        // Request handlers are children of I, hence R-concurrent with
+        // each other: accesses dictated by *another request's* write
+        // must be logged — the paper's MOTD observation (§6.2).
+        let p = counter_program();
+        let (_, advice) = run_instrumented_server(
+            &p,
+            &[Value::Null, Value::Null],
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        // Request 0's accesses are R-ordered after init (ancestor), so
+        // unlogged. Request 1's first read and its write observe
+        // request 0's write (cross-request ⇒ R-concurrent): 1 read +
+        // 1 write + the backfilled request-0 write = 3 entries.
+        // Request 1's second read observes its own handler's write
+        // (R-ordered), so it is not logged.
+        assert_eq!(advice.var_log_entries(), 3);
+    }
+
+    #[test]
+    fn more_requests_log_proportionally() {
+        let p = counter_program();
+        let (_, advice) = run_instrumented_server(
+            &p,
+            &vec![Value::Null; 10],
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        // Each request after the first logs its cross-request read and
+        // write; the dictating writes are the previous requests' writes
+        // (already logged). 9 × 2 + 1 backfill = 19.
+        assert_eq!(advice.var_log_entries(), 19);
+    }
+
+    #[test]
+    fn r_ordered_accesses_not_logged() {
+        // A single request reading a variable written only at init: the
+        // read is R-ordered after init, so Karousos logs nothing.
+        let mut b = ProgramBuilder::new();
+        b.shared_var("cfgv", Value::Int(5), true);
+        b.function("handle", vec![respond(sread("cfgv"))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let (_, advice) = run_instrumented_server(
+            &p,
+            &[Value::Null],
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        assert_eq!(advice.var_log_entries(), 0);
+    }
+
+    #[test]
+    fn orochi_mode_logs_everything() {
+        let mut b = ProgramBuilder::new();
+        b.shared_var("cfgv", Value::Int(5), true);
+        b.function("handle", vec![respond(sread("cfgv"))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let (_, advice) = run_instrumented_server(
+            &p,
+            &[Value::Null],
+            &ServerConfig::default(),
+            CollectorMode::OrochiJs,
+        )
+        .unwrap();
+        // The read plus the backfilled init write.
+        assert_eq!(advice.var_log_entries(), 2);
+    }
+
+    #[test]
+    fn tags_group_identical_requests() {
+        let p = counter_program();
+        let (out, advice) = run_instrumented_server(
+            &p,
+            &[Value::Null, Value::Null, Value::Null],
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        let groups = advice.groups(&out.trace.request_ids());
+        assert_eq!(groups.len(), 1, "identical requests share one group");
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn tags_separate_different_control_flow() {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![iff(
+                eq(field(payload(), "op"), lit("a")),
+                vec![respond(lit("A"))],
+                vec![respond(lit("B"))],
+            )],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let inputs = vec![
+            Value::map([("op", Value::str("a"))]),
+            Value::map([("op", Value::str("b"))]),
+            Value::map([("op", Value::str("a"))]),
+        ];
+        let (out, advice) = run_instrumented_server(
+            &p,
+            &inputs,
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        let groups = advice.groups(&out.trace.request_ids());
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![RequestId(0), RequestId(2)]);
+        assert_eq!(groups[1], vec![RequestId(1)]);
+    }
+
+    #[test]
+    fn transaction_logging_records_dictating_puts() {
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![tx_start(payload(), "s1")]);
+        b.function(
+            "s1",
+            vec![iff(
+                eq(field(field(payload(), "ctx"), "op"), lit("put")),
+                vec![tx_put(
+                    field(payload(), "tx"),
+                    lit("k"),
+                    lit(1i64),
+                    null(),
+                    "c1",
+                )],
+                vec![tx_get(field(payload(), "tx"), lit("k"), null(), "c1")],
+            )],
+        );
+        b.function(
+            "c1",
+            vec![tx_commit(field(payload(), "tx"), null(), "done")],
+        );
+        b.function("done", vec![respond(lit("ok"))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let inputs = vec![
+            Value::map([("op", Value::str("put"))]),
+            Value::map([("op", Value::str("get"))]),
+        ];
+        let (_, advice) = run_instrumented_server(
+            &p,
+            &inputs,
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        assert_eq!(advice.tx_logs.len(), 2);
+        assert_eq!(advice.write_order.len(), 1);
+        // Find the GET entry and check its dictating PUT points at the
+        // writer transaction's PUT position.
+        let get_entry = advice
+            .tx_logs
+            .values()
+            .flatten()
+            .find(|e| e.optype == TxOpType::Get)
+            .expect("a GET was logged");
+        match &get_entry.contents {
+            TxOpContents::Get { from: Some(pos) } => {
+                let w = advice.tx_entry(pos).unwrap();
+                assert_eq!(w.optype, TxOpType::Put);
+                assert_eq!(w.key.as_deref(), Some("k"));
+            }
+            other => panic!("unexpected GET contents: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nondet_values_recorded() {
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![nondet_counter("t"), respond(local("t"))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let (out, advice) = run_instrumented_server(
+            &p,
+            &[Value::Null],
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        assert_eq!(advice.nondet.len(), 1);
+        let recorded = advice.nondet.values().next().unwrap();
+        assert_eq!(Some(recorded), out.trace.output_of(RequestId(0)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Karousos: efficient auditing of event-driven web applications.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Tzialla et al., EuroSys 2024): a record-replay system in which an
+//! untrusted server, running an event-driven application, emits
+//! *advice* that lets a computationally weaker verifier re-execute a
+//! trusted request/response *trace* in batches and decide whether the
+//! responses could have been produced by the real program.
+//!
+//! The crate has two halves:
+//!
+//! * **Server side** — [`Collector`] implements the advice-collection
+//!   procedure (§C.1.3): handler logs, R-concurrent variable logs
+//!   (Fig. 13), transaction logs, the binlog-derived write order,
+//!   control-flow tags. [`run_instrumented_server`] wires it into the
+//!   `kem` runtime. [`CollectorMode::OrochiJs`] provides the paper's
+//!   Orochi-JS baseline on the same codebase.
+//! * **Verifier side** — [`audit`] runs
+//!   `Preprocess → ReExec → Postprocess` (Figs. 14–21): graph
+//!   construction, Adya isolation verification of the alleged
+//!   transactional history, grouped SIMD-on-demand re-execution with
+//!   per-variable dictionaries and observer bookkeeping, and the final
+//!   acyclicity check. Rejections are typed ([`RejectReason`]).
+//!
+//! Supporting modules: [`rorder`] (the R-order relation, §4.2),
+//! [`multivalue`] (SIMD-on-demand values), [`wire`] (the advice codec
+//! whose byte counts are the paper's "advice size").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advice;
+pub mod collector;
+pub mod lint;
+pub mod multivalue;
+pub mod rorder;
+pub mod verifier;
+pub mod wire;
+
+pub use advice::{
+    AccessType, Advice, HandlerLogEntry, HandlerOp, KTxId, TxLogEntry, TxOpContents, TxOpType,
+    TxPos, VarLog, VarLogEntry,
+};
+pub use collector::{
+    run_instrumented_server, run_instrumented_server_encoded, Collector, CollectorMode,
+};
+pub use lint::{lint_advice, LintWarning};
+pub use multivalue::MultiValue;
+pub use rorder::{r_concurrent, r_ordered, r_precedes};
+pub use verifier::{
+    audit, audit_encoded, audit_with_schedule, ooo_audit, AuditReport, RejectReason,
+    ReplaySchedule,
+};
+pub use wire::{advice_sizes, decode_advice, encode_advice, AdviceSizes};

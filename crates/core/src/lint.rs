@@ -1,0 +1,242 @@
+//! Advice lint: server-side self-checks before shipping advice.
+//!
+//! An *honest* server wants to know its advice will pass the audit —
+//! shipping broken advice means failing the audit and being treated as
+//! misbehaving (the paper's Completeness only holds if the collection
+//! procedure ran faithfully). [`lint_advice`] performs the cheap
+//! structural subset of the verifier's checks: it cannot re-execute,
+//! but it can confirm the advice is internally consistent and complete
+//! with respect to the trace. Deployments run it as a canary after
+//! collection; it must report nothing for collector output.
+
+use std::collections::BTreeSet;
+
+use kem::{RequestId, Trace};
+
+use crate::advice::{Advice, TxOpContents, TxOpType};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintWarning {
+    /// A trace request has no control-flow tag.
+    MissingTag(RequestId),
+    /// A trace request has no `responseEmittedBy` entry.
+    MissingResponseEmitter(RequestId),
+    /// `responseEmittedBy` names a handler missing from `opcounts`, or
+    /// an out-of-range opnum.
+    DanglingResponseEmitter(RequestId),
+    /// A handler-log entry's coordinate is outside its handler's
+    /// reported opcount (or the handler is unreported).
+    HandlerLogOutOfRange(RequestId),
+    /// A transaction log is structurally broken (empty, missing
+    /// `tx_start`, operations after termination).
+    BrokenTxLog(String),
+    /// A `GET`'s dictating-write reference does not resolve to a `PUT`
+    /// of the same key.
+    DanglingDictatingWrite(String),
+    /// A write-order entry does not resolve to a committed `PUT`.
+    DanglingWriteOrderEntry(usize),
+    /// A variable-log read references a preceding write that is not in
+    /// the log.
+    DanglingVarLogPrec(u32),
+    /// Advice mentions a request that is not in the trace.
+    UnknownRequest(RequestId),
+}
+
+impl std::fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintWarning::MissingTag(r) => write!(f, "missing tag for {r}"),
+            LintWarning::MissingResponseEmitter(r) => {
+                write!(f, "missing responseEmittedBy for {r}")
+            }
+            LintWarning::DanglingResponseEmitter(r) => {
+                write!(f, "dangling responseEmittedBy for {r}")
+            }
+            LintWarning::HandlerLogOutOfRange(r) => {
+                write!(f, "handler-log coordinate out of range for {r}")
+            }
+            LintWarning::BrokenTxLog(tx) => write!(f, "broken transaction log {tx}"),
+            LintWarning::DanglingDictatingWrite(tx) => {
+                write!(f, "dangling dictating write in {tx}")
+            }
+            LintWarning::DanglingWriteOrderEntry(i) => {
+                write!(f, "dangling write-order entry #{i}")
+            }
+            LintWarning::DanglingVarLogPrec(v) => {
+                write!(f, "dangling variable-log prec in var {v}")
+            }
+            LintWarning::UnknownRequest(r) => write!(f, "advice mentions unknown request {r}"),
+        }
+    }
+}
+
+/// Lints `advice` against `trace`. Returns all findings (empty for
+/// faithful collector output).
+pub fn lint_advice(trace: &Trace, advice: &Advice) -> Vec<LintWarning> {
+    let mut out = Vec::new();
+    let trace_rids: BTreeSet<RequestId> = trace.request_ids().into_iter().collect();
+
+    for rid in &trace_rids {
+        if !advice.tags.contains_key(rid) {
+            out.push(LintWarning::MissingTag(*rid));
+        }
+        match advice.response_emitted_by.get(rid) {
+            None => out.push(LintWarning::MissingResponseEmitter(*rid)),
+            Some((hid, opnum)) => match advice.opcounts.get(&(*rid, hid.clone())) {
+                Some(count) if opnum <= count => {}
+                _ => out.push(LintWarning::DanglingResponseEmitter(*rid)),
+            },
+        }
+    }
+
+    for (rid, _) in advice.opcounts.keys() {
+        if !trace_rids.contains(rid) {
+            out.push(LintWarning::UnknownRequest(*rid));
+        }
+    }
+
+    for (rid, log) in &advice.handler_logs {
+        for entry in log {
+            match advice.opcounts.get(&(*rid, entry.hid.clone())) {
+                Some(count) if entry.opnum >= 1 && entry.opnum <= *count => {}
+                _ => {
+                    out.push(LintWarning::HandlerLogOutOfRange(*rid));
+                    break;
+                }
+            }
+        }
+    }
+
+    for (tx, log) in &advice.tx_logs {
+        let ok_start = log
+            .first()
+            .is_some_and(|e| e.optype == TxOpType::Start && e.hid == tx.hid && e.opnum == tx.opnum);
+        let ok_body = log.iter().enumerate().all(|(i, e)| {
+            (i == 0 || e.optype != TxOpType::Start)
+                && (i + 1 == log.len() || !matches!(e.optype, TxOpType::Commit | TxOpType::Abort))
+        });
+        if !ok_start || !ok_body {
+            out.push(LintWarning::BrokenTxLog(tx.to_string()));
+        }
+        for e in log {
+            if let TxOpContents::Get { from: Some(pos) } = &e.contents {
+                let resolved = advice
+                    .tx_entry(pos)
+                    .is_some_and(|w| w.optype == TxOpType::Put && w.key == e.key);
+                if !resolved {
+                    out.push(LintWarning::DanglingDictatingWrite(tx.to_string()));
+                }
+            }
+        }
+    }
+
+    for (i, pos) in advice.write_order.iter().enumerate() {
+        let committed = advice
+            .tx_logs
+            .get(&pos.tx)
+            .and_then(|l| l.last())
+            .is_some_and(|e| e.optype == TxOpType::Commit);
+        let resolves = advice
+            .tx_entry(pos)
+            .is_some_and(|e| e.optype == TxOpType::Put);
+        if !committed || !resolves {
+            out.push(LintWarning::DanglingWriteOrderEntry(i));
+        }
+    }
+
+    for (var, log) in &advice.var_logs {
+        for entry in log.values() {
+            if entry.access == crate::advice::AccessType::Read {
+                match &entry.prec {
+                    Some(p) if log.contains_key(p) => {}
+                    _ => {
+                        out.push(LintWarning::DanglingVarLogPrec(var.0));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{run_instrumented_server, CollectorMode};
+    use kem::dsl::*;
+    use kem::{ProgramBuilder, ServerConfig, Value};
+
+    fn honest() -> (Trace, Advice) {
+        let mut b = ProgramBuilder::new();
+        b.shared_var("x", Value::Int(0), true);
+        b.function(
+            "handle",
+            vec![swrite("x", add(sread("x"), lit(1i64))), respond(sread("x"))],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let (out, advice) = run_instrumented_server(
+            &p,
+            &vec![Value::Null; 5],
+            &ServerConfig::default(),
+            CollectorMode::Karousos,
+        )
+        .unwrap();
+        (out.trace, advice)
+    }
+
+    #[test]
+    fn honest_advice_lints_clean() {
+        let (trace, advice) = honest();
+        assert_eq!(lint_advice(&trace, &advice), vec![]);
+    }
+
+    #[test]
+    fn missing_tag_flagged() {
+        let (trace, mut advice) = honest();
+        advice.tags.remove(&RequestId(0));
+        assert!(lint_advice(&trace, &advice).contains(&LintWarning::MissingTag(RequestId(0))));
+    }
+
+    #[test]
+    fn missing_response_emitter_flagged() {
+        let (trace, mut advice) = honest();
+        advice.response_emitted_by.remove(&RequestId(1));
+        assert!(lint_advice(&trace, &advice)
+            .contains(&LintWarning::MissingResponseEmitter(RequestId(1))));
+    }
+
+    #[test]
+    fn unknown_request_flagged() {
+        let (trace, mut advice) = honest();
+        let ((_, hid), c) = advice
+            .opcounts
+            .iter()
+            .next()
+            .map(|(k, v)| (k.clone(), *v))
+            .unwrap();
+        advice.opcounts.insert((RequestId(77), hid), c);
+        assert!(lint_advice(&trace, &advice).contains(&LintWarning::UnknownRequest(RequestId(77))));
+    }
+
+    #[test]
+    fn dangling_var_prec_flagged() {
+        let (trace, mut advice) = honest();
+        // Remove a dictating write, leaving a read pointing at it.
+        let var = *advice.var_logs.keys().next().unwrap();
+        let log = advice.var_logs.get_mut(&var).unwrap();
+        let write_key = log
+            .iter()
+            .find(|(_, e)| e.access == crate::advice::AccessType::Write)
+            .map(|(k, _)| k.clone())
+            .unwrap();
+        log.remove(&write_key);
+        let warnings = lint_advice(&trace, &advice);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::DanglingVarLogPrec(_))));
+    }
+}

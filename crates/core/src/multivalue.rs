@@ -1,0 +1,180 @@
+//! Multivalues: the SIMD-on-demand datatype (§2.3, §5).
+//!
+//! A multivalue holds one logical value per request of a re-execution
+//! group. It "collapses when all of the entries are identical, and
+//! expands into a vector when needed": uniform values are computed once
+//! for the whole group — this deduplication is where batched
+//! re-execution gets its speedup.
+
+use kem::Value;
+
+/// A group-wide value: either one shared value or one per request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiValue {
+    /// The same value for every request in the group.
+    Uniform(Value),
+    /// One value per request (indexed like the group's request list).
+    Per(Vec<Value>),
+}
+
+impl MultiValue {
+    /// A collapsed value.
+    pub fn uniform(v: Value) -> Self {
+        MultiValue::Uniform(v)
+    }
+
+    /// Builds from per-request values, collapsing if they are all equal.
+    pub fn from_vec(mut vs: Vec<Value>) -> Self {
+        if vs.is_empty() {
+            return MultiValue::Uniform(Value::Null);
+        }
+        if vs.windows(2).all(|w| w[0] == w[1]) {
+            MultiValue::Uniform(vs.swap_remove(0))
+        } else {
+            MultiValue::Per(vs)
+        }
+    }
+
+    /// Whether the value is collapsed.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, MultiValue::Uniform(_))
+    }
+
+    /// The value for request index `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        match self {
+            MultiValue::Uniform(v) => v,
+            MultiValue::Per(vs) => &vs[i],
+        }
+    }
+
+    /// Expands to a per-request vector of length `n`.
+    pub fn to_vec(&self, n: usize) -> Vec<Value> {
+        match self {
+            MultiValue::Uniform(v) => vec![v.clone(); n],
+            MultiValue::Per(vs) => vs.clone(),
+        }
+    }
+
+    /// Applies a fallible unary operation, once if collapsed.
+    pub fn map<E>(&self, mut f: impl FnMut(&Value) -> Result<Value, E>) -> Result<MultiValue, E> {
+        Ok(match self {
+            MultiValue::Uniform(v) => MultiValue::Uniform(f(v)?),
+            MultiValue::Per(vs) => {
+                MultiValue::from_vec(vs.iter().map(&mut f).collect::<Result<_, _>>()?)
+            }
+        })
+    }
+
+    /// Applies a fallible binary operation; computed once when both
+    /// operands are collapsed (SIMD-on-demand).
+    pub fn zip<E>(
+        &self,
+        other: &MultiValue,
+        n: usize,
+        mut f: impl FnMut(&Value, &Value) -> Result<Value, E>,
+    ) -> Result<MultiValue, E> {
+        Ok(match (self, other) {
+            (MultiValue::Uniform(a), MultiValue::Uniform(b)) => MultiValue::Uniform(f(a, b)?),
+            _ => MultiValue::from_vec(
+                (0..n)
+                    .map(|i| f(self.get(i), other.get(i)))
+                    .collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+
+    /// The group-wide truthiness if all requests agree, else `None`
+    /// (control-flow divergence).
+    pub fn truthiness(&self, n: usize) -> Option<bool> {
+        match self {
+            MultiValue::Uniform(v) => Some(v.truthy()),
+            MultiValue::Per(vs) => {
+                let first = vs.first().map(Value::truthy)?;
+                let _ = n;
+                if vs.iter().all(|v| v.truthy() == first) {
+                    Some(first)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_collapses_identical() {
+        let mv = MultiValue::from_vec(vec![Value::int(1), Value::int(1)]);
+        assert!(mv.is_uniform());
+        assert_eq!(mv.get(1), &Value::int(1));
+    }
+
+    #[test]
+    fn from_vec_keeps_distinct() {
+        let mv = MultiValue::from_vec(vec![Value::int(1), Value::int(2)]);
+        assert!(!mv.is_uniform());
+        assert_eq!(mv.get(0), &Value::int(1));
+        assert_eq!(mv.get(1), &Value::int(2));
+    }
+
+    #[test]
+    fn zip_uniform_computes_once() {
+        let a = MultiValue::uniform(Value::int(2));
+        let b = MultiValue::uniform(Value::int(3));
+        let mut calls = 0;
+        let r = a
+            .zip::<()>(&b, 4, |x, y| {
+                calls += 1;
+                Ok(Value::int(x.as_int().unwrap() + y.as_int().unwrap()))
+            })
+            .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(r, MultiValue::uniform(Value::int(5)));
+    }
+
+    #[test]
+    fn zip_expanded_computes_per_request() {
+        let a = MultiValue::Per(vec![Value::int(1), Value::int(2)]);
+        let b = MultiValue::uniform(Value::int(10));
+        let r = a
+            .zip::<()>(&b, 2, |x, y| {
+                Ok(Value::int(x.as_int().unwrap() + y.as_int().unwrap()))
+            })
+            .unwrap();
+        assert_eq!(r.to_vec(2), vec![Value::int(11), Value::int(12)]);
+    }
+
+    #[test]
+    fn zip_result_can_recollapse() {
+        // Different inputs, same output (e.g. comparing to a constant).
+        let a = MultiValue::Per(vec![Value::int(1), Value::int(2)]);
+        let r = a
+            .map::<()>(|v| Ok(Value::Bool(v.as_int().unwrap() > 0)))
+            .unwrap();
+        assert!(r.is_uniform());
+    }
+
+    #[test]
+    fn truthiness_divergence() {
+        let mv = MultiValue::Per(vec![Value::Bool(true), Value::Bool(false)]);
+        assert_eq!(mv.truthiness(2), None);
+        let mv = MultiValue::Per(vec![Value::int(1), Value::int(2)]);
+        assert_eq!(
+            mv.truthiness(2),
+            Some(true),
+            "different values, same truthiness"
+        );
+    }
+
+    #[test]
+    fn empty_vec_is_null_uniform() {
+        assert_eq!(
+            MultiValue::from_vec(vec![]),
+            MultiValue::uniform(Value::Null)
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The R-order: Karousos's re-execution-order relation (§4.2, Def. 7/8).
+//!
+//! Two operations are *R-ordered* if one is guaranteed to be re-executed
+//! before the other under any possible grouping; the server logs only
+//! variable accesses that are *R-concurrent* with the relevant write.
+//! Formally, `op <_R op'` iff the two are in the same request and either
+//! (a) they share a handler and `op` has the smaller opnum, or (b)
+//! `op`'s handler is a strict ancestor of `op'`'s handler in the
+//! activation tree.
+//!
+//! The initialization activation `I` is the activator of every request
+//! handler (§3), so initialization-time operations R-precede all
+//! request-time operations; that case is handled explicitly here since
+//! `I` lives under the pseudo-request [`RequestId::INIT`].
+
+use kem::{OpRef, RequestId};
+
+/// Returns whether `a <_R b` (Definition 7).
+pub fn r_precedes(a: &OpRef, b: &OpRef) -> bool {
+    if a.rid == RequestId::INIT && b.rid != RequestId::INIT {
+        // Everything descends from the initialization activation.
+        return true;
+    }
+    if a.rid != b.rid {
+        return false;
+    }
+    if a.hid == b.hid {
+        return a.opnum < b.opnum;
+    }
+    a.hid.is_ancestor_of(&b.hid)
+}
+
+/// Returns whether `a` and `b` are R-ordered (Definition 8).
+pub fn r_ordered(a: &OpRef, b: &OpRef) -> bool {
+    r_precedes(a, b) || r_precedes(b, a)
+}
+
+/// Returns whether `a` and `b` are R-concurrent (Definition 8): neither
+/// R-precedes the other.
+pub fn r_concurrent(a: &OpRef, b: &OpRef) -> bool {
+    !r_ordered(a, b) && a != b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::{init_handler_id, FunctionId, HandlerId};
+
+    fn op(rid: u64, hid: &HandlerId, opnum: u32) -> OpRef {
+        OpRef::new(RequestId(rid), hid.clone(), opnum)
+    }
+
+    #[test]
+    fn program_order_within_handler() {
+        let h = HandlerId::root(FunctionId(0));
+        assert!(r_precedes(&op(1, &h, 1), &op(1, &h, 2)));
+        assert!(!r_precedes(&op(1, &h, 2), &op(1, &h, 1)));
+        assert!(r_ordered(&op(1, &h, 1), &op(1, &h, 2)));
+    }
+
+    #[test]
+    fn ancestor_order_across_handlers() {
+        let root = HandlerId::root(FunctionId(0));
+        let child = HandlerId::child(&root, FunctionId(1), 2);
+        // Even an ancestor op *after* the activating emit R-precedes the
+        // child (the ancestor runs to completion first).
+        assert!(r_precedes(&op(1, &root, 9), &op(1, &child, 1)));
+        assert!(!r_precedes(&op(1, &child, 1), &op(1, &root, 9)));
+    }
+
+    #[test]
+    fn siblings_are_r_concurrent() {
+        let root = HandlerId::root(FunctionId(0));
+        let a = HandlerId::child(&root, FunctionId(1), 1);
+        let b = HandlerId::child(&root, FunctionId(2), 1);
+        assert!(r_concurrent(&op(1, &a, 1), &op(1, &b, 1)));
+    }
+
+    #[test]
+    fn cross_request_always_r_concurrent() {
+        let h = HandlerId::root(FunctionId(0));
+        assert!(r_concurrent(&op(1, &h, 1), &op(2, &h, 1)));
+        assert!(!r_ordered(&op(1, &h, 1), &op(2, &h, 2)));
+    }
+
+    #[test]
+    fn init_precedes_everything() {
+        let init = op(RequestId::INIT.0, &init_handler_id(), 1);
+        let h = HandlerId::root(FunctionId(0));
+        let request_op = op(0, &h, 1);
+        assert!(r_precedes(&init, &request_op));
+        assert!(!r_precedes(&request_op, &init));
+        assert!(!r_concurrent(&init, &request_op));
+    }
+
+    #[test]
+    fn init_ops_ordered_among_themselves() {
+        let i1 = op(RequestId::INIT.0, &init_handler_id(), 1);
+        let i2 = op(RequestId::INIT.0, &init_handler_id(), 2);
+        assert!(r_precedes(&i1, &i2));
+        assert!(!r_precedes(&i2, &i1));
+    }
+
+    #[test]
+    fn same_op_is_not_r_concurrent_with_itself() {
+        let h = HandlerId::root(FunctionId(0));
+        let a = op(1, &h, 1);
+        assert!(!r_concurrent(&a, &a));
+        assert!(!r_ordered(&a, &a));
+    }
+}

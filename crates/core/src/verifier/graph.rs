@@ -1,0 +1,273 @@
+//! The execution graph `G` (§4.3, Fig. 14).
+//!
+//! Nodes are request boundaries (`(rid, 0)`, `(rid, ∞)`), handler
+//! boundaries, and individual operations `(rid, hid, opnum)`. Edges
+//! encode the alleged ordering: time precedence from the trace, program
+//! order, boundary edges around the response, activation edges,
+//! handler-log precedence, external-state write-read edges, and the
+//! internal-state WR/WW/RW edges added during postprocessing. The audit
+//! accepts only if `G` is acyclic — i.e. the whole execution is
+//! well-ordered and physically possible.
+
+use std::collections::HashMap;
+
+use kem::{HandlerId, RequestId};
+
+/// Position within a handler: start (`0`), an operation, or end (`∞`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HPos {
+    /// Handler start node `(rid, hid, 0)`.
+    Start,
+    /// The `opnum`-th operation (1-based).
+    Op(u32),
+    /// Handler end node `(rid, hid, ∞)`.
+    End,
+}
+
+/// A node of `G`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GNode {
+    /// Request arrival `(rid, 0)`.
+    ReqStart(RequestId),
+    /// Response delivery `(rid, ∞)`.
+    ReqEnd(RequestId),
+    /// A handler-scoped node.
+    Handler {
+        /// The request.
+        rid: RequestId,
+        /// The handler.
+        hid: HandlerId,
+        /// Position within the handler.
+        pos: HPos,
+    },
+}
+
+impl GNode {
+    /// Convenience: an operation node.
+    pub fn op(rid: RequestId, hid: HandlerId, opnum: u32) -> Self {
+        GNode::Handler {
+            rid,
+            hid,
+            pos: if opnum == 0 {
+                HPos::Start
+            } else {
+                HPos::Op(opnum)
+            },
+        }
+    }
+}
+
+/// An interned directed graph with cycle detection.
+#[derive(Debug, Default)]
+pub struct Graph {
+    ids: HashMap<GNode, u32>,
+    names: Vec<String>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `node`, returning its id.
+    pub fn add_node(&mut self, node: GNode) -> u32 {
+        let next = self.ids.len() as u32;
+        match self.ids.entry(node) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.names.push(render(e.key()));
+                *e.insert(next)
+            }
+        }
+    }
+
+    /// Whether `node` is present.
+    pub fn contains(&self, node: &GNode) -> bool {
+        self.ids.contains_key(node)
+    }
+
+    /// Adds a directed edge, interning endpoints as needed.
+    pub fn add_edge(&mut self, from: GNode, to: GNode) {
+        let f = self.add_node(from);
+        let t = self.add_node(to);
+        self.edges.push((f, t));
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Renders the graph in Graphviz `dot` format, for debugging
+    /// rejected audits (`dot -Tsvg` the output to see the alleged
+    /// ordering and hunt the cycle).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph G {\n  rankdir=LR;\n  node [shape=box,fontsize=9];\n");
+        for (i, name) in self.names.iter().enumerate() {
+            let _ = writeln!(out, "  n{i} [label=\"{name}\"];");
+        }
+        for &(f, t) in &self.edges {
+            let _ = writeln!(out, "  n{f} -> n{t};");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Whether the graph contains a directed cycle (iterative DFS).
+    pub fn has_cycle(&self) -> bool {
+        let n = self.ids.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(f, t) in &self.edges {
+            adj[f as usize].push(t);
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; n];
+        for root in 0..n {
+            if colour[root] != Colour::White {
+                continue;
+            }
+            let mut stack: Vec<(u32, usize)> = vec![(root as u32, 0)];
+            colour[root] = Colour::Grey;
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let children = &adj[node as usize];
+                if *idx < children.len() {
+                    let child = children[*idx];
+                    *idx += 1;
+                    match colour[child as usize] {
+                        Colour::Grey => return true,
+                        Colour::White => {
+                            colour[child as usize] = Colour::Grey;
+                            stack.push((child, 0));
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour[node as usize] = Colour::Black;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Human-readable node label.
+fn render(node: &GNode) -> String {
+    match node {
+        GNode::ReqStart(rid) => format!("{rid}:REQ"),
+        GNode::ReqEnd(rid) => format!("{rid}:RESP"),
+        GNode::Handler { rid, hid, pos } => match pos {
+            HPos::Start => format!("{rid} {hid} start"),
+            HPos::Op(n) => format!("{rid} {hid} op{n}"),
+            HPos::End => format!("{rid} {hid} end"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kem::FunctionId;
+
+    fn hid() -> HandlerId {
+        HandlerId::root(FunctionId(0))
+    }
+
+    #[test]
+    fn acyclic_graph() {
+        let mut g = Graph::new();
+        g.add_edge(
+            GNode::ReqStart(RequestId(0)),
+            GNode::op(RequestId(0), hid(), 0),
+        );
+        g.add_edge(
+            GNode::op(RequestId(0), hid(), 0),
+            GNode::op(RequestId(0), hid(), 1),
+        );
+        g.add_edge(
+            GNode::op(RequestId(0), hid(), 1),
+            GNode::ReqEnd(RequestId(0)),
+        );
+        assert!(!g.has_cycle());
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = Graph::new();
+        let a = GNode::op(RequestId(0), hid(), 1);
+        let b = GNode::op(RequestId(1), hid(), 1);
+        let c = GNode::op(RequestId(2), hid(), 1);
+        g.add_edge(a.clone(), b.clone());
+        g.add_edge(b, c.clone());
+        g.add_edge(c, a);
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Graph::new();
+        let a = GNode::ReqStart(RequestId(0));
+        g.add_edge(a.clone(), a);
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut g = Graph::new();
+        let id1 = g.add_node(GNode::op(RequestId(0), hid(), 3));
+        let id2 = g.add_node(GNode::op(RequestId(0), hid(), 3));
+        assert_eq!(id1, id2);
+        assert!(g.contains(&GNode::op(RequestId(0), hid(), 3)));
+    }
+
+    #[test]
+    fn op_zero_is_start() {
+        let n = GNode::op(RequestId(0), hid(), 0);
+        assert!(matches!(
+            n,
+            GNode::Handler {
+                pos: HPos::Start,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn dot_export_names_nodes_and_edges() {
+        let mut g = Graph::new();
+        g.add_edge(GNode::ReqStart(RequestId(0)), GNode::op(RequestId(0), hid(), 1));
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("r0:REQ"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn large_chain_no_stack_overflow() {
+        // Iterative DFS must handle deep graphs.
+        let mut g = Graph::new();
+        for i in 0..100_000u32 {
+            g.add_edge(
+                GNode::op(RequestId(0), hid(), i),
+                GNode::op(RequestId(0), hid(), i + 1),
+            );
+        }
+        assert!(!g.has_cycle());
+    }
+}

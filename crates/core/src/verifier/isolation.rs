@@ -1,0 +1,141 @@
+//! Isolation-level verification (§4.4, Fig. 17).
+//!
+//! The verifier runs Adya's algorithms against the *alleged* history
+//! (transaction logs + write order), thereby provisionally justifying
+//! it: (1) the write order must list exactly the last modifications of
+//! committed transactions, once each; (2) the translated history must
+//! pass the level's phenomena checks (G0 / G1a / G1b / G1c / G2 via the
+//! `adya` crate). The remaining cross-checks — that logged operations
+//! are actually produced by the program — happen during re-execution.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::advice::{Advice, KTxId, TxOpContents, TxOpType, TxPos};
+use crate::verifier::reject::RejectReason;
+
+/// Verifies the write order against the transaction logs and runs the
+/// per-level Adya checks.
+pub fn verify_isolation(
+    advice: &Advice,
+    committed: &HashSet<KTxId>,
+    last_modification: &HashMap<(KTxId, String), u32>,
+    isolation: kvstore::IsolationLevel,
+) -> Result<(), RejectReason> {
+    // ExtractWriteOrderPerKey's validations (Fig. 17 lines 22–28), plus
+    // a uniqueness check so length-equality implies bijection.
+    if advice.write_order.len() != last_modification.len() {
+        return Err(RejectReason::WriteOrderMismatch {
+            why: "length differs from last-modification count",
+        });
+    }
+    let mut seen: HashSet<&TxPos> = HashSet::new();
+    for pos in &advice.write_order {
+        if !seen.insert(pos) {
+            return Err(RejectReason::WriteOrderMismatch {
+                why: "duplicate entry",
+            });
+        }
+        let Some(entry) = advice.tx_entry(pos) else {
+            return Err(RejectReason::WriteOrderMismatch {
+                why: "entry not in any log",
+            });
+        };
+        if entry.optype != TxOpType::Put {
+            return Err(RejectReason::WriteOrderMismatch {
+                why: "entry is not a PUT",
+            });
+        }
+        let key = entry
+            .key
+            .clone()
+            .expect("PUTs have keys (validated in preprocess)");
+        if last_modification.get(&(pos.tx.clone(), key)) != Some(&pos.index) {
+            return Err(RejectReason::WriteOrderMismatch {
+                why: "entry is not a committed last modification",
+            });
+        }
+    }
+
+    // Translate the alleged history into the adya crate's representation.
+    // Only PUT/GET entries become history operations; an index map keeps
+    // TxPos references aligned.
+    let tx_ids: BTreeMap<&KTxId, adya::TxnId> = advice
+        .tx_logs
+        .keys()
+        .enumerate()
+        .map(|(i, tx)| (tx, adya::TxnId(i as u64)))
+        .collect();
+    let mut index_maps: HashMap<&KTxId, Vec<Option<u32>>> = HashMap::new();
+    for (tx, log) in &advice.tx_logs {
+        let mut map = Vec::with_capacity(log.len());
+        let mut next = 0u32;
+        for entry in log {
+            if matches!(entry.optype, TxOpType::Put | TxOpType::Get) {
+                map.push(Some(next));
+                next += 1;
+            } else {
+                map.push(None);
+            }
+        }
+        index_maps.insert(tx, map);
+    }
+    let translate = |pos: &TxPos| -> Option<(adya::TxnId, u32)> {
+        let idx = index_maps.get(&pos.tx)?.get(pos.index as usize)?.as_ref()?;
+        Some((*tx_ids.get(&pos.tx)?, *idx))
+    };
+
+    let mut builder = adya::HistoryBuilder::new();
+    for (tx, log) in &advice.tx_logs {
+        let id = tx_ids[tx];
+        builder.touch(id);
+        for entry in log {
+            match entry.optype {
+                TxOpType::Put => {
+                    builder.put(id, entry.key.as_deref().expect("validated"));
+                }
+                TxOpType::Get => {
+                    let TxOpContents::Get { from } = &entry.contents else {
+                        unreachable!("validated in preprocess")
+                    };
+                    let from = match from {
+                        Some(pos) => {
+                            let Some(t) = translate(pos) else {
+                                return Err(RejectReason::WriteOrderMismatch {
+                                    why: "GET references untranslatable write",
+                                });
+                            };
+                            Some(t)
+                        }
+                        None => None,
+                    };
+                    builder.get(id, entry.key.as_deref().expect("validated"), from);
+                }
+                TxOpType::Start | TxOpType::Commit | TxOpType::Abort => {}
+            }
+        }
+        if committed.contains(tx) {
+            builder.commit(id);
+        }
+    }
+    let version_order = advice
+        .write_order
+        .iter()
+        .map(|pos| {
+            translate(pos)
+                .map(|(txn, index)| adya::OpRef { txn, index })
+                .ok_or(RejectReason::WriteOrderMismatch {
+                    why: "untranslatable entry",
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    builder.set_version_order(version_order);
+    let history = builder.finish();
+
+    let level = match isolation {
+        kvstore::IsolationLevel::ReadUncommitted => adya::IsolationLevel::ReadUncommitted,
+        kvstore::IsolationLevel::ReadCommitted => adya::IsolationLevel::ReadCommitted,
+        kvstore::IsolationLevel::Serializable => adya::IsolationLevel::Serializable,
+    };
+    adya::check_isolation(&history, level).map_err(RejectReason::Isolation)?;
+    Ok(())
+}

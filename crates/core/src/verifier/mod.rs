@@ -1,0 +1,154 @@
+//! The Karousos verifier: `Audit = Preprocess → ReExec → Postprocess`
+//! (Fig. 14 lines 13–16).
+//!
+//! [`audit`] consumes the trusted trace and the untrusted advice and
+//! either ACCEPTs (returning statistics) or REJECTs with a typed
+//! [`RejectReason`]. Soundness rests on the combination of:
+//!
+//! * re-execution producing exactly the traced outputs,
+//! * simulate-and-check on variable and `PUT` values,
+//! * Adya-style isolation verification of the alleged store history,
+//! * acyclicity of the execution graph `G` after the per-variable
+//!   WR/WW/RW edges are embedded.
+
+mod graph;
+mod isolation;
+mod preprocess;
+mod reexec;
+mod reject;
+mod vars;
+
+pub use graph::{GNode, Graph, HPos};
+pub use preprocess::{preprocess, OpMapEntry, Preprocessed};
+pub use reexec::{ReExecutor, ReexecStats, ReplaySchedule};
+pub use reject::RejectReason;
+pub use vars::VarStates;
+
+use kem::{init_handler_id, OpRef, Program, RequestId, Trace, VarId};
+
+use crate::advice::Advice;
+
+/// Statistics of a successful audit.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditReport {
+    /// Re-execution statistics (groups, dedup counters).
+    pub reexec: ReexecStats,
+    /// Nodes in the final execution graph `G`.
+    pub graph_nodes: usize,
+    /// Edges in the final execution graph `G`.
+    pub graph_edges: usize,
+}
+
+/// Audits from the advice's wire form: decodes, then runs [`audit`].
+///
+/// This is what a deployed verifier does — the advice arrives as bytes
+/// from the untrusted server, and decoding (including its cost) is part
+/// of verification. Malformed bytes are a rejection.
+pub fn audit_encoded(
+    program: &Program,
+    trace: &Trace,
+    advice_bytes: &[u8],
+    isolation: kvstore::IsolationLevel,
+) -> Result<AuditReport, RejectReason> {
+    let advice =
+        crate::wire::decode_advice(advice_bytes).map_err(|e| RejectReason::MalformedAdvice {
+            what: e.to_string(),
+        })?;
+    audit(program, trace, &advice, isolation)
+}
+
+/// Audits `trace` against `advice` for `program`, deployed at
+/// `isolation` (Fig. 14 `Audit`).
+///
+/// Returns statistics on ACCEPT; a [`RejectReason`] otherwise.
+pub fn audit(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+) -> Result<AuditReport, RejectReason> {
+    audit_with_schedule(program, trace, advice, isolation, ReplaySchedule::Fifo)
+}
+
+/// Runs the trusted initialization phase: installs every loggable
+/// variable into the verifier's dictionaries, numbering loggable
+/// variables 1.. in declaration order (matching the runtime's
+/// `init_shared_state`).
+fn init_vars(program: &Program, vars: &mut VarStates) {
+    let init_hid = init_handler_id();
+    let mut opnum = 0u32;
+    for (i, decl) in program.vars.iter().enumerate() {
+        if decl.loggable {
+            opnum += 1;
+            vars.on_initialize(
+                VarId(i as u32),
+                OpRef::new(RequestId::INIT, init_hid.clone(), opnum),
+                decl.init.clone(),
+            );
+        }
+    }
+}
+
+/// `OOOAudit` (Fig. 22): audits with *ungrouped*, out-of-order
+/// re-execution — the executor the paper's Completeness/Soundness
+/// proofs are stated over. Slower than [`audit`] (no batching), but it
+/// ignores the control-flow tags entirely, and Lemma 3 says the two
+/// must agree on every honest input.
+pub fn ooo_audit(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+    schedule: ReplaySchedule,
+) -> Result<AuditReport, RejectReason> {
+    let pre = preprocess(program, trace, advice, isolation)?;
+    let mut vars = VarStates::new();
+    init_vars(program, &mut vars);
+    let reexec = ReExecutor::new(program, trace, advice, &pre, &mut vars)
+        .with_schedule(schedule)
+        .run_ungrouped()?;
+    let mut graph = pre.graph;
+    vars.add_internal_state_edges(&mut graph)?;
+    if graph.has_cycle() {
+        return Err(RejectReason::CycleInG);
+    }
+    Ok(AuditReport {
+        reexec,
+        graph_nodes: graph.node_count(),
+        graph_edges: graph.edge_count(),
+    })
+}
+
+/// [`audit`] with an explicit replay schedule (Lemma-1 experiments).
+pub fn audit_with_schedule(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+    schedule: ReplaySchedule,
+) -> Result<AuditReport, RejectReason> {
+    // Preprocess (includes isolation-level verification).
+    let pre = preprocess(program, trace, advice, isolation)?;
+
+    // Run the initialization phase (trusted: it is part of the program;
+    // Fig. 14 line 20), installing loggable variables.
+    let mut vars = VarStates::new();
+    init_vars(program, &mut vars);
+
+    // ReExec.
+    let reexec = ReExecutor::new(program, trace, advice, &pre, &mut vars)
+        .with_schedule(schedule)
+        .run()?;
+
+    // Postprocess: embed internal-state edges, check acyclicity.
+    let mut graph = pre.graph;
+    vars.add_internal_state_edges(&mut graph)?;
+    if graph.has_cycle() {
+        return Err(RejectReason::CycleInG);
+    }
+    Ok(AuditReport {
+        reexec,
+        graph_nodes: graph.node_count(),
+        graph_edges: graph.edge_count(),
+    })
+}

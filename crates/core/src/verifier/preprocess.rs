@@ -1,0 +1,488 @@
+//! The verifier's `Preprocess` phase (Fig. 14 lines 18–27).
+//!
+//! Builds the execution graph `G` with time-precedence, program,
+//! boundary, activation, handler-log, and external-state edges; builds
+//! the `OpMap` and `activatedHandlers` structures consumed by
+//! re-execution; classifies committed transactions; and runs isolation
+//! verification on the alleged transactional history.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use kem::{HandlerId, OpRef, Program, RequestId, Trace, TraceEvent};
+
+use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType, TxPos};
+use crate::verifier::graph::{GNode, Graph, HPos};
+use crate::verifier::isolation::verify_isolation;
+use crate::verifier::reject::RejectReason;
+
+/// Where a re-executed operation's log entry lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpMapEntry {
+    /// In the request's handler log, at `index`.
+    HandlerLog {
+        /// Position in the handler log.
+        index: usize,
+    },
+    /// In a transaction log, at `index`.
+    TxLog {
+        /// The transaction.
+        tx: KTxId,
+        /// Position in the transaction log (= `txnum`).
+        index: usize,
+    },
+}
+
+/// Everything `Preprocess` hands to re-execution and postprocessing.
+#[derive(Debug)]
+pub struct Preprocessed {
+    /// The execution graph `G` (so far).
+    pub graph: Graph,
+    /// Coordinate → log-entry location.
+    pub op_map: HashMap<OpRef, OpMapEntry>,
+    /// Emit coordinate → handlers it allegedly activates.
+    pub activated: HashMap<OpRef, Vec<HandlerId>>,
+    /// Check-operation coordinate → listener count implied by the
+    /// handler log's registration history at that point.
+    pub check_counts: HashMap<OpRef, i64>,
+    /// Allegedly committed transactions.
+    pub committed: HashSet<KTxId>,
+}
+
+/// Runs `Preprocess`. `isolation` is the level the store is deployed at
+/// (known to the principal).
+pub fn preprocess(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+) -> Result<Preprocessed, RejectReason> {
+    if !trace.is_balanced() {
+        return Err(RejectReason::UnbalancedTrace);
+    }
+    let trace_rids: HashSet<RequestId> = trace.request_ids().into_iter().collect();
+
+    let mut graph = Graph::new();
+    let mut op_map: HashMap<OpRef, OpMapEntry> = HashMap::new();
+    let mut activated: HashMap<OpRef, Vec<HandlerId>> = HashMap::new();
+    let mut check_counts: HashMap<OpRef, i64> = HashMap::new();
+
+    add_time_precedence_edges(&mut graph, trace);
+    add_program_edges(&mut graph, trace.len(), &trace_rids, advice)?;
+    add_boundary_edges(&mut graph, trace, advice)?;
+    add_activation_edges(&mut graph, advice)?;
+    add_handler_related_edges(
+        program,
+        &mut graph,
+        &trace_rids,
+        advice,
+        &mut op_map,
+        &mut activated,
+        &mut check_counts,
+    )?;
+    let (committed, last_modification) =
+        add_external_state_edges(&mut graph, &trace_rids, advice, &mut op_map)?;
+    verify_isolation(advice, &committed, &last_modification, isolation)?;
+
+    Ok(Preprocessed {
+        graph,
+        op_map,
+        activated,
+        check_counts,
+        committed,
+    })
+}
+
+/// Time precedence: the trusted trace is a chronological record of the
+/// boundary events, so chain them in order. This subsumes the
+/// `CreateTimePrecedenceGraph`/`SplitNodes` edges of Orochi (every
+/// "response before request" pair is connected transitively).
+fn add_time_precedence_edges(graph: &mut Graph, trace: &Trace) {
+    let mut prev: Option<GNode> = None;
+    for ev in trace.events() {
+        let node = match ev {
+            TraceEvent::Request { rid, .. } => GNode::ReqStart(*rid),
+            TraceEvent::Response { rid, .. } => GNode::ReqEnd(*rid),
+        };
+        graph.add_node(node.clone());
+        if let Some(p) = prev {
+            graph.add_edge(p, node.clone());
+        }
+        prev = Some(node);
+    }
+}
+
+/// `AddProgramEdges` (Fig. 14 lines 33–44).
+fn add_program_edges(
+    graph: &mut Graph,
+    _trace_len: usize,
+    trace_rids: &HashSet<RequestId>,
+    advice: &Advice,
+) -> Result<(), RejectReason> {
+    for ((rid, hid), count) in &advice.opcounts {
+        if !trace_rids.contains(rid) {
+            return Err(RejectReason::UnknownRequest { rid: *rid });
+        }
+        let mut prev = GNode::Handler {
+            rid: *rid,
+            hid: hid.clone(),
+            pos: HPos::Start,
+        };
+        graph.add_node(prev.clone());
+        for i in 1..=*count {
+            let node = GNode::Handler {
+                rid: *rid,
+                hid: hid.clone(),
+                pos: HPos::Op(i),
+            };
+            graph.add_edge(prev, node.clone());
+            prev = node;
+        }
+        graph.add_edge(
+            prev,
+            GNode::Handler {
+                rid: *rid,
+                hid: hid.clone(),
+                pos: HPos::End,
+            },
+        );
+    }
+    Ok(())
+}
+
+/// `AddBoundaryEdges` (Fig. 15).
+fn add_boundary_edges(
+    graph: &mut Graph,
+    trace: &Trace,
+    advice: &Advice,
+) -> Result<(), RejectReason> {
+    for (rid, hid) in advice.opcounts.keys() {
+        if hid.parent().is_none() {
+            graph.add_edge(
+                GNode::ReqStart(*rid),
+                GNode::Handler {
+                    rid: *rid,
+                    hid: hid.clone(),
+                    pos: HPos::Start,
+                },
+            );
+        }
+    }
+    for rid in trace.request_ids() {
+        let Some((hid_r, opnum_r)) = advice.response_emitted_by.get(&rid) else {
+            return Err(RejectReason::BadResponseEmitter {
+                rid,
+                why: "missing",
+            });
+        };
+        let Some(count) = advice.opcounts.get(&(rid, hid_r.clone())) else {
+            return Err(RejectReason::BadResponseEmitter {
+                rid,
+                why: "emitter not in opcounts",
+            });
+        };
+        if *opnum_r > *count {
+            return Err(RejectReason::BadResponseEmitter {
+                rid,
+                why: "opnum out of range",
+            });
+        }
+        graph.add_edge(GNode::op(rid, hid_r.clone(), *opnum_r), GNode::ReqEnd(rid));
+        let after = if *opnum_r == *count {
+            GNode::Handler {
+                rid,
+                hid: hid_r.clone(),
+                pos: HPos::End,
+            }
+        } else {
+            GNode::op(rid, hid_r.clone(), *opnum_r + 1)
+        };
+        graph.add_edge(GNode::ReqEnd(rid), after);
+    }
+    Ok(())
+}
+
+/// Activation edges for every reported handler: the handler id encodes
+/// its activator structurally (function, parent, activating opnum), so
+/// the edge `(rid, parent, opnum) → (rid, hid, 0)` can be added for all
+/// handlers uniformly — emits get their extra registration discipline
+/// checks in `add_handler_related_edges`, and database-completion
+/// activations are validated by re-execution itself.
+fn add_activation_edges(graph: &mut Graph, advice: &Advice) -> Result<(), RejectReason> {
+    for (rid, hid) in advice.opcounts.keys() {
+        let Some(parent) = hid.parent() else { continue };
+        let Some(parent_count) = advice.opcounts.get(&(*rid, parent.clone())) else {
+            return Err(RejectReason::BadActivationParent { rid: *rid });
+        };
+        if hid.opnum() == 0 || hid.opnum() > *parent_count {
+            return Err(RejectReason::BadActivationParent { rid: *rid });
+        }
+        graph.add_edge(
+            GNode::op(*rid, parent.clone(), hid.opnum()),
+            GNode::Handler {
+                rid: *rid,
+                hid: hid.clone(),
+                pos: HPos::Start,
+            },
+        );
+    }
+    Ok(())
+}
+
+/// `CheckOpIsValid` (Fig. 16 lines 58–61).
+fn check_op_is_valid(
+    advice: &Advice,
+    op_map: &HashMap<OpRef, OpMapEntry>,
+    op: &OpRef,
+) -> Result<(), RejectReason> {
+    let Some(count) = advice.opcounts.get(&(op.rid, op.hid.clone())) else {
+        return Err(RejectReason::InvalidLogOp {
+            at: op.clone(),
+            why: "handler not in opcounts",
+        });
+    };
+    if op.opnum < 1 || op.opnum > *count {
+        return Err(RejectReason::InvalidLogOp {
+            at: op.clone(),
+            why: "opnum out of range",
+        });
+    }
+    if op_map.contains_key(op) {
+        return Err(RejectReason::InvalidLogOp {
+            at: op.clone(),
+            why: "duplicate log entry",
+        });
+    }
+    Ok(())
+}
+
+/// Range-only validity for *referenced* operations (dictating writes):
+/// they must exist within a reported handler but have already been (or
+/// will be) mapped by their own log.
+fn check_op_in_range(advice: &Advice, op: &OpRef) -> Result<(), RejectReason> {
+    let Some(count) = advice.opcounts.get(&(op.rid, op.hid.clone())) else {
+        return Err(RejectReason::InvalidLogOp {
+            at: op.clone(),
+            why: "handler not in opcounts",
+        });
+    };
+    if op.opnum < 1 || op.opnum > *count {
+        return Err(RejectReason::InvalidLogOp {
+            at: op.clone(),
+            why: "opnum out of range",
+        });
+    }
+    Ok(())
+}
+
+/// `AddHandlerRelatedEdges` (Fig. 16 lines 3–28).
+#[allow(clippy::too_many_arguments)]
+fn add_handler_related_edges(
+    program: &Program,
+    graph: &mut Graph,
+    trace_rids: &HashSet<RequestId>,
+    advice: &Advice,
+    op_map: &mut HashMap<OpRef, OpMapEntry>,
+    activated: &mut HashMap<OpRef, Vec<HandlerId>>,
+    check_counts: &mut HashMap<OpRef, i64>,
+) -> Result<(), RejectReason> {
+    for (rid, log) in &advice.handler_logs {
+        if !trace_rids.contains(rid) {
+            return Err(RejectReason::UnknownRequest { rid: *rid });
+        }
+        let mut registered: Vec<(String, kem::FunctionId)> = Vec::new();
+        let mut prev: Option<OpRef> = None;
+        for (i, entry) in log.iter().enumerate() {
+            let op = OpRef::new(*rid, entry.hid.clone(), entry.opnum);
+            check_op_is_valid(advice, op_map, &op)?;
+            op_map.insert(op.clone(), OpMapEntry::HandlerLog { index: i });
+            if let Some(p) = prev {
+                graph.add_edge(
+                    GNode::op(p.rid, p.hid, p.opnum),
+                    GNode::op(op.rid, op.hid.clone(), op.opnum),
+                );
+            }
+            prev = Some(op.clone());
+            match &entry.op {
+                HandlerOp::Register { event, function } => {
+                    registered.push((event.clone(), *function));
+                }
+                HandlerOp::Unregister { event, function } => {
+                    registered.retain(|(e, f)| !(e == event && f == function));
+                }
+                HandlerOp::Emit { event } => {
+                    // All functions registered for the event at this
+                    // point: global registrations first, then the
+                    // request's own, in registration order.
+                    let mut fns: Vec<kem::FunctionId> = program
+                        .global_registrations
+                        .iter()
+                        .filter(|(e, _)| e == event)
+                        .map(|(_, f)| kem::FunctionId(*f))
+                        .collect();
+                    fns.extend(
+                        registered
+                            .iter()
+                            .filter(|(e, _)| e == event)
+                            .map(|(_, f)| *f),
+                    );
+                    let mut hids = Vec::with_capacity(fns.len());
+                    for f in fns {
+                        let hid = HandlerId::child(&entry.hid, f, entry.opnum);
+                        if !advice.opcounts.contains_key(&(*rid, hid.clone())) {
+                            return Err(RejectReason::MissingActivatedHandler { rid: *rid });
+                        }
+                        hids.push(hid);
+                    }
+                    activated.insert(op, hids);
+                }
+                HandlerOp::Check { event } => {
+                    // The count a check op observes: global
+                    // registrations plus this request's live ones for
+                    // the event, at this point in the handler log.
+                    let count = program
+                        .global_registrations
+                        .iter()
+                        .filter(|(e, _)| e == event)
+                        .count()
+                        + registered.iter().filter(|(e, _)| e == event).count();
+                    check_counts.insert(op, count as i64);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `AddExternalStateEdges` (Fig. 16 lines 30–56), returning the
+/// committed set and the `lastModification` map.
+#[allow(clippy::type_complexity)]
+fn add_external_state_edges(
+    graph: &mut Graph,
+    trace_rids: &HashSet<RequestId>,
+    advice: &Advice,
+    op_map: &mut HashMap<OpRef, OpMapEntry>,
+) -> Result<(HashSet<KTxId>, HashMap<(KTxId, String), u32>), RejectReason> {
+    let mut committed: HashSet<KTxId> = HashSet::new();
+    let mut last_modification: HashMap<(KTxId, String), u32> = HashMap::new();
+
+    for (tx, log) in &advice.tx_logs {
+        if !trace_rids.contains(&tx.rid) {
+            return Err(RejectReason::UnknownRequest { rid: tx.rid });
+        }
+        let Some(first) = log.first() else {
+            return Err(RejectReason::TxLogMalformed {
+                tx: tx.clone(),
+                why: "empty log",
+            });
+        };
+        if first.optype != TxOpType::Start || first.hid != tx.hid || first.opnum != tx.opnum {
+            return Err(RejectReason::TxLogMalformed {
+                tx: tx.clone(),
+                why: "first entry is not the tx_start",
+            });
+        }
+        let is_committed = log.last().is_some_and(|e| e.optype == TxOpType::Commit);
+        if is_committed {
+            committed.insert(tx.clone());
+        }
+
+        let mut my_writes: BTreeMap<String, u32> = BTreeMap::new();
+        for (i, entry) in log.iter().enumerate() {
+            if i > 0 && entry.optype == TxOpType::Start {
+                return Err(RejectReason::TxLogMalformed {
+                    tx: tx.clone(),
+                    why: "tx_start after the first entry",
+                });
+            }
+            if i + 1 < log.len() && matches!(entry.optype, TxOpType::Commit | TxOpType::Abort) {
+                return Err(RejectReason::TxLogMalformed {
+                    tx: tx.clone(),
+                    why: "operations after commit/abort",
+                });
+            }
+            let op = OpRef::new(tx.rid, entry.hid.clone(), entry.opnum);
+            check_op_is_valid(advice, op_map, &op)?;
+            op_map.insert(
+                op.clone(),
+                OpMapEntry::TxLog {
+                    tx: tx.clone(),
+                    index: i,
+                },
+            );
+
+            match entry.optype {
+                TxOpType::Get => {
+                    let Some(key) = &entry.key else {
+                        return Err(RejectReason::TxLogMalformed {
+                            tx: tx.clone(),
+                            why: "GET without key",
+                        });
+                    };
+                    let TxOpContents::Get { from } = &entry.contents else {
+                        return Err(RejectReason::TxLogMalformed {
+                            tx: tx.clone(),
+                            why: "GET with non-GET contents",
+                        });
+                    };
+                    if let Some(pos) = from {
+                        let Some(opw) = advice.tx_entry(pos) else {
+                            return Err(RejectReason::BadDictatingWrite { at: op });
+                        };
+                        if opw.optype != TxOpType::Put || opw.key.as_ref() != Some(key) {
+                            return Err(RejectReason::BadDictatingWrite { at: op });
+                        }
+                        let w_op = OpRef::new(pos.tx.rid, opw.hid.clone(), opw.opnum);
+                        check_op_in_range(advice, &w_op)?;
+                        // Write-read edge: PUT → GET (§4.4; only WR, not
+                        // WW/RW, for external state — see footnote 3).
+                        graph.add_edge(
+                            GNode::op(w_op.rid, w_op.hid, w_op.opnum),
+                            GNode::op(op.rid, op.hid.clone(), op.opnum),
+                        );
+                    }
+                    // Transactions observe their own writes.
+                    if let Some(&w_idx) = my_writes.get(key) {
+                        let expected = Some(TxPos {
+                            tx: tx.clone(),
+                            index: w_idx,
+                        });
+                        if *from != expected {
+                            return Err(RejectReason::SelfReadNotLastModification { at: op });
+                        }
+                    } else if let Some(pos) = from {
+                        if pos.tx == *tx {
+                            return Err(RejectReason::SelfReadNotLastModification { at: op });
+                        }
+                    }
+                }
+                TxOpType::Put => {
+                    let Some(key) = &entry.key else {
+                        return Err(RejectReason::TxLogMalformed {
+                            tx: tx.clone(),
+                            why: "PUT without key",
+                        });
+                    };
+                    if !matches!(entry.contents, TxOpContents::Put { .. }) {
+                        return Err(RejectReason::TxLogMalformed {
+                            tx: tx.clone(),
+                            why: "PUT with non-PUT contents",
+                        });
+                    }
+                    my_writes.insert(key.clone(), i as u32);
+                    if is_committed {
+                        last_modification.insert((tx.clone(), key.clone()), i as u32);
+                    }
+                }
+                TxOpType::Start | TxOpType::Commit | TxOpType::Abort => {
+                    if !matches!(entry.contents, TxOpContents::None) {
+                        return Err(RejectReason::TxLogMalformed {
+                            tx: tx.clone(),
+                            why: "control entry with contents",
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok((committed, last_modification))
+}

@@ -1,0 +1,1124 @@
+//! Grouped re-execution with SIMD-on-demand (Figs. 18–19).
+//!
+//! The verifier re-executes each control-flow group as a batch: one
+//! interpreter pass over the group's shared statement sequence, with
+//! [`MultiValue`] locals. Uniform values are computed once for the
+//! whole group; divergence (a branch whose truthiness differs across
+//! the group, mismatched emit activations, …) rejects the audit.
+//!
+//! Within a group, handlers are drawn from an `active` queue seeded
+//! with the request handlers; emits and database completions enqueue
+//! children. Re-execution thus respects the activation order `A` and
+//! per-handler program order but nothing else — which is exactly the
+//! freedom the R-order formalizes.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use kem::{
+    BinOp, Expr, HandlerId, OpRef, Program, RequestId, Stmt, Trace, Value, VarId, INIT_FUNCTION,
+};
+
+use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType};
+use crate::multivalue::MultiValue;
+use crate::verifier::preprocess::{OpMapEntry, Preprocessed};
+use crate::verifier::reject::RejectReason;
+use crate::verifier::vars::VarStates;
+
+/// Iteration guard for `While` loops driven by (possibly forged) advice.
+const LOOP_LIMIT: u32 = 1_000_000;
+
+/// The order in which a group's `active` queue is drained.
+///
+/// Appendix C's Lemma 1 ("equivalence of well-formed op schedules")
+/// states that any replay order respecting activation order and
+/// program order produces the same audit outcome; this enum lets tests
+/// drive the re-executor with different orders and check exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplaySchedule {
+    /// Breadth-first: oldest activation first (the default).
+    #[default]
+    Fifo,
+    /// Depth-first: newest activation first.
+    Lifo,
+    /// Seeded random draws from the queue.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Re-execution statistics, reported in the audit report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReexecStats {
+    /// Number of re-execution groups.
+    pub groups: usize,
+    /// Handler bodies interpreted (once per group — the dedup win).
+    pub handlers_executed: u64,
+    /// Handler activations covered (summed over group members).
+    pub activations_covered: u64,
+    /// Operations whose operands stayed collapsed (computed once).
+    pub uniform_ops: u64,
+    /// Operations that expanded to per-request evaluation.
+    pub expanded_ops: u64,
+}
+
+/// The grouped re-executor.
+pub struct ReExecutor<'a> {
+    program: &'a Program,
+    trace: &'a Trace,
+    advice: &'a Advice,
+    pre: &'a Preprocessed,
+    vars: &'a mut VarStates,
+    schedule: ReplaySchedule,
+    rng: rand::rngs::SmallRng,
+    /// Per-request copies of non-loggable shared variables (assumed
+    /// R-ordered, §5 — effectively request-local or init-constant).
+    nonlog: HashMap<(VarId, RequestId), Value>,
+    /// Transaction-token table: token integer → transaction id.
+    tx_table: Vec<KTxId>,
+    tx_counters: HashMap<KTxId, u32>,
+    executed: HashSet<(RequestId, HandlerId)>,
+    /// Every OpMap coordinate a re-executed operation consumed; at the
+    /// end of re-execution this must cover the whole OpMap (§4.4:
+    /// "all operations in the transaction logs are produced during
+    /// re-execution" — and likewise for handler logs).
+    consumed: HashSet<OpRef>,
+    outputs: HashMap<RequestId, Value>,
+    stats: ReexecStats,
+}
+
+/// Per-handler interpreter frame.
+struct Frame {
+    hid: HandlerId,
+    idx: u32,
+    locals: BTreeMap<String, MultiValue>,
+}
+
+/// One group's context: its requests, in trace order.
+struct Group {
+    rids: Vec<RequestId>,
+}
+
+impl Group {
+    fn n(&self) -> usize {
+        self.rids.len()
+    }
+}
+
+impl<'a> ReExecutor<'a> {
+    /// Creates a re-executor over prepared state.
+    pub fn new(
+        program: &'a Program,
+        trace: &'a Trace,
+        advice: &'a Advice,
+        pre: &'a Preprocessed,
+        vars: &'a mut VarStates,
+    ) -> Self {
+        ReExecutor {
+            program,
+            trace,
+            advice,
+            pre,
+            vars,
+            schedule: ReplaySchedule::Fifo,
+            rng: rand::SeedableRng::seed_from_u64(0),
+            nonlog: HashMap::new(),
+            tx_table: Vec::new(),
+            tx_counters: HashMap::new(),
+            executed: HashSet::new(),
+            consumed: HashSet::new(),
+            outputs: HashMap::new(),
+            stats: ReexecStats::default(),
+        }
+    }
+
+    /// Sets the replay schedule (Lemma-1 experiments; the default FIFO
+    /// is what deployments use).
+    pub fn with_schedule(mut self, schedule: ReplaySchedule) -> Self {
+        if let ReplaySchedule::Random { seed } = schedule {
+            self.rng = rand::SeedableRng::seed_from_u64(seed);
+        }
+        self.schedule = schedule;
+        self
+    }
+
+    /// Draws the next handler from the active queue per the schedule.
+    fn next_active(
+        &mut self,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+    ) -> Option<(HandlerId, MultiValue)> {
+        match self.schedule {
+            ReplaySchedule::Fifo => active.pop_front(),
+            ReplaySchedule::Lifo => active.pop_back(),
+            ReplaySchedule::Random { .. } => {
+                if active.is_empty() {
+                    None
+                } else {
+                    let i = rand::Rng::gen_range(&mut self.rng, 0..active.len());
+                    active.remove(i)
+                }
+            }
+        }
+    }
+
+    /// Runs re-execution over all groups (Fig. 18), performing the
+    /// final whole-audit checks (lines 62–64).
+    pub fn run(mut self) -> Result<ReexecStats, RejectReason> {
+        let order = self.trace.request_ids();
+        for rid in &order {
+            if !self.advice.tags.contains_key(rid) {
+                return Err(RejectReason::MissingTag { rid: *rid });
+            }
+        }
+        let groups = self.advice.groups(&order);
+        self.stats.groups = groups.len();
+        for rids in groups {
+            self.run_group(Group { rids })?;
+        }
+        self.final_checks(&order)?;
+        Ok(self.stats)
+    }
+
+    /// `OOOExec` (Fig. 22): out-of-order re-execution *without*
+    /// grouping — every request is its own singleton group and all
+    /// requests' handler activations share one global queue, drained in
+    /// any well-formed order. This is the executor the paper's proofs
+    /// reason about; [`ReExecutor::run`] is the batched production
+    /// variant shown equivalent to it by Lemma 3.
+    ///
+    /// Control-flow tags are ignored (OOOAudit does not group), so this
+    /// also audits advice from servers that decline to tag.
+    pub fn run_ungrouped(mut self) -> Result<ReexecStats, RejectReason> {
+        let order = self.trace.request_ids();
+        self.stats.groups = order.len();
+        // One global queue of (singleton group, handler, payload).
+        let mut active: VecDeque<(Group, HandlerId, MultiValue)> = VecDeque::new();
+        for rid in &order {
+            let g = Group { rids: vec![*rid] };
+            let input = self
+                .trace
+                .input_of(*rid)
+                .expect("balanced trace")
+                .clone();
+            for &f in &self.program.request_handlers {
+                let hid = HandlerId::root(kem::FunctionId(f));
+                if !self.advice.opcounts.contains_key(&(*rid, hid.clone())) {
+                    return Err(RejectReason::GroupSetupMismatch {
+                        why: "request handler missing from opcounts",
+                    });
+                }
+                active.push_back((
+                    Group { rids: g.rids.clone() },
+                    hid,
+                    MultiValue::uniform(input.clone()),
+                ));
+            }
+        }
+        // Drain with the configured schedule; children go back into the
+        // same global queue, so requests' handlers interleave freely.
+        while let Some((g, hid, payload)) = self.next_active_global(&mut active) {
+            let mut children: VecDeque<(HandlerId, MultiValue)> = VecDeque::new();
+            self.exec_handler(&g, &mut children, hid, payload)?;
+            for (hid, payload) in children {
+                active.push_back((Group { rids: g.rids.clone() }, hid, payload));
+            }
+        }
+        self.final_checks(&order)?;
+        Ok(self.stats)
+    }
+
+    fn next_active_global(
+        &mut self,
+        active: &mut VecDeque<(Group, HandlerId, MultiValue)>,
+    ) -> Option<(Group, HandlerId, MultiValue)> {
+        match self.schedule {
+            ReplaySchedule::Fifo => active.pop_front(),
+            ReplaySchedule::Lifo => active.pop_back(),
+            ReplaySchedule::Random { .. } => {
+                if active.is_empty() {
+                    None
+                } else {
+                    let i = rand::Rng::gen_range(&mut self.rng, 0..active.len());
+                    active.remove(i)
+                }
+            }
+        }
+    }
+
+    fn final_checks(&self, order: &[kem::RequestId]) -> Result<(), RejectReason> {
+        // (3): outputs must match the trace exactly.
+        for rid in order {
+            let expected = self.trace.output_of(*rid).expect("balanced trace");
+            match self.outputs.get(rid) {
+                Some(got) if got == expected => {}
+                _ => return Err(RejectReason::OutputMismatch { rid: *rid }),
+            }
+        }
+        // Line 64: no advice handlers that we did not execute.
+        for (rid, hid) in self.advice.opcounts.keys() {
+            if !self.executed.contains(&(*rid, hid.clone())) {
+                return Err(RejectReason::HandlerNotExecuted { rid: *rid });
+            }
+        }
+        // Every logged handler/state operation must have been produced
+        // (and consumed) by re-execution — otherwise fabricated
+        // transactions or handler ops could squat on coordinates that
+        // re-execution occupies with variable accesses, which never
+        // consult the OpMap.
+        for op in self.pre.op_map.keys() {
+            if !self.consumed.contains(op) {
+                return Err(RejectReason::UnexecutedLogEntry { at: op.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    fn run_group(&mut self, g: Group) -> Result<(), RejectReason> {
+        // (1) Initialize: inputs and the request handlers.
+        let inputs: Vec<Value> = g
+            .rids
+            .iter()
+            .map(|rid| {
+                self.trace
+                    .input_of(*rid)
+                    .expect("groups come from the trace")
+                    .clone()
+            })
+            .collect();
+        let payload = MultiValue::from_vec(inputs);
+        let mut active: VecDeque<(HandlerId, MultiValue)> = VecDeque::new();
+        for &f in &self.program.request_handlers {
+            let hid = HandlerId::root(kem::FunctionId(f));
+            for rid in &g.rids {
+                if !self.advice.opcounts.contains_key(&(*rid, hid.clone())) {
+                    return Err(RejectReason::GroupSetupMismatch {
+                        why: "request handler missing from opcounts",
+                    });
+                }
+            }
+            active.push_back((hid, payload.clone()));
+        }
+        // (2) Execute with SIMD-on-demand. The draw order is free:
+        // anything respecting activation order (children enter the
+        // queue only when activated) is a well-formed schedule.
+        while let Some((hid, payload)) = self.next_active(&mut active) {
+            self.exec_handler(&g, &mut active, hid, payload)?;
+        }
+        Ok(())
+    }
+
+    fn exec_handler(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        hid: HandlerId,
+        payload: MultiValue,
+    ) -> Result<(), RejectReason> {
+        let fid = hid.function();
+        if fid == INIT_FUNCTION || fid.0 as usize >= self.program.functions.len() {
+            return Err(RejectReason::ReexecError {
+                message: format!("handler references unknown function {fid}"),
+            });
+        }
+        self.stats.handlers_executed += 1;
+        self.stats.activations_covered += g.n() as u64;
+        for rid in &g.rids {
+            self.executed.insert((*rid, hid.clone()));
+        }
+        let mut frame = Frame {
+            hid,
+            idx: 0,
+            locals: BTreeMap::from([("payload".to_string(), payload)]),
+        };
+        let body = &self.program.functions[fid.0 as usize].body;
+        self.exec_block(g, active, &mut frame, body)?;
+        // (c) Handler exit: every request must have consumed exactly its
+        // reported operation count.
+        for rid in &g.rids {
+            if self.advice.opcounts[&(*rid, frame.hid.clone())] != frame.idx {
+                return Err(RejectReason::OpcountMismatch { rid: *rid });
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the operation counter, checking it stays within every
+    /// group member's reported opcount (Fig. 18 line 43).
+    fn bump(&self, g: &Group, frame: &mut Frame) -> Result<u32, RejectReason> {
+        frame.idx += 1;
+        for rid in &g.rids {
+            match self.advice.opcounts.get(&(*rid, frame.hid.clone())) {
+                Some(count) if frame.idx <= *count => {}
+                _ => return Err(RejectReason::OpcountMismatch { rid: *rid }),
+            }
+        }
+        Ok(frame.idx)
+    }
+
+    fn exec_block(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        frame: &mut Frame,
+        stmts: &[Stmt],
+    ) -> Result<(), RejectReason> {
+        for stmt in stmts {
+            self.exec_stmt(g, active, frame, stmt)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        frame: &mut Frame,
+        stmt: &Stmt,
+    ) -> Result<(), RejectReason> {
+        match stmt {
+            Stmt::Let(name, e) => {
+                let v = self.eval(g, frame, e)?;
+                frame.locals.insert(name.clone(), v);
+            }
+            Stmt::SharedWrite(name, e) => {
+                let v = self.eval(g, frame, e)?;
+                let var = self.var_id(name)?;
+                if self.program.var(var).loggable {
+                    let idx = self.bump(g, frame)?;
+                    self.note_dedup(&v);
+                    let log = self.advice.var_logs.get(&var);
+                    for (i, rid) in g.rids.iter().enumerate() {
+                        self.vars.on_write(
+                            var,
+                            OpRef::new(*rid, frame.hid.clone(), idx),
+                            v.get(i).clone(),
+                            log,
+                        )?;
+                    }
+                } else {
+                    for (i, rid) in g.rids.iter().enumerate() {
+                        self.nonlog.insert((var, *rid), v.get(i).clone());
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.eval(g, frame, cond)?;
+                let Some(taken) = c.truthiness(g.n()) else {
+                    return Err(RejectReason::Divergence {
+                        context: "if condition".into(),
+                    });
+                };
+                let branch = if taken { then_branch } else { else_branch };
+                self.exec_block(g, active, frame, branch)?;
+            }
+            Stmt::While { cond, body } => {
+                let mut iters = 0u32;
+                loop {
+                    let c = self.eval(g, frame, cond)?;
+                    let Some(taken) = c.truthiness(g.n()) else {
+                        return Err(RejectReason::Divergence {
+                            context: "while condition".into(),
+                        });
+                    };
+                    if !taken {
+                        break;
+                    }
+                    iters += 1;
+                    if iters > LOOP_LIMIT {
+                        return Err(RejectReason::ReexecError {
+                            message: "while loop exceeded iteration limit".into(),
+                        });
+                    }
+                    self.exec_block(g, active, frame, body)?;
+                }
+            }
+            Stmt::ForEach { var, list, body } => {
+                let l = self.eval(g, frame, list)?;
+                // All members must iterate the same number of times.
+                let mut lens = Vec::with_capacity(g.n());
+                for i in 0..g.n() {
+                    let Some(items) = l.get(i).as_list() else {
+                        return Err(RejectReason::ReexecError {
+                            message: "for-each over non-list".into(),
+                        });
+                    };
+                    lens.push(items.len());
+                }
+                if lens.windows(2).any(|w| w[0] != w[1]) {
+                    return Err(RejectReason::Divergence {
+                        context: "for-each length".into(),
+                    });
+                }
+                for item_idx in 0..lens.first().copied().unwrap_or(0) {
+                    let item = match &l {
+                        MultiValue::Uniform(v) => MultiValue::uniform(
+                            v.as_list().expect("checked above")[item_idx].clone(),
+                        ),
+                        MultiValue::Per(vs) => MultiValue::from_vec(
+                            vs.iter()
+                                .map(|v| v.as_list().expect("checked above")[item_idx].clone())
+                                .collect(),
+                        ),
+                    };
+                    frame.locals.insert(var.clone(), item);
+                    self.exec_block(g, active, frame, body)?;
+                }
+            }
+            Stmt::Emit { event, payload } => {
+                let payload = self.eval(g, frame, payload)?;
+                let idx = self.bump(g, frame)?;
+                for rid in &g.rids {
+                    self.check_handler_op(
+                        *rid,
+                        &frame.hid,
+                        idx,
+                        &HandlerOp::Emit {
+                            event: event.clone(),
+                        },
+                    )?;
+                    self.consumed
+                        .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+                }
+                self.activate_handlers(g, active, frame, idx, payload)?;
+            }
+            Stmt::Register { event, function } => {
+                let f = self.fn_id(function)?;
+                let idx = self.bump(g, frame)?;
+                for rid in &g.rids {
+                    self.check_handler_op(
+                        *rid,
+                        &frame.hid,
+                        idx,
+                        &HandlerOp::Register {
+                            event: event.clone(),
+                            function: f,
+                        },
+                    )?;
+                    self.consumed
+                        .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+                }
+            }
+            Stmt::Unregister { event, function } => {
+                let f = self.fn_id(function)?;
+                let idx = self.bump(g, frame)?;
+                for rid in &g.rids {
+                    self.check_handler_op(
+                        *rid,
+                        &frame.hid,
+                        idx,
+                        &HandlerOp::Unregister {
+                            event: event.clone(),
+                            function: f,
+                        },
+                    )?;
+                    self.consumed
+                        .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+                }
+            }
+            Stmt::Respond(e) => {
+                let v = self.eval(g, frame, e)?;
+                for (i, rid) in g.rids.iter().enumerate() {
+                    if self.advice.response_emitted_by.get(rid)
+                        != Some(&(frame.hid.clone(), frame.idx))
+                    {
+                        return Err(RejectReason::ResponseEmitterMismatch { rid: *rid });
+                    }
+                    self.outputs.insert(*rid, v.get(i).clone());
+                }
+            }
+            Stmt::TxStart { ctx, on_done } => {
+                let ctx = self.eval(g, frame, ctx)?;
+                let idx = self.bump(g, frame)?;
+                let mut payloads = Vec::with_capacity(g.n());
+                for (i, rid) in g.rids.iter().enumerate() {
+                    let ktx = KTxId {
+                        rid: *rid,
+                        hid: frame.hid.clone(),
+                        opnum: idx,
+                    };
+                    let token = self.tx_table.len() as i64;
+                    self.tx_table.push(ktx.clone());
+                    self.tx_counters.insert(ktx.clone(), 0);
+                    let entry = self.check_state_op(*rid, &frame.hid, idx, &ktx, 0)?;
+                    self.consumed
+                        .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+                    if entry.optype != TxOpType::Start {
+                        return Err(RejectReason::StateOpMismatch {
+                            at: OpRef::new(*rid, frame.hid.clone(), idx),
+                            why: "expected tx_start",
+                        });
+                    }
+                    payloads.push(Value::map([
+                        ("ctx", ctx.get(i).clone()),
+                        ("ok", Value::Bool(true)),
+                        ("tx", Value::Int(token)),
+                    ]));
+                }
+                self.enqueue_continuation(g, active, frame, idx, on_done, payloads)?;
+            }
+            Stmt::TxGet {
+                tx,
+                key,
+                ctx,
+                on_done,
+            } => {
+                self.exec_tx_op(
+                    g,
+                    active,
+                    frame,
+                    TxOpType::Get,
+                    tx,
+                    Some(key),
+                    None,
+                    ctx,
+                    on_done,
+                )?;
+            }
+            Stmt::TxPut {
+                tx,
+                key,
+                value,
+                ctx,
+                on_done,
+            } => {
+                self.exec_tx_op(
+                    g,
+                    active,
+                    frame,
+                    TxOpType::Put,
+                    tx,
+                    Some(key),
+                    Some(value),
+                    ctx,
+                    on_done,
+                )?;
+            }
+            Stmt::TxCommit { tx, ctx, on_done } => {
+                self.exec_tx_op(
+                    g,
+                    active,
+                    frame,
+                    TxOpType::Commit,
+                    tx,
+                    None,
+                    None,
+                    ctx,
+                    on_done,
+                )?;
+            }
+            Stmt::TxAbort { tx, ctx, on_done } => {
+                self.exec_tx_op(
+                    g,
+                    active,
+                    frame,
+                    TxOpType::Abort,
+                    tx,
+                    None,
+                    None,
+                    ctx,
+                    on_done,
+                )?;
+            }
+            Stmt::ListenerCount { var, event } => {
+                let idx = self.bump(g, frame)?;
+                let mut vals = Vec::with_capacity(g.n());
+                for rid in &g.rids {
+                    self.check_handler_op(
+                        *rid,
+                        &frame.hid,
+                        idx,
+                        &HandlerOp::Check {
+                            event: event.clone(),
+                        },
+                    )?;
+                    let op = OpRef::new(*rid, frame.hid.clone(), idx);
+                    self.consumed.insert(op.clone());
+                    // The observed count is recomputed by preprocessing
+                    // from the handler log's registration history.
+                    let Some(count) = self.pre.check_counts.get(&op) else {
+                        return Err(RejectReason::HandlerOpMismatch {
+                            at: op,
+                            why: "check op has no recomputed count",
+                        });
+                    };
+                    vals.push(Value::Int(*count));
+                }
+                frame
+                    .locals
+                    .insert(var.clone(), MultiValue::from_vec(vals));
+            }
+            Stmt::Nondet { var, kind } => {
+                let idx = self.bump(g, frame)?;
+                let mut vals = Vec::with_capacity(g.n());
+                for rid in &g.rids {
+                    let op = OpRef::new(*rid, frame.hid.clone(), idx);
+                    let Some(v) = self.advice.nondet.get(&op) else {
+                        return Err(RejectReason::MissingNondet { at: op });
+                    };
+                    // Basic well-formedness of recorded nondeterminism
+                    // (§5): the value must be type- and range-plausible
+                    // for its source. Karousos gives no stronger
+                    // guarantee about nondeterministic values.
+                    let plausible = match kind {
+                        kem::NondetKind::Counter => v.as_int().is_some_and(|i| i >= 1),
+                        kem::NondetKind::Random { bound } => {
+                            v.as_int().is_some_and(|i| (0..*bound.max(&1)).contains(&i))
+                        }
+                    };
+                    if !plausible {
+                        return Err(RejectReason::ImplausibleNondet { at: op });
+                    }
+                    vals.push(v.clone());
+                }
+                frame.locals.insert(var.clone(), MultiValue::from_vec(vals));
+            }
+        }
+        Ok(())
+    }
+
+    /// `ActivateHandlers` (Fig. 19 lines 29–34): the emit must activate
+    /// identical handler sets across the group; activations are
+    /// enqueued in canonical (sorted) order — siblings are R-concurrent,
+    /// so any order is faithful.
+    fn activate_handlers(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        frame: &Frame,
+        idx: u32,
+        payload: MultiValue,
+    ) -> Result<(), RejectReason> {
+        let mut canonical: Option<Vec<HandlerId>> = None;
+        for rid in &g.rids {
+            let op = OpRef::new(*rid, frame.hid.clone(), idx);
+            let mut hids = self.pre.activated.get(&op).cloned().unwrap_or_default();
+            hids.sort();
+            match &canonical {
+                None => canonical = Some(hids),
+                Some(c) if *c == hids => {}
+                Some(_) => {
+                    return Err(RejectReason::EmitActivationMismatch {
+                        at: OpRef::new(g.rids[0], frame.hid.clone(), idx),
+                    })
+                }
+            }
+        }
+        for hid in canonical.unwrap_or_default() {
+            active.push_back((hid, payload.clone()));
+        }
+        Ok(())
+    }
+
+    /// `CheckStateOp` coordinate checks (Fig. 19 lines 5–7): the
+    /// re-executed operation must map to the `txnum`-th entry of the
+    /// verifier-computed transaction id. Returns the log entry.
+    fn check_state_op(
+        &self,
+        rid: RequestId,
+        hid: &HandlerId,
+        idx: u32,
+        ktx: &KTxId,
+        txnum: u32,
+    ) -> Result<&'a crate::advice::TxLogEntry, RejectReason> {
+        let op = OpRef::new(rid, hid.clone(), idx);
+        match self.pre.op_map.get(&op) {
+            Some(OpMapEntry::TxLog { tx, index }) if tx == ktx && *index == txnum as usize => {
+                Ok(&self.advice.tx_logs[ktx][txnum as usize])
+            }
+            _ => Err(RejectReason::StateOpMismatch {
+                at: op,
+                why: "operation not logged at this transaction position",
+            }),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_tx_op(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        frame: &mut Frame,
+        requested: TxOpType,
+        tx: &Expr,
+        key: Option<&Expr>,
+        value: Option<&Expr>,
+        ctx: &Expr,
+        on_done: &str,
+    ) -> Result<(), RejectReason> {
+        let tx_v = self.eval(g, frame, tx)?;
+        let key_v = key.map(|k| self.eval(g, frame, k)).transpose()?;
+        let value_v = value.map(|v| self.eval(g, frame, v)).transpose()?;
+        let ctx_v = self.eval(g, frame, ctx)?;
+        let idx = self.bump(g, frame)?;
+        if let Some(k) = &key_v {
+            self.note_dedup(k);
+        }
+        let mut payloads = Vec::with_capacity(g.n());
+        for (i, rid) in g.rids.iter().enumerate() {
+            let at = OpRef::new(*rid, frame.hid.clone(), idx);
+            let ktx = tx_v
+                .get(i)
+                .as_int()
+                .and_then(|t| self.tx_table.get(t as usize))
+                .cloned()
+                .ok_or_else(|| RejectReason::ReexecError {
+                    message: "invalid transaction token".into(),
+                })?;
+            if ktx.rid != *rid {
+                return Err(RejectReason::StateOpMismatch {
+                    at,
+                    why: "transaction belongs to a different request",
+                });
+            }
+            let txnum = {
+                let c = self.tx_counters.entry(ktx.clone()).or_insert(0);
+                *c += 1;
+                *c
+            };
+            let entry = self.check_state_op(*rid, &frame.hid, idx, &ktx, txnum)?;
+            self.consumed
+                .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+            let mut payload = BTreeMap::from([
+                ("ctx".to_string(), ctx_v.get(i).clone()),
+                ("tx".to_string(), tx_v.get(i).clone()),
+            ]);
+            if entry.optype == TxOpType::Abort && requested != TxOpType::Abort {
+                // The operation allegedly conflicted and aborted the
+                // transaction (the paper's retry-error path); feed the
+                // failure result. If the log recorded the contested key
+                // it must match.
+                if let (Some(logged), Some(kv)) = (&entry.key, &key_v) {
+                    if kv.get(i).as_str() != Some(logged.as_str()) {
+                        return Err(RejectReason::StateOpMismatch {
+                            at,
+                            why: "conflict record key mismatch",
+                        });
+                    }
+                }
+                payload.insert("ok".into(), Value::Bool(false));
+                payloads.push(Value::from_map(payload));
+                continue;
+            }
+            if entry.optype != requested {
+                return Err(RejectReason::StateOpMismatch {
+                    at,
+                    why: "logged operation type differs",
+                });
+            }
+            match requested {
+                TxOpType::Get => {
+                    let kv = key_v.as_ref().expect("GET has a key");
+                    if entry.key.as_deref() != kv.get(i).as_str() {
+                        return Err(RejectReason::StateOpMismatch {
+                            at,
+                            why: "key mismatch",
+                        });
+                    }
+                    let TxOpContents::Get { from } = &entry.contents else {
+                        unreachable!("validated in preprocess")
+                    };
+                    match from {
+                        None => {
+                            payload.insert("ok".into(), Value::Bool(true));
+                            payload.insert("found".into(), Value::Bool(false));
+                            payload.insert("value".into(), Value::Null);
+                        }
+                        Some(pos) => {
+                            let w = self.advice.tx_entry(pos).expect("validated in preprocess");
+                            let TxOpContents::Put { value } = &w.contents else {
+                                unreachable!("validated in preprocess")
+                            };
+                            payload.insert("ok".into(), Value::Bool(true));
+                            payload.insert("found".into(), Value::Bool(true));
+                            payload.insert("value".into(), value.clone());
+                        }
+                    }
+                }
+                TxOpType::Put => {
+                    let kv = key_v.as_ref().expect("PUT has a key");
+                    if entry.key.as_deref() != kv.get(i).as_str() {
+                        return Err(RejectReason::StateOpMismatch {
+                            at,
+                            why: "key mismatch",
+                        });
+                    }
+                    let TxOpContents::Put { value: logged } = &entry.contents else {
+                        unreachable!("validated in preprocess")
+                    };
+                    // Simulate-and-check for external state: the
+                    // re-executed PUT must produce the logged value.
+                    if logged != value_v.as_ref().expect("PUT has a value").get(i) {
+                        return Err(RejectReason::StateOpMismatch {
+                            at,
+                            why: "logged PUT value differs from re-execution",
+                        });
+                    }
+                    payload.insert("ok".into(), Value::Bool(true));
+                }
+                TxOpType::Commit | TxOpType::Abort => {
+                    payload.insert("ok".into(), Value::Bool(true));
+                }
+                TxOpType::Start => unreachable!("TxStart handled separately"),
+            }
+            payloads.push(Value::from_map(payload));
+        }
+        self.enqueue_continuation(g, active, frame, idx, on_done, payloads)
+    }
+
+    /// Enqueues the continuation handler of an asynchronous operation.
+    fn enqueue_continuation(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        frame: &Frame,
+        idx: u32,
+        on_done: &str,
+        payloads: Vec<Value>,
+    ) -> Result<(), RejectReason> {
+        let f = self.fn_id(on_done)?;
+        let hid = HandlerId::child(&frame.hid, f, idx);
+        for rid in &g.rids {
+            if !self.advice.opcounts.contains_key(&(*rid, hid.clone())) {
+                return Err(RejectReason::StateOpMismatch {
+                    at: OpRef::new(*rid, frame.hid.clone(), idx),
+                    why: "continuation handler missing from opcounts",
+                });
+            }
+        }
+        active.push_back((hid, MultiValue::from_vec(payloads)));
+        Ok(())
+    }
+
+    /// `CheckHandlerOp` (Fig. 19 lines 17–23).
+    fn check_handler_op(
+        &self,
+        rid: RequestId,
+        hid: &HandlerId,
+        idx: u32,
+        expected: &HandlerOp,
+    ) -> Result<(), RejectReason> {
+        let op = OpRef::new(rid, hid.clone(), idx);
+        match self.pre.op_map.get(&op) {
+            Some(OpMapEntry::HandlerLog { index }) => {
+                let entry = &self.advice.handler_logs[&rid][*index];
+                if entry.op == *expected {
+                    Ok(())
+                } else {
+                    Err(RejectReason::HandlerOpMismatch {
+                        at: op,
+                        why: "logged handler op differs",
+                    })
+                }
+            }
+            _ => Err(RejectReason::HandlerOpMismatch {
+                at: op,
+                why: "not in handler log",
+            }),
+        }
+    }
+
+    fn var_id(&self, name: &str) -> Result<VarId, RejectReason> {
+        self.program
+            .var_id(name)
+            .ok_or_else(|| RejectReason::ReexecError {
+                message: format!("unknown var {name}"),
+            })
+    }
+
+    fn fn_id(&self, name: &str) -> Result<kem::FunctionId, RejectReason> {
+        self.program
+            .function_id(name)
+            .ok_or_else(|| RejectReason::ReexecError {
+                message: format!("unknown function {name}"),
+            })
+    }
+
+    fn note_dedup(&mut self, mv: &MultiValue) {
+        if mv.is_uniform() {
+            self.stats.uniform_ops += 1;
+        } else {
+            self.stats.expanded_ops += 1;
+        }
+    }
+
+    fn eval(
+        &mut self,
+        g: &Group,
+        frame: &mut Frame,
+        expr: &Expr,
+    ) -> Result<MultiValue, RejectReason> {
+        let wrap = |e: kem::RuntimeError| RejectReason::ReexecError { message: e.message };
+        Ok(match expr {
+            Expr::Const(v) => MultiValue::uniform(v.clone()),
+            Expr::Local(name) => {
+                frame
+                    .locals
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| RejectReason::ReexecError {
+                        message: format!("unknown local {name}"),
+                    })?
+            }
+            Expr::SharedRead(name) => {
+                let var = self.var_id(name)?;
+                if self.program.var(var).loggable {
+                    let idx = self.bump(g, frame)?;
+                    let log = self.advice.var_logs.get(&var);
+                    let mut vals = Vec::with_capacity(g.n());
+                    for rid in &g.rids {
+                        vals.push(self.vars.on_read(
+                            var,
+                            OpRef::new(*rid, frame.hid.clone(), idx),
+                            log,
+                        )?);
+                    }
+                    let mv = MultiValue::from_vec(vals);
+                    self.note_dedup(&mv);
+                    mv
+                } else {
+                    let init = self.program.var(var).init.clone();
+                    let mut vals = Vec::with_capacity(g.n());
+                    for rid in &g.rids {
+                        vals.push(
+                            self.nonlog
+                                .get(&(var, *rid))
+                                .cloned()
+                                .unwrap_or_else(|| init.clone()),
+                        );
+                    }
+                    MultiValue::from_vec(vals)
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                // And/Or in the live interpreter are eager, so eager
+                // here too keeps operation counts aligned.
+                let a = self.eval(g, frame, a)?;
+                let b = self.eval(g, frame, b)?;
+                let op = *op;
+                a.zip(&b, g.n(), |x, y| kem::eval_binop(op, x, y))
+                    .map_err(wrap)?
+            }
+            Expr::Not(a) => {
+                let a = self.eval(g, frame, a)?;
+                a.map(|v| Ok::<_, kem::RuntimeError>(Value::Bool(!v.truthy())))
+                    .map_err(wrap)?
+            }
+            Expr::Field(a, name) => {
+                let a = self.eval(g, frame, a)?;
+                a.map(|v| Ok::<_, kem::RuntimeError>(v.field(name).cloned().unwrap_or(Value::Null)))
+                    .map_err(wrap)?
+            }
+            Expr::Index(a, i) => {
+                let a = self.eval(g, frame, a)?;
+                let i = self.eval(g, frame, i)?;
+                a.zip(&i, g.n(), kem::eval_index).map_err(wrap)?
+            }
+            Expr::Len(a) => {
+                let a = self.eval(g, frame, a)?;
+                a.map(kem::eval_len).map_err(wrap)?
+            }
+            Expr::Contains(a, b) => {
+                let a = self.eval(g, frame, a)?;
+                let b = self.eval(g, frame, b)?;
+                a.zip(&b, g.n(), kem::eval_contains).map_err(wrap)?
+            }
+            Expr::ListLit(items) => {
+                let evaluated: Vec<MultiValue> = items
+                    .iter()
+                    .map(|e| self.eval(g, frame, e))
+                    .collect::<Result<_, _>>()?;
+                if evaluated.iter().all(MultiValue::is_uniform) {
+                    MultiValue::uniform(Value::from_vec(
+                        evaluated.iter().map(|m| m.get(0).clone()).collect(),
+                    ))
+                } else {
+                    MultiValue::from_vec(
+                        (0..g.n())
+                            .map(|i| {
+                                Value::from_vec(
+                                    evaluated.iter().map(|m| m.get(i).clone()).collect(),
+                                )
+                            })
+                            .collect(),
+                    )
+                }
+            }
+            Expr::MapLit(pairs) => {
+                let mut evaluated = Vec::with_capacity(pairs.len());
+                for (k, e) in pairs {
+                    evaluated.push((k.clone(), self.eval(g, frame, e)?));
+                }
+                if evaluated.iter().all(|(_, m)| m.is_uniform()) {
+                    MultiValue::uniform(kem::Value::from_map(
+                        evaluated
+                            .iter()
+                            .map(|(k, m)| (k.clone(), m.get(0).clone()))
+                            .collect(),
+                    ))
+                } else {
+                    MultiValue::from_vec(
+                        (0..g.n())
+                            .map(|i| {
+                                kem::Value::from_map(
+                                    evaluated
+                                        .iter()
+                                        .map(|(k, m)| (k.clone(), m.get(i).clone()))
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    )
+                }
+            }
+            Expr::MapInsert(m, k, v) => {
+                let m = self.eval(g, frame, m)?;
+                let k = self.eval(g, frame, k)?;
+                let v = self.eval(g, frame, v)?;
+                if m.is_uniform() && k.is_uniform() && v.is_uniform() {
+                    MultiValue::uniform(
+                        kem::eval_map_insert(m.get(0), k.get(0), v.get(0)).map_err(wrap)?,
+                    )
+                } else {
+                    MultiValue::from_vec(
+                        (0..g.n())
+                            .map(|i| kem::eval_map_insert(m.get(i), k.get(i), v.get(i)))
+                            .collect::<Result<_, _>>()
+                            .map_err(wrap)?,
+                    )
+                }
+            }
+            Expr::MapRemove(m, k) => {
+                let m = self.eval(g, frame, m)?;
+                let k = self.eval(g, frame, k)?;
+                m.zip(&k, g.n(), kem::eval_map_remove).map_err(wrap)?
+            }
+            Expr::ListPush(l, v) => {
+                let l = self.eval(g, frame, l)?;
+                let v = self.eval(g, frame, v)?;
+                l.zip(&v, g.n(), kem::eval_list_push).map_err(wrap)?
+            }
+            Expr::Keys(m) => {
+                let m = self.eval(g, frame, m)?;
+                m.map(kem::eval_keys).map_err(wrap)?
+            }
+            Expr::Digest(e) => {
+                let v = self.eval(g, frame, e)?;
+                v.map(|x| Ok::<_, kem::RuntimeError>(kem::eval_digest(x)))
+                    .map_err(wrap)?
+            }
+            Expr::ToStr(e) => {
+                let v = self.eval(g, frame, e)?;
+                v.map(|x| Ok::<_, kem::RuntimeError>(kem::eval_to_str(x)))
+                    .map_err(wrap)?
+            }
+        })
+    }
+}
+
+// `BinOp` import is used in eval via kem::eval_binop's signature.
+#[allow(unused_imports)]
+use BinOp as _BinOpUsed;

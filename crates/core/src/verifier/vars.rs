@@ -1,0 +1,599 @@
+//! Verifier-side program-variable machinery (§4.2–§4.3, Figs. 20–21).
+//!
+//! For each loggable variable the verifier maintains, while
+//! re-executing:
+//!
+//! * the **variable dictionary** (`var_dict`): every value written,
+//!   indexed by the writing operation — used to feed unlogged reads via
+//!   `FindNearestRPrecedingWrite`;
+//! * **`read_observers`**: for each write, the reads that observed it
+//!   (from the variable log for logged reads, from the dictionary for
+//!   unlogged ones);
+//! * **`write_observer`**: for each write, the single write that
+//!   overwrote it;
+//! * the **`initializer`**: the first write in the alleged history.
+//!
+//! After re-execution, [`VarStates::add_internal_state_edges`] embeds
+//! the per-variable history into the execution graph `G` as WR, WW, and
+//! RW edges, *and* checks that the write chain from the initializer
+//! covers exactly the writes that were re-executed — without this
+//! coverage check, a server could park forged writes outside the chain
+//! where no simulate-and-check would ever touch them.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use kem::{HandlerId, OpRef, RequestId, Value, VarId};
+
+use crate::advice::{AccessType, VarLog};
+use crate::verifier::graph::{GNode, Graph};
+use crate::verifier::reject::RejectReason;
+
+/// Per-variable verifier state.
+#[derive(Debug, Default)]
+pub struct VarState {
+    /// Written values: `(rid, hid) → [(opnum, value)]`, opnums ascending.
+    dict: HashMap<(RequestId, HandlerId), Vec<(u32, Value)>>,
+    /// write → reads that observed it.
+    read_observers: BTreeMap<OpRef, Vec<OpRef>>,
+    /// write → the write that overwrote it.
+    write_observer: BTreeMap<OpRef, OpRef>,
+    /// The alleged first write.
+    initializer: Option<OpRef>,
+    /// Every write actually re-executed (for chain coverage).
+    executed_writes: HashSet<OpRef>,
+}
+
+impl VarState {
+    /// Records the trusted initialization write (the verifier runs the
+    /// initialization phase itself; Fig. 14 line 20).
+    fn initialize(&mut self, op: OpRef, value: Value) {
+        self.dict
+            .entry((op.rid, op.hid.clone()))
+            .or_default()
+            .push((op.opnum, value));
+        self.executed_writes.insert(op.clone());
+        self.initializer = Some(op);
+    }
+
+    /// `FindNearestRPrecedingWrite`: the latest write (under `<_R`) that
+    /// precedes `(rid, hid, opnum)`, found by scanning this handler's
+    /// earlier writes, then each ancestor's writes, then the
+    /// initialization activation's.
+    fn find_nearest_r_preceding(
+        &self,
+        rid: RequestId,
+        hid: &HandlerId,
+        opnum: u32,
+    ) -> Option<(OpRef, Value)> {
+        // Writes by this very handler, before this op.
+        if let Some(writes) = self.dict.get(&(rid, hid.clone())) {
+            if let Some((n, v)) = writes.iter().rev().find(|(n, _)| *n < opnum) {
+                return Some((OpRef::new(rid, hid.clone(), *n), v.clone()));
+            }
+        }
+        // Nearest ancestor with any write: all of an ancestor's ops
+        // R-precede all of a descendant's (the ancestor ran to
+        // completion first), so take its last write.
+        let mut cur = hid.parent();
+        while let Some(a) = cur {
+            if let Some(writes) = self.dict.get(&(rid, a.clone())) {
+                if let Some((n, v)) = writes.last() {
+                    return Some((OpRef::new(rid, a.clone(), *n), v.clone()));
+                }
+            }
+            cur = a.parent();
+        }
+        // The initialization activation is everyone's ancestor.
+        let init = (RequestId::INIT, kem::init_handler_id());
+        if rid != RequestId::INIT {
+            if let Some(writes) = self.dict.get(&init) {
+                if let Some((n, v)) = writes.last() {
+                    return Some((OpRef::new(init.0, init.1.clone(), *n), v.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// The value the re-executed (or trusted-initialization) write at
+    /// exactly `op` produced, if that write has run.
+    fn dict_value(&self, op: &OpRef) -> Option<&Value> {
+        self.dict
+            .get(&(op.rid, op.hid.clone()))?
+            .iter()
+            .find(|(n, _)| *n == op.opnum)
+            .map(|(_, v)| v)
+    }
+}
+
+/// All per-variable states, keyed by variable.
+#[derive(Debug, Default)]
+pub struct VarStates {
+    per: HashMap<VarId, VarState>,
+}
+
+impl VarStates {
+    /// Creates empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the trusted initialization write of `var`.
+    pub fn on_initialize(&mut self, var: VarId, op: OpRef, value: Value) {
+        self.per.entry(var).or_default().initialize(op, value);
+    }
+
+    /// Re-executes a read (Fig. 20 `OnRead`), returning the value to
+    /// feed the program.
+    pub fn on_read(
+        &mut self,
+        var: VarId,
+        op: OpRef,
+        log: Option<&VarLog>,
+    ) -> Result<Value, RejectReason> {
+        let state = self.per.entry(var).or_default();
+        if let Some(entry) = log.and_then(|l| l.get(&op)) {
+            // Logged read: the dictating write must itself be logged;
+            // feed its value.
+            if entry.access != AccessType::Read {
+                return Err(RejectReason::VarLogMismatch {
+                    at: op,
+                    why: "re-executed read logged as write",
+                });
+            }
+            let Some(prec) = &entry.prec else {
+                return Err(RejectReason::VarLogMismatch {
+                    at: op,
+                    why: "logged read lacks dictating write",
+                });
+            };
+            let Some(w) = log.and_then(|l| l.get(prec)) else {
+                return Err(RejectReason::VarLogMismatch {
+                    at: op,
+                    why: "dictating write not in log",
+                });
+            };
+            if w.access != AccessType::Write {
+                return Err(RejectReason::VarLogMismatch {
+                    at: op,
+                    why: "dictating entry is not a write",
+                });
+            }
+            let Some(value) = &w.value else {
+                return Err(RejectReason::VarLogMismatch {
+                    at: op,
+                    why: "dictating write has no value",
+                });
+            };
+            // If the dictating write has already run (always true for
+            // the trusted initialization writes, which are never
+            // simulate-and-checked by OnWrite), its logged value must
+            // match what execution actually produced — otherwise the
+            // server could park poisoned values at coordinates that
+            // re-execution never validates.
+            if let Some(actual) = state.dict_value(prec) {
+                if actual != value {
+                    return Err(RejectReason::VarLogMismatch {
+                        at: op,
+                        why: "dictating write's logged value differs from execution",
+                    });
+                }
+            }
+            state
+                .read_observers
+                .entry(prec.clone())
+                .or_default()
+                .push(op);
+            Ok(value.clone())
+        } else {
+            // Unlogged read: it was R-ordered with its dictating write,
+            // which therefore has already been re-executed; find it in
+            // the dictionary.
+            let Some((w, value)) = state.find_nearest_r_preceding(op.rid, &op.hid, op.opnum) else {
+                return Err(RejectReason::VarChainBroken {
+                    why: "unlogged read has no R-preceding write",
+                });
+            };
+            state.read_observers.entry(w).or_default().push(op);
+            Ok(value)
+        }
+    }
+
+    /// Re-executes a write (Fig. 21 `OnWrite`): simulate-and-check
+    /// against the log, record the dictionary entry, and maintain the
+    /// write chain.
+    pub fn on_write(
+        &mut self,
+        var: VarId,
+        op: OpRef,
+        value: Value,
+        log: Option<&VarLog>,
+    ) -> Result<(), RejectReason> {
+        let state = self.per.entry(var).or_default();
+        state
+            .dict
+            .entry((op.rid, op.hid.clone()))
+            .or_default()
+            .push((op.opnum, value.clone()));
+        state.executed_writes.insert(op.clone());
+
+        let logged = log.and_then(|l| l.get(&op));
+        let prec: Option<OpRef> = match logged {
+            Some(entry) => {
+                if entry.access != AccessType::Write {
+                    return Err(RejectReason::VarLogMismatch {
+                        at: op,
+                        why: "re-executed write logged as read",
+                    });
+                }
+                // Simulate-and-check: the re-executed value must equal
+                // the logged one, validating whatever fed or will feed
+                // logged reads (§4.3).
+                if entry.value.as_ref() != Some(&value) {
+                    return Err(RejectReason::VarLogMismatch {
+                        at: op,
+                        why: "logged write value differs from re-execution",
+                    });
+                }
+                match &entry.prec {
+                    Some(p) => Some(p.clone()),
+                    // Backfilled write: the log doesn't say what it
+                    // overwrote; find it like an unlogged write so the
+                    // chain stays connected.
+                    None => state
+                        .find_nearest_r_preceding(op.rid, &op.hid, op.opnum)
+                        .map(|(w, _)| w)
+                        .filter(|w| *w != op),
+                }
+            }
+            None => state
+                .find_nearest_r_preceding(op.rid, &op.hid, op.opnum)
+                .map(|(w, _)| w)
+                .filter(|w| *w != op),
+        };
+        match prec {
+            Some(p) => {
+                // Two handlers cannot overwrite the same value.
+                if state.write_observer.contains_key(&p) {
+                    return Err(RejectReason::VarChainBroken {
+                        why: "two writes overwrite the same write",
+                    });
+                }
+                state.write_observer.insert(p, op);
+            }
+            None => {
+                if state.initializer.is_some() {
+                    return Err(RejectReason::VarChainBroken {
+                        why: "two writes claim to be the first",
+                    });
+                }
+                state.initializer = Some(op);
+            }
+        }
+        Ok(())
+    }
+
+    /// Postprocessing (Fig. 21 `AddInternalStateEdges`): walks each
+    /// variable's write chain from the initializer, adding WR / WW / RW
+    /// edges to `G`, and checks the chain covers exactly the
+    /// re-executed writes.
+    pub fn add_internal_state_edges(&self, g: &mut Graph) -> Result<(), RejectReason> {
+        for state in self.per.values() {
+            let mut visited: HashSet<OpRef> = HashSet::new();
+            let mut cur = state.initializer.clone();
+            while let Some(w) = cur {
+                if !visited.insert(w.clone()) {
+                    return Err(RejectReason::VarChainBroken {
+                        why: "write chain has a cycle",
+                    });
+                }
+                let readers = state.read_observers.get(&w);
+                if let Some(readers) = readers {
+                    for r in readers {
+                        add_edge_skipping_init(g, &w, r);
+                    }
+                }
+                if let Some(w2) = state.write_observer.get(&w) {
+                    if let Some(readers) = readers {
+                        for r in readers {
+                            add_edge_skipping_init(g, r, w2);
+                        }
+                    }
+                    add_edge_skipping_init(g, &w, w2);
+                }
+                cur = state.write_observer.get(&w).cloned();
+            }
+            // Coverage: every re-executed write must be on the chain
+            // (otherwise its log entry escaped simulate-and-check's
+            // ordering constraints), and no alleged observer may hang
+            // off a write that is not on the chain.
+            for w in &state.executed_writes {
+                if !visited.contains(w) {
+                    return Err(RejectReason::VarChainBroken {
+                        why: "re-executed write not covered by the write chain",
+                    });
+                }
+            }
+            for key in state.read_observers.keys() {
+                if !visited.contains(key) {
+                    return Err(RejectReason::VarChainBroken {
+                        why: "read observes a write outside the chain",
+                    });
+                }
+            }
+            for key in state.write_observer.keys() {
+                if !visited.contains(key) {
+                    return Err(RejectReason::VarChainBroken {
+                        why: "write observer attached outside the chain",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adds an ordering edge unless an endpoint belongs to the trusted
+/// initialization activation (which precedes everything and cannot
+/// participate in a cycle).
+fn add_edge_skipping_init(g: &mut Graph, from: &OpRef, to: &OpRef) {
+    if from.rid == RequestId::INIT || to.rid == RequestId::INIT {
+        return;
+    }
+    g.add_edge(
+        GNode::op(from.rid, from.hid.clone(), from.opnum),
+        GNode::op(to.rid, to.hid.clone(), to.opnum),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::VarLogEntry;
+    use kem::{init_handler_id, FunctionId};
+
+    fn init_op() -> OpRef {
+        OpRef::new(RequestId::INIT, init_handler_id(), 1)
+    }
+
+    fn var() -> VarId {
+        VarId(0)
+    }
+
+    #[test]
+    fn unlogged_read_fed_from_init() {
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(5));
+        let h = HandlerId::root(FunctionId(0));
+        let r = OpRef::new(RequestId(0), h, 1);
+        let v = vs.on_read(var(), r, None).unwrap();
+        assert_eq!(v, Value::int(5));
+    }
+
+    #[test]
+    fn unlogged_read_prefers_same_handler_write() {
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(5));
+        let h = HandlerId::root(FunctionId(0));
+        vs.on_write(
+            var(),
+            OpRef::new(RequestId(0), h.clone(), 1),
+            Value::int(9),
+            None,
+        )
+        .unwrap();
+        let v = vs
+            .on_read(var(), OpRef::new(RequestId(0), h, 2), None)
+            .unwrap();
+        assert_eq!(v, Value::int(9));
+    }
+
+    #[test]
+    fn unlogged_read_climbs_to_nearest_ancestor() {
+        // Paper Fig. 4: a write by another request, re-executed in
+        // between, must not shadow the ancestor's write when feeding an
+        // unlogged read. Request 0's root writes 7 (unlogged — it
+        // overwrote init, which is R-ordered); request 1's root writes
+        // 3 (logged: it overwrote request 0's write, cross-request ⇒
+        // R-concurrent); then request 0's child reads (unlogged: the
+        // dictating write is its ancestor's) and must see 7, not 3.
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(0));
+        let root_a = HandlerId::root(FunctionId(0));
+        let root_b = HandlerId::root(FunctionId(1));
+        let w_a = OpRef::new(RequestId(0), root_a.clone(), 1);
+        vs.on_write(var(), w_a.clone(), Value::int(7), None)
+            .unwrap();
+        let mut log: VarLog = BTreeMap::new();
+        let w_b = OpRef::new(RequestId(1), root_b.clone(), 1);
+        log.insert(
+            w_b.clone(),
+            VarLogEntry {
+                access: AccessType::Write,
+                value: Some(Value::int(3)),
+                prec: Some(w_a),
+            },
+        );
+        vs.on_write(var(), w_b, Value::int(3), Some(&log)).unwrap();
+        let child = HandlerId::child(&root_a, FunctionId(2), 2);
+        let v = vs
+            .on_read(var(), OpRef::new(RequestId(0), child, 1), None)
+            .unwrap();
+        assert_eq!(v, Value::int(7));
+    }
+
+    #[test]
+    fn logged_read_fed_from_log() {
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(0));
+        let h = HandlerId::root(FunctionId(0));
+        let w_op = OpRef::new(RequestId(1), h.clone(), 1);
+        let r_op = OpRef::new(RequestId(0), h.clone(), 1);
+        let mut log: VarLog = BTreeMap::new();
+        log.insert(
+            w_op.clone(),
+            VarLogEntry {
+                access: AccessType::Write,
+                value: Some(Value::int(42)),
+                prec: None,
+            },
+        );
+        log.insert(
+            r_op.clone(),
+            VarLogEntry {
+                access: AccessType::Read,
+                value: None,
+                prec: Some(w_op),
+            },
+        );
+        let v = vs.on_read(var(), r_op, Some(&log)).unwrap();
+        assert_eq!(v, Value::int(42));
+    }
+
+    #[test]
+    fn logged_read_with_missing_dictating_write_rejected() {
+        let mut vs = VarStates::new();
+        let h = HandlerId::root(FunctionId(0));
+        let r_op = OpRef::new(RequestId(0), h.clone(), 1);
+        let mut log: VarLog = BTreeMap::new();
+        log.insert(
+            r_op.clone(),
+            VarLogEntry {
+                access: AccessType::Read,
+                value: None,
+                prec: Some(OpRef::new(RequestId(9), h, 1)),
+            },
+        );
+        let err = vs.on_read(var(), r_op, Some(&log)).unwrap_err();
+        assert!(matches!(err, RejectReason::VarLogMismatch { .. }));
+    }
+
+    #[test]
+    fn simulate_and_check_rejects_wrong_logged_value() {
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(0));
+        let h = HandlerId::root(FunctionId(0));
+        let w_op = OpRef::new(RequestId(0), h, 1);
+        let mut log: VarLog = BTreeMap::new();
+        log.insert(
+            w_op.clone(),
+            VarLogEntry {
+                access: AccessType::Write,
+                value: Some(Value::int(999)), // forged
+                prec: Some(init_op()),
+            },
+        );
+        let err = vs
+            .on_write(var(), w_op, Value::int(1), Some(&log))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RejectReason::VarLogMismatch {
+                why: "logged write value differs from re-execution",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn double_overwrite_rejected() {
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(0));
+        let h0 = HandlerId::root(FunctionId(0));
+        let h1 = HandlerId::root(FunctionId(1));
+        let mut log: VarLog = BTreeMap::new();
+        for (rid, h) in [(RequestId(0), &h0), (RequestId(1), &h1)] {
+            log.insert(
+                OpRef::new(rid, h.clone(), 1),
+                VarLogEntry {
+                    access: AccessType::Write,
+                    value: Some(Value::int(1)),
+                    prec: Some(init_op()), // both claim to overwrite init
+                },
+            );
+        }
+        vs.on_write(
+            var(),
+            OpRef::new(RequestId(0), h0, 1),
+            Value::int(1),
+            Some(&log),
+        )
+        .unwrap();
+        let err = vs
+            .on_write(
+                var(),
+                OpRef::new(RequestId(1), h1, 1),
+                Value::int(1),
+                Some(&log),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RejectReason::VarChainBroken { .. }));
+    }
+
+    #[test]
+    fn chain_edges_and_coverage() {
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(0));
+        let h0 = HandlerId::root(FunctionId(0));
+        let h1 = HandlerId::root(FunctionId(1));
+        let w1 = OpRef::new(RequestId(0), h0.clone(), 1);
+        let mut log: VarLog = BTreeMap::new();
+        log.insert(
+            w1.clone(),
+            VarLogEntry {
+                access: AccessType::Write,
+                value: Some(Value::int(1)),
+                prec: Some(init_op()),
+            },
+        );
+        let r1 = OpRef::new(RequestId(1), h1.clone(), 1);
+        log.insert(
+            r1.clone(),
+            VarLogEntry {
+                access: AccessType::Read,
+                value: None,
+                prec: Some(w1.clone()),
+            },
+        );
+        vs.on_write(var(), w1, Value::int(1), Some(&log)).unwrap();
+        vs.on_read(var(), r1, Some(&log)).unwrap();
+        let mut g = Graph::new();
+        vs.add_internal_state_edges(&mut g).unwrap();
+        // WR edge from the write to the read (init-side edges skipped).
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn uncovered_write_rejected() {
+        // A forged read observing a write that was never re-executed:
+        // coverage must fail.
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(0));
+        let h = HandlerId::root(FunctionId(0));
+        let phantom = OpRef::new(RequestId(7), h.clone(), 3);
+        let r = OpRef::new(RequestId(0), h.clone(), 1);
+        let mut log: VarLog = BTreeMap::new();
+        log.insert(
+            phantom.clone(),
+            VarLogEntry {
+                access: AccessType::Write,
+                value: Some(Value::int(66)),
+                prec: None,
+            },
+        );
+        log.insert(
+            r.clone(),
+            VarLogEntry {
+                access: AccessType::Read,
+                value: None,
+                prec: Some(phantom),
+            },
+        );
+        // The read executes and observes the phantom; the phantom write
+        // itself is never re-executed.
+        vs.on_read(var(), r, Some(&log)).unwrap();
+        let mut g = Graph::new();
+        let err = vs.add_internal_state_edges(&mut g).unwrap_err();
+        assert!(matches!(err, RejectReason::VarChainBroken { .. }));
+    }
+}

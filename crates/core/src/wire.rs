@@ -1,0 +1,829 @@
+//! Binary wire codec for [`Advice`].
+//!
+//! The evaluation's Figure 8 reports the *size of the advice sent from
+//! the server to the verifier*; this module defines the bytes that
+//! would cross that wire. It is a small self-contained tag-length-value
+//! codec (no external dependencies), round-trip property-tested, with a
+//! per-section size breakdown used by the benchmark harness (the paper
+//! reports, e.g., that variable logs are ~95% of MOTD advice, §6.3).
+
+use std::collections::BTreeMap;
+
+use kem::{FunctionId, HandlerId, OpRef, RequestId, Value, VarId};
+
+use crate::advice::{
+    AccessType, Advice, HandlerLogEntry, HandlerOp, KTxId, TxLogEntry, TxOpContents, TxOpType,
+    TxPos, VarLogEntry,
+};
+
+/// A decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset where decoding failed.
+    pub offset: usize,
+    /// What was being decoded.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire decode error at byte {}: {}",
+            self.offset, self.what
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Byte-stream encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// LEB128-style varint; most advice integers are small.
+    fn uvar(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn i64(&mut self, v: i64) {
+        // Zigzag.
+        self.uvar(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.uvar(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Str(s) => {
+                self.u8(3);
+                self.str(s);
+            }
+            Value::List(l) => {
+                self.u8(4);
+                self.uvar(l.len() as u64);
+                for item in l.iter() {
+                    self.value(item);
+                }
+            }
+            Value::Map(m) => {
+                self.u8(5);
+                self.uvar(m.len() as u64);
+                for (k, val) in m.iter() {
+                    self.str(k);
+                    self.value(val);
+                }
+            }
+        }
+    }
+
+    fn rid(&mut self, r: RequestId) {
+        self.uvar(r.0);
+    }
+
+    fn hid(&mut self, h: &HandlerId) {
+        let path = h.path();
+        self.uvar(path.len() as u64);
+        for (f, op) in path {
+            self.uvar(f.0 as u64);
+            self.uvar(op as u64);
+        }
+    }
+
+    fn opref(&mut self, o: &OpRef) {
+        self.rid(o.rid);
+        self.hid(&o.hid);
+        self.uvar(o.opnum as u64);
+    }
+
+    fn ktx(&mut self, t: &KTxId) {
+        self.rid(t.rid);
+        self.hid(&t.hid);
+        self.uvar(t.opnum as u64);
+    }
+
+    fn txpos(&mut self, p: &TxPos) {
+        self.ktx(&p.tx);
+        self.uvar(p.index as u64);
+    }
+}
+
+/// Byte-stream decoder.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Whether all bytes were consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn err(&self, what: &'static str) -> WireError {
+        WireError {
+            offset: self.pos,
+            what,
+        }
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.err(what))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn uvar(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8(what)?;
+            if shift >= 64 {
+                return Err(self.err(what));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn u32v(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let v = self.uvar(what)?;
+        u32::try_from(v).map_err(|_| self.err(what))
+    }
+
+    fn i64(&mut self, what: &'static str) -> Result<i64, WireError> {
+        let z = self.uvar(what)?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.uvar(what)? as usize;
+        let end = self.pos.checked_add(len).ok_or_else(|| self.err(what))?;
+        if end > self.buf.len() {
+            return Err(self.err(what));
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..end]).map_err(|_| self.err(what))?;
+        self.pos = end;
+        Ok(s.to_string())
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        self.value_at_depth(0)
+    }
+
+    /// Recursive value decoding with a nesting guard: crafted bytes
+    /// like `[[[[…` must not exhaust the verifier's stack.
+    fn value_at_depth(&mut self, depth: u32) -> Result<Value, WireError> {
+        const MAX_DEPTH: u32 = 64;
+        if depth > MAX_DEPTH {
+            return Err(self.err("value nesting too deep"));
+        }
+        match self.u8("value tag")? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(self.u8("bool")? != 0)),
+            2 => Ok(Value::Int(self.i64("int")?)),
+            3 => Ok(Value::str(self.str("str")?)),
+            4 => {
+                let n = self.uvar("list len")? as usize;
+                let mut l = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    l.push(self.value_at_depth(depth + 1)?);
+                }
+                Ok(Value::from_vec(l))
+            }
+            5 => {
+                let n = self.uvar("map len")? as usize;
+                let mut m = BTreeMap::new();
+                for _ in 0..n {
+                    let k = self.str("map key")?;
+                    m.insert(k, self.value_at_depth(depth + 1)?);
+                }
+                Ok(Value::from_map(m))
+            }
+            _ => Err(self.err("value tag")),
+        }
+    }
+
+    fn rid(&mut self) -> Result<RequestId, WireError> {
+        Ok(RequestId(self.uvar("rid")?))
+    }
+
+    fn hid(&mut self) -> Result<HandlerId, WireError> {
+        let n = self.uvar("hid len")? as usize;
+        if n == 0 {
+            return Err(self.err("hid len"));
+        }
+        let mut path = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let f = FunctionId(self.u32v("hid fn")?);
+            let op = self.u32v("hid opnum")?;
+            path.push((f, op));
+        }
+        HandlerId::from_path(&path).ok_or_else(|| self.err("hid path"))
+    }
+
+    fn opref(&mut self) -> Result<OpRef, WireError> {
+        Ok(OpRef::new(self.rid()?, self.hid()?, self.u32v("opnum")?))
+    }
+
+    fn ktx(&mut self) -> Result<KTxId, WireError> {
+        Ok(KTxId {
+            rid: self.rid()?,
+            hid: self.hid()?,
+            opnum: self.u32v("tx opnum")?,
+        })
+    }
+
+    fn txpos(&mut self) -> Result<TxPos, WireError> {
+        Ok(TxPos {
+            tx: self.ktx()?,
+            index: self.u32v("tx index")?,
+        })
+    }
+}
+
+/// Per-section advice sizes in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdviceSizes {
+    /// Control-flow tags.
+    pub tags: usize,
+    /// Handler logs.
+    pub handler_logs: usize,
+    /// Variable logs.
+    pub var_logs: usize,
+    /// Transaction logs.
+    pub tx_logs: usize,
+    /// Write order.
+    pub write_order: usize,
+    /// `responseEmittedBy`.
+    pub response_emitted_by: usize,
+    /// `opcounts`.
+    pub opcounts: usize,
+    /// Nondeterminism log.
+    pub nondet: usize,
+}
+
+impl AdviceSizes {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.tags
+            + self.handler_logs
+            + self.var_logs
+            + self.tx_logs
+            + self.write_order
+            + self.response_emitted_by
+            + self.opcounts
+            + self.nondet
+    }
+}
+
+fn encode_tags(e: &mut Encoder, a: &Advice) {
+    e.uvar(a.tags.len() as u64);
+    for (rid, tag) in &a.tags {
+        e.rid(*rid);
+        e.uvar(*tag);
+    }
+}
+
+fn encode_handler_logs(e: &mut Encoder, a: &Advice) {
+    e.uvar(a.handler_logs.len() as u64);
+    for (rid, log) in &a.handler_logs {
+        e.rid(*rid);
+        e.uvar(log.len() as u64);
+        for entry in log {
+            e.hid(&entry.hid);
+            e.uvar(entry.opnum as u64);
+            match &entry.op {
+                HandlerOp::Register { event, function } => {
+                    e.u8(0);
+                    e.str(event);
+                    e.uvar(function.0 as u64);
+                }
+                HandlerOp::Unregister { event, function } => {
+                    e.u8(1);
+                    e.str(event);
+                    e.uvar(function.0 as u64);
+                }
+                HandlerOp::Emit { event } => {
+                    e.u8(2);
+                    e.str(event);
+                }
+                HandlerOp::Check { event } => {
+                    e.u8(3);
+                    e.str(event);
+                }
+            }
+        }
+    }
+}
+
+fn encode_var_logs(e: &mut Encoder, a: &Advice) {
+    e.uvar(a.var_logs.len() as u64);
+    for (var, log) in &a.var_logs {
+        e.uvar(var.0 as u64);
+        e.uvar(log.len() as u64);
+        for (op, entry) in log {
+            e.opref(op);
+            e.u8(match entry.access {
+                AccessType::Read => 0,
+                AccessType::Write => 1,
+            });
+            match &entry.value {
+                Some(v) => {
+                    e.u8(1);
+                    e.value(v);
+                }
+                None => e.u8(0),
+            }
+            match &entry.prec {
+                Some(p) => {
+                    e.u8(1);
+                    e.opref(p);
+                }
+                None => e.u8(0),
+            }
+        }
+    }
+}
+
+fn encode_tx_logs(e: &mut Encoder, a: &Advice) {
+    e.uvar(a.tx_logs.len() as u64);
+    for (tx, log) in &a.tx_logs {
+        e.ktx(tx);
+        e.uvar(log.len() as u64);
+        for entry in log {
+            e.hid(&entry.hid);
+            e.uvar(entry.opnum as u64);
+            e.u8(match entry.optype {
+                TxOpType::Start => 0,
+                TxOpType::Get => 1,
+                TxOpType::Put => 2,
+                TxOpType::Commit => 3,
+                TxOpType::Abort => 4,
+            });
+            match &entry.key {
+                Some(k) => {
+                    e.u8(1);
+                    e.str(k);
+                }
+                None => e.u8(0),
+            }
+            match &entry.contents {
+                TxOpContents::None => e.u8(0),
+                TxOpContents::Put { value } => {
+                    e.u8(1);
+                    e.value(value);
+                }
+                TxOpContents::Get { from } => {
+                    e.u8(2);
+                    match from {
+                        Some(p) => {
+                            e.u8(1);
+                            e.txpos(p);
+                        }
+                        None => e.u8(0),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn encode_write_order(e: &mut Encoder, a: &Advice) {
+    e.uvar(a.write_order.len() as u64);
+    for p in &a.write_order {
+        e.txpos(p);
+    }
+}
+
+fn encode_response_emitted_by(e: &mut Encoder, a: &Advice) {
+    e.uvar(a.response_emitted_by.len() as u64);
+    for (rid, (hid, opnum)) in &a.response_emitted_by {
+        e.rid(*rid);
+        e.hid(hid);
+        e.uvar(*opnum as u64);
+    }
+}
+
+fn encode_opcounts(e: &mut Encoder, a: &Advice) {
+    e.uvar(a.opcounts.len() as u64);
+    for ((rid, hid), count) in &a.opcounts {
+        e.rid(*rid);
+        e.hid(hid);
+        e.uvar(*count as u64);
+    }
+}
+
+fn encode_nondet(e: &mut Encoder, a: &Advice) {
+    e.uvar(a.nondet.len() as u64);
+    for (op, v) in &a.nondet {
+        e.opref(op);
+        e.value(v);
+    }
+}
+
+/// Encodes the full advice.
+pub fn encode_advice(a: &Advice) -> Vec<u8> {
+    let mut e = Encoder::new();
+    encode_tags(&mut e, a);
+    encode_handler_logs(&mut e, a);
+    encode_var_logs(&mut e, a);
+    encode_tx_logs(&mut e, a);
+    encode_write_order(&mut e, a);
+    encode_response_emitted_by(&mut e, a);
+    encode_opcounts(&mut e, a);
+    encode_nondet(&mut e, a);
+    e.finish()
+}
+
+/// Measures each section's encoded size.
+pub fn advice_sizes(a: &Advice) -> AdviceSizes {
+    fn sized(f: impl FnOnce(&mut Encoder)) -> usize {
+        let mut e = Encoder::new();
+        f(&mut e);
+        e.len()
+    }
+    AdviceSizes {
+        tags: sized(|e| encode_tags(e, a)),
+        handler_logs: sized(|e| encode_handler_logs(e, a)),
+        var_logs: sized(|e| encode_var_logs(e, a)),
+        tx_logs: sized(|e| encode_tx_logs(e, a)),
+        write_order: sized(|e| encode_write_order(e, a)),
+        response_emitted_by: sized(|e| encode_response_emitted_by(e, a)),
+        opcounts: sized(|e| encode_opcounts(e, a)),
+        nondet: sized(|e| encode_nondet(e, a)),
+    }
+}
+
+/// Decodes advice previously produced by [`encode_advice`].
+pub fn decode_advice(bytes: &[u8]) -> Result<Advice, WireError> {
+    let mut d = Decoder::new(bytes);
+    let mut a = Advice::default();
+
+    let n = d.uvar("tags len")?;
+    for _ in 0..n {
+        let rid = d.rid()?;
+        let tag = d.uvar("tag")?;
+        a.tags.insert(rid, tag);
+    }
+
+    let n = d.uvar("handler logs len")?;
+    for _ in 0..n {
+        let rid = d.rid()?;
+        let m = d.uvar("handler log len")? as usize;
+        let mut log = Vec::with_capacity(m.min(65536));
+        for _ in 0..m {
+            let hid = d.hid()?;
+            let opnum = d.u32v("hl opnum")?;
+            let op = match d.u8("handler op tag")? {
+                0 => HandlerOp::Register {
+                    event: d.str("event")?,
+                    function: FunctionId(d.u32v("function")?),
+                },
+                1 => HandlerOp::Unregister {
+                    event: d.str("event")?,
+                    function: FunctionId(d.u32v("function")?),
+                },
+                2 => HandlerOp::Emit {
+                    event: d.str("event")?,
+                },
+                3 => HandlerOp::Check {
+                    event: d.str("event")?,
+                },
+                _ => {
+                    return Err(WireError {
+                        offset: 0,
+                        what: "handler op tag",
+                    })
+                }
+            };
+            log.push(HandlerLogEntry { hid, opnum, op });
+        }
+        a.handler_logs.insert(rid, log);
+    }
+
+    let n = d.uvar("var logs len")?;
+    for _ in 0..n {
+        let var = VarId(d.u32v("var id")?);
+        let m = d.uvar("var log len")? as usize;
+        let mut log = BTreeMap::new();
+        for _ in 0..m {
+            let op = d.opref()?;
+            let access = match d.u8("access")? {
+                0 => AccessType::Read,
+                1 => AccessType::Write,
+                _ => {
+                    return Err(WireError {
+                        offset: 0,
+                        what: "access tag",
+                    })
+                }
+            };
+            let value = match d.u8("value opt")? {
+                1 => Some(d.value()?),
+                _ => None,
+            };
+            let prec = match d.u8("prec opt")? {
+                1 => Some(d.opref()?),
+                _ => None,
+            };
+            log.insert(
+                op,
+                VarLogEntry {
+                    access,
+                    value,
+                    prec,
+                },
+            );
+        }
+        a.var_logs.insert(var, log);
+    }
+
+    let n = d.uvar("tx logs len")?;
+    for _ in 0..n {
+        let tx = d.ktx()?;
+        let m = d.uvar("tx log len")? as usize;
+        let mut log = Vec::with_capacity(m.min(65536));
+        for _ in 0..m {
+            let hid = d.hid()?;
+            let opnum = d.u32v("txl opnum")?;
+            let optype = match d.u8("optype")? {
+                0 => TxOpType::Start,
+                1 => TxOpType::Get,
+                2 => TxOpType::Put,
+                3 => TxOpType::Commit,
+                4 => TxOpType::Abort,
+                _ => {
+                    return Err(WireError {
+                        offset: 0,
+                        what: "optype tag",
+                    })
+                }
+            };
+            let key = match d.u8("key opt")? {
+                1 => Some(d.str("key")?),
+                _ => None,
+            };
+            let contents = match d.u8("contents tag")? {
+                0 => TxOpContents::None,
+                1 => TxOpContents::Put { value: d.value()? },
+                2 => TxOpContents::Get {
+                    from: match d.u8("from opt")? {
+                        1 => Some(d.txpos()?),
+                        _ => None,
+                    },
+                },
+                _ => {
+                    return Err(WireError {
+                        offset: 0,
+                        what: "contents tag",
+                    })
+                }
+            };
+            log.push(TxLogEntry {
+                hid,
+                opnum,
+                optype,
+                key,
+                contents,
+            });
+        }
+        a.tx_logs.insert(tx, log);
+    }
+
+    let n = d.uvar("write order len")?;
+    for _ in 0..n {
+        a.write_order.push(d.txpos()?);
+    }
+
+    let n = d.uvar("reb len")?;
+    for _ in 0..n {
+        let rid = d.rid()?;
+        let hid = d.hid()?;
+        let opnum = d.u32v("reb opnum")?;
+        a.response_emitted_by.insert(rid, (hid, opnum));
+    }
+
+    let n = d.uvar("opcounts len")?;
+    for _ in 0..n {
+        let rid = d.rid()?;
+        let hid = d.hid()?;
+        let count = d.u32v("opcount")?;
+        a.opcounts.insert((rid, hid), count);
+    }
+
+    let n = d.uvar("nondet len")?;
+    for _ in 0..n {
+        let op = d.opref()?;
+        let v = d.value()?;
+        a.nondet.insert(op, v);
+    }
+
+    if !d.done() {
+        return Err(WireError {
+            offset: d.pos,
+            what: "trailing bytes",
+        });
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_advice_round_trips() {
+        let a = Advice::default();
+        let bytes = encode_advice(&a);
+        assert_eq!(decode_advice(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn populated_advice_round_trips() {
+        let mut a = Advice::default();
+        let hid = HandlerId::root(FunctionId(3));
+        let child = HandlerId::child(&hid, FunctionId(1), 2);
+        a.tags.insert(RequestId(0), 12345);
+        a.handler_logs.insert(
+            RequestId(0),
+            vec![
+                HandlerLogEntry {
+                    hid: hid.clone(),
+                    opnum: 1,
+                    op: HandlerOp::Register {
+                        event: "e".into(),
+                        function: FunctionId(1),
+                    },
+                },
+                HandlerLogEntry {
+                    hid: hid.clone(),
+                    opnum: 2,
+                    op: HandlerOp::Emit { event: "e".into() },
+                },
+            ],
+        );
+        let mut vl = BTreeMap::new();
+        vl.insert(
+            OpRef::new(RequestId(0), child.clone(), 1),
+            VarLogEntry {
+                access: AccessType::Write,
+                value: Some(Value::map([("k", Value::int(-7))])),
+                prec: Some(OpRef::new(RequestId::INIT, kem::init_handler_id(), 1)),
+            },
+        );
+        a.var_logs.insert(VarId(0), vl);
+        let tx = KTxId {
+            rid: RequestId(0),
+            hid: child.clone(),
+            opnum: 1,
+        };
+        a.tx_logs.insert(
+            tx.clone(),
+            vec![
+                TxLogEntry {
+                    hid: child.clone(),
+                    opnum: 1,
+                    optype: TxOpType::Start,
+                    key: None,
+                    contents: TxOpContents::None,
+                },
+                TxLogEntry {
+                    hid: child.clone(),
+                    opnum: 2,
+                    optype: TxOpType::Get,
+                    key: Some("row".into()),
+                    contents: TxOpContents::Get {
+                        from: Some(TxPos {
+                            tx: tx.clone(),
+                            index: 0,
+                        }),
+                    },
+                },
+            ],
+        );
+        a.write_order.push(TxPos { tx, index: 1 });
+        a.response_emitted_by.insert(RequestId(0), (hid.clone(), 4));
+        a.opcounts.insert((RequestId(0), hid.clone()), 4);
+        a.nondet
+            .insert(OpRef::new(RequestId(0), hid, 3), Value::Int(99));
+
+        let bytes = encode_advice(&a);
+        let decoded = decode_advice(&bytes).unwrap();
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn section_sizes_sum_to_total() {
+        let mut a = Advice::default();
+        a.tags.insert(RequestId(0), 1);
+        a.nondet.insert(
+            OpRef::new(RequestId(0), HandlerId::root(FunctionId(0)), 1),
+            Value::str("abc"),
+        );
+        let sizes = advice_sizes(&a);
+        assert_eq!(sizes.total(), encode_advice(&a).len());
+        assert!(sizes.nondet > sizes.tags);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut a = Advice::default();
+        a.tags.insert(RequestId(0), 1);
+        let bytes = encode_advice(&a);
+        for cut in 0..bytes.len() {
+            assert!(decode_advice(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = encode_advice(&Advice::default());
+        bytes.push(0);
+        let err = decode_advice(&bytes).unwrap_err();
+        assert_eq!(err.what, "trailing bytes");
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // 10k nested single-element lists: tag 4, len 1, repeated.
+        let mut bytes = Vec::new();
+        for _ in 0..10_000 {
+            bytes.push(4);
+            bytes.push(1);
+        }
+        bytes.push(0); // innermost null
+        let mut d = Decoder::new(&bytes);
+        let err = d.value().unwrap_err();
+        assert_eq!(err.what, "value nesting too deep");
+    }
+
+    #[test]
+    fn zigzag_negative_ints() {
+        let mut e = Encoder::new();
+        e.value(&Value::Int(i64::MIN));
+        e.value(&Value::Int(-1));
+        e.value(&Value::Int(i64::MAX));
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.value().unwrap(), Value::Int(i64::MIN));
+        assert_eq!(d.value().unwrap(), Value::Int(-1));
+        assert_eq!(d.value().unwrap(), Value::Int(i64::MAX));
+    }
+}

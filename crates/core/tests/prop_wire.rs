@@ -1,0 +1,189 @@
+//! Property tests for the advice wire codec: arbitrary advice must
+//! round-trip exactly, and corrupted bytes must never panic.
+
+use std::collections::BTreeMap;
+
+use karousos::advice::{
+    AccessType, Advice, HandlerLogEntry, HandlerOp, KTxId, TxLogEntry, TxOpContents, TxOpType,
+    TxPos, VarLogEntry,
+};
+use karousos::{decode_advice, encode_advice};
+use kem::{FunctionId, HandlerId, OpRef, RequestId, Value, VarId};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z0-9 ]{0,12}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Value::from_map),
+        ]
+    })
+}
+
+fn arb_hid() -> impl Strategy<Value = HandlerId> {
+    prop::collection::vec((0u32..50, 0u32..20), 1..4).prop_map(|path| {
+        let path: Vec<(FunctionId, u32)> =
+            path.into_iter().map(|(f, o)| (FunctionId(f), o)).collect();
+        HandlerId::from_path(&path).expect("non-empty path")
+    })
+}
+
+fn arb_opref() -> impl Strategy<Value = OpRef> {
+    (0u64..100, arb_hid(), 0u32..50)
+        .prop_map(|(rid, hid, opnum)| OpRef::new(RequestId(rid), hid, opnum))
+}
+
+fn arb_ktx() -> impl Strategy<Value = KTxId> {
+    (0u64..100, arb_hid(), 1u32..50).prop_map(|(rid, hid, opnum)| KTxId {
+        rid: RequestId(rid),
+        hid,
+        opnum,
+    })
+}
+
+fn arb_handler_op() -> impl Strategy<Value = HandlerOp> {
+    prop_oneof![
+        ("[a-z]{1,8}", 0u32..40).prop_map(|(event, f)| HandlerOp::Register {
+            event,
+            function: FunctionId(f)
+        }),
+        ("[a-z]{1,8}", 0u32..40).prop_map(|(event, f)| HandlerOp::Unregister {
+            event,
+            function: FunctionId(f)
+        }),
+        "[a-z]{1,8}".prop_map(|event| HandlerOp::Emit { event }),
+        "[a-z]{1,8}".prop_map(|event| HandlerOp::Check { event }),
+    ]
+}
+
+fn arb_tx_entry() -> impl Strategy<Value = TxLogEntry> {
+    (
+        arb_hid(),
+        1u32..50,
+        prop_oneof![
+            Just((TxOpType::Start, TxOpContents::None)),
+            Just((TxOpType::Commit, TxOpContents::None)),
+            Just((TxOpType::Abort, TxOpContents::None)),
+            arb_value().prop_map(|v| (TxOpType::Put, TxOpContents::Put { value: v })),
+            prop::option::of((arb_ktx(), 0u32..10)).prop_map(|from| {
+                (
+                    TxOpType::Get,
+                    TxOpContents::Get {
+                        from: from.map(|(tx, index)| TxPos { tx, index }),
+                    },
+                )
+            }),
+        ],
+        prop::option::of("[a-z]{1,8}"),
+    )
+        .prop_map(|(hid, opnum, (optype, contents), key)| TxLogEntry {
+            hid,
+            opnum,
+            optype,
+            key,
+            contents,
+        })
+}
+
+prop_compose! {
+    fn arb_advice()(
+        tags in prop::collection::btree_map(0u64..50, any::<u64>(), 0..6),
+        hl in prop::collection::vec((0u64..50, prop::collection::vec((arb_hid(), 1u32..30, arb_handler_op()), 0..4)), 0..3),
+        vl in prop::collection::vec(
+            (0u32..5, prop::collection::vec((arb_opref(), any::<bool>(), prop::option::of(arb_value()), prop::option::of(arb_opref())), 0..4)),
+            0..3
+        ),
+        txl in prop::collection::vec((arb_ktx(), prop::collection::vec(arb_tx_entry(), 0..4)), 0..3),
+        wo in prop::collection::vec((arb_ktx(), 0u32..8), 0..4),
+        reb in prop::collection::vec((0u64..50, arb_hid(), 0u32..20), 0..4),
+        oc in prop::collection::vec((0u64..50, arb_hid(), 0u32..20), 0..6),
+        nondet in prop::collection::vec((arb_opref(), arb_value()), 0..4),
+    ) -> Advice {
+        let mut a = Advice {
+            tags: tags.into_iter().map(|(r, t)| (RequestId(r), t)).collect(),
+            ..Advice::default()
+        };
+        for (rid, entries) in hl {
+            a.handler_logs.insert(
+                RequestId(rid),
+                entries.into_iter().map(|(hid, opnum, op)| HandlerLogEntry { hid, opnum, op }).collect(),
+            );
+        }
+        for (var, entries) in vl {
+            let mut log = BTreeMap::new();
+            for (op, is_write, value, prec) in entries {
+                log.insert(op, VarLogEntry {
+                    access: if is_write { AccessType::Write } else { AccessType::Read },
+                    value,
+                    prec,
+                });
+            }
+            a.var_logs.insert(VarId(var), log);
+        }
+        for (tx, log) in txl {
+            a.tx_logs.insert(tx, log);
+        }
+        a.write_order = wo.into_iter().map(|(tx, index)| TxPos { tx, index }).collect();
+        for (rid, hid, opnum) in reb {
+            a.response_emitted_by.insert(RequestId(rid), (hid, opnum));
+        }
+        for (rid, hid, count) in oc {
+            a.opcounts.insert((RequestId(rid), hid), count);
+        }
+        for (op, v) in nondet {
+            a.nondet.insert(op, v);
+        }
+        a
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn advice_round_trips(a in arb_advice()) {
+        let bytes = encode_advice(&a);
+        let decoded = decode_advice(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn truncation_errors_never_panic(a in arb_advice(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_advice(&a);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_advice(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(a in arb_advice(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = encode_advice(&a);
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        // Either decodes to something (possibly different) or errors;
+        // must not panic or loop.
+        let _ = decode_advice(&bytes);
+    }
+
+    #[test]
+    fn values_round_trip(v in arb_value()) {
+        // Values embedded in a nondet entry survive the wire.
+        let mut a = Advice::default();
+        a.nondet.insert(
+            OpRef::new(RequestId(0), HandlerId::root(FunctionId(0)), 1),
+            v.clone(),
+        );
+        let decoded = decode_advice(&encode_advice(&a)).unwrap();
+        prop_assert_eq!(decoded.nondet.values().next().unwrap(), &v);
+    }
+}

@@ -1,0 +1,53 @@
+//! Runtime errors: application bugs surfaced by the KJS interpreter.
+//!
+//! These are *not* audit rejections — they indicate the program itself
+//! misused the language (type errors, unknown names, responding twice).
+//! The audited applications never trigger them; tests assert them.
+
+use std::fmt;
+
+/// An error raised while interpreting KJS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// Human-readable description, including the offending construct.
+    pub message: String,
+}
+
+impl RuntimeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        RuntimeError {
+            message: message.into(),
+        }
+    }
+
+    /// Type-error helper.
+    pub fn type_error(context: &str, got: &crate::Value) -> Self {
+        RuntimeError::new(format!("type error in {context}: got {}", got.type_name()))
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = RuntimeError::new("boom");
+        assert_eq!(e.to_string(), "runtime error: boom");
+    }
+
+    #[test]
+    fn type_error_names_type() {
+        let e = RuntimeError::type_error("add", &crate::Value::Null);
+        assert!(e.message.contains("null"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Handler labels: the paper's runtime encoding of the `A` relation.
+//!
+//! §5 ("Testing A, computing the activator relation"): *"the
+//! implemented server assigns a label to each handler so that two
+//! handlers are ordered by A iff the label of the one is a prefix of
+//! the other … a handler's label is computed at runtime as
+//! `parent_label/num` where `num` is the number of children of the
+//! parent that have executed so far."* Unlike handler ids, labels do
+//! not correspond across requests — they exist purely for fast `A`
+//! tests and `activator()` computation.
+//!
+//! This module implements that scheme, with a [`LabelAllocator`]
+//! playing the runtime's per-parent child counter. The main
+//! representation in this codebase ([`HandlerId`](crate::HandlerId)
+//! paths) subsumes labels, so labels are provided as the paper-faithful
+//! alternative; property tests check the two agree on the `A` relation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handler label: the path of child indices from the root.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Label(Vec<u32>);
+
+impl Label {
+    /// The root label (a request handler's).
+    pub fn root(slot: u32) -> Self {
+        Label(vec![slot])
+    }
+
+    /// The label `parent/num`.
+    pub fn child(parent: &Label, num: u32) -> Self {
+        let mut segs = parent.0.clone();
+        segs.push(num);
+        Label(segs)
+    }
+
+    /// Whether `self` is a strict prefix of `other` — i.e. the labelled
+    /// handlers are ordered by `A`.
+    pub fn is_prefix_of(&self, other: &Label) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The activator's label (`None` for roots).
+    pub fn activator(&self) -> Option<Label> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(Label(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Path depth (roots have depth 1).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Allocates labels the way the paper's runtime does: each parent
+/// counts the children that have been activated so far.
+#[derive(Debug, Clone, Default)]
+pub struct LabelAllocator {
+    children: HashMap<Label, u32>,
+    roots: u32,
+}
+
+impl LabelAllocator {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh root label (a new request handler).
+    pub fn alloc_root(&mut self) -> Label {
+        let slot = self.roots;
+        self.roots += 1;
+        Label::root(slot)
+    }
+
+    /// Allocates the next child label of `parent`.
+    pub fn alloc_child(&mut self, parent: &Label) -> Label {
+        let num = self.children.entry(parent.clone()).or_insert(0);
+        let label = Label::child(parent, *num);
+        *num += 1;
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_encodes_a_relation() {
+        let mut alloc = LabelAllocator::new();
+        let root = alloc.alloc_root();
+        let c1 = alloc.alloc_child(&root);
+        let c2 = alloc.alloc_child(&root);
+        let gc = alloc.alloc_child(&c1);
+        assert!(root.is_prefix_of(&c1));
+        assert!(root.is_prefix_of(&gc));
+        assert!(c1.is_prefix_of(&gc));
+        assert!(!c2.is_prefix_of(&gc), "siblings' subtrees are unrelated");
+        assert!(!gc.is_prefix_of(&c1));
+        assert!(!c1.is_prefix_of(&c1), "prefix is strict");
+    }
+
+    #[test]
+    fn activator_walks_up() {
+        let mut alloc = LabelAllocator::new();
+        let root = alloc.alloc_root();
+        let c = alloc.alloc_child(&root);
+        let gc = alloc.alloc_child(&c);
+        assert_eq!(gc.activator(), Some(c.clone()));
+        assert_eq!(c.activator(), Some(root.clone()));
+        assert_eq!(root.activator(), None);
+    }
+
+    #[test]
+    fn sibling_numbers_increment() {
+        let mut alloc = LabelAllocator::new();
+        let root = alloc.alloc_root();
+        let a = alloc.alloc_child(&root);
+        let b = alloc.alloc_child(&root);
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "0/0");
+        assert_eq!(b.to_string(), "0/1");
+    }
+
+    #[test]
+    fn distinct_roots() {
+        let mut alloc = LabelAllocator::new();
+        let r0 = alloc.alloc_root();
+        let r1 = alloc.alloc_root();
+        assert_ne!(r0, r1);
+        assert!(!r0.is_prefix_of(&r1));
+        assert_eq!(r0.depth(), 1);
+    }
+}

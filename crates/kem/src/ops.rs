@@ -1,0 +1,213 @@
+//! Pure scalar semantics of KJS operators.
+//!
+//! Both the live interpreter ([`crate::run_server`]) and the verifier's
+//! grouped (multivalue) re-executor evaluate expressions through these
+//! functions, guaranteeing the two agree operation-for-operation — a
+//! prerequisite for audit Completeness.
+
+use crate::ast::BinOp;
+use crate::error::RuntimeError;
+use crate::value::Value;
+
+/// Evaluates a binary operator on two values.
+pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
+    use BinOp::*;
+    Ok(match op {
+        Add => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
+            (Value::Str(x), Value::Str(y)) => Value::str(format!("{x}{y}")),
+            (Value::List(x), Value::List(y)) => {
+                let mut l = (**x).clone();
+                l.extend(y.iter().cloned());
+                Value::from_vec(l)
+            }
+            _ => return Err(RuntimeError::type_error("add", a)),
+        },
+        Sub | Mul | Div | Mod => {
+            let (Some(x), Some(y)) = (a.as_int(), b.as_int()) else {
+                return Err(RuntimeError::type_error("arithmetic", a));
+            };
+            match op {
+                Sub => Value::Int(x.wrapping_sub(y)),
+                Mul => Value::Int(x.wrapping_mul(y)),
+                Div => {
+                    if y == 0 {
+                        return Err(RuntimeError::new("division by zero"));
+                    }
+                    Value::Int(x / y)
+                }
+                Mod => {
+                    if y == 0 {
+                        return Err(RuntimeError::new("remainder by zero"));
+                    }
+                    Value::Int(x % y)
+                }
+                _ => unreachable!(),
+            }
+        }
+        Eq => Value::Bool(a == b),
+        Ne => Value::Bool(a != b),
+        Lt | Le | Gt | Ge => {
+            let ord = match (a, b) {
+                (Value::Int(x), Value::Int(y)) => x.cmp(y),
+                (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                _ => return Err(RuntimeError::type_error("comparison", a)),
+            };
+            Value::Bool(match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            })
+        }
+        And => Value::Bool(a.truthy() && b.truthy()),
+        Or => Value::Bool(a.truthy() || b.truthy()),
+    })
+}
+
+/// `a[i]`: list by integer index, map by string key; `null` if absent.
+pub fn eval_index(a: &Value, i: &Value) -> Result<Value, RuntimeError> {
+    match (a, i) {
+        (Value::List(l), Value::Int(n)) => Ok(l.get(*n as usize).cloned().unwrap_or(Value::Null)),
+        (Value::Map(m), Value::Str(k)) => Ok(m.get(k.as_ref()).cloned().unwrap_or(Value::Null)),
+        _ => Err(RuntimeError::type_error("index", a)),
+    }
+}
+
+/// Length of a string/list/map.
+pub fn eval_len(a: &Value) -> Result<Value, RuntimeError> {
+    Ok(Value::Int(
+        a.len().ok_or_else(|| RuntimeError::type_error("len", a))? as i64,
+    ))
+}
+
+/// Membership: key in map, element in list, substring in string.
+pub fn eval_contains(a: &Value, b: &Value) -> Result<Value, RuntimeError> {
+    match (a, b) {
+        (Value::Map(m), Value::Str(k)) => Ok(Value::Bool(m.contains_key(k.as_ref()))),
+        (Value::List(l), x) => Ok(Value::Bool(l.contains(x))),
+        (Value::Str(s), Value::Str(sub)) => Ok(Value::Bool(s.contains(sub.as_ref()))),
+        _ => Err(RuntimeError::type_error("contains", a)),
+    }
+}
+
+/// Functional map insert.
+pub fn eval_map_insert(m: &Value, k: &Value, v: &Value) -> Result<Value, RuntimeError> {
+    let Value::Map(map) = m else {
+        return Err(RuntimeError::type_error("map-insert", m));
+    };
+    let Some(key) = k.as_str() else {
+        return Err(RuntimeError::type_error("map-insert key", k));
+    };
+    let mut map = (**map).clone();
+    map.insert(key.to_string(), v.clone());
+    Ok(Value::from_map(map))
+}
+
+/// Functional map remove.
+pub fn eval_map_remove(m: &Value, k: &Value) -> Result<Value, RuntimeError> {
+    let Value::Map(map) = m else {
+        return Err(RuntimeError::type_error("map-remove", m));
+    };
+    let Some(key) = k.as_str() else {
+        return Err(RuntimeError::type_error("map-remove key", k));
+    };
+    let mut map = (**map).clone();
+    map.remove(key);
+    Ok(Value::from_map(map))
+}
+
+/// Functional list push.
+pub fn eval_list_push(l: &Value, v: &Value) -> Result<Value, RuntimeError> {
+    let Value::List(list) = l else {
+        return Err(RuntimeError::type_error("list-push", l));
+    };
+    let mut list = (**list).clone();
+    list.push(v.clone());
+    Ok(Value::from_vec(list))
+}
+
+/// Sorted keys of a map.
+pub fn eval_keys(m: &Value) -> Result<Value, RuntimeError> {
+    let Value::Map(map) = m else {
+        return Err(RuntimeError::type_error("keys", m));
+    };
+    Ok(Value::from_vec(map.keys().map(Value::str).collect()))
+}
+
+/// Stable hex digest.
+pub fn eval_digest(v: &Value) -> Value {
+    Value::str(format!("{:016x}", v.digest()))
+}
+
+/// Stringify.
+pub fn eval_to_str(v: &Value) -> Value {
+    match v {
+        Value::Str(_) => v.clone(),
+        other => Value::str(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_semantics() {
+        let l = Value::list([Value::int(10), Value::int(20)]);
+        assert_eq!(eval_index(&l, &Value::int(1)).unwrap(), Value::int(20));
+        assert_eq!(eval_index(&l, &Value::int(5)).unwrap(), Value::Null);
+        let m = Value::map([("k", Value::int(1))]);
+        assert_eq!(eval_index(&m, &Value::str("k")).unwrap(), Value::int(1));
+        assert!(eval_index(&Value::Null, &Value::int(0)).is_err());
+    }
+
+    #[test]
+    fn functional_updates_do_not_mutate() {
+        let m = Value::map([("a", Value::int(1))]);
+        let m2 = eval_map_insert(&m, &Value::str("b"), &Value::int(2)).unwrap();
+        assert_eq!(m.len(), Some(1));
+        assert_eq!(m2.len(), Some(2));
+        let m3 = eval_map_remove(&m2, &Value::str("a")).unwrap();
+        assert_eq!(m3.len(), Some(1));
+        assert_eq!(m2.len(), Some(2));
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let m = Value::map([("b", Value::Null), ("a", Value::Null)]);
+        assert_eq!(
+            eval_keys(&m).unwrap(),
+            Value::list([Value::str("a"), Value::str("b")])
+        );
+    }
+
+    #[test]
+    fn digest_and_to_str() {
+        assert_eq!(eval_digest(&Value::int(1)), eval_digest(&Value::int(1)));
+        assert_ne!(eval_digest(&Value::int(1)), eval_digest(&Value::int(2)));
+        assert_eq!(eval_to_str(&Value::int(5)), Value::str("5"));
+        assert_eq!(eval_to_str(&Value::str("s")), Value::str("s"));
+    }
+
+    #[test]
+    fn contains_variants() {
+        let m = Value::map([("k", Value::Null)]);
+        assert_eq!(
+            eval_contains(&m, &Value::str("k")).unwrap(),
+            Value::Bool(true)
+        );
+        let l = Value::list([Value::int(3)]);
+        assert_eq!(
+            eval_contains(&l, &Value::int(3)).unwrap(),
+            Value::Bool(true)
+        );
+        let s = Value::str("hello");
+        assert_eq!(
+            eval_contains(&s, &Value::str("ell")).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval_contains(&Value::int(1), &Value::int(1)).is_err());
+    }
+}

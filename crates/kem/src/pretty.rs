@@ -1,0 +1,288 @@
+//! A pretty-printer for KJS programs.
+//!
+//! Renders programs in a compact JavaScript-flavoured notation — handy
+//! when debugging a rejected audit ("what does the code at this
+//! coordinate actually do?") and for documenting the evaluation
+//! applications. The output is for humans; it is not parsed back.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Expr, NondetKind, Program, Stmt};
+
+/// Renders a whole program: variables, request handlers, global
+/// registrations, then every function.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for var in &p.vars {
+        let _ = writeln!(
+            out,
+            "{} var {} = {};",
+            if var.loggable { "loggable" } else { "shared" },
+            var.name,
+            var.init
+        );
+    }
+    for &f in &p.request_handlers {
+        let _ = writeln!(out, "on request -> {};", p.functions[f as usize].name);
+    }
+    for (event, f) in &p.global_registrations {
+        let _ = writeln!(out, "on {:?} -> {};", event, p.functions[*f as usize].name);
+    }
+    for f in &p.functions {
+        let _ = writeln!(out, "\nfunction {}(payload) {{", f.name);
+        for stmt in &f.body {
+            render_stmt(&mut out, stmt, 1);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_block(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for stmt in stmts {
+        render_stmt(out, stmt, depth);
+    }
+}
+
+fn render_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::Let(name, e) => {
+            let _ = writeln!(out, "let {name} = {};", expr(e));
+        }
+        Stmt::SharedWrite(name, e) => {
+            let _ = writeln!(out, "{name} := {};", expr(e));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            render_block(out, then_branch, depth + 1);
+            if !else_branch.is_empty() {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                render_block(out, else_branch, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            render_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::ForEach { var, list, body } => {
+            let _ = writeln!(out, "for ({var} of {}) {{", expr(list));
+            render_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Emit { event, payload } => {
+            let _ = writeln!(out, "emit({event:?}, {});", expr(payload));
+        }
+        Stmt::Register { event, function } => {
+            let _ = writeln!(out, "register({event:?}, {function});");
+        }
+        Stmt::Unregister { event, function } => {
+            let _ = writeln!(out, "unregister({event:?}, {function});");
+        }
+        Stmt::Respond(e) => {
+            let _ = writeln!(out, "respond({});", expr(e));
+        }
+        Stmt::TxStart { ctx, on_done } => {
+            let _ = writeln!(out, "tx_start(ctx={}) -> {on_done};", expr(ctx));
+        }
+        Stmt::TxGet {
+            tx,
+            key,
+            ctx,
+            on_done,
+        } => {
+            let _ = writeln!(
+                out,
+                "GET({}, {}, ctx={}) -> {on_done};",
+                expr(tx),
+                expr(key),
+                expr(ctx)
+            );
+        }
+        Stmt::TxPut {
+            tx,
+            key,
+            value,
+            ctx,
+            on_done,
+        } => {
+            let _ = writeln!(
+                out,
+                "PUT({}, {}, {}, ctx={}) -> {on_done};",
+                expr(tx),
+                expr(key),
+                expr(value),
+                expr(ctx)
+            );
+        }
+        Stmt::TxCommit { tx, ctx, on_done } => {
+            let _ = writeln!(out, "tx_commit({}, ctx={}) -> {on_done};", expr(tx), expr(ctx));
+        }
+        Stmt::TxAbort { tx, ctx, on_done } => {
+            let _ = writeln!(out, "tx_abort({}, ctx={}) -> {on_done};", expr(tx), expr(ctx));
+        }
+        Stmt::ListenerCount { var, event } => {
+            let _ = writeln!(out, "let {var} = listenerCount({event:?});");
+        }
+        Stmt::Nondet { var, kind } => match kind {
+            NondetKind::Counter => {
+                let _ = writeln!(out, "let {var} = now();");
+            }
+            NondetKind::Random { bound } => {
+                let _ = writeln!(out, "let {var} = random({bound});");
+            }
+        },
+    }
+}
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Renders an expression.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Local(name) => name.clone(),
+        Expr::SharedRead(name) => name.clone(),
+        Expr::Bin(op, a, b) => format!("({} {} {})", expr(a), binop(*op), expr(b)),
+        Expr::Not(a) => format!("!{}", expr(a)),
+        Expr::Field(a, name) => format!("{}.{name}", expr(a)),
+        Expr::Index(a, i) => format!("{}[{}]", expr(a), expr(i)),
+        Expr::Len(a) => format!("len({})", expr(a)),
+        Expr::Contains(a, b) => format!("contains({}, {})", expr(a), expr(b)),
+        Expr::ListLit(items) => {
+            let inner: Vec<String> = items.iter().map(expr).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Expr::MapLit(pairs) => {
+            let inner: Vec<String> =
+                pairs.iter().map(|(k, v)| format!("{k}: {}", expr(v))).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::MapInsert(m, k, v) => {
+            format!("insert({}, {}, {})", expr(m), expr(k), expr(v))
+        }
+        Expr::MapRemove(m, k) => format!("remove({}, {})", expr(m), expr(k)),
+        Expr::ListPush(l, v) => format!("push({}, {})", expr(l), expr(v)),
+        Expr::Keys(m) => format!("keys({})", expr(m)),
+        Expr::Digest(a) => format!("digest({})", expr(a)),
+        Expr::ToStr(a) => format!("str({})", expr(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::dsl::*;
+    use crate::ast::ProgramBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_a_small_program() {
+        let mut b = ProgramBuilder::new();
+        b.shared_var("x", Value::Int(0), true);
+        b.function(
+            "handle",
+            vec![
+                iff(
+                    eq(field(payload(), "op"), lit("get")),
+                    vec![respond(sread("x"))],
+                    vec![swrite("x", add(sread("x"), lit(1i64))), respond(lit("ok"))],
+                ),
+                emit("done", null()),
+            ],
+        );
+        b.function("on_done", vec![]);
+        b.request_handler("handle");
+        b.global_registration("done", "on_done");
+        let p = b.build().unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("loggable var x = 0;"));
+        assert!(s.contains("on request -> handle;"));
+        assert!(s.contains("on \"done\" -> on_done;"));
+        assert!(s.contains("if ((payload.op == \"get\")) {"));
+        assert!(s.contains("x := (x + 1);"));
+        assert!(s.contains("emit(\"done\", null);"));
+    }
+
+    #[test]
+    fn renders_transactional_statements() {
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![tx_start(payload(), "next")]);
+        b.function(
+            "next",
+            vec![
+                tx_get(field(payload(), "tx"), lit("k"), null(), "got"),
+                listener_count("n", "ev"),
+                nondet_counter("t"),
+            ],
+        );
+        b.function("got", vec![respond(lit(1i64))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("tx_start(ctx=payload) -> next;"));
+        assert!(s.contains("GET(payload.tx, \"k\", ctx=null) -> got;"));
+        assert!(s.contains("let n = listenerCount(\"ev\");"));
+        assert!(s.contains("let t = now();"));
+    }
+
+    #[test]
+    fn all_apps_render_without_panicking() {
+        // Exercised against the real evaluation programs, which cover
+        // every statement and expression form.
+        // (Apps live in a higher crate; build a representative here.)
+        let mut b = ProgramBuilder::new();
+        b.shared_var("m", Value::empty_map(), true);
+        b.function(
+            "handle",
+            vec![
+                let_("l", listv(vec![lit(1i64), lit(2i64)])),
+                for_each("i", local("l"), vec![let_("s", to_str(local("i")))]),
+                while_(lt(len(local("l")), lit(3i64)), vec![let_(
+                    "l",
+                    list_push(local("l"), lit(3i64)),
+                )]),
+                swrite("m", map_remove(map_insert(sread("m"), lit("k"), digest(local("l"))), lit("k"))),
+                respond(keys(sread("m"))),
+            ],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("for (i of l) {"));
+        assert!(s.contains("while ((len(l) < 3)) {"));
+        assert!(s.contains("keys(m)"));
+    }
+}

@@ -1,0 +1,1200 @@
+//! The event-driven server runtime: KEM's dispatch loop, made concrete.
+//!
+//! This module simulates the server of the paper's setting. It owns the
+//! program's shared state, a pending-event set, a pending-database-
+//! operation queue, and a transactional store; a seeded scheduler picks
+//! nondeterministically among enabled actions (dispatch an event,
+//! complete a database operation, admit a request), which is exactly
+//! KEM's nondeterministic dispatch loop (§3) plus the asynchronous I/O
+//! completions of a Node.js-style runtime.
+//!
+//! * Handlers run to completion (KEM assumption); the only
+//!   interleaving points are event dispatch and I/O completion.
+//! * A *closed loop* admission policy keeps at most
+//!   [`ServerConfig::concurrency`] requests in flight — the evaluation's
+//!   "number of concurrent requests" knob (§6).
+//! * Every instrumentation point calls out through
+//!   [`ExecHooks`](crate::ExecHooks); running with
+//!   [`NoopHooks`](crate::NoopHooks) is the *unmodified server* baseline.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use kvstore::{IsolationLevel, Store, StoreStats, TxError, TxnId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ast::{Expr, NondetKind, Program, Stmt};
+use crate::error::RuntimeError;
+use crate::hooks::{ExecHooks, TxOpKind, TxOpRecord};
+use crate::ids::{FunctionId, HandlerId, RequestId, VarId};
+use crate::trace::Trace;
+use crate::value::Value;
+
+/// The function id reserved for the initialization activation `I` (§3).
+pub const INIT_FUNCTION: FunctionId = FunctionId(u32::MAX);
+
+/// The handler id of the initialization activation `I`.
+pub fn init_handler_id() -> HandlerId {
+    HandlerId::root(INIT_FUNCTION)
+}
+
+/// How the scheduler picks the next action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Uniformly random among enabled actions, seeded — the live server.
+    Random {
+        /// RNG seed; different seeds explore different interleavings.
+        seed: u64,
+    },
+    /// Strict FIFO, admitting a request only when idle — the sequential
+    /// re-execution baseline's schedule.
+    Fifo,
+}
+
+/// Configuration of a server run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Closed-loop window: maximum requests in flight.
+    pub concurrency: usize,
+    /// Isolation level of the transactional store.
+    pub isolation: IsolationLevel,
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Guard against runaway `While` loops (iterations per loop).
+    pub loop_limit: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            concurrency: 1,
+            isolation: IsolationLevel::Serializable,
+            policy: SchedPolicy::Random { seed: 0 },
+            loop_limit: 1_000_000,
+        }
+    }
+}
+
+/// The outcome of a server run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The collector's ground-truth trace.
+    pub trace: Trace,
+    /// Store operation counters (commits, aborts, conflicts, …).
+    pub store_stats: StoreStats,
+    /// The store's binlog: committed writes in commit order. The paper
+    /// repurposes MySQL's binlog as the write-order advice (§5); the
+    /// Karousos collector post-processes this the same way.
+    pub binlog: kvstore::Binlog,
+    /// Scheduler steps taken.
+    pub steps: u64,
+    /// Handler activations executed.
+    pub activations: u64,
+}
+
+/// A queued handler activation.
+#[derive(Debug, Clone)]
+struct Activation {
+    rid: RequestId,
+    hid: HandlerId,
+    function: FunctionId,
+    payload: Value,
+}
+
+/// A pending event: the activations its dispatch will run, resolved at
+/// emit time (registrations are captured when the event is emitted).
+#[derive(Debug, Clone)]
+struct PendingEvent {
+    activations: Vec<Activation>,
+}
+
+/// A pending asynchronous database operation.
+#[derive(Debug, Clone)]
+struct PendingDb {
+    rid: RequestId,
+    parent: HandlerId,
+    opnum: u32,
+    kind: TxOpKind,
+    txn: Option<TxnId>,
+    key: Option<String>,
+    value: Option<Value>,
+    ctx: Value,
+    on_done: FunctionId,
+}
+
+/// Per-activation interpreter context.
+struct Frame {
+    rid: RequestId,
+    hid: HandlerId,
+    opnum: u32,
+    locals: BTreeMap<String, Value>,
+}
+
+/// The simulated server.
+pub struct Runtime<'p> {
+    program: &'p Program,
+    cfg: ServerConfig,
+    vars: Vec<Value>,
+    request_regs: HashMap<RequestId, Vec<(String, FunctionId)>>,
+    pending_events: VecDeque<PendingEvent>,
+    pending_db: VecDeque<PendingDb>,
+    store: Store<Value>,
+    txnums: HashMap<TxnId, u32>,
+    responded: HashMap<RequestId, bool>,
+    in_flight: usize,
+    trace: Trace,
+    nondet_counter: i64,
+    nondet_rng: SmallRng,
+    sched_rng: SmallRng,
+    steps: u64,
+    activations: u64,
+}
+
+/// Runs `program` against `inputs` under `cfg`, reporting through
+/// `hooks`. Returns the trace and run statistics.
+///
+/// This is the main entry point for simulating a server (modified or
+/// not). Errors indicate application bugs (see [`RuntimeError`]), never
+/// audit failures.
+pub fn run_server<H: ExecHooks>(
+    program: &Program,
+    inputs: &[Value],
+    cfg: &ServerConfig,
+    hooks: &mut H,
+) -> Result<RunOutput, RuntimeError> {
+    let mut rt = Runtime::new(program, *cfg);
+    rt.init_shared_state(hooks);
+    rt.run(inputs, hooks)?;
+    Ok(RunOutput {
+        trace: rt.trace,
+        store_stats: rt.store.stats(),
+        binlog: rt.store.binlog().clone(),
+        steps: rt.steps,
+        activations: rt.activations,
+    })
+}
+
+impl<'p> Runtime<'p> {
+    /// Creates a runtime with empty state.
+    pub fn new(program: &'p Program, cfg: ServerConfig) -> Self {
+        let seed = match cfg.policy {
+            SchedPolicy::Random { seed } => seed,
+            SchedPolicy::Fifo => 0,
+        };
+        Runtime {
+            program,
+            cfg,
+            vars: Vec::new(),
+            request_regs: HashMap::new(),
+            pending_events: VecDeque::new(),
+            pending_db: VecDeque::new(),
+            store: Store::new(cfg.isolation),
+            txnums: HashMap::new(),
+            responded: HashMap::new(),
+            in_flight: 0,
+            trace: Trace::new(),
+            nondet_counter: 0,
+            nondet_rng: SmallRng::seed_from_u64(seed ^ 0x6e6f_6e64_6574),
+            sched_rng: SmallRng::seed_from_u64(seed),
+            steps: 0,
+            activations: 0,
+        }
+    }
+
+    /// Runs the initialization activation `I`: installs every declared
+    /// shared variable (reporting loggable ones through the hooks, with
+    /// opnums counted over loggable variables in declaration order).
+    pub fn init_shared_state<H: ExecHooks>(&mut self, hooks: &mut H) {
+        let init_hid = init_handler_id();
+        let mut opnum = 0u32;
+        for (i, decl) in self.program.vars.iter().enumerate() {
+            self.vars.push(decl.init.clone());
+            if decl.loggable {
+                opnum += 1;
+                hooks.on_var_init(
+                    VarId(i as u32),
+                    RequestId::INIT,
+                    &init_hid,
+                    opnum,
+                    &decl.init,
+                );
+            }
+        }
+    }
+
+    fn run<H: ExecHooks>(&mut self, inputs: &[Value], hooks: &mut H) -> Result<(), RuntimeError> {
+        let concurrency = self.cfg.concurrency.max(1);
+        let mut next_input = 0usize;
+        loop {
+            let ne = self.pending_events.len();
+            let nd = self.pending_db.len();
+            let can_inject = next_input < inputs.len() && self.in_flight < concurrency;
+            let total = ne + nd + usize::from(can_inject);
+            if total == 0 {
+                if self.in_flight > 0 {
+                    return Err(RuntimeError::new(format!(
+                        "{} request(s) never respond and no work is pending",
+                        self.in_flight
+                    )));
+                }
+                if next_input >= inputs.len() {
+                    return Ok(());
+                }
+                // in_flight == concurrency handled by can_inject above;
+                // here in_flight == 0 and inputs remain, so inject.
+            }
+            self.steps += 1;
+            let choice = match self.cfg.policy {
+                SchedPolicy::Fifo => {
+                    // Drain events, then db ops, then admit.
+                    if ne > 0 {
+                        0
+                    } else if nd > 0 {
+                        ne
+                    } else {
+                        ne + nd
+                    }
+                }
+                SchedPolicy::Random { .. } => self.sched_rng.gen_range(0..total.max(1)),
+            };
+            if choice < ne {
+                let ev = self.pending_events.remove(choice).expect("index in range");
+                for act in ev.activations {
+                    self.run_activation(act, hooks)?;
+                }
+            } else if choice < ne + nd {
+                let db = self.pending_db.remove(choice - ne).expect("index in range");
+                self.process_db(db, hooks)?;
+            } else {
+                // Inject the next request.
+                let rid = RequestId(next_input as u64);
+                let input = inputs[next_input].clone();
+                next_input += 1;
+                self.in_flight += 1;
+                self.responded.insert(rid, false);
+                self.trace.push_request(rid, input.clone());
+                hooks.on_request(rid, &input);
+                let activations = self
+                    .program
+                    .request_handlers
+                    .iter()
+                    .map(|&f| Activation {
+                        rid,
+                        hid: HandlerId::root(FunctionId(f)),
+                        function: FunctionId(f),
+                        payload: input.clone(),
+                    })
+                    .collect();
+                self.pending_events.push_back(PendingEvent { activations });
+            }
+        }
+    }
+
+    fn run_activation<H: ExecHooks>(
+        &mut self,
+        act: Activation,
+        hooks: &mut H,
+    ) -> Result<(), RuntimeError> {
+        self.activations += 1;
+        hooks.on_handler_start(act.rid, &act.hid);
+        let mut frame = Frame {
+            rid: act.rid,
+            hid: act.hid,
+            opnum: 0,
+            locals: BTreeMap::from([("payload".to_string(), act.payload)]),
+        };
+        let body = &self.program.functions[act.function.0 as usize].body;
+        self.exec_block(&mut frame, body, hooks)?;
+        hooks.on_handler_end(frame.rid, &frame.hid, frame.opnum);
+        Ok(())
+    }
+
+    fn exec_block<H: ExecHooks>(
+        &mut self,
+        frame: &mut Frame,
+        stmts: &[Stmt],
+        hooks: &mut H,
+    ) -> Result<(), RuntimeError> {
+        for stmt in stmts {
+            self.exec_stmt(frame, stmt, hooks)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt<H: ExecHooks>(
+        &mut self,
+        frame: &mut Frame,
+        stmt: &Stmt,
+        hooks: &mut H,
+    ) -> Result<(), RuntimeError> {
+        match stmt {
+            Stmt::Let(name, e) => {
+                let v = self.eval(frame, e, hooks)?;
+                frame.locals.insert(name.clone(), v);
+            }
+            Stmt::SharedWrite(name, e) => {
+                let v = self.eval(frame, e, hooks)?;
+                let var = self
+                    .program
+                    .var_id(name)
+                    .ok_or_else(|| RuntimeError::new(format!("unknown shared var {name:?}")))?;
+                if self.program.var(var).loggable {
+                    frame.opnum += 1;
+                    hooks.on_var_write(var, frame.rid, &frame.hid, frame.opnum, &v);
+                }
+                self.vars[var.0 as usize] = v;
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let taken = self.eval(frame, cond, hooks)?.truthy();
+                hooks.on_branch(frame.rid, &frame.hid, taken);
+                let branch = if taken { then_branch } else { else_branch };
+                self.exec_block(frame, branch, hooks)?;
+            }
+            Stmt::While { cond, body } => {
+                let mut iters = 0u32;
+                loop {
+                    let taken = self.eval(frame, cond, hooks)?.truthy();
+                    hooks.on_branch(frame.rid, &frame.hid, taken);
+                    if !taken {
+                        break;
+                    }
+                    iters += 1;
+                    if iters > self.cfg.loop_limit {
+                        return Err(RuntimeError::new("while loop exceeded iteration limit"));
+                    }
+                    self.exec_block(frame, body, hooks)?;
+                }
+            }
+            Stmt::ForEach { var, list, body } => {
+                let list_v = self.eval(frame, list, hooks)?;
+                let items = list_v
+                    .as_list()
+                    .ok_or_else(|| RuntimeError::type_error("for-each", &list_v))?
+                    .to_vec();
+                for item in items {
+                    hooks.on_branch(frame.rid, &frame.hid, true);
+                    frame.locals.insert(var.clone(), item);
+                    self.exec_block(frame, body, hooks)?;
+                }
+                hooks.on_branch(frame.rid, &frame.hid, false);
+            }
+            Stmt::Emit { event, payload } => {
+                let payload = self.eval(frame, payload, hooks)?;
+                frame.opnum += 1;
+                let fns = self.registered_for(frame.rid, event);
+                let activations: Vec<Activation> = fns
+                    .iter()
+                    .map(|&f| Activation {
+                        rid: frame.rid,
+                        hid: HandlerId::child(&frame.hid, f, frame.opnum),
+                        function: f,
+                        payload: payload.clone(),
+                    })
+                    .collect();
+                let hids: Vec<HandlerId> = activations.iter().map(|a| a.hid.clone()).collect();
+                hooks.on_emit(frame.rid, &frame.hid, frame.opnum, event, &hids);
+                if !activations.is_empty() {
+                    self.pending_events.push_back(PendingEvent { activations });
+                }
+            }
+            Stmt::Register { event, function } => {
+                let f = self.resolve_fn(function)?;
+                frame.opnum += 1;
+                let regs = self.request_regs.entry(frame.rid).or_default();
+                if regs.iter().any(|(e, g)| e == event && *g == f)
+                    || self
+                        .program
+                        .global_registrations
+                        .iter()
+                        .any(|(e, g)| e == event && FunctionId(*g) == f)
+                {
+                    return Err(RuntimeError::new(format!(
+                        "function {function:?} already registered for event {event:?}"
+                    )));
+                }
+                regs.push((event.clone(), f));
+                hooks.on_register(frame.rid, &frame.hid, frame.opnum, event, f);
+            }
+            Stmt::Unregister { event, function } => {
+                let f = self.resolve_fn(function)?;
+                frame.opnum += 1;
+                if let Some(regs) = self.request_regs.get_mut(&frame.rid) {
+                    regs.retain(|(e, g)| !(e == event && *g == f));
+                }
+                hooks.on_unregister(frame.rid, &frame.hid, frame.opnum, event, f);
+            }
+            Stmt::Respond(e) => {
+                let v = self.eval(frame, e, hooks)?;
+                match self.responded.get_mut(&frame.rid) {
+                    Some(done) if !*done => *done = true,
+                    Some(_) => {
+                        return Err(RuntimeError::new(format!(
+                            "request {} responded twice",
+                            frame.rid
+                        )))
+                    }
+                    None => {
+                        return Err(RuntimeError::new(format!(
+                            "response for unknown request {}",
+                            frame.rid
+                        )))
+                    }
+                }
+                hooks.on_respond(frame.rid, &frame.hid, frame.opnum, &v);
+                self.trace.push_response(frame.rid, v);
+                self.in_flight -= 1;
+            }
+            Stmt::TxStart { ctx, on_done } => {
+                let ctx = self.eval(frame, ctx, hooks)?;
+                let on_done = self.resolve_fn(on_done)?;
+                frame.opnum += 1;
+                self.pending_db.push_back(PendingDb {
+                    rid: frame.rid,
+                    parent: frame.hid.clone(),
+                    opnum: frame.opnum,
+                    kind: TxOpKind::Start,
+                    txn: None,
+                    key: None,
+                    value: None,
+                    ctx,
+                    on_done,
+                });
+            }
+            Stmt::TxGet {
+                tx,
+                key,
+                ctx,
+                on_done,
+            } => {
+                self.queue_tx_op(
+                    frame,
+                    TxOpKind::Get,
+                    tx,
+                    Some(key),
+                    None,
+                    ctx,
+                    on_done,
+                    hooks,
+                )?;
+            }
+            Stmt::TxPut {
+                tx,
+                key,
+                value,
+                ctx,
+                on_done,
+            } => {
+                self.queue_tx_op(
+                    frame,
+                    TxOpKind::Put,
+                    tx,
+                    Some(key),
+                    Some(value),
+                    ctx,
+                    on_done,
+                    hooks,
+                )?;
+            }
+            Stmt::TxCommit { tx, ctx, on_done } => {
+                self.queue_tx_op(frame, TxOpKind::Commit, tx, None, None, ctx, on_done, hooks)?;
+            }
+            Stmt::TxAbort { tx, ctx, on_done } => {
+                self.queue_tx_op(frame, TxOpKind::Abort, tx, None, None, ctx, on_done, hooks)?;
+            }
+            Stmt::ListenerCount { var, event } => {
+                frame.opnum += 1;
+                let count = self.registered_for(frame.rid, event).len() as i64;
+                hooks.on_check_op(frame.rid, &frame.hid, frame.opnum, event, count);
+                frame.locals.insert(var.clone(), Value::Int(count));
+            }
+            Stmt::Nondet { var, kind } => {
+                frame.opnum += 1;
+                let generated = match kind {
+                    NondetKind::Counter => {
+                        self.nondet_counter += 1;
+                        Value::Int(self.nondet_counter)
+                    }
+                    NondetKind::Random { bound } => {
+                        Value::Int(self.nondet_rng.gen_range(0..(*bound).max(1)))
+                    }
+                };
+                let v = hooks
+                    .on_nondet(frame.rid, &frame.hid, frame.opnum, &generated)
+                    .unwrap_or(generated);
+                frame.locals.insert(var.clone(), v);
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn queue_tx_op<H: ExecHooks>(
+        &mut self,
+        frame: &mut Frame,
+        kind: TxOpKind,
+        tx: &Expr,
+        key: Option<&Expr>,
+        value: Option<&Expr>,
+        ctx: &Expr,
+        on_done: &str,
+        hooks: &mut H,
+    ) -> Result<(), RuntimeError> {
+        let tx_v = self.eval(frame, tx, hooks)?;
+        let txn = tx_v
+            .as_int()
+            .map(|i| TxnId(i as u64))
+            .ok_or_else(|| RuntimeError::type_error("transaction token", &tx_v))?;
+        let key = match key {
+            Some(k) => {
+                let kv = self.eval(frame, k, hooks)?;
+                Some(
+                    kv.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| RuntimeError::type_error("row key", &kv))?,
+                )
+            }
+            None => None,
+        };
+        let value = match value {
+            Some(v) => Some(self.eval(frame, v, hooks)?),
+            None => None,
+        };
+        let ctx = self.eval(frame, ctx, hooks)?;
+        let on_done = self.resolve_fn(on_done)?;
+        frame.opnum += 1;
+        self.pending_db.push_back(PendingDb {
+            rid: frame.rid,
+            parent: frame.hid.clone(),
+            opnum: frame.opnum,
+            kind,
+            txn: Some(txn),
+            key,
+            value,
+            ctx,
+            on_done,
+        });
+        Ok(())
+    }
+
+    fn process_db<H: ExecHooks>(
+        &mut self,
+        db: PendingDb,
+        hooks: &mut H,
+    ) -> Result<(), RuntimeError> {
+        let mut record = TxOpRecord {
+            kind: db.kind,
+            effective_abort: false,
+            txn: TxnId(0),
+            txnum: 0,
+            key: db.key.clone(),
+            value: None,
+            found: false,
+            writer: None,
+        };
+        let mut payload = BTreeMap::from([("ctx".to_string(), db.ctx.clone())]);
+        match db.kind {
+            TxOpKind::Start => {
+                let txn = self.store.begin();
+                self.txnums.insert(txn, 0);
+                record.txn = txn;
+                payload.insert("ok".into(), Value::Bool(true));
+                payload.insert("tx".into(), Value::Int(txn.0 as i64));
+            }
+            _ => {
+                let txn = db.txn.expect("non-start ops carry a token");
+                let txnum = match self.txnums.get_mut(&txn) {
+                    Some(n) => {
+                        *n += 1;
+                        *n
+                    }
+                    None => {
+                        return Err(RuntimeError::new(format!(
+                            "operation on unknown transaction {txn}"
+                        )))
+                    }
+                };
+                record.txn = txn;
+                record.txnum = txnum;
+                payload.insert("tx".into(), Value::Int(txn.0 as i64));
+                let outcome: Result<(), TxError> = match db.kind {
+                    TxOpKind::Get => {
+                        let key = db.key.as_deref().expect("GET carries a key");
+                        match self.store.get(txn, key) {
+                            Ok(r) => {
+                                record.found = r.value.is_some();
+                                record.value = r.value.clone();
+                                record.writer = r.writer;
+                                payload.insert("found".into(), Value::Bool(record.found));
+                                payload.insert("value".into(), r.value.unwrap_or(Value::Null));
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                    TxOpKind::Put => {
+                        let key = db.key.as_deref().expect("PUT carries a key");
+                        let value = db.value.clone().expect("PUT carries a value");
+                        record.value = Some(value.clone());
+                        self.store.put(txn, key, value, txnum)
+                    }
+                    TxOpKind::Commit => self.store.commit(txn),
+                    TxOpKind::Abort => self.store.abort(txn),
+                    TxOpKind::Start => unreachable!("handled above"),
+                };
+                match outcome {
+                    Ok(()) => {
+                        payload.insert("ok".into(), Value::Bool(true));
+                    }
+                    Err(TxError::Conflict { .. }) => {
+                        record.effective_abort = true;
+                        record.value = None;
+                        record.found = false;
+                        record.writer = None;
+                        payload.insert("ok".into(), Value::Bool(false));
+                    }
+                    Err(e) => {
+                        return Err(RuntimeError::new(format!(
+                            "transactional operation failed: {e}"
+                        )))
+                    }
+                }
+            }
+        }
+        let child = HandlerId::child(&db.parent, db.on_done, db.opnum);
+        hooks.on_tx_op(db.rid, &db.parent, db.opnum, &record, &child);
+        self.pending_events.push_back(PendingEvent {
+            activations: vec![Activation {
+                rid: db.rid,
+                hid: child,
+                function: db.on_done,
+                payload: Value::from_map(payload),
+            }],
+        });
+        Ok(())
+    }
+
+    fn registered_for(&self, rid: RequestId, event: &str) -> Vec<FunctionId> {
+        let mut out: Vec<FunctionId> = self
+            .program
+            .global_registrations
+            .iter()
+            .filter(|(e, _)| e == event)
+            .map(|(_, f)| FunctionId(*f))
+            .collect();
+        if let Some(regs) = self.request_regs.get(&rid) {
+            out.extend(regs.iter().filter(|(e, _)| e == event).map(|(_, f)| *f));
+        }
+        out
+    }
+
+    fn resolve_fn(&self, name: &str) -> Result<FunctionId, RuntimeError> {
+        self.program
+            .function_id(name)
+            .ok_or_else(|| RuntimeError::new(format!("unknown function {name:?}")))
+    }
+
+    fn eval<H: ExecHooks>(
+        &mut self,
+        frame: &mut Frame,
+        expr: &Expr,
+        hooks: &mut H,
+    ) -> Result<Value, RuntimeError> {
+        Ok(match expr {
+            Expr::Const(v) => v.clone(),
+            Expr::Local(name) => frame
+                .locals
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RuntimeError::new(format!("unknown local {name:?}")))?,
+            Expr::SharedRead(name) => {
+                let var = self
+                    .program
+                    .var_id(name)
+                    .ok_or_else(|| RuntimeError::new(format!("unknown shared var {name:?}")))?;
+                let v = self.vars[var.0 as usize].clone();
+                if self.program.var(var).loggable {
+                    frame.opnum += 1;
+                    hooks.on_var_read(var, frame.rid, &frame.hid, frame.opnum, &v);
+                }
+                v
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(frame, a, hooks)?;
+                let b = self.eval(frame, b, hooks)?;
+                crate::ops::eval_binop(*op, &a, &b)?
+            }
+            Expr::Not(a) => Value::Bool(!self.eval(frame, a, hooks)?.truthy()),
+            Expr::Field(a, name) => {
+                let a = self.eval(frame, a, hooks)?;
+                a.field(name).cloned().unwrap_or(Value::Null)
+            }
+            Expr::Index(a, i) => {
+                let a = self.eval(frame, a, hooks)?;
+                let i = self.eval(frame, i, hooks)?;
+                crate::ops::eval_index(&a, &i)?
+            }
+            Expr::Len(a) => {
+                let a = self.eval(frame, a, hooks)?;
+                crate::ops::eval_len(&a)?
+            }
+            Expr::Contains(a, b) => {
+                let a = self.eval(frame, a, hooks)?;
+                let b = self.eval(frame, b, hooks)?;
+                crate::ops::eval_contains(&a, &b)?
+            }
+            Expr::ListLit(items) => Value::from_vec(
+                items
+                    .iter()
+                    .map(|e| self.eval(frame, e, hooks))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::MapLit(pairs) => {
+                let mut m = BTreeMap::new();
+                for (k, e) in pairs {
+                    m.insert(k.clone(), self.eval(frame, e, hooks)?);
+                }
+                Value::from_map(m)
+            }
+            Expr::MapInsert(m, k, v) => {
+                let m_v = self.eval(frame, m, hooks)?;
+                let k_v = self.eval(frame, k, hooks)?;
+                let v_v = self.eval(frame, v, hooks)?;
+                crate::ops::eval_map_insert(&m_v, &k_v, &v_v)?
+            }
+            Expr::MapRemove(m, k) => {
+                let m_v = self.eval(frame, m, hooks)?;
+                let k_v = self.eval(frame, k, hooks)?;
+                crate::ops::eval_map_remove(&m_v, &k_v)?
+            }
+            Expr::ListPush(l, v) => {
+                let l_v = self.eval(frame, l, hooks)?;
+                let v_v = self.eval(frame, v, hooks)?;
+                crate::ops::eval_list_push(&l_v, &v_v)?
+            }
+            Expr::Keys(m) => {
+                let m_v = self.eval(frame, m, hooks)?;
+                crate::ops::eval_keys(&m_v)?
+            }
+            Expr::Digest(e) => {
+                let v = self.eval(frame, e, hooks)?;
+                crate::ops::eval_digest(&v)
+            }
+            Expr::ToStr(e) => {
+                let v = self.eval(frame, e, hooks)?;
+                crate::ops::eval_to_str(&v)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::dsl::*;
+    use crate::ast::ProgramBuilder;
+    use crate::hooks::NoopHooks;
+
+    /// An echo program: responds with `{echo: payload.x}`.
+    fn echo_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![respond(mapv(vec![("echo", field(payload(), "x"))]))],
+        );
+        b.request_handler("handle");
+        b.build().unwrap()
+    }
+
+    fn run_simple(program: &Program, inputs: &[Value]) -> RunOutput {
+        run_server(program, inputs, &ServerConfig::default(), &mut NoopHooks).unwrap()
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let p = echo_program();
+        let out = run_simple(&p, &[Value::map([("x", Value::int(7))])]);
+        assert!(out.trace.is_balanced());
+        assert_eq!(
+            out.trace.output_of(RequestId(0)),
+            Some(&Value::map([("echo", Value::int(7))]))
+        );
+    }
+
+    #[test]
+    fn shared_state_persists_across_requests() {
+        let mut b = ProgramBuilder::new();
+        b.shared_var("count", Value::Int(0), true);
+        b.function(
+            "handle",
+            vec![
+                swrite("count", add(sread("count"), lit(1i64))),
+                respond(sread("count")),
+            ],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let inputs = vec![Value::Null; 3];
+        let out = run_simple(&p, &inputs);
+        // FIFO-ish with concurrency 1 under Random policy still runs
+        // requests one at a time at window 1, so counts are 1,2,3.
+        let outs: Vec<_> = (0..3)
+            .map(|i| out.trace.output_of(RequestId(i)).unwrap().clone())
+            .collect();
+        assert_eq!(outs, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn emit_activates_registered_handler() {
+        let mut b = ProgramBuilder::new();
+        b.shared_var("log", Value::list([]), false);
+        b.function(
+            "handle",
+            vec![register("boom", "on_boom"), emit("boom", lit("hi"))],
+        );
+        b.function("on_boom", vec![respond(payload())]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let out = run_simple(&p, &[Value::Null]);
+        assert_eq!(out.trace.output_of(RequestId(0)), Some(&Value::str("hi")));
+        assert_eq!(out.activations, 2);
+    }
+
+    #[test]
+    fn unregister_prevents_activation() {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![
+                register("boom", "on_boom"),
+                unregister("boom", "on_boom"),
+                emit("boom", lit("hi")),
+                respond(lit("done")),
+            ],
+        );
+        b.function("on_boom", vec![]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let out = run_simple(&p, &[Value::Null]);
+        assert_eq!(out.activations, 1, "on_boom must not run");
+    }
+
+    #[test]
+    fn global_registration_fires_for_every_request() {
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![emit("tick", field(payload(), "n"))]);
+        b.function("on_tick", vec![respond(payload())]);
+        b.request_handler("handle");
+        b.global_registration("tick", "on_tick");
+        let p = b.build().unwrap();
+        let out = run_simple(
+            &p,
+            &[
+                Value::map([("n", Value::int(1))]),
+                Value::map([("n", Value::int(2))]),
+            ],
+        );
+        assert_eq!(out.trace.output_of(RequestId(0)), Some(&Value::int(1)));
+        assert_eq!(out.trace.output_of(RequestId(1)), Some(&Value::int(2)));
+    }
+
+    #[test]
+    fn double_register_is_an_app_error() {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![register("e", "f"), register("e", "f"), respond(lit(1i64))],
+        );
+        b.function("f", vec![]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let err =
+            run_server(&p, &[Value::Null], &ServerConfig::default(), &mut NoopHooks).unwrap_err();
+        assert!(err.message.contains("already registered"));
+    }
+
+    #[test]
+    fn double_respond_is_an_app_error() {
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![respond(lit(1i64)), respond(lit(2i64))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let err =
+            run_server(&p, &[Value::Null], &ServerConfig::default(), &mut NoopHooks).unwrap_err();
+        assert!(err.message.contains("twice"));
+    }
+
+    #[test]
+    fn missing_response_detected() {
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let err =
+            run_server(&p, &[Value::Null], &ServerConfig::default(), &mut NoopHooks).unwrap_err();
+        assert!(err.message.contains("never respond"));
+    }
+
+    #[test]
+    fn transaction_round_trip() {
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![tx_start(payload(), "do_put")]);
+        b.function(
+            "do_put",
+            vec![tx_put(
+                field(payload(), "tx"),
+                lit("k"),
+                field(field(payload(), "ctx"), "v"),
+                field(payload(), "tx"),
+                "do_commit",
+            )],
+        );
+        b.function(
+            "do_commit",
+            vec![tx_commit(field(payload(), "ctx"), null(), "done")],
+        );
+        b.function("done", vec![respond(field(payload(), "ok"))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let out = run_simple(&p, &[Value::map([("v", Value::int(42))])]);
+        assert_eq!(out.trace.output_of(RequestId(0)), Some(&Value::Bool(true)));
+        assert_eq!(out.store_stats.committed, 1);
+    }
+
+    #[test]
+    fn get_sees_prior_committed_put() {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![iff(
+                eq(field(payload(), "op"), lit("put")),
+                vec![tx_start(payload(), "w1")],
+                vec![tx_start(payload(), "r1")],
+            )],
+        );
+        b.function(
+            "w1",
+            vec![tx_put(
+                field(payload(), "tx"),
+                lit("k"),
+                field(field(payload(), "ctx"), "v"),
+                null(),
+                "w2",
+            )],
+        );
+        b.function(
+            "w2",
+            vec![tx_commit(field(payload(), "tx"), null(), "done_put")],
+        );
+        b.function("done_put", vec![respond(lit("ok"))]);
+        b.function(
+            "r1",
+            vec![tx_get(field(payload(), "tx"), lit("k"), null(), "r2")],
+        );
+        b.function(
+            "r2",
+            vec![
+                let_("v", field(payload(), "value")),
+                tx_commit(field(payload(), "tx"), local("v"), "done_get"),
+            ],
+        );
+        b.function("done_get", vec![respond(field(payload(), "ctx"))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let inputs = vec![
+            Value::map([("op", Value::str("put")), ("v", Value::int(9))]),
+            Value::map([("op", Value::str("get"))]),
+        ];
+        let out = run_simple(&p, &inputs);
+        assert_eq!(out.trace.output_of(RequestId(1)), Some(&Value::int(9)));
+    }
+
+    #[test]
+    fn nondet_counter_is_monotonic() {
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![nondet_counter("t"), respond(local("t"))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let out = run_simple(&p, &[Value::Null, Value::Null]);
+        let a = out.trace.output_of(RequestId(0)).unwrap().as_int().unwrap();
+        let b_ = out.trace.output_of(RequestId(1)).unwrap().as_int().unwrap();
+        assert!(b_ > a);
+    }
+
+    #[test]
+    fn random_seeds_are_reproducible() {
+        let p = echo_program();
+        let cfg = ServerConfig {
+            concurrency: 4,
+            policy: SchedPolicy::Random { seed: 42 },
+            ..Default::default()
+        };
+        let inputs: Vec<Value> = (0..20)
+            .map(|i| Value::map([("x", Value::int(i))]))
+            .collect();
+        let a = run_server(&p, &inputs, &cfg, &mut NoopHooks).unwrap();
+        let b = run_server(&p, &inputs, &cfg, &mut NoopHooks).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn different_seeds_can_reorder_responses() {
+        // With concurrency, arrival interleaving differs across seeds.
+        let mut b = ProgramBuilder::new();
+        b.shared_var("n", Value::Int(0), false);
+        b.function(
+            "handle",
+            vec![swrite("n", add(sread("n"), lit(1i64))), respond(sread("n"))],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let inputs = vec![Value::Null; 10];
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..10u64 {
+            let cfg = ServerConfig {
+                concurrency: 5,
+                policy: SchedPolicy::Random { seed },
+                ..Default::default()
+            };
+            let out = run_server(&p, &inputs, &cfg, &mut NoopHooks).unwrap();
+            let order: Vec<u64> = out
+                .trace
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    crate::TraceEvent::Response { rid, .. } => Some(rid.0),
+                    _ => None,
+                })
+                .collect();
+            seen.insert(order);
+        }
+        assert!(seen.len() > 1, "expected schedule diversity across seeds");
+    }
+
+    #[test]
+    fn foreach_iterates_in_order() {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![
+                let_("acc", lit(0i64)),
+                for_each(
+                    "x",
+                    payload(),
+                    vec![let_("acc", add(local("acc"), local("x")))],
+                ),
+                respond(local("acc")),
+            ],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let out = run_simple(
+            &p,
+            &[Value::list([Value::int(1), Value::int(2), Value::int(3)])],
+        );
+        assert_eq!(out.trace.output_of(RequestId(0)), Some(&Value::int(6)));
+    }
+
+    #[test]
+    fn while_loop_limit_guards() {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![while_(lit(true), vec![]), respond(lit(1i64))],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let cfg = ServerConfig {
+            loop_limit: 10,
+            ..Default::default()
+        };
+        let err = run_server(&p, &[Value::Null], &cfg, &mut NoopHooks).unwrap_err();
+        assert!(err.message.contains("iteration limit"));
+    }
+
+    #[test]
+    fn binop_semantics() {
+        use crate::ast::BinOp::{self, *};
+        use crate::ops::eval_binop;
+        let _ = BinOp::Add;
+        assert_eq!(
+            eval_binop(Add, &Value::int(2), &Value::int(3)).unwrap(),
+            Value::int(5)
+        );
+        assert_eq!(
+            eval_binop(Add, &Value::str("a"), &Value::str("b")).unwrap(),
+            Value::str("ab")
+        );
+        assert_eq!(
+            eval_binop(
+                Add,
+                &Value::list([Value::int(1)]),
+                &Value::list([Value::int(2)])
+            )
+            .unwrap(),
+            Value::list([Value::int(1), Value::int(2)])
+        );
+        assert!(eval_binop(Div, &Value::int(1), &Value::int(0)).is_err());
+        assert_eq!(
+            eval_binop(Lt, &Value::str("a"), &Value::str("b")).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_binop(Eq, &Value::Null, &Value::Null).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval_binop(Lt, &Value::Null, &Value::int(1)).is_err());
+    }
+
+    #[test]
+    fn conflict_yields_ok_false() {
+        // Two concurrent requests put the same key: the second PUT to be
+        // processed conflicts and its continuation sees ok:false.
+        let mut b = ProgramBuilder::new();
+        b.function("handle", vec![tx_start(null(), "w")]);
+        b.function(
+            "w",
+            vec![tx_put(
+                field(payload(), "tx"),
+                lit("k"),
+                lit(1i64),
+                null(),
+                "after_put",
+            )],
+        );
+        b.function(
+            "after_put",
+            vec![iff(
+                field(payload(), "ok"),
+                vec![tx_commit(field(payload(), "tx"), null(), "done")],
+                vec![respond(lit("retry"))],
+            )],
+        );
+        b.function("done", vec![respond(lit("ok"))]);
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let inputs = vec![Value::Null, Value::Null];
+        // Find a seed where both transactions are live at once.
+        let mut saw_retry = false;
+        for seed in 0..50u64 {
+            let cfg = ServerConfig {
+                concurrency: 2,
+                policy: SchedPolicy::Random { seed },
+                ..Default::default()
+            };
+            let out = run_server(&p, &inputs, &cfg, &mut NoopHooks).unwrap();
+            let outs: Vec<_> = (0..2)
+                .map(|i| out.trace.output_of(RequestId(i)).unwrap().clone())
+                .collect();
+            if outs.contains(&Value::str("retry")) {
+                saw_retry = true;
+                break;
+            }
+        }
+        assert!(saw_retry, "expected at least one conflicting schedule");
+    }
+}

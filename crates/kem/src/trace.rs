@@ -1,0 +1,206 @@
+//! The request/response trace — the collector's ground truth.
+//!
+//! Per Definition 1 of the paper, a trace is an ordered list of request
+//! events `(REQ, rid, x)` and response events `(RESP, rid, y)` in
+//! chronological order. The trace is *trusted*: in deployment it comes
+//! from the collector sitting in front of the server; in this
+//! reproduction the simulated runtime produces it at the server
+//! boundary, which is the same observation point.
+
+use std::collections::BTreeMap;
+
+use crate::ids::RequestId;
+use crate::value::Value;
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A request arrived with the given input.
+    Request {
+        /// Request id.
+        rid: RequestId,
+        /// Input data.
+        input: Value,
+    },
+    /// A response was delivered.
+    Response {
+        /// Request id.
+        rid: RequestId,
+        /// Output data.
+        output: Value,
+    },
+}
+
+impl TraceEvent {
+    /// The request id of this event.
+    pub fn rid(&self) -> RequestId {
+        match self {
+            TraceEvent::Request { rid, .. } | TraceEvent::Response { rid, .. } => *rid,
+        }
+    }
+}
+
+/// A chronological request/response trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a request event.
+    pub fn push_request(&mut self, rid: RequestId, input: Value) {
+        self.events.push(TraceEvent::Request { rid, input });
+    }
+
+    /// Appends a response event.
+    pub fn push_response(&mut self, rid: RequestId, output: Value) {
+        self.events.push(TraceEvent::Response { rid, output });
+    }
+
+    /// All events in chronological order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Mutable access, for adversarial tests that tamper with traces.
+    pub fn events_mut(&mut self) -> &mut Vec<TraceEvent> {
+        &mut self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Request ids in arrival order.
+    pub fn request_ids(&self) -> Vec<RequestId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Request { rid, .. } => Some(*rid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The input of `rid`, if present.
+    pub fn input_of(&self, rid: RequestId) -> Option<&Value> {
+        self.events.iter().find_map(|e| match e {
+            TraceEvent::Request { rid: r, input } if *r == rid => Some(input),
+            _ => None,
+        })
+    }
+
+    /// The output of `rid`, if present.
+    pub fn output_of(&self, rid: RequestId) -> Option<&Value> {
+        self.events.iter().find_map(|e| match e {
+            TraceEvent::Response { rid: r, output } if *r == rid => Some(output),
+            _ => None,
+        })
+    }
+
+    /// All responses, keyed by request id.
+    pub fn responses(&self) -> BTreeMap<RequestId, Value> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Response { rid, output } => Some((*rid, output.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the trace is *balanced*: every request has exactly one
+    /// response, appearing after it, and no stray responses exist
+    /// (checked by the verifier's `Preprocess`, Fig. 14 line 19).
+    pub fn is_balanced(&self) -> bool {
+        let mut open: BTreeMap<RequestId, u32> = BTreeMap::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Request { rid, .. } => {
+                    if open.insert(*rid, 0).is_some() {
+                        return false; // duplicate request id
+                    }
+                }
+                TraceEvent::Response { rid, .. } => match open.get_mut(rid) {
+                    Some(c) if *c == 0 => *c = 1,
+                    _ => return false, // response w/o request, or duplicate
+                },
+            }
+        }
+        open.values().all(|&c| c == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u64) -> RequestId {
+        RequestId(i)
+    }
+
+    #[test]
+    fn balanced_trace() {
+        let mut t = Trace::new();
+        t.push_request(rid(0), Value::int(1));
+        t.push_request(rid(1), Value::int(2));
+        t.push_response(rid(1), Value::int(20));
+        t.push_response(rid(0), Value::int(10));
+        assert!(t.is_balanced());
+        assert_eq!(t.request_ids(), vec![rid(0), rid(1)]);
+        assert_eq!(t.input_of(rid(1)), Some(&Value::int(2)));
+        assert_eq!(t.output_of(rid(0)), Some(&Value::int(10)));
+        assert_eq!(t.responses().len(), 2);
+    }
+
+    #[test]
+    fn unbalanced_missing_response() {
+        let mut t = Trace::new();
+        t.push_request(rid(0), Value::Null);
+        assert!(!t.is_balanced());
+    }
+
+    #[test]
+    fn unbalanced_stray_response() {
+        let mut t = Trace::new();
+        t.push_response(rid(0), Value::Null);
+        assert!(!t.is_balanced());
+    }
+
+    #[test]
+    fn unbalanced_double_response() {
+        let mut t = Trace::new();
+        t.push_request(rid(0), Value::Null);
+        t.push_response(rid(0), Value::Null);
+        t.push_response(rid(0), Value::Null);
+        assert!(!t.is_balanced());
+    }
+
+    #[test]
+    fn unbalanced_duplicate_request() {
+        let mut t = Trace::new();
+        t.push_request(rid(0), Value::Null);
+        t.push_request(rid(0), Value::Null);
+        t.push_response(rid(0), Value::Null);
+        assert!(!t.is_balanced());
+    }
+
+    #[test]
+    fn response_before_request_is_unbalanced() {
+        let mut t = Trace::new();
+        t.push_response(rid(0), Value::Null);
+        t.push_request(rid(0), Value::Null);
+        assert!(!t.is_balanced());
+    }
+}

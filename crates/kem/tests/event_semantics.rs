@@ -1,0 +1,237 @@
+//! KEM event-semantics: the behaviours the verifier's algorithms depend
+//! on (registration capture at emit time, run-to-completion, per-request
+//! registration scoping, closed-loop admission).
+
+use kem::dsl::*;
+use kem::{
+    ExecHooks, HandlerId, NoopHooks, Program, ProgramBuilder, RequestId, SchedPolicy, ServerConfig,
+    TraceEvent, Value,
+};
+
+fn run(p: &Program, inputs: &[Value], cfg: &ServerConfig) -> kem::RunOutput {
+    kem::run_server(p, inputs, cfg, &mut NoopHooks).unwrap()
+}
+
+#[test]
+fn registration_after_emit_does_not_fire() {
+    // The handler set is captured when the event is emitted, exactly as
+    // the verifier reconstructs it from the handler-log order (Fig. 16).
+    let mut b = ProgramBuilder::new();
+    b.function(
+        "handle",
+        vec![
+            emit("ev", lit(1i64)),
+            register("ev", "listener"),
+            respond(lit("done")),
+        ],
+    );
+    b.function("listener", vec![]);
+    b.request_handler("handle");
+    let p = b.build().unwrap();
+    let out = run(&p, &[Value::Null], &ServerConfig::default());
+    assert_eq!(out.activations, 1, "the late listener must not run");
+}
+
+#[test]
+fn registration_before_emit_fires_once_per_registration() {
+    let mut b = ProgramBuilder::new();
+    b.shared_var("hits", Value::Int(0), false);
+    b.function(
+        "handle",
+        vec![
+            register("ev", "listener"),
+            emit("ev", lit(1i64)),
+            emit("ev", lit(2i64)),
+            respond(lit("done")),
+        ],
+    );
+    b.function(
+        "listener",
+        vec![swrite("hits", add(sread("hits"), lit(1i64)))],
+    );
+    b.request_handler("handle");
+    let p = b.build().unwrap();
+    let out = run(&p, &[Value::Null], &ServerConfig::default());
+    // handle + two listener activations.
+    assert_eq!(out.activations, 3);
+}
+
+#[test]
+fn registrations_are_request_scoped() {
+    // Request 0 registers a listener; request 1's emit of the same
+    // event must not activate it (per-request scoping matches the
+    // verifier's per-request `Registered` set, Fig. 16 line 7).
+    let mut b = ProgramBuilder::new();
+    b.function(
+        "handle",
+        vec![
+            iff(
+                eq(field(payload(), "who"), lit("first")),
+                vec![register("ev", "listener")],
+                vec![],
+            ),
+            emit("ev", payload()),
+            respond(lit("ok")),
+        ],
+    );
+    b.function("listener", vec![]);
+    b.request_handler("handle");
+    let p = b.build().unwrap();
+    let inputs = vec![
+        Value::map([("who", Value::str("first"))]),
+        Value::map([("who", Value::str("second"))]),
+    ];
+    let out = run(&p, &inputs, &ServerConfig::default());
+    // handle×2 + listener fires only for request 0's emit.
+    assert_eq!(out.activations, 3);
+}
+
+#[test]
+fn handlers_run_to_completion() {
+    // Statements after an emit run before the emitted handler: the
+    // emitting handler is never interrupted (KEM §3).
+    #[derive(Default)]
+    struct OrderSpy {
+        order: Vec<(String, u32)>,
+    }
+    impl ExecHooks for OrderSpy {
+        fn on_handler_end(&mut self, _rid: RequestId, hid: &HandlerId, opcount: u32) {
+            self.order.push((format!("{hid}"), opcount));
+        }
+        fn on_var_write(
+            &mut self,
+            _var: kem::VarId,
+            _rid: RequestId,
+            hid: &HandlerId,
+            opnum: u32,
+            _value: &Value,
+        ) {
+            self.order.push((format!("write@{hid}"), opnum));
+        }
+    }
+    let mut b = ProgramBuilder::new();
+    b.shared_var("x", Value::Int(0), true);
+    b.function(
+        "handle",
+        vec![
+            emit("ev", lit(1i64)),
+            swrite("x", lit(1i64)), // after the emit, still before the listener
+            respond(lit("ok")),
+        ],
+    );
+    b.function("listener", vec![swrite("x", lit(2i64))]);
+    b.request_handler("handle");
+    b.global_registration("ev", "listener");
+    let p = b.build().unwrap();
+    let mut spy = OrderSpy::default();
+    kem::run_server(&p, &[Value::Null], &ServerConfig::default(), &mut spy).unwrap();
+    let names: Vec<&str> = spy.order.iter().map(|(n, _)| n.as_str()).collect();
+    let parent_write = names
+        .iter()
+        .position(|n| n.starts_with("write@h0.0") && !n.contains('/'));
+    let child_write = names.iter().position(|n| n.starts_with("write@h0.0/"));
+    assert!(
+        parent_write.unwrap() < child_write.unwrap(),
+        "parent's post-emit write must precede the listener's: {names:?}"
+    );
+}
+
+#[test]
+fn closed_loop_respects_window() {
+    // With window w, at most w requests are admitted before the first
+    // response.
+    let mut b = ProgramBuilder::new();
+    b.function("handle", vec![respond(lit("ok"))]);
+    b.request_handler("handle");
+    let p = b.build().unwrap();
+    for window in [1usize, 3, 7] {
+        let cfg = ServerConfig {
+            concurrency: window,
+            policy: SchedPolicy::Random { seed: 5 },
+            ..Default::default()
+        };
+        let out = run(&p, &vec![Value::Null; 20], &cfg);
+        let mut in_flight = 0i64;
+        let mut max_in_flight = 0i64;
+        for ev in out.trace.events() {
+            match ev {
+                TraceEvent::Request { .. } => in_flight += 1,
+                TraceEvent::Response { .. } => in_flight -= 1,
+            }
+            max_in_flight = max_in_flight.max(in_flight);
+        }
+        assert!(
+            max_in_flight <= window as i64,
+            "window {window} exceeded: {max_in_flight}"
+        );
+    }
+}
+
+#[test]
+fn fifo_policy_is_fully_sequential() {
+    let mut b = ProgramBuilder::new();
+    b.function("handle", vec![respond(field(payload(), "i"))]);
+    b.request_handler("handle");
+    let p = b.build().unwrap();
+    let inputs: Vec<Value> = (0..10)
+        .map(|i| Value::map([("i", Value::int(i))]))
+        .collect();
+    let cfg = ServerConfig {
+        concurrency: 8,
+        policy: SchedPolicy::Fifo,
+        ..Default::default()
+    };
+    let out = run(&p, &inputs, &cfg);
+    // Strict alternation: REQ_i, RESP_i, REQ_{i+1}, …
+    let kinds: Vec<bool> = out
+        .trace
+        .events()
+        .iter()
+        .map(|e| matches!(e, TraceEvent::Request { .. }))
+        .collect();
+    for pair in kinds.chunks(2) {
+        assert_eq!(pair, [true, false]);
+    }
+}
+
+#[test]
+fn emitted_payload_is_snapshotted() {
+    // The payload evaluated at emit time is what the handler sees, even
+    // if locals change afterwards.
+    let mut b = ProgramBuilder::new();
+    b.function(
+        "handle",
+        vec![
+            let_("v", lit(1i64)),
+            emit("ev", local("v")),
+            let_("v", lit(99i64)),
+            respond(lit("ok")),
+        ],
+    );
+    b.function("listener", vec![emit("result", payload())]);
+    b.function("finish", vec![]);
+    b.request_handler("handle");
+    b.global_registration("ev", "listener");
+    b.global_registration("result", "finish");
+    let p = b.build().unwrap();
+    // Use hooks to capture the listener's payload via its emit.
+    #[derive(Default)]
+    struct PayloadSpy(Option<Value>);
+    impl ExecHooks for PayloadSpy {
+        fn on_emit(
+            &mut self,
+            _rid: RequestId,
+            hid: &HandlerId,
+            _opnum: u32,
+            event: &str,
+            _activated: &[HandlerId],
+        ) {
+            if event == "result" {
+                self.0 = Some(Value::str(format!("{hid}")));
+            }
+        }
+    }
+    let mut spy = PayloadSpy::default();
+    kem::run_server(&p, &[Value::Null], &ServerConfig::default(), &mut spy).unwrap();
+    assert!(spy.0.is_some(), "listener ran and re-emitted");
+}

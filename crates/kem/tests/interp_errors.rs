@@ -1,0 +1,192 @@
+//! Interpreter error paths: every type/usage error surfaces as a
+//! `RuntimeError` (an application bug), never a panic.
+
+use kem::dsl::*;
+use kem::{NoopHooks, Program, ProgramBuilder, ServerConfig, Stmt, Value};
+
+fn run_one(stmts: Vec<Stmt>) -> Result<kem::RunOutput, kem::RuntimeError> {
+    let mut b = ProgramBuilder::new();
+    b.shared_var("x", Value::Int(0), true);
+    b.function("handle", stmts);
+    b.request_handler("handle");
+    let p: Program = b.build().unwrap();
+    kem::run_server(&p, &[Value::Null], &ServerConfig::default(), &mut NoopHooks)
+}
+
+fn expect_error(stmts: Vec<Stmt>, needle: &str) {
+    let err = run_one(stmts).unwrap_err();
+    assert!(
+        err.message.contains(needle),
+        "expected error containing {needle:?}, got: {}",
+        err.message
+    );
+}
+
+#[test]
+fn unknown_local() {
+    expect_error(vec![respond(local("ghost"))], "unknown local");
+}
+
+#[test]
+fn add_type_error() {
+    expect_error(vec![respond(add(lit(1i64), lit("s")))], "add");
+}
+
+#[test]
+fn arithmetic_on_strings() {
+    expect_error(vec![respond(sub(lit("a"), lit("b")))], "arithmetic");
+}
+
+#[test]
+fn division_by_zero() {
+    expect_error(
+        vec![respond(Expr::Bin(
+            kem::BinOp::Div,
+            Box::new(lit(1i64)),
+            Box::new(lit(0i64)),
+        ))],
+        "division by zero",
+    );
+}
+
+use kem::Expr;
+
+#[test]
+fn comparison_type_error() {
+    expect_error(vec![respond(lt(lit(1i64), lit("x")))], "comparison");
+}
+
+#[test]
+fn index_type_error() {
+    expect_error(vec![respond(index(lit(1i64), lit(0i64)))], "index");
+}
+
+#[test]
+fn len_of_scalar() {
+    expect_error(vec![respond(len(lit(1i64)))], "len");
+}
+
+#[test]
+fn contains_on_int() {
+    expect_error(vec![respond(contains(lit(1i64), lit(1i64)))], "contains");
+}
+
+#[test]
+fn map_insert_on_non_map() {
+    expect_error(
+        vec![respond(map_insert(lit(1i64), lit("k"), lit(2i64)))],
+        "map-insert",
+    );
+}
+
+#[test]
+fn map_insert_non_string_key() {
+    expect_error(
+        vec![respond(map_insert(mapv(vec![]), lit(1i64), lit(2i64)))],
+        "map-insert key",
+    );
+}
+
+#[test]
+fn map_remove_on_list() {
+    expect_error(
+        vec![respond(map_remove(listv(vec![]), lit("k")))],
+        "map-remove",
+    );
+}
+
+#[test]
+fn list_push_on_map() {
+    expect_error(
+        vec![respond(list_push(mapv(vec![]), lit(1i64)))],
+        "list-push",
+    );
+}
+
+#[test]
+fn keys_of_scalar() {
+    expect_error(vec![respond(keys(lit(true)))], "keys");
+}
+
+#[test]
+fn foreach_over_scalar() {
+    expect_error(
+        vec![for_each("i", lit(1i64), vec![]), respond(null())],
+        "for-each",
+    );
+}
+
+#[test]
+fn tx_token_must_be_int() {
+    let mut b = ProgramBuilder::new();
+    b.function(
+        "handle",
+        vec![tx_get(lit("bogus"), lit("k"), null(), "done")],
+    );
+    b.function("done", vec![respond(null())]);
+    b.request_handler("handle");
+    let p = b.build().unwrap();
+    let err =
+        kem::run_server(&p, &[Value::Null], &ServerConfig::default(), &mut NoopHooks).unwrap_err();
+    assert!(err.message.contains("transaction token"), "{}", err.message);
+}
+
+#[test]
+fn tx_key_must_be_string() {
+    let mut b = ProgramBuilder::new();
+    b.function("handle", vec![tx_start(null(), "s")]);
+    b.function(
+        "s",
+        vec![tx_get(field(payload(), "tx"), lit(5i64), null(), "done")],
+    );
+    b.function("done", vec![respond(null())]);
+    b.request_handler("handle");
+    let p = b.build().unwrap();
+    let err =
+        kem::run_server(&p, &[Value::Null], &ServerConfig::default(), &mut NoopHooks).unwrap_err();
+    assert!(err.message.contains("row key"), "{}", err.message);
+}
+
+#[test]
+fn op_on_unknown_transaction_token() {
+    let mut b = ProgramBuilder::new();
+    b.function("handle", vec![tx_get(lit(99i64), lit("k"), null(), "done")]);
+    b.function("done", vec![respond(null())]);
+    b.request_handler("handle");
+    let p = b.build().unwrap();
+    let err =
+        kem::run_server(&p, &[Value::Null], &ServerConfig::default(), &mut NoopHooks).unwrap_err();
+    assert!(
+        err.message.contains("unknown transaction"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
+fn successful_paths_do_not_error() {
+    // The whole expression surface, exercised on valid types.
+    run_one(vec![
+        let_("m", mapv(vec![("a", lit(1i64))])),
+        let_("m", map_insert(local("m"), lit("b"), lit(2i64))),
+        let_("m", map_remove(local("m"), lit("a"))),
+        let_("l", listv(vec![lit(1i64)])),
+        let_("l", list_push(local("l"), lit(2i64))),
+        let_("k", keys(local("m"))),
+        let_("d", digest(local("m"))),
+        let_("s", to_str(lit(42i64))),
+        let_("c", contains(local("l"), lit(2i64))),
+        let_("n", len(local("l"))),
+        let_("i", index(local("l"), lit(0i64))),
+        iff(
+            and(local("c"), ge(local("n"), lit(2i64))),
+            vec![respond(mapv(vec![
+                ("d", local("d")),
+                ("s", local("s")),
+                ("i", local("i")),
+            ]))],
+            vec![respond(lit("unexpected"))],
+        ),
+    ])
+    .unwrap();
+}

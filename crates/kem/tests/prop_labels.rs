@@ -1,0 +1,108 @@
+//! Equivalence of the two `A`-relation encodings: handler-id paths
+//! (this codebase's representation) and the paper's §5 labels.
+//!
+//! For random activation trees, `label(h).is_prefix_of(label(h'))`
+//! must agree with `hid(h).is_ancestor_of(hid(h'))`, and both
+//! activator computations must agree.
+
+use kem::{FunctionId, HandlerId, Label, LabelAllocator};
+use proptest::prelude::*;
+
+/// A random forest: node i attaches to an earlier node or is a root.
+fn arb_forest(n: usize) -> impl Strategy<Value = Vec<Option<usize>>> {
+    prop::collection::vec(any::<prop::sample::Index>(), 1..n).prop_map(|raw| {
+        let mut parents: Vec<Option<usize>> = Vec::with_capacity(raw.len());
+        for (i, pick) in raw.into_iter().enumerate() {
+            // index into 0..=i: i means "root".
+            let p = pick.index(i + 1);
+            parents.push(if p == i { None } else { Some(p) });
+        }
+        parents
+    })
+}
+
+fn materialize(parents: &[Option<usize>]) -> (Vec<HandlerId>, Vec<Label>) {
+    let mut alloc = LabelAllocator::new();
+    let mut hids: Vec<HandlerId> = Vec::with_capacity(parents.len());
+    let mut labels: Vec<Label> = Vec::with_capacity(parents.len());
+    // Track per-parent child counts for handler-id opnums, mirroring
+    // the runtime's emit opnums.
+    let mut child_count: Vec<u32> = vec![0; parents.len()];
+    for (i, parent) in parents.iter().enumerate() {
+        match parent {
+            None => {
+                hids.push(HandlerId::root(FunctionId(i as u32)));
+                labels.push(alloc.alloc_root());
+            }
+            Some(p) => {
+                child_count[*p] += 1;
+                hids.push(HandlerId::child(
+                    &hids[*p],
+                    FunctionId(i as u32),
+                    child_count[*p],
+                ));
+                labels.push(alloc.alloc_child(&labels[*p]));
+            }
+        }
+    }
+    (hids, labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn labels_and_paths_agree_on_a(parents in arb_forest(12)) {
+        let (hids, labels) = materialize(&parents);
+        for i in 0..hids.len() {
+            for j in 0..hids.len() {
+                prop_assert_eq!(
+                    hids[i].is_ancestor_of(&hids[j]),
+                    labels[i].is_prefix_of(&labels[j]),
+                    "nodes {} and {}", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_paths_agree_on_activator(parents in arb_forest(12)) {
+        let (hids, labels) = materialize(&parents);
+        for i in 0..hids.len() {
+            let hid_parent_idx = parents[i];
+            match hid_parent_idx {
+                None => {
+                    prop_assert!(hids[i].parent().is_none());
+                    prop_assert!(labels[i].activator().is_none());
+                }
+                Some(p) => {
+                    prop_assert_eq!(hids[i].parent(), Some(&hids[p]));
+                    prop_assert_eq!(labels[i].activator(), Some(labels[p].clone()));
+                }
+            }
+        }
+    }
+
+    /// Handler-id path round-trips survive arbitrary forests.
+    #[test]
+    fn hid_path_round_trip(parents in arb_forest(12)) {
+        let (hids, _) = materialize(&parents);
+        for hid in &hids {
+            prop_assert_eq!(&HandlerId::from_path(&hid.path()).unwrap(), hid);
+        }
+    }
+
+    /// The total order on handler ids is consistent with the ancestor
+    /// relation: ancestors sort before descendants.
+    #[test]
+    fn hid_order_extends_ancestry(parents in arb_forest(12)) {
+        let (hids, _) = materialize(&parents);
+        for i in 0..hids.len() {
+            for j in 0..hids.len() {
+                if hids[i].is_ancestor_of(&hids[j]) {
+                    prop_assert!(hids[i] < hids[j]);
+                }
+            }
+        }
+    }
+}

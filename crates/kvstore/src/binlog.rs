@@ -1,0 +1,100 @@
+//! The binlog: a global order of committed writes.
+//!
+//! Karousos "obtains the write order (§4.4) by repurposing MySQL's binary
+//! log" (§5). Our store keeps the equivalent structure natively: every
+//! commit appends, in commit order, one entry per key the transaction
+//! modified, carrying the transaction's *final* write to that key. This is
+//! exactly the paper's `writeOrder`: "the operations in the write order
+//! are the last operations of committed transactions" on each key (§4.4).
+
+use crate::types::{TxnId, WriteRef};
+
+/// One committed write in the global write order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinlogEntry {
+    /// The committing transaction.
+    pub txn: TxnId,
+    /// The key written.
+    pub key: String,
+    /// Caller-supplied tag of the dictating `PUT` (the final `PUT` this
+    /// transaction made to `key`).
+    pub tag: u32,
+}
+
+impl BinlogEntry {
+    /// Returns the [`WriteRef`] naming this entry's dictating `PUT`.
+    pub fn write_ref(&self) -> WriteRef {
+        WriteRef {
+            txn: self.txn,
+            tag: self.tag,
+        }
+    }
+}
+
+/// An append-only log of committed writes, in commit order.
+///
+/// Entries for a single commit are appended atomically and consecutively,
+/// in the order the transaction's final writes are applied (which is the
+/// order of the transaction's first `PUT` to each key).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binlog {
+    entries: Vec<BinlogEntry>,
+}
+
+impl Binlog {
+    /// Creates an empty binlog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one committed write.
+    pub(crate) fn append(&mut self, txn: TxnId, key: String, tag: u32) {
+        self.entries.push(BinlogEntry { txn, key, tag });
+    }
+
+    /// Returns all entries in commit order.
+    pub fn entries(&self) -> &[BinlogEntry] {
+        &self.entries
+    }
+
+    /// Returns the number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no write has committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the entries touching `key`, in commit order.
+    ///
+    /// This is the per-key version order that Adya's algorithms consume.
+    pub fn per_key(&self, key: &str) -> Vec<&BinlogEntry> {
+        self.entries.iter().filter(|e| e.key == key).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_filter() {
+        let mut log = Binlog::new();
+        assert!(log.is_empty());
+        log.append(TxnId(1), "a".into(), 1);
+        log.append(TxnId(2), "b".into(), 1);
+        log.append(TxnId(3), "a".into(), 4);
+        assert_eq!(log.len(), 3);
+        let a: Vec<_> = log.per_key("a").iter().map(|e| e.txn).collect();
+        assert_eq!(a, vec![TxnId(1), TxnId(3)]);
+        assert_eq!(
+            log.entries()[2].write_ref(),
+            WriteRef {
+                txn: TxnId(3),
+                tag: 4
+            }
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for transactional operations.
+
+use std::fmt;
+
+use crate::types::TxnId;
+
+/// Errors returned by [`Store`](crate::Store) operations.
+///
+/// The interesting variant is [`TxError::Conflict`]: the store never
+/// blocks on a lock, it aborts the requesting transaction instead. The
+/// paper's stack-dump application surfaces exactly this as a "retry
+/// error" to clients (§6, *Stack dump logging*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// The operation tried to lock `key` but a conflicting lock was held
+    /// by another live transaction. The requesting transaction has been
+    /// aborted; all of its locks are released.
+    Conflict {
+        /// The contested key.
+        key: String,
+        /// The transaction that was aborted as a result.
+        aborted: TxnId,
+    },
+    /// The transaction id is unknown to this store.
+    UnknownTxn(TxnId),
+    /// The transaction has already committed or aborted.
+    NotActive(TxnId),
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Conflict { key, aborted } => {
+                write!(f, "lock conflict on key {key:?}; {aborted} aborted")
+            }
+            TxError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            TxError::NotActive(t) => write!(f, "transaction {t} is not active"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_conflict() {
+        let e = TxError::Conflict {
+            key: "k".into(),
+            aborted: TxnId(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("\"k\""));
+        assert!(s.contains("txn2"));
+    }
+
+    #[test]
+    fn display_not_active() {
+        assert!(TxError::NotActive(TxnId(1))
+            .to_string()
+            .contains("not active"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Identifier and configuration types shared across the store.
+
+use std::fmt;
+
+/// Store-assigned identifier of a transaction.
+///
+/// Identifiers are dense, start at zero, and are never reused within one
+/// [`Store`](crate::Store). Higher layers (the Karousos advice collector)
+/// map these onto their own transaction identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// A reference to the `PUT` operation that produced a value.
+///
+/// The paper's implementation "captures the dictating PUT of each GET
+/// operation by storing each row's last writer in the row itself" (§5).
+/// `tag` is a caller-supplied cookie passed to [`Store::put`](crate::Store::put);
+/// the Karousos collector uses it to carry the writer's position in its
+/// transaction log, which is exactly what the advice must record for the
+/// `opcontents` of a `GET` (§C.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteRef {
+    /// The transaction that performed the write.
+    pub txn: TxnId,
+    /// Caller-supplied tag identifying the `PUT` within the writer.
+    pub tag: u32,
+}
+
+impl fmt::Display for WriteRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.txn, self.tag)
+    }
+}
+
+/// The isolation levels supported by the store.
+///
+/// These are the three levels Karousos supports (§4.4); snapshot isolation
+/// is explicitly future work in the paper and is not offered here either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IsolationLevel {
+    /// Dirty reads allowed: a `GET` may observe uncommitted writes of
+    /// concurrent transactions. Writes still take write locks so that the
+    /// global write order is well defined (no G0).
+    ReadUncommitted,
+    /// A `GET` observes only committed state (plus the transaction's own
+    /// writes); writers take exclusive per-key write locks until
+    /// commit/abort.
+    ReadCommitted,
+    /// Strict two-phase locking: shared read locks and exclusive write
+    /// locks held until commit/abort. Conflicts abort immediately rather
+    /// than block, so schedules stay deterministic and deadlock-free.
+    #[default]
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// Returns every supported level, in increasing strength.
+    pub const ALL: [IsolationLevel; 3] = [
+        IsolationLevel::ReadUncommitted,
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::Serializable,
+    ];
+
+    /// Returns a short lowercase name, handy for benchmark labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationLevel::ReadUncommitted => "read-uncommitted",
+            IsolationLevel::ReadCommitted => "read-committed",
+            IsolationLevel::Serializable => "serializable",
+        }
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_display() {
+        assert_eq!(TxnId(7).to_string(), "txn7");
+    }
+
+    #[test]
+    fn write_ref_display() {
+        let w = WriteRef {
+            txn: TxnId(3),
+            tag: 9,
+        };
+        assert_eq!(w.to_string(), "txn3#9");
+    }
+
+    #[test]
+    fn isolation_names_are_distinct() {
+        let names: Vec<_> = IsolationLevel::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn default_is_serializable() {
+        assert_eq!(IsolationLevel::default(), IsolationLevel::Serializable);
+    }
+}

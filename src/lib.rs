@@ -1,0 +1,2 @@
+//! Workspace-level re-exports for integration tests and examples.
+#![allow(missing_docs)]
