@@ -1,0 +1,76 @@
+//! Time-to-REJECT for hostile advice.
+//!
+//! The audit's cost model (§6.2) is stated for honest advice; this
+//! bench measures the *adversarial* path: how quickly the verifier
+//! disposes of tampered advice. Wire-level corruption (truncation, bit
+//! flips) should reject at decode time — far cheaper than an accept —
+//! while semantic mutations pay for preprocessing or partial
+//! re-execution before the defense fires. A regression that makes
+//! rejection as expensive as acceptance is a denial-of-audit vector.
+
+use apps::App;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use karousos::{audit_encoded, Mutator, WireMutator};
+use workload::Mix;
+
+const REQUESTS: usize = 60;
+const CONCURRENCY: usize = 8;
+
+fn bench_rejection(c: &mut Criterion) {
+    let p = bench::prepare(App::Motd, Mix::WriteHeavy, REQUESTS, CONCURRENCY, 1);
+    let isolation = p.exp.isolation;
+
+    // Baseline: what an ACCEPT of the same advice costs.
+    let mut group = c.benchmark_group("reject/motd");
+    group.bench_function("accept-honest", |b| {
+        b.iter(|| {
+            audit_encoded(&p.program, &p.trace, &p.karousos_bytes, isolation)
+                .expect("honest advice accepts")
+        })
+    });
+
+    // Wire-level mutants: rejection should happen in the decoder.
+    for (name, wm) in [
+        ("truncated", WireMutator::Truncate),
+        ("bit-flipped", WireMutator::BitFlip),
+        ("length-inflated", WireMutator::InflateLength),
+    ] {
+        let mutant = wm
+            .apply(&p.karousos_bytes, 1)
+            .expect("wire mutator applies")
+            .bytes;
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(audit_encoded(&p.program, &p.trace, &mutant, isolation)))
+        });
+    }
+
+    // Semantic mutants: rejection happens in preprocess (duplicate
+    // coordinate) or during re-execution (forged value).
+    for (name, m) in [
+        ("duplicate-log-entry", Mutator::DuplicateHandlerLogEntry),
+        ("forged-var-write", Mutator::ForgeVarWriteValue),
+        ("corrupt-opcount", Mutator::CorruptOpcount),
+    ] {
+        let Some(mutant) = m.apply(&p.karousos, 1) else {
+            continue;
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(audit_encoded(
+                    &p.program,
+                    &p.trace,
+                    &mutant.bytes,
+                    isolation,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = rejection;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rejection
+}
+criterion_main!(rejection);

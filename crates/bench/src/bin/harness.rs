@@ -335,8 +335,14 @@ fn ablations(o: &Opts) {
             audit(&p.program, &p.trace, &p.karousos, p.exp.isolation).unwrap()
         });
         let (t_ooo, _) = bench::time_median(o.iters, || {
-            ooo_audit(&p.program, &p.trace, &p.karousos, p.exp.isolation, ReplaySchedule::Fifo)
-                .unwrap()
+            ooo_audit(
+                &p.program,
+                &p.trace,
+                &p.karousos,
+                p.exp.isolation,
+                ReplaySchedule::Fifo,
+            )
+            .unwrap()
         });
         println!(
             "    batching  : {} ms batched vs {} ms ungrouped (OOOExec) — {:.2}x",

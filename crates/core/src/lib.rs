@@ -31,9 +31,19 @@
 
 pub mod advice;
 pub mod collector;
+pub mod faultinject;
 pub mod lint;
 pub mod multivalue;
 pub mod rorder;
+// The verifier consumes attacker-controlled advice; a panic there is a
+// denial-of-audit. Lint-enforce the panic-freedom invariant (CI runs
+// clippy with -D warnings, which promotes these to errors).
+#[deny(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::unreachable
+)]
 pub mod verifier;
 pub mod wire;
 
@@ -44,11 +54,13 @@ pub use advice::{
 pub use collector::{
     run_instrumented_server, run_instrumented_server_encoded, Collector, CollectorMode,
 };
+pub use faultinject::{
+    honest_must_accept, Mutation, MutationClass, MutationOutcome, Mutator, WireMutator,
+};
 pub use lint::{lint_advice, LintWarning};
 pub use multivalue::MultiValue;
 pub use rorder::{r_concurrent, r_ordered, r_precedes};
 pub use verifier::{
-    audit, audit_encoded, audit_with_schedule, ooo_audit, AuditReport, RejectReason,
-    ReplaySchedule,
+    audit, audit_encoded, audit_with_schedule, ooo_audit, AuditReport, RejectReason, ReplaySchedule,
 };
 pub use wire::{advice_sizes, decode_advice, encode_advice, AdviceSizes};

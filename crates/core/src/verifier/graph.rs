@@ -178,6 +178,7 @@ fn render(node: &GNode) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use kem::FunctionId;
@@ -250,7 +251,10 @@ mod tests {
     #[test]
     fn dot_export_names_nodes_and_edges() {
         let mut g = Graph::new();
-        g.add_edge(GNode::ReqStart(RequestId(0)), GNode::op(RequestId(0), hid(), 1));
+        g.add_edge(
+            GNode::ReqStart(RequestId(0)),
+            GNode::op(RequestId(0), hid(), 1),
+        );
         let dot = g.to_dot();
         assert!(dot.starts_with("digraph G {"));
         assert!(dot.contains("r0:REQ"));

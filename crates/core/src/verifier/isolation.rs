@@ -45,10 +45,11 @@ pub fn verify_isolation(
                 why: "entry is not a PUT",
             });
         }
-        let key = entry
-            .key
-            .clone()
-            .expect("PUTs have keys (validated in preprocess)");
+        let Some(key) = entry.key.clone() else {
+            return Err(RejectReason::WriteOrderMismatch {
+                why: "entry is a PUT without a key",
+            });
+        };
         if last_modification.get(&(pos.tx.clone(), key)) != Some(&pos.index) {
             return Err(RejectReason::WriteOrderMismatch {
                 why: "entry is not a committed last modification",
@@ -89,13 +90,22 @@ pub fn verify_isolation(
         let id = tx_ids[tx];
         builder.touch(id);
         for entry in log {
+            let key = || {
+                entry.key.as_deref().ok_or(RejectReason::TxLogMalformed {
+                    tx: tx.clone(),
+                    why: "state operation without key",
+                })
+            };
             match entry.optype {
                 TxOpType::Put => {
-                    builder.put(id, entry.key.as_deref().expect("validated"));
+                    builder.put(id, key()?);
                 }
                 TxOpType::Get => {
                     let TxOpContents::Get { from } = &entry.contents else {
-                        unreachable!("validated in preprocess")
+                        return Err(RejectReason::TxLogMalformed {
+                            tx: tx.clone(),
+                            why: "GET with non-GET contents",
+                        });
                     };
                     let from = match from {
                         Some(pos) => {
@@ -108,7 +118,7 @@ pub fn verify_isolation(
                         }
                         None => None,
                     };
-                    builder.get(id, entry.key.as_deref().expect("validated"), from);
+                    builder.get(id, key()?, from);
                 }
                 TxOpType::Start | TxOpType::Commit | TxOpType::Abort => {}
             }

@@ -44,17 +44,44 @@ pub struct AuditReport {
 /// This is what a deployed verifier does — the advice arrives as bytes
 /// from the untrusted server, and decoding (including its cost) is part
 /// of verification. Malformed bytes are a rejection.
+///
+/// The whole pipeline runs inside a `catch_unwind` boundary: the advice
+/// is attacker-controlled and a panic in the verifier would be a
+/// denial-of-audit, so any residual panic is converted into
+/// [`RejectReason::VerifierInternal`]. The audit path is written to be
+/// panic-free by construction (every advice-driven lookup is a typed
+/// rejection); this boundary is the backstop, and the fault-injection
+/// harness treats crossing it as a verifier bug.
 pub fn audit_encoded(
     program: &Program,
     trace: &Trace,
     advice_bytes: &[u8],
     isolation: kvstore::IsolationLevel,
 ) -> Result<AuditReport, RejectReason> {
-    let advice =
-        crate::wire::decode_advice(advice_bytes).map_err(|e| RejectReason::MalformedAdvice {
-            what: e.to_string(),
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let advice = crate::wire::decode_advice(advice_bytes).map_err(|e| {
+            RejectReason::MalformedAdvice {
+                what: e.to_string(),
+            }
         })?;
-    audit(program, trace, &advice, isolation)
+        audit(program, trace, &advice, isolation)
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(RejectReason::VerifierInternal {
+            what: panic_message(&payload),
+        }),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// Audits `trace` against `advice` for `program`, deployed at

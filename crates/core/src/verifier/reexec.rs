@@ -195,11 +195,9 @@ impl<'a> ReExecutor<'a> {
         let mut active: VecDeque<(Group, HandlerId, MultiValue)> = VecDeque::new();
         for rid in &order {
             let g = Group { rids: vec![*rid] };
-            let input = self
-                .trace
-                .input_of(*rid)
-                .expect("balanced trace")
-                .clone();
+            let Some(input) = self.trace.input_of(*rid).cloned() else {
+                return Err(RejectReason::UnbalancedTrace);
+            };
             for &f in &self.program.request_handlers {
                 let hid = HandlerId::root(kem::FunctionId(f));
                 if !self.advice.opcounts.contains_key(&(*rid, hid.clone())) {
@@ -208,7 +206,9 @@ impl<'a> ReExecutor<'a> {
                     });
                 }
                 active.push_back((
-                    Group { rids: g.rids.clone() },
+                    Group {
+                        rids: g.rids.clone(),
+                    },
                     hid,
                     MultiValue::uniform(input.clone()),
                 ));
@@ -220,7 +220,13 @@ impl<'a> ReExecutor<'a> {
             let mut children: VecDeque<(HandlerId, MultiValue)> = VecDeque::new();
             self.exec_handler(&g, &mut children, hid, payload)?;
             for (hid, payload) in children {
-                active.push_back((Group { rids: g.rids.clone() }, hid, payload));
+                active.push_back((
+                    Group {
+                        rids: g.rids.clone(),
+                    },
+                    hid,
+                    payload,
+                ));
             }
         }
         self.final_checks(&order)?;
@@ -248,7 +254,9 @@ impl<'a> ReExecutor<'a> {
     fn final_checks(&self, order: &[kem::RequestId]) -> Result<(), RejectReason> {
         // (3): outputs must match the trace exactly.
         for rid in order {
-            let expected = self.trace.output_of(*rid).expect("balanced trace");
+            let Some(expected) = self.trace.output_of(*rid) else {
+                return Err(RejectReason::UnbalancedTrace);
+            };
             match self.outputs.get(rid) {
                 Some(got) if got == expected => {}
                 _ => return Err(RejectReason::OutputMismatch { rid: *rid }),
@@ -275,16 +283,13 @@ impl<'a> ReExecutor<'a> {
 
     fn run_group(&mut self, g: Group) -> Result<(), RejectReason> {
         // (1) Initialize: inputs and the request handlers.
-        let inputs: Vec<Value> = g
-            .rids
-            .iter()
-            .map(|rid| {
-                self.trace
-                    .input_of(*rid)
-                    .expect("groups come from the trace")
-                    .clone()
-            })
-            .collect();
+        let mut inputs: Vec<Value> = Vec::with_capacity(g.n());
+        for rid in &g.rids {
+            let Some(input) = self.trace.input_of(*rid).cloned() else {
+                return Err(RejectReason::UnbalancedTrace);
+            };
+            inputs.push(input);
+        }
         let payload = MultiValue::from_vec(inputs);
         let mut active: VecDeque<(HandlerId, MultiValue)> = VecDeque::new();
         for &f in &self.program.request_handlers {
@@ -335,8 +340,9 @@ impl<'a> ReExecutor<'a> {
         // (c) Handler exit: every request must have consumed exactly its
         // reported operation count.
         for rid in &g.rids {
-            if self.advice.opcounts[&(*rid, frame.hid.clone())] != frame.idx {
-                return Err(RejectReason::OpcountMismatch { rid: *rid });
+            match self.advice.opcounts.get(&(*rid, frame.hid.clone())) {
+                Some(count) if *count == frame.idx => {}
+                _ => return Err(RejectReason::OpcountMismatch { rid: *rid }),
             }
         }
         Ok(())
@@ -453,15 +459,20 @@ impl<'a> ReExecutor<'a> {
                         context: "for-each length".into(),
                     });
                 }
+                let nth = |v: &Value, i: usize| -> Result<Value, RejectReason> {
+                    v.as_list()
+                        .and_then(|items| items.get(i).cloned())
+                        .ok_or_else(|| RejectReason::ReexecError {
+                            message: "for-each item out of range".into(),
+                        })
+                };
                 for item_idx in 0..lens.first().copied().unwrap_or(0) {
                     let item = match &l {
-                        MultiValue::Uniform(v) => MultiValue::uniform(
-                            v.as_list().expect("checked above")[item_idx].clone(),
-                        ),
+                        MultiValue::Uniform(v) => MultiValue::uniform(nth(v, item_idx)?),
                         MultiValue::Per(vs) => MultiValue::from_vec(
                             vs.iter()
-                                .map(|v| v.as_list().expect("checked above")[item_idx].clone())
-                                .collect(),
+                                .map(|v| nth(v, item_idx))
+                                .collect::<Result<_, _>>()?,
                         ),
                     };
                     frame.locals.insert(var.clone(), item);
@@ -647,9 +658,7 @@ impl<'a> ReExecutor<'a> {
                     };
                     vals.push(Value::Int(*count));
                 }
-                frame
-                    .locals
-                    .insert(var.clone(), MultiValue::from_vec(vals));
+                frame.locals.insert(var.clone(), MultiValue::from_vec(vals));
             }
             Stmt::Nondet { var, kind } => {
                 let idx = self.bump(g, frame)?;
@@ -702,7 +711,11 @@ impl<'a> ReExecutor<'a> {
                 Some(c) if *c == hids => {}
                 Some(_) => {
                     return Err(RejectReason::EmitActivationMismatch {
-                        at: OpRef::new(g.rids[0], frame.hid.clone(), idx),
+                        at: OpRef::new(
+                            g.rids.first().copied().unwrap_or(*rid),
+                            frame.hid.clone(),
+                            idx,
+                        ),
                     })
                 }
             }
@@ -726,9 +739,15 @@ impl<'a> ReExecutor<'a> {
     ) -> Result<&'a crate::advice::TxLogEntry, RejectReason> {
         let op = OpRef::new(rid, hid.clone(), idx);
         match self.pre.op_map.get(&op) {
-            Some(OpMapEntry::TxLog { tx, index }) if tx == ktx && *index == txnum as usize => {
-                Ok(&self.advice.tx_logs[ktx][txnum as usize])
-            }
+            Some(OpMapEntry::TxLog { tx, index }) if tx == ktx && *index == txnum as usize => self
+                .advice
+                .tx_logs
+                .get(ktx)
+                .and_then(|log| log.get(txnum as usize))
+                .ok_or(RejectReason::MalformedAdviceAt {
+                    at: op,
+                    what: "transaction log position out of range",
+                }),
             _ => Err(RejectReason::StateOpMismatch {
                 at: op,
                 why: "operation not logged at this transaction position",
@@ -809,9 +828,12 @@ impl<'a> ReExecutor<'a> {
                     why: "logged operation type differs",
                 });
             }
+            let internal = |what: &str| RejectReason::VerifierInternal { what: what.into() };
             match requested {
                 TxOpType::Get => {
-                    let kv = key_v.as_ref().expect("GET has a key");
+                    let kv = key_v
+                        .as_ref()
+                        .ok_or_else(|| internal("GET re-executed without a key expression"))?;
                     if entry.key.as_deref() != kv.get(i).as_str() {
                         return Err(RejectReason::StateOpMismatch {
                             at,
@@ -819,7 +841,10 @@ impl<'a> ReExecutor<'a> {
                         });
                     }
                     let TxOpContents::Get { from } = &entry.contents else {
-                        unreachable!("validated in preprocess")
+                        return Err(RejectReason::MalformedAdviceAt {
+                            at,
+                            what: "GET with non-GET contents",
+                        });
                     };
                     match from {
                         None => {
@@ -828,9 +853,17 @@ impl<'a> ReExecutor<'a> {
                             payload.insert("value".into(), Value::Null);
                         }
                         Some(pos) => {
-                            let w = self.advice.tx_entry(pos).expect("validated in preprocess");
+                            let Some(w) = self.advice.tx_entry(pos) else {
+                                return Err(RejectReason::MalformedAdviceAt {
+                                    at,
+                                    what: "dictating write outside any transaction log",
+                                });
+                            };
                             let TxOpContents::Put { value } = &w.contents else {
-                                unreachable!("validated in preprocess")
+                                return Err(RejectReason::MalformedAdviceAt {
+                                    at,
+                                    what: "dictating write is not a PUT",
+                                });
                             };
                             payload.insert("ok".into(), Value::Bool(true));
                             payload.insert("found".into(), Value::Bool(true));
@@ -839,7 +872,9 @@ impl<'a> ReExecutor<'a> {
                     }
                 }
                 TxOpType::Put => {
-                    let kv = key_v.as_ref().expect("PUT has a key");
+                    let kv = key_v
+                        .as_ref()
+                        .ok_or_else(|| internal("PUT re-executed without a key expression"))?;
                     if entry.key.as_deref() != kv.get(i).as_str() {
                         return Err(RejectReason::StateOpMismatch {
                             at,
@@ -847,11 +882,17 @@ impl<'a> ReExecutor<'a> {
                         });
                     }
                     let TxOpContents::Put { value: logged } = &entry.contents else {
-                        unreachable!("validated in preprocess")
+                        return Err(RejectReason::MalformedAdviceAt {
+                            at,
+                            what: "PUT with non-PUT contents",
+                        });
                     };
                     // Simulate-and-check for external state: the
                     // re-executed PUT must produce the logged value.
-                    if logged != value_v.as_ref().expect("PUT has a value").get(i) {
+                    let vv = value_v
+                        .as_ref()
+                        .ok_or_else(|| internal("PUT re-executed without a value expression"))?;
+                    if logged != vv.get(i) {
                         return Err(RejectReason::StateOpMismatch {
                             at,
                             why: "logged PUT value differs from re-execution",
@@ -862,7 +903,9 @@ impl<'a> ReExecutor<'a> {
                 TxOpType::Commit | TxOpType::Abort => {
                     payload.insert("ok".into(), Value::Bool(true));
                 }
-                TxOpType::Start => unreachable!("TxStart handled separately"),
+                TxOpType::Start => {
+                    return Err(internal("TxStart routed through exec_tx_op"));
+                }
             }
             payloads.push(Value::from_map(payload));
         }
@@ -904,7 +947,17 @@ impl<'a> ReExecutor<'a> {
         let op = OpRef::new(rid, hid.clone(), idx);
         match self.pre.op_map.get(&op) {
             Some(OpMapEntry::HandlerLog { index }) => {
-                let entry = &self.advice.handler_logs[&rid][*index];
+                let Some(entry) = self
+                    .advice
+                    .handler_logs
+                    .get(&rid)
+                    .and_then(|log| log.get(*index))
+                else {
+                    return Err(RejectReason::MalformedAdviceAt {
+                        at: op,
+                        what: "handler log position out of range",
+                    });
+                };
                 if entry.op == *expected {
                     Ok(())
                 } else {

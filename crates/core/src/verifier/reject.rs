@@ -171,6 +171,25 @@ pub enum RejectReason {
         /// The decode error.
         what: String,
     },
+    /// Structured advice is internally inconsistent at a specific
+    /// coordinate — e.g. a log index that escapes its log, a dictating
+    /// write pointing outside any transaction, or log contents whose
+    /// shape contradicts the operation type. These are the re-execution
+    /// counterparts of [`RejectReason::MalformedAdvice`]: the bytes
+    /// decoded, but what they allege cannot be followed.
+    MalformedAdviceAt {
+        /// The coordinate at which the inconsistency surfaced.
+        at: OpRef,
+        /// What was inconsistent.
+        what: &'static str,
+    },
+    /// The verifier itself failed — a caught panic or a broken internal
+    /// invariant. An audit ending here is *not* evidence about the
+    /// server; the fault-injection harness treats it as a verifier bug.
+    VerifierInternal {
+        /// The panic message or invariant description.
+        what: String,
+    },
     /// A recorded nondeterministic value is not type/range-plausible
     /// for its source (§5's basic well-formedness checks).
     ImplausibleNondet {
@@ -241,6 +260,12 @@ impl std::fmt::Display for RejectReason {
             RejectReason::CycleInG => write!(f, "execution graph has a cycle"),
             RejectReason::ReexecError { message } => write!(f, "re-execution error: {message}"),
             RejectReason::MalformedAdvice { what } => write!(f, "malformed advice: {what}"),
+            RejectReason::MalformedAdviceAt { at, what } => {
+                write!(f, "malformed advice at {at}: {what}")
+            }
+            RejectReason::VerifierInternal { what } => {
+                write!(f, "verifier internal error: {what}")
+            }
             RejectReason::ImplausibleNondet { at } => {
                 write!(f, "implausible nondet value at {at}")
             }
@@ -254,6 +279,7 @@ impl std::fmt::Display for RejectReason {
 impl std::error::Error for RejectReason {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -347,6 +347,7 @@ fn add_edge_skipping_init(g: &mut Graph, from: &OpRef, to: &OpRef) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::advice::VarLogEntry;

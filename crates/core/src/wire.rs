@@ -180,6 +180,32 @@ impl<'a> Decoder<'a> {
         }
     }
 
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Reads a declared collection length and validates it against the
+    /// bytes actually remaining: every encoded element occupies at
+    /// least `min_elem_bytes`, so a declared length exceeding
+    /// `remaining / min_elem_bytes` cannot possibly be satisfied. This
+    /// caps `Vec::with_capacity` preallocation at what the input could
+    /// deliver — a 5-byte advice claiming 2^60 entries errors here
+    /// instead of reserving gigabytes.
+    fn len(&mut self, what: &'static str, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let start = self.pos;
+        let n = self.uvar(what)? as usize;
+        let budget = self.remaining() / min_elem_bytes.max(1);
+        if n > budget {
+            // Report at the length's own position, not after it.
+            return Err(WireError {
+                offset: start,
+                what,
+            });
+        }
+        Ok(n)
+    }
+
     fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
         let b = *self.buf.get(self.pos).ok_or_else(|| self.err(what))?;
         self.pos += 1;
@@ -240,15 +266,17 @@ impl<'a> Decoder<'a> {
             2 => Ok(Value::Int(self.i64("int")?)),
             3 => Ok(Value::str(self.str("str")?)),
             4 => {
-                let n = self.uvar("list len")? as usize;
-                let mut l = Vec::with_capacity(n.min(4096));
+                // Every element is at least one tag byte.
+                let n = self.len("list len", 1)?;
+                let mut l = Vec::with_capacity(n);
                 for _ in 0..n {
                     l.push(self.value_at_depth(depth + 1)?);
                 }
                 Ok(Value::from_vec(l))
             }
             5 => {
-                let n = self.uvar("map len")? as usize;
+                // Every entry is at least a key-length byte + value tag.
+                let n = self.len("map len", 2)?;
                 let mut m = BTreeMap::new();
                 for _ in 0..n {
                     let k = self.str("map key")?;
@@ -265,11 +293,12 @@ impl<'a> Decoder<'a> {
     }
 
     fn hid(&mut self) -> Result<HandlerId, WireError> {
-        let n = self.uvar("hid len")? as usize;
+        // Every path element is two uvars, at least a byte each.
+        let n = self.len("hid len", 2)?;
         if n == 0 {
             return Err(self.err("hid len"));
         }
-        let mut path = Vec::with_capacity(n.min(1024));
+        let mut path = Vec::with_capacity(n);
         for _ in 0..n {
             let f = FunctionId(self.u32v("hid fn")?);
             let op = self.u32v("hid opnum")?;
@@ -516,18 +545,19 @@ pub fn decode_advice(bytes: &[u8]) -> Result<Advice, WireError> {
     let mut d = Decoder::new(bytes);
     let mut a = Advice::default();
 
-    let n = d.uvar("tags len")?;
+    let n = d.len("tags len", 2)?;
     for _ in 0..n {
         let rid = d.rid()?;
         let tag = d.uvar("tag")?;
         a.tags.insert(rid, tag);
     }
 
-    let n = d.uvar("handler logs len")?;
+    let n = d.len("handler logs len", 2)?;
     for _ in 0..n {
         let rid = d.rid()?;
-        let m = d.uvar("handler log len")? as usize;
-        let mut log = Vec::with_capacity(m.min(65536));
+        // Every entry carries a hid (≥3 bytes), opnum, and op tag.
+        let m = d.len("handler log len", 5)?;
+        let mut log = Vec::with_capacity(m);
         for _ in 0..m {
             let hid = d.hid()?;
             let opnum = d.u32v("hl opnum")?;
@@ -546,34 +576,25 @@ pub fn decode_advice(bytes: &[u8]) -> Result<Advice, WireError> {
                 3 => HandlerOp::Check {
                     event: d.str("event")?,
                 },
-                _ => {
-                    return Err(WireError {
-                        offset: 0,
-                        what: "handler op tag",
-                    })
-                }
+                _ => return Err(d.err("handler op tag")),
             };
             log.push(HandlerLogEntry { hid, opnum, op });
         }
         a.handler_logs.insert(rid, log);
     }
 
-    let n = d.uvar("var logs len")?;
+    let n = d.len("var logs len", 2)?;
     for _ in 0..n {
         let var = VarId(d.u32v("var id")?);
-        let m = d.uvar("var log len")? as usize;
+        // Every entry carries an opref (≥5 bytes) and three tag bytes.
+        let m = d.len("var log len", 8)?;
         let mut log = BTreeMap::new();
         for _ in 0..m {
             let op = d.opref()?;
-            let access = match d.u8("access")? {
+            let access = match d.u8("access tag")? {
                 0 => AccessType::Read,
                 1 => AccessType::Write,
-                _ => {
-                    return Err(WireError {
-                        offset: 0,
-                        what: "access tag",
-                    })
-                }
+                _ => return Err(d.err("access tag")),
             };
             let value = match d.u8("value opt")? {
                 1 => Some(d.value()?),
@@ -595,26 +616,22 @@ pub fn decode_advice(bytes: &[u8]) -> Result<Advice, WireError> {
         a.var_logs.insert(var, log);
     }
 
-    let n = d.uvar("tx logs len")?;
+    let n = d.len("tx logs len", 2)?;
     for _ in 0..n {
         let tx = d.ktx()?;
-        let m = d.uvar("tx log len")? as usize;
-        let mut log = Vec::with_capacity(m.min(65536));
+        // Every entry carries a hid (≥3 bytes) and four tag/num bytes.
+        let m = d.len("tx log len", 7)?;
+        let mut log = Vec::with_capacity(m);
         for _ in 0..m {
             let hid = d.hid()?;
             let opnum = d.u32v("txl opnum")?;
-            let optype = match d.u8("optype")? {
+            let optype = match d.u8("optype tag")? {
                 0 => TxOpType::Start,
                 1 => TxOpType::Get,
                 2 => TxOpType::Put,
                 3 => TxOpType::Commit,
                 4 => TxOpType::Abort,
-                _ => {
-                    return Err(WireError {
-                        offset: 0,
-                        what: "optype tag",
-                    })
-                }
+                _ => return Err(d.err("optype tag")),
             };
             let key = match d.u8("key opt")? {
                 1 => Some(d.str("key")?),
@@ -629,12 +646,7 @@ pub fn decode_advice(bytes: &[u8]) -> Result<Advice, WireError> {
                         _ => None,
                     },
                 },
-                _ => {
-                    return Err(WireError {
-                        offset: 0,
-                        what: "contents tag",
-                    })
-                }
+                _ => return Err(d.err("contents tag")),
             };
             log.push(TxLogEntry {
                 hid,
@@ -647,12 +659,14 @@ pub fn decode_advice(bytes: &[u8]) -> Result<Advice, WireError> {
         a.tx_logs.insert(tx, log);
     }
 
-    let n = d.uvar("write order len")?;
+    // Every txpos is a ktx (≥5 bytes) plus an index byte.
+    let n = d.len("write order len", 6)?;
+    a.write_order.reserve(n);
     for _ in 0..n {
         a.write_order.push(d.txpos()?);
     }
 
-    let n = d.uvar("reb len")?;
+    let n = d.len("reb len", 5)?;
     for _ in 0..n {
         let rid = d.rid()?;
         let hid = d.hid()?;
@@ -660,7 +674,7 @@ pub fn decode_advice(bytes: &[u8]) -> Result<Advice, WireError> {
         a.response_emitted_by.insert(rid, (hid, opnum));
     }
 
-    let n = d.uvar("opcounts len")?;
+    let n = d.len("opcounts len", 5)?;
     for _ in 0..n {
         let rid = d.rid()?;
         let hid = d.hid()?;
@@ -668,7 +682,7 @@ pub fn decode_advice(bytes: &[u8]) -> Result<Advice, WireError> {
         a.opcounts.insert((rid, hid), count);
     }
 
-    let n = d.uvar("nondet len")?;
+    let n = d.len("nondet len", 6)?;
     for _ in 0..n {
         let op = d.opref()?;
         let v = d.value()?;
@@ -812,6 +826,53 @@ mod tests {
         let mut d = Decoder::new(&bytes);
         let err = d.value().unwrap_err();
         assert_eq!(err.what, "value nesting too deep");
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_at_its_own_offset() {
+        // A lone varint claiming 2^60 tags: the budget check must fire
+        // at the length's position instead of preallocating.
+        let mut bytes = Vec::new();
+        let mut v: u64 = 1 << 60;
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                bytes.push(b);
+                break;
+            }
+            bytes.push(b | 0x80);
+        }
+        let err = decode_advice(&bytes).unwrap_err();
+        assert_eq!(err.what, "tags len");
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn huge_list_length_inside_value_is_rejected() {
+        // Value tag 4 (list) + declared length far beyond the buffer.
+        let bytes = [4u8, 0xff, 0xff, 0xff, 0xff, 0x0f];
+        let mut d = Decoder::new(&bytes);
+        let err = d.value().unwrap_err();
+        assert_eq!(err.what, "list len");
+        assert_eq!(err.offset, 1);
+    }
+
+    #[test]
+    fn declared_lengths_are_validated_against_remaining_bytes() {
+        // An honest encoding with its handler-log length inflated: one
+        // request, empty log, then bump the inner length byte. The
+        // decoder must error rather than trust the count.
+        let mut a = Advice::default();
+        a.handler_logs.insert(RequestId(0), Vec::new());
+        let mut bytes = encode_advice(&a);
+        // Layout: tags len (0), handler logs len (1), rid (0), log len.
+        let idx = 3;
+        assert_eq!(bytes[idx], 0);
+        bytes[idx] = 0x7f;
+        let err = decode_advice(&bytes).unwrap_err();
+        assert_eq!(err.what, "handler log len");
+        assert_eq!(err.offset, idx);
     }
 
     #[test]

@@ -176,6 +176,51 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_bytes_never_panic_and_errors_carry_positions(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // The decoder is the first thing attacker bytes touch: on any
+        // input it must return Ok or a WireError positioned inside (or
+        // just past) the buffer — never panic, hang, or over-allocate.
+        match decode_advice(&bytes) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(
+                    e.offset <= bytes.len(),
+                    "error offset {} beyond buffer of {} bytes ({})",
+                    e.offset, bytes.len(), e.what
+                );
+                prop_assert!(!e.what.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn appended_bytes_trip_the_trailing_check(
+        a in arb_advice(),
+        extra in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        // A valid encoding plus garbage must fail with the
+        // trailing-bytes check at exactly the original length.
+        let bytes = encode_advice(&a);
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&extra);
+        let err = decode_advice(&padded).expect_err("trailing bytes accepted");
+        prop_assert_eq!(err.what, "trailing bytes");
+        prop_assert_eq!(err.offset, bytes.len());
+    }
+
+    #[test]
+    fn truncation_errors_are_positioned(a in arb_advice(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_advice(&a);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            let err = decode_advice(&bytes[..cut]).expect_err("truncation accepted");
+            prop_assert!(err.offset <= cut);
+        }
+    }
+
+    #[test]
     fn values_round_trip(v in arb_value()) {
         // Values embedded in a nondet entry survive the wire.
         let mut a = Advice::default();

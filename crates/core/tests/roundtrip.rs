@@ -290,9 +290,13 @@ fn check_operations_round_trip() {
     b.function("on_boom", vec![]);
     b.request_handler("handle");
     let p = b.build().unwrap();
-    let (out, advice) =
-        run_instrumented_server(&p, &vec![Value::Null; 3], &cfg(2, 5), CollectorMode::Karousos)
-            .unwrap();
+    let (out, advice) = run_instrumented_server(
+        &p,
+        &vec![Value::Null; 3],
+        &cfg(2, 5),
+        CollectorMode::Karousos,
+    )
+    .unwrap();
     let resp = out.trace.output_of(kem::RequestId(0)).unwrap();
     assert_eq!(resp.field("before").unwrap(), &Value::int(0));
     assert_eq!(resp.field("after").unwrap(), &Value::int(1));

@@ -132,10 +132,20 @@ fn render_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             );
         }
         Stmt::TxCommit { tx, ctx, on_done } => {
-            let _ = writeln!(out, "tx_commit({}, ctx={}) -> {on_done};", expr(tx), expr(ctx));
+            let _ = writeln!(
+                out,
+                "tx_commit({}, ctx={}) -> {on_done};",
+                expr(tx),
+                expr(ctx)
+            );
         }
         Stmt::TxAbort { tx, ctx, on_done } => {
-            let _ = writeln!(out, "tx_abort({}, ctx={}) -> {on_done};", expr(tx), expr(ctx));
+            let _ = writeln!(
+                out,
+                "tx_abort({}, ctx={}) -> {on_done};",
+                expr(tx),
+                expr(ctx)
+            );
         }
         Stmt::ListenerCount { var, event } => {
             let _ = writeln!(out, "let {var} = listenerCount({event:?});");
@@ -186,8 +196,10 @@ pub fn expr(e: &Expr) -> String {
             format!("[{}]", inner.join(", "))
         }
         Expr::MapLit(pairs) => {
-            let inner: Vec<String> =
-                pairs.iter().map(|(k, v)| format!("{k}: {}", expr(v))).collect();
+            let inner: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{k}: {}", expr(v)))
+                .collect();
             format!("{{{}}}", inner.join(", "))
         }
         Expr::MapInsert(m, k, v) => {
@@ -270,11 +282,17 @@ mod tests {
             vec![
                 let_("l", listv(vec![lit(1i64), lit(2i64)])),
                 for_each("i", local("l"), vec![let_("s", to_str(local("i")))]),
-                while_(lt(len(local("l")), lit(3i64)), vec![let_(
-                    "l",
-                    list_push(local("l"), lit(3i64)),
-                )]),
-                swrite("m", map_remove(map_insert(sread("m"), lit("k"), digest(local("l"))), lit("k"))),
+                while_(
+                    lt(len(local("l")), lit(3i64)),
+                    vec![let_("l", list_push(local("l"), lit(3i64)))],
+                ),
+                swrite(
+                    "m",
+                    map_remove(
+                        map_insert(sread("m"), lit("k"), digest(local("l"))),
+                        lit("k"),
+                    ),
+                ),
                 respond(keys(sread("m"))),
             ],
         );

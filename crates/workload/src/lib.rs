@@ -65,7 +65,7 @@ pub fn motd_workload(n: usize, mix: Mix, seed: u64) -> Vec<Value> {
     (0..n)
         .map(|i| {
             let day = DAYS[rng.gen_range(0..DAYS.len())];
-            if rng.gen_range(0..100) < mix.write_pct() {
+            if rng.gen_range(0u32..100) < mix.write_pct() {
                 let day = if rng.gen_range(0..5) == 0 { "all" } else { day };
                 apps::motd::set(
                     day,
@@ -93,7 +93,7 @@ pub fn stacks_workload(n: usize, mix: Mix, seed: u64) -> Vec<Value> {
     let mut fresh = 0usize;
     (0..n)
         .map(|_| {
-            if rng.gen_range(0..100) < mix.write_pct() {
+            if rng.gen_range(0u32..100) < mix.write_pct() {
                 let new = known.is_empty() || rng.gen_range(0..100) < 10;
                 let dump = if new {
                     fresh += 1;

@@ -32,7 +32,11 @@ fn honest(
 #[test]
 fn ooo_audit_accepts_honest_runs() {
     for app in App::ALL {
-        let mix = if app == App::Wiki { Mix::Wiki } else { Mix::Mixed };
+        let mix = if app == App::Wiki {
+            Mix::Wiki
+        } else {
+            Mix::Mixed
+        };
         for seed in 0..4u64 {
             let (p, t, a) = honest(app, mix, 25, 4, seed);
             for schedule in [
@@ -59,14 +63,19 @@ fn ooo_audit_agrees_with_batched_audit() {
     // same verdict *and* the same derived state — here compared via the
     // execution graph's node/edge counts.
     for app in App::ALL {
-        let mix = if app == App::Wiki { Mix::Wiki } else { Mix::ReadHeavy };
+        let mix = if app == App::Wiki {
+            Mix::Wiki
+        } else {
+            Mix::ReadHeavy
+        };
         let (p, t, a) = honest(app, mix, 25, 4, 7);
         let batched = audit(&p, &t, &a, SER).unwrap();
         let ooo = ooo_audit(&p, &t, &a, SER, ReplaySchedule::Fifo).unwrap();
         assert_eq!(batched.graph_nodes, ooo.graph_nodes, "{}", app.name());
         assert_eq!(batched.graph_edges, ooo.graph_edges, "{}", app.name());
         assert_eq!(
-            batched.reexec.activations_covered, ooo.reexec.activations_covered,
+            batched.reexec.activations_covered,
+            ooo.reexec.activations_covered,
             "{}",
             app.name()
         );
@@ -99,6 +108,5 @@ fn ooo_audit_ignores_tags_entirely() {
     let (p, t, mut a) = honest(App::Motd, Mix::Mixed, 15, 2, 9);
     a.tags.clear();
     assert!(audit(&p, &t, &a, SER).is_err(), "batched audit needs tags");
-    ooo_audit(&p, &t, &a, SER, ReplaySchedule::Fifo)
-        .expect("OOOAudit succeeds without tags");
+    ooo_audit(&p, &t, &a, SER, ReplaySchedule::Fifo).expect("OOOAudit succeeds without tags");
 }
