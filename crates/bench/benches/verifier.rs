@@ -4,11 +4,12 @@
 use apps::App;
 use baselines::sequential_reexecute;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use karousos::audit_encoded;
+use karousos::{audit_encoded, audit_encoded_with_options, AuditOptions};
 use workload::Mix;
 
 const REQUESTS: usize = 120;
 const CONCURRENCY: usize = 8;
+const PAR_THREADS: usize = 4;
 
 fn bench_app(c: &mut Criterion, app: App, mix: Mix) {
     let p = bench::prepare(app, mix, REQUESTS, CONCURRENCY, 1);
@@ -16,6 +17,21 @@ fn bench_app(c: &mut Criterion, app: App, mix: Mix) {
     group.bench_function(BenchmarkId::new("karousos", mix.name()), |b| {
         b.iter(|| audit_encoded(&p.program, &p.trace, &p.karousos_bytes, p.exp.isolation).unwrap())
     });
+    group.bench_function(
+        BenchmarkId::new(format!("karousos-par{PAR_THREADS}"), mix.name()),
+        |b| {
+            b.iter(|| {
+                audit_encoded_with_options(
+                    &p.program,
+                    &p.trace,
+                    &p.karousos_bytes,
+                    p.exp.isolation,
+                    AuditOptions::with_threads(PAR_THREADS),
+                )
+                .unwrap()
+            })
+        },
+    );
     group.bench_function(BenchmarkId::new("orochi-js", mix.name()), |b| {
         b.iter(|| audit_encoded(&p.program, &p.trace, &p.orochi_bytes, p.exp.isolation).unwrap())
     });

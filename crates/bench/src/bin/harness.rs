@@ -1,10 +1,16 @@
 //! The evaluation harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! harness [figure] [--requests N] [--iters K] [--seed S]
+//! harness [figure] [--requests N] [--iters K] [--seed S] [--verify-threads T]
 //!
 //!   figure ∈ { fig6, fig7, fig8, fig9, fig10, fig11, fig12, ratios, all }
 //! ```
+//!
+//! `--verify-threads T` (default 4, `0` = one per core) sets the worker
+//! count for the parallel Karousos audit; every verification table
+//! reports the single-threaded time, the parallel time, the speedup,
+//! and the per-phase breakdown (preprocess / group replay / graph merge
+//! / cycle check) of both.
 //!
 //! Figure ↔ paper mapping:
 //!
@@ -32,6 +38,7 @@ struct Opts {
     iters: usize,
     seed: u64,
     seeds: u64,
+    verify_threads: usize,
 }
 
 fn parse_args() -> Opts {
@@ -41,6 +48,7 @@ fn parse_args() -> Opts {
         iters: 3,
         seed: 1,
         seeds: 10,
+        verify_threads: 4,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -71,6 +79,10 @@ fn parse_args() -> Opts {
                 opts.seeds = numeric("--seeds", args.get(i + 1)).max(1);
                 i += 2;
             }
+            "--verify-threads" => {
+                opts.verify_threads = numeric("--verify-threads", args.get(i + 1)) as usize;
+                i += 2;
+            }
             other => {
                 opts.figure = other.to_string();
                 i += 1;
@@ -97,21 +109,46 @@ fn print_server_rows(label: &str, rows: &[ServerOverheadRow]) {
     }
 }
 
+fn phase_line(p: &karousos::PhaseTiming) -> String {
+    format!(
+        "pre {} | replay {} | merge {} | cycle {} ms",
+        ms(p.preprocess),
+        ms(p.group_replay),
+        ms(p.graph_merge),
+        ms(p.cycle_check)
+    )
+}
+
 fn print_verif_rows(label: &str, rows: &[VerificationRow]) {
+    let threads = rows.first().map_or(0, |r| r.verify_threads);
     println!("\n  {label}");
     println!(
-        "    {:>11} {:>11} {:>10} {:>13} {:>8} {:>8}",
-        "concurrency", "karousos ms", "orochi ms", "sequential ms", "k-groups", "o-groups"
+        "    {:>11} {:>11} {:>11} {:>8} {:>10} {:>13} {:>8} {:>8}",
+        "concurrency",
+        "karousos ms",
+        format!("par({threads}) ms"),
+        "speedup",
+        "orochi ms",
+        "sequential ms",
+        "k-groups",
+        "o-groups"
     );
     for r in rows {
         println!(
-            "    {:>11} {:>11} {:>10} {:>13} {:>8} {:>8}",
+            "    {:>11} {:>11} {:>11} {:>7.2}x {:>10} {:>13} {:>8} {:>8}",
             r.concurrency,
             ms(r.karousos),
+            ms(r.karousos_parallel),
+            r.parallel_speedup(),
             ms(r.orochi),
             ms(r.sequential),
             r.karousos_groups,
             r.orochi_groups
+        );
+        println!("                phases seq: {}", phase_line(&r.phases));
+        println!(
+            "                phases par: {}",
+            phase_line(&r.phases_parallel)
         );
     }
 }
@@ -144,7 +181,7 @@ fn sweep_server(app: App, mix: Mix, o: &Opts) -> Vec<ServerOverheadRow> {
 fn sweep_verif(app: App, mix: Mix, o: &Opts) -> Vec<VerificationRow> {
     CONCURRENCY_SWEEP
         .iter()
-        .map(|&c| verification(app, mix, o.requests, c, o.seed, o.iters))
+        .map(|&c| verification(app, mix, o.requests, c, o.seed, o.iters, o.verify_threads))
         .collect()
 }
 
@@ -275,10 +312,20 @@ fn errorbars(o: &Opts) {
             let (unmod, kar) = server_overhead_with_seeds(app, mix, o.requests, c, o.seeds);
             println!("      c={c:>2}: {} vs {}", pct(unmod), pct(kar));
         }
-        println!("    verification (karousos / orochi-js / sequential):");
+        println!(
+            "    verification (karousos / karousos par({}) / orochi-js / sequential):",
+            o.verify_threads
+        );
         for &c in &[1usize, 15, 60] {
-            let (k, or, seq) = verification_with_seeds(app, mix, o.requests, c, o.seeds);
-            println!("      c={c:>2}: {} / {} / {}", pct(k), pct(or), pct(seq));
+            let (k, kp, or, seq) =
+                verification_with_seeds(app, mix, o.requests, c, o.seeds, o.verify_threads);
+            println!(
+                "      c={c:>2}: {} / {} / {} / {}",
+                pct(k),
+                pct(kp),
+                pct(or),
+                pct(seq)
+            );
         }
     }
 }

@@ -1,44 +1,45 @@
+//! Quick per-phase probe of the audit pipeline: runs the wiki workload
+//! under both collector modes and prints the verifier's own
+//! [`karousos::PhaseTiming`] breakdown (preprocess / group replay /
+//! graph merge / cycle check), single-threaded and parallel.
+
 use apps::App;
-use karousos::{run_instrumented_server, CollectorMode};
-use std::time::Instant;
+use karousos::{audit_with_options, run_instrumented_server, AuditOptions, CollectorMode};
 use workload::{Experiment, Mix};
 
 fn main() {
+    let threads = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(4);
     let exp = Experiment::paper_default(App::Wiki, Mix::Wiki, 30, 7);
     let program = App::Wiki.program();
     let inputs = exp.inputs();
     for mode in [CollectorMode::Karousos, CollectorMode::OrochiJs] {
         let (out, advice) =
             run_instrumented_server(&program, &inputs, &exp.server_config(), mode).unwrap();
-        for _ in 0..2 {
-            let t0 = Instant::now();
-            let pre = karousos::verifier::preprocess(&program, &out.trace, &advice, exp.isolation)
+        for t in [1, threads] {
+            for _ in 0..2 {
+                let report = audit_with_options(
+                    &program,
+                    &out.trace,
+                    &advice,
+                    exp.isolation,
+                    AuditOptions::with_threads(t),
+                )
                 .unwrap();
-            let t_pre = t0.elapsed();
-            let mut vars = karousos::verifier::VarStates::new();
-            let init_hid = kem::init_handler_id();
-            let mut opnum = 0u32;
-            for (i, decl) in program.vars.iter().enumerate() {
-                if decl.loggable {
-                    opnum += 1;
-                    vars.on_initialize(
-                        kem::VarId(i as u32),
-                        kem::OpRef::new(kem::RequestId::INIT, init_hid.clone(), opnum),
-                        decl.init.clone(),
-                    );
-                }
+                let p = report.timing;
+                println!(
+                    "{mode:?} threads={t}: preprocess={:?} replay={:?} merge={:?} cycle={:?} \
+                     nodes={} edges={}",
+                    p.preprocess,
+                    p.group_replay,
+                    p.graph_merge,
+                    p.cycle_check,
+                    report.graph_nodes,
+                    report.graph_edges
+                );
             }
-            let t0 = Instant::now();
-            karousos::verifier::ReExecutor::new(&program, &out.trace, &advice, &pre, &mut vars)
-                .run()
-                .unwrap();
-            let t_re = t0.elapsed();
-            let t0 = Instant::now();
-            let mut graph = pre.graph;
-            vars.add_internal_state_edges(&mut graph).unwrap();
-            let cyc = graph.has_cycle();
-            let t_post = t0.elapsed();
-            println!("{mode:?}: preprocess={t_pre:?} reexec={t_re:?} postprocess={t_post:?} (cycle={cyc}) nodes={} edges={}", graph.node_count(), graph.edge_count());
         }
     }
 }

@@ -61,6 +61,8 @@ pub use lint::{lint_advice, LintWarning};
 pub use multivalue::MultiValue;
 pub use rorder::{r_concurrent, r_ordered, r_precedes};
 pub use verifier::{
-    audit, audit_encoded, audit_with_schedule, ooo_audit, AuditReport, RejectReason, ReplaySchedule,
+    audit, audit_encoded, audit_encoded_with_options, audit_with_options, audit_with_schedule,
+    ooo_audit, ooo_audit_with_options, AuditOptions, AuditReport, PhaseTiming, ReexecStats,
+    RejectReason, ReplaySchedule,
 };
 pub use wire::{advice_sizes, decode_advice, encode_advice, AdviceSizes};

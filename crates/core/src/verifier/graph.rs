@@ -95,6 +95,15 @@ impl Graph {
         self.edges.push((f, t));
     }
 
+    /// Reserves capacity for at least `nodes` more nodes and `edges`
+    /// more edges (sized from merge-phase fragment totals, so the bulk
+    /// edge merge does not rehash or reallocate per insertion).
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.ids.reserve(nodes);
+        self.names.reserve(nodes);
+        self.edges.reserve(edges);
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.ids.len()
@@ -122,12 +131,30 @@ impl Graph {
     }
 
     /// Whether the graph contains a directed cycle (iterative DFS).
+    ///
+    /// The adjacency is built once, in compressed-sparse-row form (two
+    /// exactly-sized allocations instead of one `Vec` per node) — this
+    /// runs once per audit, over the fully merged graph, and is the
+    /// postprocessing phase's dominant cost on large workloads.
     pub fn has_cycle(&self) -> bool {
         let n = self.ids.len();
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for &(f, t) in &self.edges {
-            adj[f as usize].push(t);
+        // CSR: out-degree count → prefix-sum offsets → scatter targets.
+        let mut offsets: Vec<u32> = vec![0; n + 1];
+        for &(f, _) in &self.edges {
+            offsets[f as usize + 1] += 1;
         }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets: Vec<u32> = vec![0; self.edges.len()];
+        let mut cursor = offsets.clone();
+        for &(f, t) in &self.edges {
+            targets[cursor[f as usize] as usize] = t;
+            cursor[f as usize] += 1;
+        }
+        let children = |node: u32| -> &[u32] {
+            &targets[offsets[node as usize] as usize..offsets[node as usize + 1] as usize]
+        };
         #[derive(Clone, Copy, PartialEq)]
         enum Colour {
             White,
@@ -139,12 +166,12 @@ impl Graph {
             if colour[root] != Colour::White {
                 continue;
             }
-            let mut stack: Vec<(u32, usize)> = vec![(root as u32, 0)];
+            let mut stack: Vec<(u32, u32)> = vec![(root as u32, 0)];
             colour[root] = Colour::Grey;
             while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-                let children = &adj[node as usize];
-                if *idx < children.len() {
-                    let child = children[*idx];
+                let kids = children(node);
+                if (*idx as usize) < kids.len() {
+                    let child = kids[*idx as usize];
                     *idx += 1;
                     match colour[child as usize] {
                         Colour::Grey => return true,

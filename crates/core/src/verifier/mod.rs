@@ -20,13 +20,95 @@ mod vars;
 
 pub use graph::{GNode, Graph, HPos};
 pub use preprocess::{preprocess, OpMapEntry, Preprocessed};
-pub use reexec::{ReExecutor, ReexecStats, ReplaySchedule};
+pub use reexec::{ReExecutor, ReexecStats, ReexecTiming, ReplaySchedule};
 pub use reject::RejectReason;
 pub use vars::VarStates;
+
+use std::time::{Duration, Instant};
 
 use kem::{init_handler_id, OpRef, Program, RequestId, Trace, VarId};
 
 use crate::advice::Advice;
+
+/// Knobs for how an audit executes. None of them can change the
+/// verdict — a parallel audit produces bit-identical statistics and the
+/// same [`RejectReason`] as `threads = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditOptions {
+    /// Worker threads for group replay and sharded graph assembly:
+    /// `1` is fully sequential, `0` means one per available core.
+    pub threads: usize,
+    /// The order each group's active queue is drained in (Lemma-1
+    /// experiments; deployments use FIFO).
+    pub schedule: ReplaySchedule,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            threads: 1,
+            schedule: ReplaySchedule::Fifo,
+        }
+    }
+}
+
+impl AuditOptions {
+    /// Options with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        AuditOptions {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// Options from the environment: `KAROUSOS_VERIFY_THREADS` sets the
+    /// worker count (default `1`; `0` = one per core). This is what the
+    /// plain [`audit`] / [`audit_encoded`] entry points use, so the
+    /// whole test suite can be rerun against the parallel path by
+    /// exporting the variable.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("KAROUSOS_VERIFY_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        AuditOptions::with_threads(threads)
+    }
+
+    /// The concrete worker count (`0` resolved to the core count).
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Wall-clock breakdown of a successful audit's phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTiming {
+    /// Preprocess: decode-independent advice checks, OpMap and base
+    /// graph construction, isolation verification.
+    pub preprocess: Duration,
+    /// Group replay: interpreting every re-execution group (the
+    /// parallel section when `threads > 1`).
+    pub group_replay: Duration,
+    /// Graph merge: replaying variable-access streams into the global
+    /// dictionaries, final whole-audit checks, and embedding the
+    /// per-variable WR/WW/RW edges into `G`.
+    pub graph_merge: Duration,
+    /// The single post-merge acyclicity check over `G`.
+    pub cycle_check: Duration,
+}
+
+impl PhaseTiming {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.preprocess + self.group_replay + self.graph_merge + self.cycle_check
+    }
+}
 
 /// Statistics of a successful audit.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +119,8 @@ pub struct AuditReport {
     pub graph_nodes: usize,
     /// Edges in the final execution graph `G`.
     pub graph_edges: usize,
+    /// Per-phase wall-clock breakdown.
+    pub timing: PhaseTiming,
 }
 
 /// Audits from the advice's wire form: decodes, then runs [`audit`].
@@ -58,13 +142,30 @@ pub fn audit_encoded(
     advice_bytes: &[u8],
     isolation: kvstore::IsolationLevel,
 ) -> Result<AuditReport, RejectReason> {
+    audit_encoded_with_options(
+        program,
+        trace,
+        advice_bytes,
+        isolation,
+        AuditOptions::from_env(),
+    )
+}
+
+/// [`audit_encoded`] with explicit [`AuditOptions`].
+pub fn audit_encoded_with_options(
+    program: &Program,
+    trace: &Trace,
+    advice_bytes: &[u8],
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+) -> Result<AuditReport, RejectReason> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let advice = crate::wire::decode_advice(advice_bytes).map_err(|e| {
             RejectReason::MalformedAdvice {
                 what: e.to_string(),
             }
         })?;
-        audit(program, trace, &advice, isolation)
+        audit_with_options(program, trace, &advice, isolation, opts)
     })) {
         Ok(outcome) => outcome,
         Err(payload) => Err(RejectReason::VerifierInternal {
@@ -94,7 +195,7 @@ pub fn audit(
     advice: &Advice,
     isolation: kvstore::IsolationLevel,
 ) -> Result<AuditReport, RejectReason> {
-    audit_with_schedule(program, trace, advice, isolation, ReplaySchedule::Fifo)
+    audit_with_options(program, trace, advice, isolation, AuditOptions::from_env())
 }
 
 /// Runs the trusted initialization phase: installs every loggable
@@ -128,21 +229,49 @@ pub fn ooo_audit(
     isolation: kvstore::IsolationLevel,
     schedule: ReplaySchedule,
 ) -> Result<AuditReport, RejectReason> {
+    let opts = AuditOptions {
+        schedule,
+        ..AuditOptions::from_env()
+    };
+    ooo_audit_with_options(program, trace, advice, isolation, opts)
+}
+
+/// [`ooo_audit`] with explicit [`AuditOptions`]. Replay itself is
+/// ungrouped (and therefore serial); `threads` parallelizes the
+/// per-variable graph assembly.
+pub fn ooo_audit_with_options(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+) -> Result<AuditReport, RejectReason> {
+    let threads = opts.effective_threads();
+    let mut timing = PhaseTiming::default();
+    let t = Instant::now();
     let pre = preprocess(program, trace, advice, isolation)?;
+    timing.preprocess = t.elapsed();
     let mut vars = VarStates::new();
     init_vars(program, &mut vars);
+    let t = Instant::now();
     let reexec = ReExecutor::new(program, trace, advice, &pre, &mut vars)
-        .with_schedule(schedule)
+        .with_schedule(opts.schedule)
         .run_ungrouped()?;
+    timing.group_replay = t.elapsed();
     let mut graph = pre.graph;
-    vars.add_internal_state_edges(&mut graph)?;
+    let t = Instant::now();
+    vars.add_internal_state_edges_sharded(&mut graph, threads)?;
+    timing.graph_merge = t.elapsed();
+    let t = Instant::now();
     if graph.has_cycle() {
         return Err(RejectReason::CycleInG);
     }
+    timing.cycle_check = t.elapsed();
     Ok(AuditReport {
         reexec,
         graph_nodes: graph.node_count(),
         graph_edges: graph.edge_count(),
+        timing,
     })
 }
 
@@ -154,28 +283,56 @@ pub fn audit_with_schedule(
     isolation: kvstore::IsolationLevel,
     schedule: ReplaySchedule,
 ) -> Result<AuditReport, RejectReason> {
+    let opts = AuditOptions {
+        schedule,
+        ..AuditOptions::from_env()
+    };
+    audit_with_options(program, trace, advice, isolation, opts)
+}
+
+/// [`audit`] with explicit [`AuditOptions`] (Fig. 14 `Audit`, with
+/// group replay spread over `opts.threads` workers).
+pub fn audit_with_options(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+) -> Result<AuditReport, RejectReason> {
+    let threads = opts.effective_threads();
+    let mut timing = PhaseTiming::default();
+
     // Preprocess (includes isolation-level verification).
+    let t = Instant::now();
     let pre = preprocess(program, trace, advice, isolation)?;
+    timing.preprocess = t.elapsed();
 
     // Run the initialization phase (trusted: it is part of the program;
     // Fig. 14 line 20), installing loggable variables.
     let mut vars = VarStates::new();
     init_vars(program, &mut vars);
 
-    // ReExec.
-    let reexec = ReExecutor::new(program, trace, advice, &pre, &mut vars)
-        .with_schedule(schedule)
-        .run()?;
+    // ReExec: workers replay whole groups; the serial tail re-applies
+    // their variable-access streams in group order.
+    let (reexec, reexec_timing) = ReExecutor::new(program, trace, advice, &pre, &mut vars)
+        .with_schedule(opts.schedule)
+        .run_threaded(threads)?;
+    timing.group_replay = reexec_timing.group_replay;
 
     // Postprocess: embed internal-state edges, check acyclicity.
     let mut graph = pre.graph;
-    vars.add_internal_state_edges(&mut graph)?;
+    let t = Instant::now();
+    vars.add_internal_state_edges_sharded(&mut graph, threads)?;
+    timing.graph_merge = reexec_timing.state_merge + t.elapsed();
+    let t = Instant::now();
     if graph.has_cycle() {
         return Err(RejectReason::CycleInG);
     }
+    timing.cycle_check = t.elapsed();
     Ok(AuditReport {
         reexec,
         graph_nodes: graph.node_count(),
         graph_edges: graph.edge_count(),
+        timing,
     })
 }

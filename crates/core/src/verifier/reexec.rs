@@ -13,12 +13,14 @@
 //! freedom the R-order formalizes.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use kem::{
     BinOp, Expr, HandlerId, OpRef, Program, RequestId, Stmt, Trace, Value, VarId, INIT_FUNCTION,
 };
 
-use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType};
+use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType, VarLog};
 use crate::multivalue::MultiValue;
 use crate::verifier::preprocess::{OpMapEntry, Preprocessed};
 use crate::verifier::reject::RejectReason;
@@ -48,7 +50,7 @@ pub enum ReplaySchedule {
 }
 
 /// Re-execution statistics, reported in the audit report.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReexecStats {
     /// Number of re-execution groups.
     pub groups: usize,
@@ -62,13 +64,128 @@ pub struct ReexecStats {
     pub expanded_ops: u64,
 }
 
+impl ReexecStats {
+    /// Accumulates another group's counters (the `groups` field is set
+    /// once for the whole run, not summed).
+    fn absorb(&mut self, other: &ReexecStats) {
+        self.handlers_executed += other.handlers_executed;
+        self.activations_covered += other.activations_covered;
+        self.uniform_ops += other.uniform_ops;
+        self.expanded_ops += other.expanded_ops;
+    }
+}
+
+/// Wall-clock breakdown of [`ReExecutor::run_threaded`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReexecTiming {
+    /// Group replay: interpreting every group (in parallel when
+    /// `threads > 1`).
+    pub group_replay: Duration,
+    /// State merge: re-applying each group's recorded variable accesses
+    /// to the global dictionaries, plus the whole-audit final checks.
+    pub state_merge: Duration,
+}
+
+/// One recorded shared-variable access from a group's replay.
+///
+/// Workers apply accesses to a group-local [`VarStates`] (seeded with
+/// the trusted initialization writes only); the merge phase then
+/// re-applies the streams to the *global* state in ascending group
+/// order. Cross-group checks — a dictating write's logged value versus
+/// what its group's re-execution produced, chain overwrite conflicts —
+/// fire during that replay at exactly the event position the
+/// sequential audit hits them, so verdict and reason are independent of
+/// worker scheduling.
+#[derive(Debug, Clone)]
+enum VarEvent {
+    /// A re-executed read of `var` at `op`.
+    Read { var: VarId, op: OpRef },
+    /// A re-executed write of `value` to `var` at `op`.
+    Write { var: VarId, op: OpRef, value: Value },
+}
+
+/// Where a re-executor sends its shared-variable accesses.
+enum VarBackend<'a> {
+    /// Operate directly on the global state (the out-of-order path and
+    /// unit tests).
+    Global(&'a mut VarStates),
+    /// Grouped worker: apply to a group-local copy and record the event
+    /// stream for the merge replay.
+    Recording {
+        /// Group-local state, cloned from the post-initialization
+        /// global state. A group's unlogged reads only ever consult
+        /// writes by their own request's ancestors or the trusted
+        /// initialization — both present here — so the values fed to
+        /// the interpreter match the sequential audit's exactly.
+        local: VarStates,
+        /// Accesses in group program order.
+        events: Vec<VarEvent>,
+    },
+}
+
+impl VarBackend<'_> {
+    fn on_read(
+        &mut self,
+        var: VarId,
+        op: OpRef,
+        log: Option<&VarLog>,
+    ) -> Result<Value, RejectReason> {
+        match self {
+            VarBackend::Global(vars) => vars.on_read(var, op, log),
+            VarBackend::Recording { local, events } => {
+                events.push(VarEvent::Read {
+                    var,
+                    op: op.clone(),
+                });
+                local.on_read(var, op, log)
+            }
+        }
+    }
+
+    fn on_write(
+        &mut self,
+        var: VarId,
+        op: OpRef,
+        value: Value,
+        log: Option<&VarLog>,
+    ) -> Result<(), RejectReason> {
+        match self {
+            VarBackend::Global(vars) => vars.on_write(var, op, value, log),
+            VarBackend::Recording { local, events } => {
+                events.push(VarEvent::Write {
+                    var,
+                    op: op.clone(),
+                    value: value.clone(),
+                });
+                local.on_write(var, op, value, log)
+            }
+        }
+    }
+}
+
+/// What one group's replay produced, before the merge phase.
+struct GroupRun {
+    /// Shared-variable accesses in group program order (recorded up to
+    /// and including the erroring access, if any).
+    events: Vec<VarEvent>,
+    /// The group-local error, if replay failed. Ordered *after* the
+    /// group's recorded events during the merge: every error a worker
+    /// can detect locally, the sequential audit detects at the same
+    /// point, so a cross-group error in an earlier event still wins.
+    error: Option<RejectReason>,
+    executed: HashSet<(RequestId, HandlerId)>,
+    consumed: HashSet<OpRef>,
+    outputs: HashMap<RequestId, Value>,
+    stats: ReexecStats,
+}
+
 /// The grouped re-executor.
 pub struct ReExecutor<'a> {
     program: &'a Program,
     trace: &'a Trace,
     advice: &'a Advice,
     pre: &'a Preprocessed,
-    vars: &'a mut VarStates,
+    vars: VarBackend<'a>,
     schedule: ReplaySchedule,
     rng: rand::rngs::SmallRng,
     /// Per-request copies of non-loggable shared variables (assumed
@@ -119,9 +236,50 @@ impl<'a> ReExecutor<'a> {
             trace,
             advice,
             pre,
-            vars,
+            vars: VarBackend::Global(vars),
             schedule: ReplaySchedule::Fifo,
             rng: rand::SeedableRng::seed_from_u64(0),
+            nonlog: HashMap::new(),
+            tx_table: Vec::new(),
+            tx_counters: HashMap::new(),
+            executed: HashSet::new(),
+            consumed: HashSet::new(),
+            outputs: HashMap::new(),
+            stats: ReexecStats::default(),
+        }
+    }
+
+    /// A per-group worker executor: group-local variable state (cloned
+    /// from the post-initialization global state), group-local
+    /// transaction-token table, and — for `Random` schedules — an RNG
+    /// derived from the seed and the group index, so draw sequences
+    /// never depend on how groups are distributed over workers.
+    fn for_group(
+        program: &'a Program,
+        trace: &'a Trace,
+        advice: &'a Advice,
+        pre: &'a Preprocessed,
+        init_vars: VarStates,
+        schedule: ReplaySchedule,
+        gidx: usize,
+    ) -> Self {
+        let seed = match schedule {
+            ReplaySchedule::Random { seed } => {
+                seed ^ (gidx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            }
+            _ => 0,
+        };
+        ReExecutor {
+            program,
+            trace,
+            advice,
+            pre,
+            vars: VarBackend::Recording {
+                local: init_vars,
+                events: Vec::new(),
+            },
+            schedule,
+            rng: rand::SeedableRng::seed_from_u64(seed),
             nonlog: HashMap::new(),
             tx_table: Vec::new(),
             tx_counters: HashMap::new(),
@@ -163,7 +321,23 @@ impl<'a> ReExecutor<'a> {
 
     /// Runs re-execution over all groups (Fig. 18), performing the
     /// final whole-audit checks (lines 62–64).
-    pub fn run(mut self) -> Result<ReexecStats, RejectReason> {
+    pub fn run(self) -> Result<ReexecStats, RejectReason> {
+        self.run_threaded(1).map(|(stats, _)| stats)
+    }
+
+    /// [`ReExecutor::run`] with group replay spread over `threads`
+    /// workers.
+    ///
+    /// Groups are independent by construction — same handler tree,
+    /// disjoint requests — so each worker interprets whole groups with
+    /// its own local replay state, recording its shared-variable
+    /// accesses. The serial merge phase then re-applies those streams
+    /// to the global state in ascending group order, which makes the
+    /// outcome (verdict, [`RejectReason`], statistics) bit-identical to
+    /// `threads = 1`: that path runs the very same worker-and-merge
+    /// code, just on one thread.
+    pub fn run_threaded(self, threads: usize) -> Result<(ReexecStats, ReexecTiming), RejectReason> {
+        let t_replay = Instant::now();
         let order = self.trace.request_ids();
         for rid in &order {
             if !self.advice.tags.contains_key(rid) {
@@ -171,12 +345,171 @@ impl<'a> ReExecutor<'a> {
             }
         }
         let groups = self.advice.groups(&order);
-        self.stats.groups = groups.len();
-        for rids in groups {
-            self.run_group(Group { rids })?;
+        let ngroups = groups.len();
+        let (program, trace, advice, pre, schedule) = (
+            self.program,
+            self.trace,
+            self.advice,
+            self.pre,
+            self.schedule,
+        );
+        let VarBackend::Global(global) = self.vars else {
+            return Err(RejectReason::VerifierInternal {
+                what: "grouped run started on a recording backend".into(),
+            });
+        };
+        // Post-initialization snapshot each group's local state starts
+        // from (the trusted initialization writes only).
+        let init_vars: VarStates = global.clone();
+
+        let run_unit = |gidx: usize, rids: &[RequestId]| -> GroupRun {
+            let mut ex = ReExecutor::for_group(
+                program,
+                trace,
+                advice,
+                pre,
+                init_vars.clone(),
+                schedule,
+                gidx,
+            );
+            let mut error = ex
+                .run_group(Group {
+                    rids: rids.to_vec(),
+                })
+                .err();
+            let events = match ex.vars {
+                VarBackend::Recording { events, .. } => events,
+                // Statically impossible; losing the event stream would
+                // silently weaken the merge checks, so fail closed.
+                VarBackend::Global(_) => {
+                    error = Some(RejectReason::VerifierInternal {
+                        what: "group worker lost its event stream".into(),
+                    });
+                    Vec::new()
+                }
+            };
+            GroupRun {
+                events,
+                error,
+                executed: ex.executed,
+                consumed: ex.consumed,
+                outputs: ex.outputs,
+                stats: ex.stats,
+            }
+        };
+
+        let units: Vec<Option<GroupRun>> = if threads <= 1 || ngroups <= 1 {
+            let mut out: Vec<Option<GroupRun>> = Vec::with_capacity(ngroups);
+            let mut failed = false;
+            for (gidx, rids) in groups.iter().enumerate() {
+                // The merge never looks past the first failing group,
+                // so neither does the replay.
+                if failed {
+                    out.push(None);
+                    continue;
+                }
+                let unit = run_unit(gidx, rids);
+                failed = unit.error.is_some();
+                out.push(Some(unit));
+            }
+            out
+        } else {
+            let next = AtomicUsize::new(0);
+            // Smallest group index known to have failed: workers skip
+            // groups strictly beyond it (the merge stops there), but
+            // never groups before it, which the merge still needs.
+            let failed_floor = AtomicUsize::new(usize::MAX);
+            let groups_ref = &groups;
+            let run_unit_ref = &run_unit;
+            let workers = threads.min(ngroups);
+            let mut slots: Vec<Option<GroupRun>> = Vec::new();
+            slots.resize_with(ngroups, || None);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut done: Vec<(usize, GroupRun)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= ngroups {
+                                    break;
+                                }
+                                if i > failed_floor.load(Ordering::Relaxed) {
+                                    continue;
+                                }
+                                let unit = run_unit_ref(i, &groups_ref[i]);
+                                if unit.error.is_some() {
+                                    failed_floor.fetch_min(i, Ordering::Relaxed);
+                                }
+                                done.push((i, unit));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(done) => {
+                            for (i, unit) in done {
+                                slots[i] = Some(unit);
+                            }
+                        }
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            slots
+        };
+        let mut timing = ReexecTiming {
+            group_replay: t_replay.elapsed(),
+            ..Default::default()
+        };
+
+        // Merge, in ascending group order (the sequential replay
+        // order). Re-applying each group's accesses to the global state
+        // runs the cross-group checks at the same event position the
+        // sequential audit would, so the first error — replayed or
+        // group-local — is the sequential audit's error.
+        let t_merge = Instant::now();
+        let mut stats = ReexecStats {
+            groups: ngroups,
+            ..Default::default()
+        };
+        let mut executed: HashSet<(RequestId, HandlerId)> = HashSet::new();
+        let mut consumed: HashSet<OpRef> = HashSet::new();
+        let mut outputs: HashMap<RequestId, Value> = HashMap::new();
+        for slot in units {
+            let Some(unit) = slot else {
+                return Err(RejectReason::VerifierInternal {
+                    what: "group skipped before the first failing group".into(),
+                });
+            };
+            for ev in &unit.events {
+                match ev {
+                    VarEvent::Read { var, op } => {
+                        global.on_read(*var, op.clone(), advice.var_logs.get(var))?;
+                    }
+                    VarEvent::Write { var, op, value } => {
+                        global.on_write(
+                            *var,
+                            op.clone(),
+                            value.clone(),
+                            advice.var_logs.get(var),
+                        )?;
+                    }
+                }
+            }
+            if let Some(e) = unit.error {
+                return Err(e);
+            }
+            stats.absorb(&unit.stats);
+            executed.extend(unit.executed);
+            consumed.extend(unit.consumed);
+            outputs.extend(unit.outputs);
         }
-        self.final_checks(&order)?;
-        Ok(self.stats)
+        final_checks(trace, advice, pre, &order, &executed, &consumed, &outputs)?;
+        timing.state_merge = t_merge.elapsed();
+        Ok((stats, timing))
     }
 
     /// `OOOExec` (Fig. 22): out-of-order re-execution *without*
@@ -229,7 +562,15 @@ impl<'a> ReExecutor<'a> {
                 ));
             }
         }
-        self.final_checks(&order)?;
+        final_checks(
+            self.trace,
+            self.advice,
+            self.pre,
+            &order,
+            &self.executed,
+            &self.consumed,
+            &self.outputs,
+        )?;
         Ok(self.stats)
     }
 
@@ -249,36 +590,6 @@ impl<'a> ReExecutor<'a> {
                 }
             }
         }
-    }
-
-    fn final_checks(&self, order: &[kem::RequestId]) -> Result<(), RejectReason> {
-        // (3): outputs must match the trace exactly.
-        for rid in order {
-            let Some(expected) = self.trace.output_of(*rid) else {
-                return Err(RejectReason::UnbalancedTrace);
-            };
-            match self.outputs.get(rid) {
-                Some(got) if got == expected => {}
-                _ => return Err(RejectReason::OutputMismatch { rid: *rid }),
-            }
-        }
-        // Line 64: no advice handlers that we did not execute.
-        for (rid, hid) in self.advice.opcounts.keys() {
-            if !self.executed.contains(&(*rid, hid.clone())) {
-                return Err(RejectReason::HandlerNotExecuted { rid: *rid });
-            }
-        }
-        // Every logged handler/state operation must have been produced
-        // (and consumed) by re-execution — otherwise fabricated
-        // transactions or handler ops could squat on coordinates that
-        // re-execution occupies with variable accesses, which never
-        // consult the OpMap.
-        for op in self.pre.op_map.keys() {
-            if !self.consumed.contains(op) {
-                return Err(RejectReason::UnexecutedLogEntry { at: op.clone() });
-            }
-        }
-        Ok(())
     }
 
     fn run_group(&mut self, g: Group) -> Result<(), RejectReason> {
@@ -1170,6 +1481,52 @@ impl<'a> ReExecutor<'a> {
             }
         })
     }
+}
+
+/// The whole-audit checks after every group replayed (Fig. 18 lines
+/// 62–64).
+fn final_checks(
+    trace: &Trace,
+    advice: &Advice,
+    pre: &Preprocessed,
+    order: &[RequestId],
+    executed: &HashSet<(RequestId, HandlerId)>,
+    consumed: &HashSet<OpRef>,
+    outputs: &HashMap<RequestId, Value>,
+) -> Result<(), RejectReason> {
+    // (3): outputs must match the trace exactly.
+    for rid in order {
+        let Some(expected) = trace.output_of(*rid) else {
+            return Err(RejectReason::UnbalancedTrace);
+        };
+        match outputs.get(rid) {
+            Some(got) if got == expected => {}
+            _ => return Err(RejectReason::OutputMismatch { rid: *rid }),
+        }
+    }
+    // Line 64: no advice handlers that we did not execute.
+    for (rid, hid) in advice.opcounts.keys() {
+        if !executed.contains(&(*rid, hid.clone())) {
+            return Err(RejectReason::HandlerNotExecuted { rid: *rid });
+        }
+    }
+    // Every logged handler/state operation must have been produced
+    // (and consumed) by re-execution — otherwise fabricated
+    // transactions or handler ops could squat on coordinates that
+    // re-execution occupies with variable accesses, which never
+    // consult the OpMap. The OpMap iterates in hash order, so report
+    // the smallest uncovered coordinate to keep the rejection
+    // deterministic.
+    let mut uncovered: Option<&OpRef> = None;
+    for op in pre.op_map.keys() {
+        if !consumed.contains(op) && uncovered.is_none_or(|m| op < m) {
+            uncovered = Some(op);
+        }
+    }
+    if let Some(op) = uncovered {
+        return Err(RejectReason::UnexecutedLogEntry { at: op.clone() });
+    }
+    Ok(())
 }
 
 // `BinOp` import is used in eval via kem::eval_binop's signature.

@@ -29,7 +29,7 @@ use crate::verifier::graph::{GNode, Graph};
 use crate::verifier::reject::RejectReason;
 
 /// Per-variable verifier state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct VarState {
     /// Written values: `(rid, hid) → [(opnum, value)]`, opnums ascending.
     dict: HashMap<(RequestId, HandlerId), Vec<(u32, Value)>>,
@@ -43,31 +43,49 @@ pub struct VarState {
     executed_writes: HashSet<OpRef>,
 }
 
+/// Inserts `(opnum, value)` into an opnum-ascending write list, keeping
+/// the ascending invariant even for out-of-order insertions (re-executed
+/// opnums are monotonic per handler, so the fast path is a push).
+fn dict_insert(writes: &mut Vec<(u32, Value)>, opnum: u32, value: Value) {
+    match writes.last() {
+        Some((last, _)) if *last >= opnum => {
+            let i = writes.partition_point(|(n, _)| *n < opnum);
+            writes.insert(i, (opnum, value));
+        }
+        _ => writes.push((opnum, value)),
+    }
+}
+
 impl VarState {
     /// Records the trusted initialization write (the verifier runs the
     /// initialization phase itself; Fig. 14 line 20).
     fn initialize(&mut self, op: OpRef, value: Value) {
-        self.dict
-            .entry((op.rid, op.hid.clone()))
-            .or_default()
-            .push((op.opnum, value));
+        dict_insert(
+            self.dict.entry((op.rid, op.hid.clone())).or_default(),
+            op.opnum,
+            value,
+        );
         self.executed_writes.insert(op.clone());
         self.initializer = Some(op);
     }
 
     /// `FindNearestRPrecedingWrite`: the latest write (under `<_R`) that
-    /// precedes `(rid, hid, opnum)`, found by scanning this handler's
-    /// earlier writes, then each ancestor's writes, then the
-    /// initialization activation's.
+    /// precedes `(rid, hid, opnum)`, found by binary-searching this
+    /// handler's earlier writes (the per-handler list is opnum-ordered),
+    /// then each ancestor's writes, then the initialization
+    /// activation's.
     fn find_nearest_r_preceding(
         &self,
         rid: RequestId,
         hid: &HandlerId,
         opnum: u32,
     ) -> Option<(OpRef, Value)> {
-        // Writes by this very handler, before this op.
+        // Writes by this very handler, before this op: the last entry
+        // with an opnum strictly below `opnum`.
         if let Some(writes) = self.dict.get(&(rid, hid.clone())) {
-            if let Some((n, v)) = writes.iter().rev().find(|(n, _)| *n < opnum) {
+            let i = writes.partition_point(|(n, _)| *n < opnum);
+            if i > 0 {
+                let (n, v) = &writes[i - 1];
                 return Some((OpRef::new(rid, hid.clone(), *n), v.clone()));
             }
         }
@@ -98,19 +116,27 @@ impl VarState {
     /// The value the re-executed (or trusted-initialization) write at
     /// exactly `op` produced, if that write has run.
     fn dict_value(&self, op: &OpRef) -> Option<&Value> {
-        self.dict
-            .get(&(op.rid, op.hid.clone()))?
-            .iter()
-            .find(|(n, _)| *n == op.opnum)
-            .map(|(_, v)| v)
+        let writes = self.dict.get(&(op.rid, op.hid.clone()))?;
+        writes
+            .binary_search_by_key(&op.opnum, |(n, _)| *n)
+            .ok()
+            .map(|i| &writes[i].1)
     }
 }
 
 /// All per-variable states, keyed by variable.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct VarStates {
     per: HashMap<VarId, VarState>,
 }
+
+/// One variable's contribution to the execution graph: the WR / WW / RW
+/// edges its write chain implies, as operation-coordinate pairs.
+/// Fragments are built independently per variable (optionally on worker
+/// threads) and merged into `G` in ascending-`VarId` order, so the
+/// final graph — and any rejection — is identical regardless of how the
+/// assembly was sharded.
+type EdgeFragment = Vec<(OpRef, OpRef)>;
 
 impl VarStates {
     /// Creates empty state.
@@ -210,11 +236,11 @@ impl VarStates {
         log: Option<&VarLog>,
     ) -> Result<(), RejectReason> {
         let state = self.per.entry(var).or_default();
-        state
-            .dict
-            .entry((op.rid, op.hid.clone()))
-            .or_default()
-            .push((op.opnum, value.clone()));
+        dict_insert(
+            state.dict.entry((op.rid, op.hid.clone())).or_default(),
+            op.opnum,
+            value.clone(),
+        );
         state.executed_writes.insert(op.clone());
 
         let logged = log.and_then(|l| l.get(&op));
@@ -278,72 +304,170 @@ impl VarStates {
     /// edges to `G`, and checks the chain covers exactly the
     /// re-executed writes.
     pub fn add_internal_state_edges(&self, g: &mut Graph) -> Result<(), RejectReason> {
-        for state in self.per.values() {
-            let mut visited: HashSet<OpRef> = HashSet::new();
-            let mut cur = state.initializer.clone();
-            while let Some(w) = cur {
-                if !visited.insert(w.clone()) {
-                    return Err(RejectReason::VarChainBroken {
-                        why: "write chain has a cycle",
-                    });
+        self.add_internal_state_edges_sharded(g, 1)
+    }
+
+    /// [`VarStates::add_internal_state_edges`], with the per-variable
+    /// fragment construction sharded over `threads` worker threads.
+    ///
+    /// Determinism: variables are processed in ascending `VarId` order
+    /// for both error selection (the first broken chain in that order
+    /// rejects, regardless of which worker found it) and fragment
+    /// merging (edges enter `G` in the same order a single-threaded
+    /// walk would produce).
+    pub fn add_internal_state_edges_sharded(
+        &self,
+        g: &mut Graph,
+        threads: usize,
+    ) -> Result<(), RejectReason> {
+        let mut vids: Vec<VarId> = self.per.keys().copied().collect();
+        vids.sort_unstable();
+
+        let fragments: Vec<EdgeFragment> = if threads <= 1 || vids.len() <= 1 {
+            let mut frags = Vec::with_capacity(vids.len());
+            for vid in &vids {
+                match self.per.get(vid) {
+                    Some(state) => frags.push(var_fragment(state)?),
+                    None => frags.push(Vec::new()),
                 }
-                let readers = state.read_observers.get(&w);
-                if let Some(readers) = readers {
-                    for r in readers {
-                        add_edge_skipping_init(g, &w, r);
-                    }
-                }
-                if let Some(w2) = state.write_observer.get(&w) {
-                    if let Some(readers) = readers {
-                        for r in readers {
-                            add_edge_skipping_init(g, r, w2);
+            }
+            frags
+        } else {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let next = AtomicUsize::new(0);
+            let vids_ref = &vids;
+            let per = &self.per;
+            let mut slots: Vec<Option<Result<EdgeFragment, RejectReason>>> = Vec::new();
+            slots.resize_with(vids.len(), || None);
+            let workers = threads.min(vids.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut out: Vec<(usize, Result<EdgeFragment, RejectReason>)> =
+                                Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= vids_ref.len() {
+                                    break;
+                                }
+                                let res = match per.get(&vids_ref[i]) {
+                                    Some(state) => var_fragment(state),
+                                    None => Ok(Vec::new()),
+                                };
+                                out.push((i, res));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(results) => {
+                            for (i, res) in results {
+                                slots[i] = Some(res);
+                            }
                         }
+                        Err(payload) => std::panic::resume_unwind(payload),
                     }
-                    add_edge_skipping_init(g, &w, w2);
                 }
-                cur = state.write_observer.get(&w).cloned();
-            }
-            // Coverage: every re-executed write must be on the chain
-            // (otherwise its log entry escaped simulate-and-check's
-            // ordering constraints), and no alleged observer may hang
-            // off a write that is not on the chain.
-            for w in &state.executed_writes {
-                if !visited.contains(w) {
-                    return Err(RejectReason::VarChainBroken {
-                        why: "re-executed write not covered by the write chain",
-                    });
-                }
-            }
-            for key in state.read_observers.keys() {
-                if !visited.contains(key) {
-                    return Err(RejectReason::VarChainBroken {
-                        why: "read observes a write outside the chain",
-                    });
+            });
+            // First error in VarId order wins — same as the sequential
+            // walk, independent of worker scheduling.
+            let mut frags = Vec::with_capacity(vids.len());
+            for slot in slots {
+                match slot {
+                    Some(Ok(frag)) => frags.push(frag),
+                    Some(Err(e)) => return Err(e),
+                    None => {
+                        return Err(RejectReason::VerifierInternal {
+                            what: "edge fragment missing after sharded assembly".into(),
+                        })
+                    }
                 }
             }
-            for key in state.write_observer.keys() {
-                if !visited.contains(key) {
-                    return Err(RejectReason::VarChainBroken {
-                        why: "write observer attached outside the chain",
-                    });
-                }
+            frags
+        };
+
+        // Merge in VarId order with capacity reserved from the fragment
+        // sizes (each edge introduces at most two new nodes).
+        let total_edges: usize = fragments.iter().map(Vec::len).sum();
+        g.reserve(total_edges.saturating_mul(2), total_edges);
+        for frag in &fragments {
+            for (from, to) in frag {
+                g.add_edge(
+                    GNode::op(from.rid, from.hid.clone(), from.opnum),
+                    GNode::op(to.rid, to.hid.clone(), to.opnum),
+                );
             }
         }
         Ok(())
     }
 }
 
-/// Adds an ordering edge unless an endpoint belongs to the trusted
-/// initialization activation (which precedes everything and cannot
-/// participate in a cycle).
-fn add_edge_skipping_init(g: &mut Graph, from: &OpRef, to: &OpRef) {
-    if from.rid == RequestId::INIT || to.rid == RequestId::INIT {
-        return;
+/// Walks one variable's write chain from the initializer (Fig. 21
+/// `AddInternalStateEdges`), returning the WR / WW / RW edges it
+/// implies, or the chain-coverage rejection.
+fn var_fragment(state: &VarState) -> Result<EdgeFragment, RejectReason> {
+    let mut edges: EdgeFragment = Vec::new();
+    // An ordering edge is recorded unless an endpoint belongs to the
+    // trusted initialization activation (which precedes everything and
+    // cannot participate in a cycle).
+    let push = |edges: &mut EdgeFragment, from: &OpRef, to: &OpRef| {
+        if from.rid != RequestId::INIT && to.rid != RequestId::INIT {
+            edges.push((from.clone(), to.clone()));
+        }
+    };
+    let mut visited: HashSet<OpRef> = HashSet::new();
+    let mut cur = state.initializer.clone();
+    while let Some(w) = cur {
+        if !visited.insert(w.clone()) {
+            return Err(RejectReason::VarChainBroken {
+                why: "write chain has a cycle",
+            });
+        }
+        let readers = state.read_observers.get(&w);
+        if let Some(readers) = readers {
+            for r in readers {
+                push(&mut edges, &w, r);
+            }
+        }
+        if let Some(w2) = state.write_observer.get(&w) {
+            if let Some(readers) = readers {
+                for r in readers {
+                    push(&mut edges, r, w2);
+                }
+            }
+            push(&mut edges, &w, w2);
+        }
+        cur = state.write_observer.get(&w).cloned();
     }
-    g.add_edge(
-        GNode::op(from.rid, from.hid.clone(), from.opnum),
-        GNode::op(to.rid, to.hid.clone(), to.opnum),
-    );
+    // Coverage: every re-executed write must be on the chain (otherwise
+    // its log entry escaped simulate-and-check's ordering constraints),
+    // and no alleged observer may hang off a write that is not on the
+    // chain.
+    for w in &state.executed_writes {
+        if !visited.contains(w) {
+            return Err(RejectReason::VarChainBroken {
+                why: "re-executed write not covered by the write chain",
+            });
+        }
+    }
+    for key in state.read_observers.keys() {
+        if !visited.contains(key) {
+            return Err(RejectReason::VarChainBroken {
+                why: "read observes a write outside the chain",
+            });
+        }
+    }
+    for key in state.write_observer.keys() {
+        if !visited.contains(key) {
+            return Err(RejectReason::VarChainBroken {
+                why: "write observer attached outside the chain",
+            });
+        }
+    }
+    Ok(edges)
 }
 
 #[cfg(test)]
@@ -421,6 +545,51 @@ mod tests {
             .on_read(var(), OpRef::new(RequestId(0), child, 1), None)
             .unwrap();
         assert_eq!(v, Value::int(7));
+    }
+
+    #[test]
+    fn nearest_r_preceding_write_is_latest_strictly_before() {
+        // Pins `FindNearestRPrecedingWrite` (Figs. 20/21) under the
+        // binary-searched dictionary: among several same-handler writes
+        // the dictating one is the *latest* with opnum strictly below
+        // the read — never the read's own opnum, never a later write.
+        let mut vs = VarStates::new();
+        vs.on_initialize(var(), init_op(), Value::int(0));
+        let h = HandlerId::root(FunctionId(0));
+        for (opnum, val) in [(2, 20), (5, 50), (9, 90)] {
+            vs.on_write(
+                var(),
+                OpRef::new(RequestId(0), h.clone(), opnum),
+                Value::int(val),
+                None,
+            )
+            .unwrap();
+        }
+        let read_at = |vs: &mut VarStates, opnum: u32| {
+            vs.on_read(var(), OpRef::new(RequestId(0), h.clone(), opnum), None)
+                .unwrap()
+        };
+        // Before any same-handler write: falls through to init.
+        assert_eq!(read_at(&mut vs, 1), Value::int(0));
+        // Between writes: the latest strictly-preceding one.
+        assert_eq!(read_at(&mut vs, 3), Value::int(20));
+        assert_eq!(read_at(&mut vs, 4), Value::int(20));
+        assert_eq!(read_at(&mut vs, 6), Value::int(50));
+        // At a write's own opnum: strictly-before, so the previous one.
+        assert_eq!(read_at(&mut vs, 5), Value::int(20));
+        assert_eq!(read_at(&mut vs, 9), Value::int(50));
+        // Past the last write.
+        assert_eq!(read_at(&mut vs, 10), Value::int(90));
+    }
+
+    #[test]
+    fn dict_insert_keeps_opnum_order_for_out_of_order_insertions() {
+        let mut writes: Vec<(u32, Value)> = Vec::new();
+        for n in [4u32, 1, 9, 6] {
+            dict_insert(&mut writes, n, Value::int(n as i64));
+        }
+        let opnums: Vec<u32> = writes.iter().map(|(n, _)| *n).collect();
+        assert_eq!(opnums, vec![1, 4, 6, 9]);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Determinism keystone for the parallel verifier: an audit's outcome
+//! — verdict, statistics, and on rejection the exact [`RejectReason`]
+//! — must be independent of the worker-thread count. Workers replay
+//! whole groups with local state and the merge phase re-applies their
+//! variable-access streams in ascending group order, so `threads = 1`
+//! and `threads = N` run the same logical event sequence; this test
+//! pins that equivalence across every app, every isolation level, and
+//! a broad sample of hostile-advice mutations.
+
+use apps::App;
+use karousos::{
+    audit_encoded_with_options, audit_with_options, encode_advice, run_instrumented_server,
+    AuditOptions, AuditReport, CollectorMode, Mutator, RejectReason, WireMutator,
+};
+use kvstore::IsolationLevel;
+use workload::{Experiment, Mix};
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// The comparable portion of an audit outcome (timing excluded: it is
+/// the one field that legitimately varies run to run).
+type Outcome = Result<(karousos::ReexecStats, usize, usize), RejectReason>;
+
+fn comparable(r: Result<AuditReport, RejectReason>) -> Outcome {
+    r.map(|rep| (rep.reexec, rep.graph_nodes, rep.graph_edges))
+}
+
+fn honest_run(
+    app: App,
+    isolation: IsolationLevel,
+    seed: u64,
+) -> (kem::Program, kem::Trace, karousos::Advice) {
+    let mix = if app == App::Wiki {
+        Mix::Wiki
+    } else {
+        Mix::RW_MIXES[1]
+    };
+    let mut exp = Experiment::paper_default(app, mix, 4, seed);
+    exp.requests = 16;
+    exp.isolation = isolation;
+    let program = app.program();
+    let (out, advice) = run_instrumented_server(
+        &program,
+        &exp.inputs(),
+        &exp.server_config(),
+        CollectorMode::Karousos,
+    )
+    .expect("apps run cleanly");
+    (program, out.trace, advice)
+}
+
+#[test]
+fn honest_audits_agree_across_thread_counts() {
+    for app in App::ALL {
+        for isolation in IsolationLevel::ALL {
+            let (program, trace, advice) = honest_run(app, isolation, 42);
+            let sequential = comparable(audit_with_options(
+                &program,
+                &trace,
+                &advice,
+                isolation,
+                AuditOptions::with_threads(1),
+            ));
+            assert!(
+                sequential.is_ok(),
+                "sequential audit rejected honest {} run at {isolation}: {:?}",
+                app.name(),
+                sequential
+            );
+            for threads in THREADS {
+                let parallel = comparable(audit_with_options(
+                    &program,
+                    &trace,
+                    &advice,
+                    isolation,
+                    AuditOptions::with_threads(threads),
+                ));
+                assert_eq!(
+                    sequential,
+                    parallel,
+                    "{} at {isolation}: threads=1 vs threads={threads} disagree",
+                    app.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_audits_agree_across_thread_counts() {
+    // Every structured and wire mutator, several seeds, all apps: the
+    // parallel audit must REJECT exactly when the sequential one does,
+    // for exactly the same reason. (Seed count is bounded to keep this
+    // test's mutation sample a few hundred strong but quick; the full
+    // 1000+ sweep runs in hostile_advice.rs under the CI thread
+    // matrix.)
+    const SEEDS: u64 = 6;
+    let mut checked = 0usize;
+    let mut rejected = 0usize;
+    for (i, (app, isolation)) in App::ALL.iter().zip(IsolationLevel::ALL).enumerate() {
+        let (program, trace, advice) = honest_run(*app, isolation, 500 + i as u64);
+        let honest_bytes = encode_advice(&advice);
+
+        let mut check = |bytes: &[u8], label: &str| {
+            let sequential = comparable(audit_encoded_with_options(
+                &program,
+                &trace,
+                bytes,
+                isolation,
+                AuditOptions::with_threads(1),
+            ));
+            if sequential.is_err() {
+                rejected += 1;
+            }
+            for threads in THREADS {
+                let parallel = comparable(audit_encoded_with_options(
+                    &program,
+                    &trace,
+                    bytes,
+                    isolation,
+                    AuditOptions::with_threads(threads),
+                ));
+                assert_eq!(
+                    sequential,
+                    parallel,
+                    "{label} on {} at {isolation}: threads=1 vs threads={threads} disagree",
+                    app.name()
+                );
+            }
+            checked += 1;
+        };
+
+        for m in Mutator::ALL {
+            for seed in 0..SEEDS {
+                if let Some(mutation) = m.apply(&advice, seed) {
+                    check(&mutation.bytes, mutation.mutator);
+                }
+            }
+        }
+        for m in WireMutator::ALL {
+            for seed in 0..SEEDS {
+                if let Some(mutation) = m.apply(&honest_bytes, seed) {
+                    check(&mutation.bytes, mutation.mutator);
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 200,
+        "only {checked} mutations compared; sample too small"
+    );
+    assert!(
+        rejected >= 100,
+        "only {rejected} rejections compared; REJECT-side coverage too small"
+    );
+}
+
+#[test]
+fn auto_thread_count_resolves_and_agrees() {
+    // `threads = 0` (one worker per core) is the deployment setting;
+    // it must agree with the sequential path too.
+    let (program, trace, advice) = honest_run(App::Stacks, IsolationLevel::Serializable, 7);
+    let sequential = comparable(audit_with_options(
+        &program,
+        &trace,
+        &advice,
+        IsolationLevel::Serializable,
+        AuditOptions::with_threads(1),
+    ));
+    let auto = comparable(audit_with_options(
+        &program,
+        &trace,
+        &advice,
+        IsolationLevel::Serializable,
+        AuditOptions::with_threads(0),
+    ));
+    assert_eq!(sequential, auto);
+}
