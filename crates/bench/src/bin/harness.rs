@@ -3,7 +3,8 @@
 //! ```text
 //! harness [figure] [--requests N] [--iters K] [--seed S] [--verify-threads T]
 //!
-//!   figure ∈ { fig6, fig7, fig8, fig9, fig10, fig11, fig12, ratios, all }
+//!   figure ∈ { fig6, fig7, fig8, fig9, fig10, fig11, fig12, ratios,
+//!              errorbars, ablations, bench-pr3, all }
 //! ```
 //!
 //! `--verify-threads T` (default 4, `0` = one per core) sets the worker
@@ -31,6 +32,52 @@ use bench::{
     CONCURRENCY_SWEEP,
 };
 use workload::Mix;
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Wraps the system allocator, counting allocation events (calls to
+/// `alloc`/`realloc`, not bytes) while `COUNTING` is enabled. Used by
+/// the `bench-pr3` subcommand to report the verifier's replay-phase
+/// allocation counts; when disabled it costs one relaxed atomic load
+/// per allocation, which is noise for every other figure.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Counts allocation events during `f`. Not reentrant; `bench-pr3` is
+/// single-threaded while measuring.
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    ALLOC_EVENTS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let out = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (out, ALLOC_EVENTS.load(Ordering::SeqCst))
+}
 
 struct Opts {
     figure: String,
@@ -400,8 +447,184 @@ fn ablations(o: &Opts) {
     }
 }
 
+/// The handler-op-heavy uniform-group scenario shared with
+/// `tests/alloc_regression.rs`: every request takes the same path with
+/// the same payload, so all `n` land in one group and every multivalue
+/// stays collapsed. The replay-phase allocation count on this scenario
+/// is the headline number of the slot-compiled-frames refactor.
+fn uniform_program() -> kem::Program {
+    use kem::dsl;
+    use kem::Value;
+    let mut b = kem::ProgramBuilder::new();
+    b.shared_var("cfg", Value::int(7), false);
+    b.function(
+        "handle",
+        vec![
+            dsl::let_("x", dsl::field(dsl::payload(), "k")),
+            dsl::let_("s", dsl::sread("cfg")),
+            dsl::swrite("cfg", dsl::add(dsl::sread("cfg"), dsl::lit(0))),
+            dsl::let_("y", dsl::add(dsl::local("x"), dsl::local("s"))),
+            dsl::let_("i", dsl::lit(0)),
+            dsl::while_(
+                dsl::lt(dsl::local("i"), dsl::lit(8)),
+                vec![
+                    dsl::let_("acc", dsl::add(dsl::local("y"), dsl::local("i"))),
+                    dsl::let_("i", dsl::add(dsl::local("i"), dsl::lit(1))),
+                ],
+            ),
+            dsl::register("boom", "on_boom"),
+            dsl::emit("boom", dsl::local("y")),
+            dsl::listener_count("n", "boom"),
+            dsl::unregister("boom", "on_boom"),
+            dsl::respond(dsl::local("y")),
+        ],
+    );
+    b.function(
+        "on_boom",
+        vec![dsl::let_("z", dsl::add(dsl::payload(), dsl::lit(1)))],
+    );
+    b.request_handler("handle");
+    b.build().expect("uniform program builds")
+}
+
+/// Replays a uniform group of `n` identical requests and returns
+/// (allocation events during the replay phase, total replayed ops).
+fn uniform_replay_allocs(n: usize) -> (u64, u64) {
+    use kem::Value;
+    let program = uniform_program();
+    let cfg = kem::ServerConfig::default();
+    let inputs: Vec<Value> = (0..n)
+        .map(|_| Value::from_map([("k".to_string(), Value::int(5))].into()))
+        .collect();
+    let (out, advice) = karousos::run_instrumented_server(
+        &program,
+        &inputs,
+        &cfg,
+        karousos::CollectorMode::Karousos,
+    )
+    .expect("server run succeeds");
+    let ops: u64 = advice.opcounts.values().map(|&c| c as u64).sum();
+    let pre = karousos::verifier::preprocess(&program, &out.trace, &advice, cfg.isolation)
+        .expect("preprocess accepts honest advice");
+    let mut vars = karousos::verifier::VarStates::new();
+    karousos::verifier::init_vars(&program, &mut vars);
+    let (stats, allocs) = count_allocs(|| {
+        karousos::verifier::ReExecutor::new(&program, &out.trace, &advice, &pre, &mut vars).run()
+    });
+    stats.expect("replay accepts honest advice");
+    (allocs, ops)
+}
+
+/// `bench-pr3`: machine-readable evidence for the allocation-free
+/// replay hot path. Writes `BENCH_PR3.json` (per-app phase wall-clocks
+/// and replay-phase allocation counts, plus the uniform-group
+/// microbenchmark vs the pre-refactor baseline) and exits nonzero if
+/// the pinned allocation budget is exceeded, so CI can run it as a
+/// smoke test.
+fn bench_pr3(o: &Opts) {
+    use karousos::audit;
+
+    // Uniform-group microbenchmark (same scenario and budget as
+    // tests/alloc_regression.rs). Warm-up run first so one-time lazy
+    // allocations land outside the measured window.
+    let _ = uniform_replay_allocs(8);
+    let (allocs_8, ops_8) = uniform_replay_allocs(8);
+    let (allocs_64, ops_64) = uniform_replay_allocs(64);
+    // Pre-refactor baseline, measured at commit 14c4229 (name-based
+    // interpreter) with this same harness scenario.
+    let (base_allocs_8, base_ops_8) = (99u64, 32u64);
+    let (base_allocs_64, base_ops_64) = (397u64, 256u64);
+    let per_op = allocs_64 as f64 / ops_64.max(1) as f64;
+    let base_per_op = base_allocs_64 as f64 / base_ops_64 as f64;
+    let reduction = base_per_op / per_op.max(1e-9);
+    let within_budget = allocs_64 <= 64 && allocs_64.saturating_sub(allocs_8) <= 16;
+
+    let mut apps_json = String::new();
+    for (app, mix) in [
+        (App::Motd, Mix::Mixed),
+        (App::Stacks, Mix::Mixed),
+        (App::Wiki, Mix::Wiki),
+    ] {
+        let p = bench::prepare(app, mix, o.requests, 8, o.seed);
+        let report = audit(&p.program, &p.trace, &p.karousos, p.exp.isolation)
+            .expect("honest advice must be accepted");
+        let pre =
+            karousos::verifier::preprocess(&p.program, &p.trace, &p.karousos, p.exp.isolation)
+                .expect("preprocess accepts honest advice");
+        let mut vars = karousos::verifier::VarStates::new();
+        karousos::verifier::init_vars(&p.program, &mut vars);
+        let (stats, allocs) = count_allocs(|| {
+            karousos::verifier::ReExecutor::new(&p.program, &p.trace, &p.karousos, &pre, &mut vars)
+                .run()
+        });
+        stats.expect("replay accepts honest advice");
+        let ops: u64 = p.karousos.opcounts.values().map(|&c| c as u64).sum();
+        let t = report.timing;
+        if !apps_json.is_empty() {
+            apps_json.push_str(",\n");
+        }
+        apps_json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"mix\": \"{}\", \"requests\": {}, \"concurrency\": 8,\n     \
+             \"phases_us\": {{\"preprocess\": {}, \"group_replay\": {}, \"graph_merge\": {}, \
+             \"cycle_check\": {}}},\n     \
+             \"replay_allocs\": {}, \"replayed_ops\": {}, \"allocs_per_op\": {:.3}}}",
+            app.name(),
+            mix.name(),
+            o.requests,
+            t.preprocess.as_micros(),
+            t.group_replay.as_micros(),
+            t.graph_merge.as_micros(),
+            t.cycle_check.as_micros(),
+            allocs,
+            ops,
+            allocs as f64 / ops.max(1) as f64
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr3-allocation-free-replay\",\n  \"baseline_commit\": \"14c4229\",\n  \
+         \"uniform_microbench\": {{\n    \
+         \"n8\": {{\"allocs\": {allocs_8}, \"ops\": {ops_8}}},\n    \
+         \"n64\": {{\"allocs\": {allocs_64}, \"ops\": {ops_64}}},\n    \
+         \"baseline_n8\": {{\"allocs\": {base_allocs_8}, \"ops\": {base_ops_8}}},\n    \
+         \"baseline_n64\": {{\"allocs\": {base_allocs_64}, \"ops\": {base_ops_64}}},\n    \
+         \"allocs_per_op\": {per_op:.3},\n    \
+         \"baseline_allocs_per_op\": {base_per_op:.3},\n    \
+         \"reduction_factor\": {reduction:.1}\n  }},\n  \
+         \"budget\": {{\"uniform_n64_max_allocs\": 64, \"uniform_marginal_max_allocs\": 16, \
+         \"within_budget\": {within_budget}}},\n  \
+         \"apps\": [\n{apps_json}\n  ]\n}}\n"
+    );
+    if let Err(e) = std::fs::write("BENCH_PR3.json", &json) {
+        eprintln!("failed to write BENCH_PR3.json: {e}");
+        std::process::exit(1);
+    }
+    println!("== bench-pr3: allocation-free replay hot path ==");
+    println!(
+        "  uniform group n=64: {allocs_64} allocs / {ops_64} ops = {per_op:.3} allocs/op \
+         (baseline {base_per_op:.3}; {reduction:.1}x fewer)"
+    );
+    println!("  wrote BENCH_PR3.json");
+    if !within_budget {
+        eprintln!(
+            "ALLOCATION BUDGET EXCEEDED: n=8 -> {allocs_8}, n=64 -> {allocs_64} \
+             (budget: n64 <= 64, marginal <= 16)"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let o = parse_args();
+    if o.verify_threads != 1
+        && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) == 1
+    {
+        eprintln!(
+            "warning: --verify-threads {} requested but only one core is available; \
+             parallel verification will add thread overhead without speedup",
+            o.verify_threads
+        );
+    }
     match o.figure.as_str() {
         "fig6" => fig6(&o),
         "fig7" => fig7(&o),
@@ -413,6 +636,7 @@ fn main() {
         "ratios" => ratios(&o),
         "errorbars" => errorbars(&o),
         "ablations" => ablations(&o),
+        "bench-pr3" => bench_pr3(&o),
         "all" => {
             fig6(&o);
             fig7(&o);
@@ -425,7 +649,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown figure {other:?}; try fig6..fig12, ratios, errorbars, ablations, all"
+                "unknown figure {other:?}; try fig6..fig12, ratios, errorbars, ablations, \
+                 bench-pr3, all"
             );
             std::process::exit(2);
         }

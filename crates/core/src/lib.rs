@@ -58,7 +58,7 @@ pub use faultinject::{
     honest_must_accept, Mutation, MutationClass, MutationOutcome, Mutator, WireMutator,
 };
 pub use lint::{lint_advice, LintWarning};
-pub use multivalue::MultiValue;
+pub use multivalue::{MultiValue, MultiValueIter};
 pub use rorder::{r_concurrent, r_ordered, r_precedes};
 pub use verifier::{
     audit, audit_encoded, audit_encoded_with_options, audit_with_options, audit_with_schedule,

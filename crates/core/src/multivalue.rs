@@ -56,6 +56,51 @@ impl MultiValue {
         }
     }
 
+    /// Borrowing per-request iterator: yields `n` references without
+    /// expanding a collapsed value (the allocation-free counterpart of
+    /// [`MultiValue::to_vec`]).
+    pub fn iter(&self, n: usize) -> MultiValueIter<'_> {
+        MultiValueIter(match self {
+            MultiValue::Uniform(v) => IterInner::Uniform { v, left: n },
+            MultiValue::Per(vs) => IterInner::Per(vs.iter()),
+        })
+    }
+
+    /// Builds a multivalue from a fallible per-index producer, staying
+    /// collapsed while produced values stay equal: a uniform result
+    /// performs **zero** heap allocations; the expansion to [`Per`] is
+    /// deferred until the first diverging index.
+    ///
+    /// [`Per`]: MultiValue::Per
+    pub fn collect<E>(
+        n: usize,
+        mut f: impl FnMut(usize) -> Result<Value, E>,
+    ) -> Result<MultiValue, E> {
+        if n == 0 {
+            return Ok(MultiValue::Uniform(Value::Null));
+        }
+        let first = f(0)?;
+        let mut per: Option<Vec<Value>> = None;
+        for i in 1..n {
+            let v = f(i)?;
+            match per.as_mut() {
+                Some(vs) => vs.push(v),
+                None if v != first => {
+                    // Divergence: indices `0..i` all equaled `first`.
+                    let mut vs = Vec::with_capacity(n);
+                    vs.resize(i, first.clone());
+                    vs.push(v);
+                    per = Some(vs);
+                }
+                None => {}
+            }
+        }
+        Ok(match per {
+            Some(vs) => MultiValue::Per(vs),
+            None => MultiValue::Uniform(first),
+        })
+    }
+
     /// Applies a fallible unary operation, once if collapsed.
     pub fn map<E>(&self, mut f: impl FnMut(&Value) -> Result<Value, E>) -> Result<MultiValue, E> {
         Ok(match self {
@@ -101,6 +146,43 @@ impl MultiValue {
         }
     }
 }
+
+/// Borrowing iterator returned by [`MultiValue::iter`].
+#[derive(Debug)]
+pub struct MultiValueIter<'a>(IterInner<'a>);
+
+#[derive(Debug)]
+enum IterInner<'a> {
+    Uniform { v: &'a Value, left: usize },
+    Per(std::slice::Iter<'a, Value>),
+}
+
+impl<'a> Iterator for MultiValueIter<'a> {
+    type Item = &'a Value;
+
+    fn next(&mut self) -> Option<&'a Value> {
+        match &mut self.0 {
+            IterInner::Uniform { v, left } => {
+                if *left == 0 {
+                    None
+                } else {
+                    *left -= 1;
+                    Some(v)
+                }
+            }
+            IterInner::Per(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            IterInner::Uniform { left, .. } => (*left, Some(*left)),
+            IterInner::Per(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for MultiValueIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -175,6 +257,47 @@ mod tests {
         assert_eq!(
             MultiValue::from_vec(vec![]),
             MultiValue::uniform(Value::Null)
+        );
+    }
+
+    #[test]
+    fn iter_repeats_uniform_and_walks_per() {
+        let u = MultiValue::uniform(Value::int(7));
+        let got: Vec<&Value> = u.iter(3).collect();
+        assert_eq!(got, vec![&Value::int(7); 3]);
+        assert_eq!(u.iter(3).len(), 3);
+
+        let p = MultiValue::Per(vec![Value::int(1), Value::int(2)]);
+        let got: Vec<&Value> = p.iter(2).collect();
+        assert_eq!(got, vec![&Value::int(1), &Value::int(2)]);
+        assert_eq!(MultiValue::uniform(Value::Null).iter(0).next(), None);
+    }
+
+    #[test]
+    fn collect_stays_collapsed_until_divergence() {
+        let all_equal = MultiValue::collect::<()>(4, |_| Ok(Value::int(5))).unwrap();
+        assert_eq!(all_equal, MultiValue::uniform(Value::int(5)));
+
+        // Diverges at index 2: earlier (equal) prefix is backfilled.
+        let mixed =
+            MultiValue::collect::<()>(4, |i| Ok(Value::int(if i < 2 { 9 } else { i as i64 })))
+                .unwrap();
+        assert_eq!(
+            mixed,
+            MultiValue::Per(vec![
+                Value::int(9),
+                Value::int(9),
+                Value::int(2),
+                Value::int(3)
+            ])
+        );
+
+        let err =
+            MultiValue::collect::<&str>(3, |i| if i == 1 { Err("boom") } else { Ok(Value::Null) });
+        assert_eq!(err, Err("boom"));
+        assert_eq!(
+            MultiValue::collect::<()>(0, |_| Ok(Value::int(1))),
+            Ok(MultiValue::uniform(Value::Null))
         );
     }
 }

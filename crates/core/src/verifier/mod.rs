@@ -201,8 +201,10 @@ pub fn audit(
 /// Runs the trusted initialization phase: installs every loggable
 /// variable into the verifier's dictionaries, numbering loggable
 /// variables 1.. in declaration order (matching the runtime's
-/// `init_shared_state`).
-fn init_vars(program: &Program, vars: &mut VarStates) {
+/// `init_shared_state`). Public so harnesses that measure the ReExec
+/// phase in isolation (e.g. the allocation-count bench) can reproduce
+/// the audit's setup exactly.
+pub fn init_vars(program: &Program, vars: &mut VarStates) {
     let init_hid = init_handler_id();
     let mut opnum = 0u32;
     for (i, decl) in program.vars.iter().enumerate() {

@@ -285,6 +285,16 @@ fn add_handler_related_edges(
     activated: &mut HashMap<OpRef, Vec<HandlerId>>,
     check_counts: &mut HashMap<OpRef, i64>,
 ) -> Result<(), RejectReason> {
+    // Global registrations never change during a run, so index them by
+    // event once instead of re-scanning the list for every Emit/Check
+    // entry in every handler log.
+    let mut global_by_event: HashMap<&str, Vec<kem::FunctionId>> = HashMap::new();
+    for (e, f) in &program.global_registrations {
+        global_by_event
+            .entry(e.as_str())
+            .or_default()
+            .push(kem::FunctionId(*f));
+    }
     for (rid, log) in &advice.handler_logs {
         if !trace_rids.contains(rid) {
             return Err(RejectReason::UnknownRequest { rid: *rid });
@@ -313,12 +323,11 @@ fn add_handler_related_edges(
                     // All functions registered for the event at this
                     // point: global registrations first, then the
                     // request's own, in registration order.
-                    let mut fns: Vec<kem::FunctionId> = program
-                        .global_registrations
-                        .iter()
-                        .filter(|(e, _)| e == event)
-                        .map(|(_, f)| kem::FunctionId(*f))
-                        .collect();
+                    let globals = global_by_event
+                        .get(event.as_str())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
+                    let mut fns: Vec<kem::FunctionId> = globals.to_vec();
                     fns.extend(
                         registered
                             .iter()
@@ -339,11 +348,7 @@ fn add_handler_related_edges(
                     // The count a check op observes: global
                     // registrations plus this request's live ones for
                     // the event, at this point in the handler log.
-                    let count = program
-                        .global_registrations
-                        .iter()
-                        .filter(|(e, _)| e == event)
-                        .count()
+                    let count = global_by_event.get(event.as_str()).map_or(0, Vec::len)
                         + registered.iter().filter(|(e, _)| e == event).count();
                     check_counts.insert(op, count as i64);
                 }

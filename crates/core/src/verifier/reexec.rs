@@ -11,13 +11,23 @@
 //! children. Re-execution thus respects the activation order `A` and
 //! per-handler program order but nothing else — which is exactly the
 //! freedom the R-order formalizes.
+//!
+//! The interpreter runs the program's *resolved* form
+//! ([`kem::Resolved`], built once at program build time): locals are
+//! frame **slot indices** over a `Vec`, shared-variable and function
+//! mentions carry their ids, and event names are interned symbols that
+//! resolve to `&str` borrows. Together with [`MultiValue::collect`]
+//! (which stays collapsed until values actually diverge) this makes
+//! replaying a uniform-group operation allocation-free: the per-request
+//! loop touches only pre-sized tables and `Arc`-backed values.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use kem::{
-    BinOp, Expr, HandlerId, OpRef, Program, RequestId, Stmt, Trace, Value, VarId, INIT_FUNCTION,
+    HandlerId, OpRef, Program, RExpr, RFunction, RStmt, RequestId, Trace, Value, VarId,
+    INIT_FUNCTION,
 };
 
 use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType, VarLog};
@@ -179,6 +189,62 @@ struct GroupRun {
     stats: ReexecStats,
 }
 
+/// The re-executed operation a handler-log entry must match, borrowing
+/// the interned event name. The advice-side [`HandlerOp`] owns its
+/// strings (it is a wire type); comparing field-wise against this
+/// borrowed form keeps the per-request check loop allocation-free.
+enum ExpectedOp<'e> {
+    /// `register(event, function)`.
+    Register {
+        /// Event name, borrowed from the interner.
+        event: &'e str,
+        /// The registered function.
+        function: kem::FunctionId,
+    },
+    /// `unregister(event, function)`.
+    Unregister {
+        /// Event name, borrowed from the interner.
+        event: &'e str,
+        /// The unregistered function.
+        function: kem::FunctionId,
+    },
+    /// `emit(event)`.
+    Emit {
+        /// Event name, borrowed from the interner.
+        event: &'e str,
+    },
+    /// A listener-count check of `event`.
+    Check {
+        /// Event name, borrowed from the interner.
+        event: &'e str,
+    },
+}
+
+impl ExpectedOp<'_> {
+    /// Structural equality against an owned advice-side handler op.
+    fn matches(&self, entry: &HandlerOp) -> bool {
+        match (self, entry) {
+            (
+                ExpectedOp::Register { event, function },
+                HandlerOp::Register {
+                    event: e,
+                    function: f,
+                },
+            )
+            | (
+                ExpectedOp::Unregister { event, function },
+                HandlerOp::Unregister {
+                    event: e,
+                    function: f,
+                },
+            ) => *event == e.as_str() && function == f,
+            (ExpectedOp::Emit { event }, HandlerOp::Emit { event: e })
+            | (ExpectedOp::Check { event }, HandlerOp::Check { event: e }) => *event == e.as_str(),
+            _ => false,
+        }
+    }
+}
+
 /// The grouped re-executor.
 pub struct ReExecutor<'a> {
     program: &'a Program,
@@ -204,11 +270,21 @@ pub struct ReExecutor<'a> {
     stats: ReexecStats,
 }
 
-/// Per-handler interpreter frame.
-struct Frame {
+/// Per-handler interpreter frame: slot-indexed locals over the
+/// slot-compiled body, plus each group member's reported opcount
+/// (fetched once per activation instead of once per bump).
+struct Frame<'p> {
     hid: HandlerId,
     idx: u32,
-    locals: BTreeMap<String, MultiValue>,
+    /// Locals by resolved slot; `None` until first bound, so
+    /// read-before-bind still errors with the source-level name.
+    locals: Vec<Option<MultiValue>>,
+    /// The slot-compiled function this frame executes.
+    func: &'p RFunction,
+    /// `advice.opcounts[(rid, hid)]` per group member, in group order.
+    /// `None` (missing from the advice) fails the first bump or the
+    /// handler-exit check, exactly as a per-bump lookup would.
+    counts: Vec<Option<u32>>,
 }
 
 /// One group's context: its requests, in trace order.
@@ -242,9 +318,11 @@ impl<'a> ReExecutor<'a> {
             nonlog: HashMap::new(),
             tx_table: Vec::new(),
             tx_counters: HashMap::new(),
-            executed: HashSet::new(),
-            consumed: HashSet::new(),
-            outputs: HashMap::new(),
+            // Pre-size the coverage tables to their known final bounds
+            // so per-operation inserts never rehash mid-replay.
+            executed: HashSet::with_capacity(advice.opcounts.len()),
+            consumed: HashSet::with_capacity(pre.op_map.len()),
+            outputs: HashMap::with_capacity(advice.tags.len()),
             stats: ReexecStats::default(),
         }
     }
@@ -283,9 +361,9 @@ impl<'a> ReExecutor<'a> {
             nonlog: HashMap::new(),
             tx_table: Vec::new(),
             tx_counters: HashMap::new(),
-            executed: HashSet::new(),
-            consumed: HashSet::new(),
-            outputs: HashMap::new(),
+            executed: HashSet::with_capacity(advice.opcounts.len()),
+            consumed: HashSet::with_capacity(pre.op_map.len()),
+            outputs: HashMap::with_capacity(advice.tags.len()),
             stats: ReexecStats::default(),
         }
     }
@@ -475,9 +553,10 @@ impl<'a> ReExecutor<'a> {
             groups: ngroups,
             ..Default::default()
         };
-        let mut executed: HashSet<(RequestId, HandlerId)> = HashSet::new();
-        let mut consumed: HashSet<OpRef> = HashSet::new();
-        let mut outputs: HashMap<RequestId, Value> = HashMap::new();
+        let mut executed: HashSet<(RequestId, HandlerId)> =
+            HashSet::with_capacity(advice.opcounts.len());
+        let mut consumed: HashSet<OpRef> = HashSet::with_capacity(pre.op_map.len());
+        let mut outputs: HashMap<RequestId, Value> = HashMap::with_capacity(order.len());
         for slot in units {
             let Some(unit) = slot else {
                 return Err(RejectReason::VerifierInternal {
@@ -593,15 +672,33 @@ impl<'a> ReExecutor<'a> {
     }
 
     fn run_group(&mut self, g: Group) -> Result<(), RejectReason> {
-        // (1) Initialize: inputs and the request handlers.
-        let mut inputs: Vec<Value> = Vec::with_capacity(g.n());
+        // (1) Initialize: inputs and the request handlers. The common
+        // case — every member sent the same input — collapses without
+        // materializing a per-request vector.
+        let mut first: Option<&Value> = None;
+        let mut inputs_equal = true;
         for rid in &g.rids {
-            let Some(input) = self.trace.input_of(*rid).cloned() else {
+            let Some(input) = self.trace.input_of(*rid) else {
                 return Err(RejectReason::UnbalancedTrace);
             };
-            inputs.push(input);
+            match first {
+                None => first = Some(input),
+                Some(f) => inputs_equal &= f == input,
+            }
         }
-        let payload = MultiValue::from_vec(inputs);
+        let payload = if inputs_equal {
+            MultiValue::uniform(first.cloned().unwrap_or(Value::Null))
+        } else {
+            let mut inputs: Vec<Value> = Vec::with_capacity(g.n());
+            for rid in &g.rids {
+                inputs.push(self.trace.input_of(*rid).cloned().unwrap_or(Value::Null));
+            }
+            MultiValue::from_vec(inputs)
+        };
+        // Pre-size the per-request non-loggable table to its worst
+        // case so writes during replay never rehash it.
+        self.nonlog
+            .reserve(g.n().saturating_mul(self.program.vars.len()));
         let mut active: VecDeque<(HandlerId, MultiValue)> = VecDeque::new();
         for &f in &self.program.request_handlers {
             let hid = HandlerId::root(kem::FunctionId(f));
@@ -641,18 +738,34 @@ impl<'a> ReExecutor<'a> {
         for rid in &g.rids {
             self.executed.insert((*rid, hid.clone()));
         }
+        let program = self.program;
+        let Some(func) = program.resolved().functions.get(fid.0 as usize) else {
+            // Resolved functions parallel `program.functions`, so this
+            // is unreachable after the bounds check above; fail closed.
+            return Err(RejectReason::ReexecError {
+                message: format!("handler references unknown function {fid}"),
+            });
+        };
+        let mut counts: Vec<Option<u32>> = Vec::with_capacity(g.n());
+        for rid in &g.rids {
+            counts.push(self.advice.opcounts.get(&(*rid, hid.clone())).copied());
+        }
         let mut frame = Frame {
             hid,
             idx: 0,
-            locals: BTreeMap::from([("payload".to_string(), payload)]),
+            locals: vec![None; func.n_slots as usize],
+            func,
+            counts,
         };
-        let body = &self.program.functions[fid.0 as usize].body;
-        self.exec_block(g, active, &mut frame, body)?;
+        if let Some(s0) = frame.locals.get_mut(0) {
+            *s0 = Some(payload);
+        }
+        self.exec_block(g, active, &mut frame, &func.body)?;
         // (c) Handler exit: every request must have consumed exactly its
         // reported operation count.
-        for rid in &g.rids {
-            match self.advice.opcounts.get(&(*rid, frame.hid.clone())) {
-                Some(count) if *count == frame.idx => {}
+        for (i, rid) in g.rids.iter().enumerate() {
+            match frame.counts.get(i).copied().flatten() {
+                Some(count) if count == frame.idx => {}
                 _ => return Err(RejectReason::OpcountMismatch { rid: *rid }),
             }
         }
@@ -661,23 +774,23 @@ impl<'a> ReExecutor<'a> {
 
     /// Advances the operation counter, checking it stays within every
     /// group member's reported opcount (Fig. 18 line 43).
-    fn bump(&self, g: &Group, frame: &mut Frame) -> Result<u32, RejectReason> {
+    fn bump(&self, g: &Group, frame: &mut Frame<'_>) -> Result<u32, RejectReason> {
         frame.idx += 1;
-        for rid in &g.rids {
-            match self.advice.opcounts.get(&(*rid, frame.hid.clone())) {
-                Some(count) if frame.idx <= *count => {}
+        for (i, rid) in g.rids.iter().enumerate() {
+            match frame.counts.get(i).copied().flatten() {
+                Some(count) if frame.idx <= count => {}
                 _ => return Err(RejectReason::OpcountMismatch { rid: *rid }),
             }
         }
         Ok(frame.idx)
     }
 
-    fn exec_block(
+    fn exec_block<'f>(
         &mut self,
         g: &Group,
         active: &mut VecDeque<(HandlerId, MultiValue)>,
-        frame: &mut Frame,
-        stmts: &[Stmt],
+        frame: &mut Frame<'f>,
+        stmts: &'f [RStmt],
     ) -> Result<(), RejectReason> {
         for stmt in stmts {
             self.exec_stmt(g, active, frame, stmt)?;
@@ -685,40 +798,46 @@ impl<'a> ReExecutor<'a> {
         Ok(())
     }
 
-    fn exec_stmt(
+    fn exec_stmt<'f>(
         &mut self,
         g: &Group,
         active: &mut VecDeque<(HandlerId, MultiValue)>,
-        frame: &mut Frame,
-        stmt: &Stmt,
+        frame: &mut Frame<'f>,
+        stmt: &'f RStmt,
     ) -> Result<(), RejectReason> {
         match stmt {
-            Stmt::Let(name, e) => {
+            RStmt::Let(slot, e) => {
                 let v = self.eval(g, frame, e)?;
-                frame.locals.insert(name.clone(), v);
+                if let Some(s) = frame.locals.get_mut(*slot as usize) {
+                    *s = Some(v);
+                }
             }
-            Stmt::SharedWrite(name, e) => {
-                let v = self.eval(g, frame, e)?;
-                let var = self.var_id(name)?;
-                if self.program.var(var).loggable {
+            RStmt::SharedWrite {
+                var,
+                loggable,
+                value,
+            } => {
+                let v = self.eval(g, frame, value)?;
+                let var = *var;
+                if *loggable {
                     let idx = self.bump(g, frame)?;
                     self.note_dedup(&v);
                     let log = self.advice.var_logs.get(&var);
-                    for (i, rid) in g.rids.iter().enumerate() {
+                    for (rid, val) in g.rids.iter().zip(v.iter(g.n())) {
                         self.vars.on_write(
                             var,
                             OpRef::new(*rid, frame.hid.clone(), idx),
-                            v.get(i).clone(),
+                            val.clone(),
                             log,
                         )?;
                     }
                 } else {
-                    for (i, rid) in g.rids.iter().enumerate() {
-                        self.nonlog.insert((var, *rid), v.get(i).clone());
+                    for (rid, val) in g.rids.iter().zip(v.iter(g.n())) {
+                        self.nonlog.insert((var, *rid), val.clone());
                     }
                 }
             }
-            Stmt::If {
+            RStmt::If {
                 cond,
                 then_branch,
                 else_branch,
@@ -732,7 +851,7 @@ impl<'a> ReExecutor<'a> {
                 let branch = if taken { then_branch } else { else_branch };
                 self.exec_block(g, active, frame, branch)?;
             }
-            Stmt::While { cond, body } => {
+            RStmt::While { cond, body } => {
                 let mut iters = 0u32;
                 loop {
                     let c = self.eval(g, frame, cond)?;
@@ -753,23 +872,39 @@ impl<'a> ReExecutor<'a> {
                     self.exec_block(g, active, frame, body)?;
                 }
             }
-            Stmt::ForEach { var, list, body } => {
+            RStmt::ForEach { slot, list, body } => {
                 let l = self.eval(g, frame, list)?;
                 // All members must iterate the same number of times.
-                let mut lens = Vec::with_capacity(g.n());
-                for i in 0..g.n() {
-                    let Some(items) = l.get(i).as_list() else {
-                        return Err(RejectReason::ReexecError {
-                            message: "for-each over non-list".into(),
-                        });
-                    };
-                    lens.push(items.len());
-                }
-                if lens.windows(2).any(|w| w[0] != w[1]) {
-                    return Err(RejectReason::Divergence {
-                        context: "for-each length".into(),
-                    });
-                }
+                // Non-list members are rejected for the whole group
+                // before the length-divergence verdict, preserving the
+                // name-based interpreter's error order.
+                let len = match &l {
+                    MultiValue::Uniform(v) => {
+                        let Some(items) = v.as_list() else {
+                            return Err(RejectReason::ReexecError {
+                                message: "for-each over non-list".into(),
+                            });
+                        };
+                        items.len()
+                    }
+                    MultiValue::Per(vs) => {
+                        let mut lens = Vec::with_capacity(vs.len());
+                        for v in vs {
+                            let Some(items) = v.as_list() else {
+                                return Err(RejectReason::ReexecError {
+                                    message: "for-each over non-list".into(),
+                                });
+                            };
+                            lens.push(items.len());
+                        }
+                        if lens.windows(2).any(|w| w[0] != w[1]) {
+                            return Err(RejectReason::Divergence {
+                                context: "for-each length".into(),
+                            });
+                        }
+                        lens.first().copied().unwrap_or(0)
+                    }
+                };
                 let nth = |v: &Value, i: usize| -> Result<Value, RejectReason> {
                     v.as_list()
                         .and_then(|items| items.get(i).cloned())
@@ -777,7 +912,7 @@ impl<'a> ReExecutor<'a> {
                             message: "for-each item out of range".into(),
                         })
                 };
-                for item_idx in 0..lens.first().copied().unwrap_or(0) {
+                for item_idx in 0..len {
                     let item = match &l {
                         MultiValue::Uniform(v) => MultiValue::uniform(nth(v, item_idx)?),
                         MultiValue::Per(vs) => MultiValue::from_vec(
@@ -786,73 +921,71 @@ impl<'a> ReExecutor<'a> {
                                 .collect::<Result<_, _>>()?,
                         ),
                     };
-                    frame.locals.insert(var.clone(), item);
+                    if let Some(s) = frame.locals.get_mut(*slot as usize) {
+                        *s = Some(item);
+                    }
                     self.exec_block(g, active, frame, body)?;
                 }
             }
-            Stmt::Emit { event, payload } => {
+            RStmt::Emit { event, payload } => {
                 let payload = self.eval(g, frame, payload)?;
                 let idx = self.bump(g, frame)?;
+                let program = self.program;
+                let event = program.resolved().interner.resolve(*event);
                 for rid in &g.rids {
-                    self.check_handler_op(
-                        *rid,
-                        &frame.hid,
-                        idx,
-                        &HandlerOp::Emit {
-                            event: event.clone(),
-                        },
-                    )?;
+                    self.check_handler_op(*rid, &frame.hid, idx, &ExpectedOp::Emit { event })?;
                     self.consumed
                         .insert(OpRef::new(*rid, frame.hid.clone(), idx));
                 }
                 self.activate_handlers(g, active, frame, idx, payload)?;
             }
-            Stmt::Register { event, function } => {
-                let f = self.fn_id(function)?;
+            RStmt::Register { event, function } => {
                 let idx = self.bump(g, frame)?;
+                let program = self.program;
+                let event = program.resolved().interner.resolve(*event);
                 for rid in &g.rids {
                     self.check_handler_op(
                         *rid,
                         &frame.hid,
                         idx,
-                        &HandlerOp::Register {
-                            event: event.clone(),
-                            function: f,
+                        &ExpectedOp::Register {
+                            event,
+                            function: *function,
                         },
                     )?;
                     self.consumed
                         .insert(OpRef::new(*rid, frame.hid.clone(), idx));
                 }
             }
-            Stmt::Unregister { event, function } => {
-                let f = self.fn_id(function)?;
+            RStmt::Unregister { event, function } => {
                 let idx = self.bump(g, frame)?;
+                let program = self.program;
+                let event = program.resolved().interner.resolve(*event);
                 for rid in &g.rids {
                     self.check_handler_op(
                         *rid,
                         &frame.hid,
                         idx,
-                        &HandlerOp::Unregister {
-                            event: event.clone(),
-                            function: f,
+                        &ExpectedOp::Unregister {
+                            event,
+                            function: *function,
                         },
                     )?;
                     self.consumed
                         .insert(OpRef::new(*rid, frame.hid.clone(), idx));
                 }
             }
-            Stmt::Respond(e) => {
+            RStmt::Respond(e) => {
                 let v = self.eval(g, frame, e)?;
-                for (i, rid) in g.rids.iter().enumerate() {
-                    if self.advice.response_emitted_by.get(rid)
-                        != Some(&(frame.hid.clone(), frame.idx))
-                    {
-                        return Err(RejectReason::ResponseEmitterMismatch { rid: *rid });
+                for (rid, val) in g.rids.iter().zip(v.iter(g.n())) {
+                    match self.advice.response_emitted_by.get(rid) {
+                        Some((h, i)) if *h == frame.hid && *i == frame.idx => {}
+                        _ => return Err(RejectReason::ResponseEmitterMismatch { rid: *rid }),
                     }
-                    self.outputs.insert(*rid, v.get(i).clone());
+                    self.outputs.insert(*rid, val.clone());
                 }
             }
-            Stmt::TxStart { ctx, on_done } => {
+            RStmt::TxStart { ctx, on_done } => {
                 let ctx = self.eval(g, frame, ctx)?;
                 let idx = self.bump(g, frame)?;
                 let mut payloads = Vec::with_capacity(g.n());
@@ -880,9 +1013,9 @@ impl<'a> ReExecutor<'a> {
                         ("tx", Value::Int(token)),
                     ]));
                 }
-                self.enqueue_continuation(g, active, frame, idx, on_done, payloads)?;
+                self.enqueue_continuation(g, active, frame, idx, *on_done, payloads)?;
             }
-            Stmt::TxGet {
+            RStmt::TxGet {
                 tx,
                 key,
                 ctx,
@@ -897,10 +1030,10 @@ impl<'a> ReExecutor<'a> {
                     Some(key),
                     None,
                     ctx,
-                    on_done,
+                    *on_done,
                 )?;
             }
-            Stmt::TxPut {
+            RStmt::TxPut {
                 tx,
                 key,
                 value,
@@ -916,10 +1049,10 @@ impl<'a> ReExecutor<'a> {
                     Some(key),
                     Some(value),
                     ctx,
-                    on_done,
+                    *on_done,
                 )?;
             }
-            Stmt::TxCommit { tx, ctx, on_done } => {
+            RStmt::TxCommit { tx, ctx, on_done } => {
                 self.exec_tx_op(
                     g,
                     active,
@@ -929,10 +1062,10 @@ impl<'a> ReExecutor<'a> {
                     None,
                     None,
                     ctx,
-                    on_done,
+                    *on_done,
                 )?;
             }
-            Stmt::TxAbort { tx, ctx, on_done } => {
+            RStmt::TxAbort { tx, ctx, on_done } => {
                 self.exec_tx_op(
                     g,
                     active,
@@ -942,22 +1075,18 @@ impl<'a> ReExecutor<'a> {
                     None,
                     None,
                     ctx,
-                    on_done,
+                    *on_done,
                 )?;
             }
-            Stmt::ListenerCount { var, event } => {
+            RStmt::ListenerCount { slot, event } => {
                 let idx = self.bump(g, frame)?;
-                let mut vals = Vec::with_capacity(g.n());
-                for rid in &g.rids {
-                    self.check_handler_op(
-                        *rid,
-                        &frame.hid,
-                        idx,
-                        &HandlerOp::Check {
-                            event: event.clone(),
-                        },
-                    )?;
-                    let op = OpRef::new(*rid, frame.hid.clone(), idx);
+                let program = self.program;
+                let event = program.resolved().interner.resolve(*event);
+                let hid = frame.hid.clone();
+                let mv = MultiValue::collect(g.n(), |i| {
+                    let rid = g.rids[i];
+                    self.check_handler_op(rid, &hid, idx, &ExpectedOp::Check { event })?;
+                    let op = OpRef::new(rid, hid.clone(), idx);
                     self.consumed.insert(op.clone());
                     // The observed count is recomputed by preprocessing
                     // from the handler log's registration history.
@@ -967,15 +1096,17 @@ impl<'a> ReExecutor<'a> {
                             why: "check op has no recomputed count",
                         });
                     };
-                    vals.push(Value::Int(*count));
+                    Ok(Value::Int(*count))
+                })?;
+                if let Some(s) = frame.locals.get_mut(*slot as usize) {
+                    *s = Some(mv);
                 }
-                frame.locals.insert(var.clone(), MultiValue::from_vec(vals));
             }
-            Stmt::Nondet { var, kind } => {
+            RStmt::Nondet { slot, kind } => {
                 let idx = self.bump(g, frame)?;
-                let mut vals = Vec::with_capacity(g.n());
-                for rid in &g.rids {
-                    let op = OpRef::new(*rid, frame.hid.clone(), idx);
+                let hid = frame.hid.clone();
+                let mv = MultiValue::collect(g.n(), |i| {
+                    let op = OpRef::new(g.rids[i], hid.clone(), idx);
                     let Some(v) = self.advice.nondet.get(&op) else {
                         return Err(RejectReason::MissingNondet { at: op });
                     };
@@ -992,9 +1123,11 @@ impl<'a> ReExecutor<'a> {
                     if !plausible {
                         return Err(RejectReason::ImplausibleNondet { at: op });
                     }
-                    vals.push(v.clone());
+                    Ok(v.clone())
+                })?;
+                if let Some(s) = frame.locals.get_mut(*slot as usize) {
+                    *s = Some(mv);
                 }
-                frame.locals.insert(var.clone(), MultiValue::from_vec(vals));
             }
         }
         Ok(())
@@ -1008,26 +1141,45 @@ impl<'a> ReExecutor<'a> {
         &mut self,
         g: &Group,
         active: &mut VecDeque<(HandlerId, MultiValue)>,
-        frame: &Frame,
+        frame: &Frame<'_>,
         idx: u32,
         payload: MultiValue,
     ) -> Result<(), RejectReason> {
         let mut canonical: Option<Vec<HandlerId>> = None;
+        // Scratch for sorting later members' activation lists; reused
+        // across the whole group so the comparison loop allocates at
+        // most once, not once per request.
+        let mut scratch: Vec<HandlerId> = Vec::new();
         for rid in &g.rids {
             let op = OpRef::new(*rid, frame.hid.clone(), idx);
-            let mut hids = self.pre.activated.get(&op).cloned().unwrap_or_default();
-            hids.sort();
+            let hids = self
+                .pre
+                .activated
+                .get(&op)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
             match &canonical {
-                None => canonical = Some(hids),
-                Some(c) if *c == hids => {}
-                Some(_) => {
-                    return Err(RejectReason::EmitActivationMismatch {
-                        at: OpRef::new(
-                            g.rids.first().copied().unwrap_or(*rid),
-                            frame.hid.clone(),
-                            idx,
-                        ),
-                    })
+                None => {
+                    let mut c = hids.to_vec();
+                    c.sort();
+                    canonical = Some(c);
+                }
+                // Fast path: already element-wise equal to the sorted
+                // canonical list.
+                Some(c) if c.as_slice() == hids => {}
+                Some(c) => {
+                    scratch.clear();
+                    scratch.extend_from_slice(hids);
+                    scratch.sort();
+                    if scratch != *c {
+                        return Err(RejectReason::EmitActivationMismatch {
+                            at: OpRef::new(
+                                g.rids.first().copied().unwrap_or(*rid),
+                                frame.hid.clone(),
+                                idx,
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -1067,17 +1219,17 @@ impl<'a> ReExecutor<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_tx_op(
+    fn exec_tx_op<'f>(
         &mut self,
         g: &Group,
         active: &mut VecDeque<(HandlerId, MultiValue)>,
-        frame: &mut Frame,
+        frame: &mut Frame<'f>,
         requested: TxOpType,
-        tx: &Expr,
-        key: Option<&Expr>,
-        value: Option<&Expr>,
-        ctx: &Expr,
-        on_done: &str,
+        tx: &'f RExpr,
+        key: Option<&'f RExpr>,
+        value: Option<&'f RExpr>,
+        ctx: &'f RExpr,
+        on_done: kem::FunctionId,
     ) -> Result<(), RejectReason> {
         let tx_v = self.eval(g, frame, tx)?;
         let key_v = key.map(|k| self.eval(g, frame, k)).transpose()?;
@@ -1228,13 +1380,12 @@ impl<'a> ReExecutor<'a> {
         &mut self,
         g: &Group,
         active: &mut VecDeque<(HandlerId, MultiValue)>,
-        frame: &Frame,
+        frame: &Frame<'_>,
         idx: u32,
-        on_done: &str,
+        on_done: kem::FunctionId,
         payloads: Vec<Value>,
     ) -> Result<(), RejectReason> {
-        let f = self.fn_id(on_done)?;
-        let hid = HandlerId::child(&frame.hid, f, idx);
+        let hid = HandlerId::child(&frame.hid, on_done, idx);
         for rid in &g.rids {
             if !self.advice.opcounts.contains_key(&(*rid, hid.clone())) {
                 return Err(RejectReason::StateOpMismatch {
@@ -1253,7 +1404,7 @@ impl<'a> ReExecutor<'a> {
         rid: RequestId,
         hid: &HandlerId,
         idx: u32,
-        expected: &HandlerOp,
+        expected: &ExpectedOp<'_>,
     ) -> Result<(), RejectReason> {
         let op = OpRef::new(rid, hid.clone(), idx);
         match self.pre.op_map.get(&op) {
@@ -1269,7 +1420,7 @@ impl<'a> ReExecutor<'a> {
                         what: "handler log position out of range",
                     });
                 };
-                if entry.op == *expected {
+                if expected.matches(&entry.op) {
                     Ok(())
                 } else {
                     Err(RejectReason::HandlerOpMismatch {
@@ -1285,22 +1436,6 @@ impl<'a> ReExecutor<'a> {
         }
     }
 
-    fn var_id(&self, name: &str) -> Result<VarId, RejectReason> {
-        self.program
-            .var_id(name)
-            .ok_or_else(|| RejectReason::ReexecError {
-                message: format!("unknown var {name}"),
-            })
-    }
-
-    fn fn_id(&self, name: &str) -> Result<kem::FunctionId, RejectReason> {
-        self.program
-            .function_id(name)
-            .ok_or_else(|| RejectReason::ReexecError {
-                message: format!("unknown function {name}"),
-            })
-    }
-
     fn note_dedup(&mut self, mv: &MultiValue) {
         if mv.is_uniform() {
             self.stats.uniform_ops += 1;
@@ -1312,52 +1447,47 @@ impl<'a> ReExecutor<'a> {
     fn eval(
         &mut self,
         g: &Group,
-        frame: &mut Frame,
-        expr: &Expr,
+        frame: &mut Frame<'_>,
+        expr: &RExpr,
     ) -> Result<MultiValue, RejectReason> {
         let wrap = |e: kem::RuntimeError| RejectReason::ReexecError { message: e.message };
         Ok(match expr {
-            Expr::Const(v) => MultiValue::uniform(v.clone()),
-            Expr::Local(name) => {
-                frame
-                    .locals
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| RejectReason::ReexecError {
-                        message: format!("unknown local {name}"),
-                    })?
-            }
-            Expr::SharedRead(name) => {
-                let var = self.var_id(name)?;
-                if self.program.var(var).loggable {
+            RExpr::Const(v) => MultiValue::uniform(v.clone()),
+            RExpr::Local(slot) => match frame.locals.get(*slot as usize).and_then(Option::as_ref) {
+                Some(v) => v.clone(),
+                None => {
+                    return Err(RejectReason::ReexecError {
+                        message: format!("unknown local {}", frame.func.slot_name(*slot)),
+                    })
+                }
+            },
+            RExpr::SharedRead { var, loggable } => {
+                let var = *var;
+                if *loggable {
                     let idx = self.bump(g, frame)?;
-                    let log = self.advice.var_logs.get(&var);
-                    let mut vals = Vec::with_capacity(g.n());
-                    for rid in &g.rids {
-                        vals.push(self.vars.on_read(
-                            var,
-                            OpRef::new(*rid, frame.hid.clone(), idx),
-                            log,
-                        )?);
-                    }
-                    let mv = MultiValue::from_vec(vals);
+                    let advice = self.advice;
+                    let log = advice.var_logs.get(&var);
+                    let hid = frame.hid.clone();
+                    let mv = MultiValue::collect(g.n(), |i| {
+                        self.vars
+                            .on_read(var, OpRef::new(g.rids[i], hid.clone(), idx), log)
+                    })?;
                     self.note_dedup(&mv);
                     mv
                 } else {
-                    let init = self.program.var(var).init.clone();
-                    let mut vals = Vec::with_capacity(g.n());
-                    for rid in &g.rids {
-                        vals.push(
+                    let program = self.program;
+                    let init = &program.var(var).init;
+                    MultiValue::collect(g.n(), |i| {
+                        Ok::<_, RejectReason>(
                             self.nonlog
-                                .get(&(var, *rid))
+                                .get(&(var, g.rids[i]))
                                 .cloned()
                                 .unwrap_or_else(|| init.clone()),
-                        );
-                    }
-                    MultiValue::from_vec(vals)
+                        )
+                    })?
                 }
             }
-            Expr::Bin(op, a, b) => {
+            RExpr::Bin(op, a, b) => {
                 // And/Or in the live interpreter are eager, so eager
                 // here too keeps operation counts aligned.
                 let a = self.eval(g, frame, a)?;
@@ -1366,31 +1496,31 @@ impl<'a> ReExecutor<'a> {
                 a.zip(&b, g.n(), |x, y| kem::eval_binop(op, x, y))
                     .map_err(wrap)?
             }
-            Expr::Not(a) => {
+            RExpr::Not(a) => {
                 let a = self.eval(g, frame, a)?;
                 a.map(|v| Ok::<_, kem::RuntimeError>(Value::Bool(!v.truthy())))
                     .map_err(wrap)?
             }
-            Expr::Field(a, name) => {
+            RExpr::Field(a, name) => {
                 let a = self.eval(g, frame, a)?;
                 a.map(|v| Ok::<_, kem::RuntimeError>(v.field(name).cloned().unwrap_or(Value::Null)))
                     .map_err(wrap)?
             }
-            Expr::Index(a, i) => {
+            RExpr::Index(a, i) => {
                 let a = self.eval(g, frame, a)?;
                 let i = self.eval(g, frame, i)?;
                 a.zip(&i, g.n(), kem::eval_index).map_err(wrap)?
             }
-            Expr::Len(a) => {
+            RExpr::Len(a) => {
                 let a = self.eval(g, frame, a)?;
                 a.map(kem::eval_len).map_err(wrap)?
             }
-            Expr::Contains(a, b) => {
+            RExpr::Contains(a, b) => {
                 let a = self.eval(g, frame, a)?;
                 let b = self.eval(g, frame, b)?;
                 a.zip(&b, g.n(), kem::eval_contains).map_err(wrap)?
             }
-            Expr::ListLit(items) => {
+            RExpr::ListLit(items) => {
                 let evaluated: Vec<MultiValue> = items
                     .iter()
                     .map(|e| self.eval(g, frame, e))
@@ -1411,7 +1541,7 @@ impl<'a> ReExecutor<'a> {
                     )
                 }
             }
-            Expr::MapLit(pairs) => {
+            RExpr::MapLit(pairs) => {
                 let mut evaluated = Vec::with_capacity(pairs.len());
                 for (k, e) in pairs {
                     evaluated.push((k.clone(), self.eval(g, frame, e)?));
@@ -1438,7 +1568,7 @@ impl<'a> ReExecutor<'a> {
                     )
                 }
             }
-            Expr::MapInsert(m, k, v) => {
+            RExpr::MapInsert(m, k, v) => {
                 let m = self.eval(g, frame, m)?;
                 let k = self.eval(g, frame, k)?;
                 let v = self.eval(g, frame, v)?;
@@ -1455,26 +1585,26 @@ impl<'a> ReExecutor<'a> {
                     )
                 }
             }
-            Expr::MapRemove(m, k) => {
+            RExpr::MapRemove(m, k) => {
                 let m = self.eval(g, frame, m)?;
                 let k = self.eval(g, frame, k)?;
                 m.zip(&k, g.n(), kem::eval_map_remove).map_err(wrap)?
             }
-            Expr::ListPush(l, v) => {
+            RExpr::ListPush(l, v) => {
                 let l = self.eval(g, frame, l)?;
                 let v = self.eval(g, frame, v)?;
                 l.zip(&v, g.n(), kem::eval_list_push).map_err(wrap)?
             }
-            Expr::Keys(m) => {
+            RExpr::Keys(m) => {
                 let m = self.eval(g, frame, m)?;
                 m.map(kem::eval_keys).map_err(wrap)?
             }
-            Expr::Digest(e) => {
+            RExpr::Digest(e) => {
                 let v = self.eval(g, frame, e)?;
                 v.map(|x| Ok::<_, kem::RuntimeError>(kem::eval_digest(x)))
                     .map_err(wrap)?
             }
-            Expr::ToStr(e) => {
+            RExpr::ToStr(e) => {
                 let v = self.eval(g, frame, e)?;
                 v.map(|x| Ok::<_, kem::RuntimeError>(kem::eval_to_str(x)))
                     .map_err(wrap)?
@@ -1528,7 +1658,3 @@ fn final_checks(
     }
     Ok(())
 }
-
-// `BinOp` import is used in eval via kem::eval_binop's signature.
-#[allow(unused_imports)]
-use BinOp as _BinOpUsed;

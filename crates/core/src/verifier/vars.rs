@@ -124,10 +124,15 @@ impl VarState {
     }
 }
 
-/// All per-variable states, keyed by variable.
+/// All per-variable states, indexed densely by [`VarId`].
+///
+/// Variable ids are dense indices assigned at program build time (the
+/// same resolve pass that interns identifiers), so a `Vec` slot per
+/// variable replaces hashing on the replay hot path; untouched slots
+/// stay `Default` and contribute nothing to the graph.
 #[derive(Debug, Default, Clone)]
 pub struct VarStates {
-    per: HashMap<VarId, VarState>,
+    per: Vec<VarState>,
 }
 
 /// One variable's contribution to the execution graph: the WR / WW / RW
@@ -144,9 +149,20 @@ impl VarStates {
         Self::default()
     }
 
+    /// The state slot for `var`, growing the dense table on first
+    /// touch (ids are dense, so the table tops out at the program's
+    /// variable count).
+    fn state_mut(&mut self, var: VarId) -> &mut VarState {
+        let i = var.0 as usize;
+        if i >= self.per.len() {
+            self.per.resize_with(i + 1, VarState::default);
+        }
+        &mut self.per[i]
+    }
+
     /// Runs the trusted initialization write of `var`.
     pub fn on_initialize(&mut self, var: VarId, op: OpRef, value: Value) {
-        self.per.entry(var).or_default().initialize(op, value);
+        self.state_mut(var).initialize(op, value);
     }
 
     /// Re-executes a read (Fig. 20 `OnRead`), returning the value to
@@ -157,7 +173,7 @@ impl VarStates {
         op: OpRef,
         log: Option<&VarLog>,
     ) -> Result<Value, RejectReason> {
-        let state = self.per.entry(var).or_default();
+        let state = self.state_mut(var);
         if let Some(entry) = log.and_then(|l| l.get(&op)) {
             // Logged read: the dictating write must itself be logged;
             // feed its value.
@@ -235,7 +251,7 @@ impl VarStates {
         value: Value,
         log: Option<&VarLog>,
     ) -> Result<(), RejectReason> {
-        let state = self.per.entry(var).or_default();
+        let state = self.state_mut(var);
         dict_insert(
             state.dict.entry((op.rid, op.hid.clone())).or_default(),
             op.opnum,
@@ -320,26 +336,23 @@ impl VarStates {
         g: &mut Graph,
         threads: usize,
     ) -> Result<(), RejectReason> {
-        let mut vids: Vec<VarId> = self.per.keys().copied().collect();
-        vids.sort_unstable();
-
-        let fragments: Vec<EdgeFragment> = if threads <= 1 || vids.len() <= 1 {
-            let mut frags = Vec::with_capacity(vids.len());
-            for vid in &vids {
-                match self.per.get(vid) {
-                    Some(state) => frags.push(var_fragment(state)?),
-                    None => frags.push(Vec::new()),
-                }
+        // The dense table is already in ascending-`VarId` order, so the
+        // sequential walk is a plain iteration; untouched slots produce
+        // empty fragments.
+        let nvars = self.per.len();
+        let fragments: Vec<EdgeFragment> = if threads <= 1 || nvars <= 1 {
+            let mut frags = Vec::with_capacity(nvars);
+            for state in &self.per {
+                frags.push(var_fragment(state)?);
             }
             frags
         } else {
             use std::sync::atomic::{AtomicUsize, Ordering};
             let next = AtomicUsize::new(0);
-            let vids_ref = &vids;
             let per = &self.per;
             let mut slots: Vec<Option<Result<EdgeFragment, RejectReason>>> = Vec::new();
-            slots.resize_with(vids.len(), || None);
-            let workers = threads.min(vids.len());
+            slots.resize_with(nvars, || None);
+            let workers = threads.min(nvars);
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -348,14 +361,10 @@ impl VarStates {
                                 Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= vids_ref.len() {
+                                if i >= per.len() {
                                     break;
                                 }
-                                let res = match per.get(&vids_ref[i]) {
-                                    Some(state) => var_fragment(state),
-                                    None => Ok(Vec::new()),
-                                };
-                                out.push((i, res));
+                                out.push((i, var_fragment(&per[i])));
                             }
                             out
                         })
@@ -374,7 +383,7 @@ impl VarStates {
             });
             // First error in VarId order wins — same as the sequential
             // walk, independent of worker scheduling.
-            let mut frags = Vec::with_capacity(vids.len());
+            let mut frags = Vec::with_capacity(nvars);
             for slot in slots {
                 match slot {
                     Some(Ok(frag)) => frags.push(frag),

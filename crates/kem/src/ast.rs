@@ -280,9 +280,21 @@ pub struct Program {
     pub global_registrations: Vec<(String, u32)>,
     fn_by_name: BTreeMap<String, u32>,
     var_by_name: BTreeMap<String, u32>,
+    /// Output of the resolve pass (interned symbols, slot-compiled
+    /// bodies), computed once at build time. Shared so `Program` clones
+    /// stay cheap.
+    resolved: std::sync::Arc<crate::resolve::Resolved>,
 }
 
 impl Program {
+    /// The resolve pass's output: slot-compiled bodies, the program's
+    /// [`Interner`](crate::Interner), and interned global
+    /// registrations. This is the form the runtime and the verifier's
+    /// group replay execute.
+    pub fn resolved(&self) -> &crate::resolve::Resolved {
+        &self.resolved
+    }
+
     /// Resolves a function name.
     pub fn function_id(&self, name: &str) -> Option<crate::FunctionId> {
         self.fn_by_name.get(name).map(|&i| crate::FunctionId(i))
@@ -424,6 +436,14 @@ impl ProgramBuilder {
         for f in &self.functions {
             validate_stmts(&f.body, &fn_by_name, &var_by_name)?;
         }
+        // Resolve pass: intern identifiers, compile locals to slots.
+        let resolved = crate::resolve::resolve_program(
+            &self.functions,
+            &self.vars,
+            &global_registrations,
+            &fn_by_name,
+            &var_by_name,
+        )?;
         Ok(Program {
             functions: self.functions,
             vars: self.vars,
@@ -431,6 +451,7 @@ impl ProgramBuilder {
             global_registrations,
             fn_by_name,
             var_by_name,
+            resolved: std::sync::Arc::new(resolved),
         })
     }
 }

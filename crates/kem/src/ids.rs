@@ -271,6 +271,71 @@ impl fmt::Display for HandlerId {
     }
 }
 
+/// An interned identifier: a dense index into an [`Interner`].
+///
+/// The resolve pass (see [`crate::resolve`]) interns every identifier a
+/// program mentions — event names, function names, local and shared
+/// variable names — so the hot loops of both the runtime and the
+/// verifier compare/hash a `u32` instead of a `String`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A string interner: maps identifier strings to dense [`Sym`] ids and
+/// back. Built once per program by the resolve pass; lookups after that
+/// are array indexing ([`Interner::resolve`]) or one hash of the string
+/// ([`Interner::get`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interner {
+    names: Vec<String>,
+    by_name: std::collections::HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its existing [`Sym`] if already known.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&id) = self.by_name.get(name) {
+            return Sym(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        Sym(id)
+    }
+
+    /// Looks up an already-interned name without inserting.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).map(|&id| Sym(id))
+    }
+
+    /// The string a [`Sym`] stands for. Total: an unknown sym (which a
+    /// correct resolve pass never produces) resolves to `""` rather
+    /// than panicking.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.names.get(sym.0 as usize).map_or("", String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
 /// A fully qualified operation coordinate: the `opnum`-th operation of
 /// handler `hid` of request `rid` (§C.1.3 log keys).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -380,6 +445,21 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(a);
         assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn interner_round_trip_and_dedup() {
+        let mut i = Interner::new();
+        let a = i.intern("payload");
+        let b = i.intern("boom");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("payload"), a, "re-interning is idempotent");
+        assert_eq!(i.resolve(a), "payload");
+        assert_eq!(i.resolve(b), "boom");
+        assert_eq!(i.get("boom"), Some(b));
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(Sym(99)), "", "unknown syms resolve to empty");
     }
 
     #[test]

@@ -32,6 +32,7 @@ mod ids;
 mod label;
 mod ops;
 pub mod pretty;
+pub mod resolve;
 mod runtime;
 mod trace;
 mod value;
@@ -41,12 +42,13 @@ pub use ast::{
 };
 pub use error::RuntimeError;
 pub use hooks::{ExecHooks, NoopHooks, TxOpKind, TxOpRecord};
-pub use ids::{FunctionId, HandlerId, OpRef, RequestId, VarId};
+pub use ids::{FunctionId, HandlerId, Interner, OpRef, RequestId, Sym, VarId};
 pub use label::{Label, LabelAllocator};
 pub use ops::{
     eval_binop, eval_contains, eval_digest, eval_index, eval_keys, eval_len, eval_list_push,
     eval_map_insert, eval_map_remove, eval_to_str,
 };
+pub use resolve::{RExpr, RFunction, RStmt, Resolved};
 pub use runtime::{
     init_handler_id, run_server, RunOutput, Runtime, SchedPolicy, ServerConfig, INIT_FUNCTION,
 };

@@ -213,6 +213,27 @@ pub fn expr(e: &Expr) -> String {
     }
 }
 
+/// Renders a one-line-per-function summary of the resolve pass: interner
+/// size, then each function's slot count and control-flow body digest.
+/// Useful when debugging a `ControlFlowMismatch` ("did the digest of
+/// this body change?") or inspecting how many frame slots a handler
+/// needs.
+pub fn resolved_summary(p: &Program) -> String {
+    let r = p.resolved();
+    let mut out = String::new();
+    let _ = writeln!(out, "interner: {} symbols", r.interner.len());
+    for f in &r.functions {
+        let _ = writeln!(
+            out,
+            "fn {}: {} slots, digest {:016x}",
+            r.interner.resolve(f.name),
+            f.n_slots,
+            f.body_digest
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +289,38 @@ mod tests {
         assert!(s.contains("GET(payload.tx, \"k\", ctx=null) -> got;"));
         assert!(s.contains("let n = listenerCount(\"ev\");"));
         assert!(s.contains("let t = now();"));
+    }
+
+    #[test]
+    fn resolved_summary_reports_slots_and_digests() {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![
+                let_("x", field(payload(), "k")),
+                let_("y", add(local("x"), lit(1i64))),
+                respond(local("y")),
+            ],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        let s = resolved_summary(&p);
+        // payload occupies slot 0; x and y get their own slots.
+        assert!(s.contains("fn handle: 3 slots, digest "), "got:\n{s}");
+        assert!(s.starts_with("interner: "), "got:\n{s}");
+        // The digest is a pure function of the body: rebuilding the
+        // same program yields the same summary.
+        let mut b2 = ProgramBuilder::new();
+        b2.function(
+            "handle",
+            vec![
+                let_("x", field(payload(), "k")),
+                let_("y", add(local("x"), lit(1i64))),
+                respond(local("y")),
+            ],
+        );
+        b2.request_handler("handle");
+        assert_eq!(s, resolved_summary(&b2.build().unwrap()));
     }
 
     #[test]

@@ -23,10 +23,11 @@ use kvstore::{IsolationLevel, Store, StoreStats, TxError, TxnId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::ast::{Expr, NondetKind, Program, Stmt};
+use crate::ast::{NondetKind, Program};
 use crate::error::RuntimeError;
 use crate::hooks::{ExecHooks, TxOpKind, TxOpRecord};
-use crate::ids::{FunctionId, HandlerId, RequestId, VarId};
+use crate::ids::{FunctionId, HandlerId, RequestId, Sym, VarId};
+use crate::resolve::{RExpr, RFunction, RStmt, Resolved};
 use crate::trace::Trace;
 use crate::value::Value;
 
@@ -122,20 +123,24 @@ struct PendingDb {
     on_done: FunctionId,
 }
 
-/// Per-activation interpreter context.
-struct Frame {
+/// Per-activation interpreter context. Locals live in a slot-indexed
+/// frame (compiled by the resolve pass); unbound slots hold `None` so
+/// read-before-bind is still a runtime error.
+struct Frame<'p> {
     rid: RequestId,
     hid: HandlerId,
     opnum: u32,
-    locals: BTreeMap<String, Value>,
+    locals: Vec<Option<Value>>,
+    func: &'p RFunction,
 }
 
 /// The simulated server.
 pub struct Runtime<'p> {
     program: &'p Program,
+    resolved: &'p Resolved,
     cfg: ServerConfig,
     vars: Vec<Value>,
-    request_regs: HashMap<RequestId, Vec<(String, FunctionId)>>,
+    request_regs: HashMap<RequestId, Vec<(Sym, FunctionId)>>,
     pending_events: VecDeque<PendingEvent>,
     pending_db: VecDeque<PendingDb>,
     store: Store<Value>,
@@ -183,6 +188,7 @@ impl<'p> Runtime<'p> {
         };
         Runtime {
             program,
+            resolved: program.resolved(),
             cfg,
             vars: Vec::new(),
             request_regs: HashMap::new(),
@@ -297,22 +303,28 @@ impl<'p> Runtime<'p> {
     ) -> Result<(), RuntimeError> {
         self.activations += 1;
         hooks.on_handler_start(act.rid, &act.hid);
+        let resolved = self.resolved;
+        let func = &resolved.functions[act.function.0 as usize];
         let mut frame = Frame {
             rid: act.rid,
             hid: act.hid,
             opnum: 0,
-            locals: BTreeMap::from([("payload".to_string(), act.payload)]),
+            locals: vec![None; func.n_slots as usize],
+            func,
         };
-        let body = &self.program.functions[act.function.0 as usize].body;
-        self.exec_block(&mut frame, body, hooks)?;
+        if let Some(s0) = frame.locals.get_mut(0) {
+            // Slot 0 is always `payload` (pre-assigned by the resolver).
+            *s0 = Some(act.payload);
+        }
+        self.exec_block(&mut frame, &func.body, hooks)?;
         hooks.on_handler_end(frame.rid, &frame.hid, frame.opnum);
         Ok(())
     }
 
-    fn exec_block<H: ExecHooks>(
+    fn exec_block<'f, H: ExecHooks>(
         &mut self,
-        frame: &mut Frame,
-        stmts: &[Stmt],
+        frame: &mut Frame<'f>,
+        stmts: &'f [RStmt],
         hooks: &mut H,
     ) -> Result<(), RuntimeError> {
         for stmt in stmts {
@@ -321,30 +333,30 @@ impl<'p> Runtime<'p> {
         Ok(())
     }
 
-    fn exec_stmt<H: ExecHooks>(
+    fn exec_stmt<'f, H: ExecHooks>(
         &mut self,
-        frame: &mut Frame,
-        stmt: &Stmt,
+        frame: &mut Frame<'f>,
+        stmt: &'f RStmt,
         hooks: &mut H,
     ) -> Result<(), RuntimeError> {
         match stmt {
-            Stmt::Let(name, e) => {
+            RStmt::Let(slot, e) => {
                 let v = self.eval(frame, e, hooks)?;
-                frame.locals.insert(name.clone(), v);
+                frame.locals[*slot as usize] = Some(v);
             }
-            Stmt::SharedWrite(name, e) => {
-                let v = self.eval(frame, e, hooks)?;
-                let var = self
-                    .program
-                    .var_id(name)
-                    .ok_or_else(|| RuntimeError::new(format!("unknown shared var {name:?}")))?;
-                if self.program.var(var).loggable {
+            RStmt::SharedWrite {
+                var,
+                loggable,
+                value,
+            } => {
+                let v = self.eval(frame, value, hooks)?;
+                if *loggable {
                     frame.opnum += 1;
-                    hooks.on_var_write(var, frame.rid, &frame.hid, frame.opnum, &v);
+                    hooks.on_var_write(*var, frame.rid, &frame.hid, frame.opnum, &v);
                 }
                 self.vars[var.0 as usize] = v;
             }
-            Stmt::If {
+            RStmt::If {
                 cond,
                 then_branch,
                 else_branch,
@@ -354,7 +366,7 @@ impl<'p> Runtime<'p> {
                 let branch = if taken { then_branch } else { else_branch };
                 self.exec_block(frame, branch, hooks)?;
             }
-            Stmt::While { cond, body } => {
+            RStmt::While { cond, body } => {
                 let mut iters = 0u32;
                 loop {
                     let taken = self.eval(frame, cond, hooks)?.truthy();
@@ -369,23 +381,26 @@ impl<'p> Runtime<'p> {
                     self.exec_block(frame, body, hooks)?;
                 }
             }
-            Stmt::ForEach { var, list, body } => {
+            RStmt::ForEach { slot, list, body } => {
                 let list_v = self.eval(frame, list, hooks)?;
-                let items = list_v
-                    .as_list()
-                    .ok_or_else(|| RuntimeError::type_error("for-each", &list_v))?
-                    .to_vec();
-                for item in items {
+                if list_v.as_list().is_none() {
+                    return Err(RuntimeError::type_error("for-each", &list_v));
+                }
+                let mut idx = 0usize;
+                // Iterate the owned snapshot by index: no `to_vec`
+                // clone of the whole list up front.
+                while let Some(item) = list_v.as_list().and_then(|l| l.get(idx)).cloned() {
                     hooks.on_branch(frame.rid, &frame.hid, true);
-                    frame.locals.insert(var.clone(), item);
+                    frame.locals[*slot as usize] = Some(item);
                     self.exec_block(frame, body, hooks)?;
+                    idx += 1;
                 }
                 hooks.on_branch(frame.rid, &frame.hid, false);
             }
-            Stmt::Emit { event, payload } => {
+            RStmt::Emit { event, payload } => {
                 let payload = self.eval(frame, payload, hooks)?;
                 frame.opnum += 1;
-                let fns = self.registered_for(frame.rid, event);
+                let fns = self.registered_for(frame.rid, *event);
                 let activations: Vec<Activation> = fns
                     .iter()
                     .map(|&f| Activation {
@@ -396,38 +411,47 @@ impl<'p> Runtime<'p> {
                     })
                     .collect();
                 let hids: Vec<HandlerId> = activations.iter().map(|a| a.hid.clone()).collect();
-                hooks.on_emit(frame.rid, &frame.hid, frame.opnum, event, &hids);
+                let event_name = self.resolved.interner.resolve(*event);
+                hooks.on_emit(frame.rid, &frame.hid, frame.opnum, event_name, &hids);
                 if !activations.is_empty() {
                     self.pending_events.push_back(PendingEvent { activations });
                 }
             }
-            Stmt::Register { event, function } => {
-                let f = self.resolve_fn(function)?;
+            RStmt::Register { event, function } => {
+                let f = *function;
                 frame.opnum += 1;
+                let resolved = self.resolved;
                 let regs = self.request_regs.entry(frame.rid).or_default();
                 if regs.iter().any(|(e, g)| e == event && *g == f)
-                    || self
-                        .program
-                        .global_registrations
+                    || resolved
+                        .global_regs
                         .iter()
-                        .any(|(e, g)| e == event && FunctionId(*g) == f)
+                        .any(|(e, g)| e == event && *g == f)
                 {
+                    let fname = self
+                        .program
+                        .functions
+                        .get(f.0 as usize)
+                        .map_or("?", |fun| fun.name.as_str());
+                    let ename = resolved.interner.resolve(*event);
                     return Err(RuntimeError::new(format!(
-                        "function {function:?} already registered for event {event:?}"
+                        "function {fname:?} already registered for event {ename:?}"
                     )));
                 }
-                regs.push((event.clone(), f));
-                hooks.on_register(frame.rid, &frame.hid, frame.opnum, event, f);
+                regs.push((*event, f));
+                let event_name = resolved.interner.resolve(*event);
+                hooks.on_register(frame.rid, &frame.hid, frame.opnum, event_name, f);
             }
-            Stmt::Unregister { event, function } => {
-                let f = self.resolve_fn(function)?;
+            RStmt::Unregister { event, function } => {
+                let f = *function;
                 frame.opnum += 1;
                 if let Some(regs) = self.request_regs.get_mut(&frame.rid) {
                     regs.retain(|(e, g)| !(e == event && *g == f));
                 }
-                hooks.on_unregister(frame.rid, &frame.hid, frame.opnum, event, f);
+                let event_name = self.resolved.interner.resolve(*event);
+                hooks.on_unregister(frame.rid, &frame.hid, frame.opnum, event_name, f);
             }
-            Stmt::Respond(e) => {
+            RStmt::Respond(e) => {
                 let v = self.eval(frame, e, hooks)?;
                 match self.responded.get_mut(&frame.rid) {
                     Some(done) if !*done => *done = true,
@@ -448,9 +472,9 @@ impl<'p> Runtime<'p> {
                 self.trace.push_response(frame.rid, v);
                 self.in_flight -= 1;
             }
-            Stmt::TxStart { ctx, on_done } => {
+            RStmt::TxStart { ctx, on_done } => {
                 let ctx = self.eval(frame, ctx, hooks)?;
-                let on_done = self.resolve_fn(on_done)?;
+                let on_done = *on_done;
                 frame.opnum += 1;
                 self.pending_db.push_back(PendingDb {
                     rid: frame.rid,
@@ -464,7 +488,7 @@ impl<'p> Runtime<'p> {
                     on_done,
                 });
             }
-            Stmt::TxGet {
+            RStmt::TxGet {
                 tx,
                 key,
                 ctx,
@@ -477,11 +501,11 @@ impl<'p> Runtime<'p> {
                     Some(key),
                     None,
                     ctx,
-                    on_done,
+                    *on_done,
                     hooks,
                 )?;
             }
-            Stmt::TxPut {
+            RStmt::TxPut {
                 tx,
                 key,
                 value,
@@ -495,23 +519,33 @@ impl<'p> Runtime<'p> {
                     Some(key),
                     Some(value),
                     ctx,
-                    on_done,
+                    *on_done,
                     hooks,
                 )?;
             }
-            Stmt::TxCommit { tx, ctx, on_done } => {
-                self.queue_tx_op(frame, TxOpKind::Commit, tx, None, None, ctx, on_done, hooks)?;
+            RStmt::TxCommit { tx, ctx, on_done } => {
+                self.queue_tx_op(
+                    frame,
+                    TxOpKind::Commit,
+                    tx,
+                    None,
+                    None,
+                    ctx,
+                    *on_done,
+                    hooks,
+                )?;
             }
-            Stmt::TxAbort { tx, ctx, on_done } => {
-                self.queue_tx_op(frame, TxOpKind::Abort, tx, None, None, ctx, on_done, hooks)?;
+            RStmt::TxAbort { tx, ctx, on_done } => {
+                self.queue_tx_op(frame, TxOpKind::Abort, tx, None, None, ctx, *on_done, hooks)?;
             }
-            Stmt::ListenerCount { var, event } => {
+            RStmt::ListenerCount { slot, event } => {
                 frame.opnum += 1;
-                let count = self.registered_for(frame.rid, event).len() as i64;
-                hooks.on_check_op(frame.rid, &frame.hid, frame.opnum, event, count);
-                frame.locals.insert(var.clone(), Value::Int(count));
+                let count = self.registered_for(frame.rid, *event).len() as i64;
+                let event_name = self.resolved.interner.resolve(*event);
+                hooks.on_check_op(frame.rid, &frame.hid, frame.opnum, event_name, count);
+                frame.locals[*slot as usize] = Some(Value::Int(count));
             }
-            Stmt::Nondet { var, kind } => {
+            RStmt::Nondet { slot, kind } => {
                 frame.opnum += 1;
                 let generated = match kind {
                     NondetKind::Counter => {
@@ -525,22 +559,22 @@ impl<'p> Runtime<'p> {
                 let v = hooks
                     .on_nondet(frame.rid, &frame.hid, frame.opnum, &generated)
                     .unwrap_or(generated);
-                frame.locals.insert(var.clone(), v);
+                frame.locals[*slot as usize] = Some(v);
             }
         }
         Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn queue_tx_op<H: ExecHooks>(
+    fn queue_tx_op<'f, H: ExecHooks>(
         &mut self,
-        frame: &mut Frame,
+        frame: &mut Frame<'f>,
         kind: TxOpKind,
-        tx: &Expr,
-        key: Option<&Expr>,
-        value: Option<&Expr>,
-        ctx: &Expr,
-        on_done: &str,
+        tx: &'f RExpr,
+        key: Option<&'f RExpr>,
+        value: Option<&'f RExpr>,
+        ctx: &'f RExpr,
+        on_done: FunctionId,
         hooks: &mut H,
     ) -> Result<(), RuntimeError> {
         let tx_v = self.eval(frame, tx, hooks)?;
@@ -564,7 +598,6 @@ impl<'p> Runtime<'p> {
             None => None,
         };
         let ctx = self.eval(frame, ctx, hooks)?;
-        let on_done = self.resolve_fn(on_done)?;
         frame.opnum += 1;
         self.pending_db.push_back(PendingDb {
             rid: frame.rid,
@@ -677,113 +710,105 @@ impl<'p> Runtime<'p> {
         Ok(())
     }
 
-    fn registered_for(&self, rid: RequestId, event: &str) -> Vec<FunctionId> {
+    fn registered_for(&self, rid: RequestId, event: Sym) -> Vec<FunctionId> {
         let mut out: Vec<FunctionId> = self
-            .program
-            .global_registrations
+            .resolved
+            .global_regs
             .iter()
-            .filter(|(e, _)| e == event)
-            .map(|(_, f)| FunctionId(*f))
+            .filter(|(e, _)| *e == event)
+            .map(|(_, f)| *f)
             .collect();
         if let Some(regs) = self.request_regs.get(&rid) {
-            out.extend(regs.iter().filter(|(e, _)| e == event).map(|(_, f)| *f));
+            out.extend(regs.iter().filter(|(e, _)| *e == event).map(|(_, f)| *f));
         }
         out
     }
 
-    fn resolve_fn(&self, name: &str) -> Result<FunctionId, RuntimeError> {
-        self.program
-            .function_id(name)
-            .ok_or_else(|| RuntimeError::new(format!("unknown function {name:?}")))
-    }
-
-    fn eval<H: ExecHooks>(
+    fn eval<'f, H: ExecHooks>(
         &mut self,
-        frame: &mut Frame,
-        expr: &Expr,
+        frame: &mut Frame<'f>,
+        expr: &'f RExpr,
         hooks: &mut H,
     ) -> Result<Value, RuntimeError> {
         Ok(match expr {
-            Expr::Const(v) => v.clone(),
-            Expr::Local(name) => frame
-                .locals
-                .get(name)
-                .cloned()
-                .ok_or_else(|| RuntimeError::new(format!("unknown local {name:?}")))?,
-            Expr::SharedRead(name) => {
-                let var = self
-                    .program
-                    .var_id(name)
-                    .ok_or_else(|| RuntimeError::new(format!("unknown shared var {name:?}")))?;
+            RExpr::Const(v) => v.clone(),
+            RExpr::Local(slot) => match frame.locals.get(*slot as usize).and_then(Option::as_ref) {
+                Some(v) => v.clone(),
+                None => {
+                    let name = frame.func.slot_name(*slot);
+                    return Err(RuntimeError::new(format!("unknown local {name:?}")));
+                }
+            },
+            RExpr::SharedRead { var, loggable } => {
                 let v = self.vars[var.0 as usize].clone();
-                if self.program.var(var).loggable {
+                if *loggable {
                     frame.opnum += 1;
-                    hooks.on_var_read(var, frame.rid, &frame.hid, frame.opnum, &v);
+                    hooks.on_var_read(*var, frame.rid, &frame.hid, frame.opnum, &v);
                 }
                 v
             }
-            Expr::Bin(op, a, b) => {
+            RExpr::Bin(op, a, b) => {
                 let a = self.eval(frame, a, hooks)?;
                 let b = self.eval(frame, b, hooks)?;
                 crate::ops::eval_binop(*op, &a, &b)?
             }
-            Expr::Not(a) => Value::Bool(!self.eval(frame, a, hooks)?.truthy()),
-            Expr::Field(a, name) => {
+            RExpr::Not(a) => Value::Bool(!self.eval(frame, a, hooks)?.truthy()),
+            RExpr::Field(a, name) => {
                 let a = self.eval(frame, a, hooks)?;
                 a.field(name).cloned().unwrap_or(Value::Null)
             }
-            Expr::Index(a, i) => {
+            RExpr::Index(a, i) => {
                 let a = self.eval(frame, a, hooks)?;
                 let i = self.eval(frame, i, hooks)?;
                 crate::ops::eval_index(&a, &i)?
             }
-            Expr::Len(a) => {
+            RExpr::Len(a) => {
                 let a = self.eval(frame, a, hooks)?;
                 crate::ops::eval_len(&a)?
             }
-            Expr::Contains(a, b) => {
+            RExpr::Contains(a, b) => {
                 let a = self.eval(frame, a, hooks)?;
                 let b = self.eval(frame, b, hooks)?;
                 crate::ops::eval_contains(&a, &b)?
             }
-            Expr::ListLit(items) => Value::from_vec(
+            RExpr::ListLit(items) => Value::from_vec(
                 items
                     .iter()
                     .map(|e| self.eval(frame, e, hooks))
                     .collect::<Result<_, _>>()?,
             ),
-            Expr::MapLit(pairs) => {
+            RExpr::MapLit(pairs) => {
                 let mut m = BTreeMap::new();
                 for (k, e) in pairs {
                     m.insert(k.clone(), self.eval(frame, e, hooks)?);
                 }
                 Value::from_map(m)
             }
-            Expr::MapInsert(m, k, v) => {
+            RExpr::MapInsert(m, k, v) => {
                 let m_v = self.eval(frame, m, hooks)?;
                 let k_v = self.eval(frame, k, hooks)?;
                 let v_v = self.eval(frame, v, hooks)?;
                 crate::ops::eval_map_insert(&m_v, &k_v, &v_v)?
             }
-            Expr::MapRemove(m, k) => {
+            RExpr::MapRemove(m, k) => {
                 let m_v = self.eval(frame, m, hooks)?;
                 let k_v = self.eval(frame, k, hooks)?;
                 crate::ops::eval_map_remove(&m_v, &k_v)?
             }
-            Expr::ListPush(l, v) => {
+            RExpr::ListPush(l, v) => {
                 let l_v = self.eval(frame, l, hooks)?;
                 let v_v = self.eval(frame, v, hooks)?;
                 crate::ops::eval_list_push(&l_v, &v_v)?
             }
-            Expr::Keys(m) => {
+            RExpr::Keys(m) => {
                 let m_v = self.eval(frame, m, hooks)?;
                 crate::ops::eval_keys(&m_v)?
             }
-            Expr::Digest(e) => {
+            RExpr::Digest(e) => {
                 let v = self.eval(frame, e, hooks)?;
                 crate::ops::eval_digest(&v)
             }
-            Expr::ToStr(e) => {
+            RExpr::ToStr(e) => {
                 let v = self.eval(frame, e, hooks)?;
                 crate::ops::eval_to_str(&v)
             }

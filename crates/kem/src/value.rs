@@ -43,6 +43,7 @@ impl Value {
     }
 
     /// Builds an integer value.
+    #[inline]
     pub fn int(i: i64) -> Value {
         Value::Int(i)
     }
@@ -80,6 +81,7 @@ impl Value {
 
     /// Truthiness, JavaScript-flavoured: `null`, `false`, `0`, `""`, and
     /// empty containers are falsy.
+    #[inline]
     pub fn truthy(&self) -> bool {
         match self {
             Value::Null => false,
@@ -92,6 +94,7 @@ impl Value {
     }
 
     /// Returns the integer if this is an `Int`.
+    #[inline]
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
@@ -100,6 +103,7 @@ impl Value {
     }
 
     /// Returns the string if this is a `Str`.
+    #[inline]
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -108,6 +112,7 @@ impl Value {
     }
 
     /// Returns the map if this is a `Map`.
+    #[inline]
     pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
             Value::Map(m) => Some(m),
@@ -116,6 +121,7 @@ impl Value {
     }
 
     /// Returns the list if this is a `List`.
+    #[inline]
     pub fn as_list(&self) -> Option<&[Value]> {
         match self {
             Value::List(l) => Some(l),
@@ -129,6 +135,7 @@ impl Value {
     }
 
     /// Map/list/string length; `None` for scalars.
+    #[inline]
     pub fn len(&self) -> Option<usize> {
         match self {
             Value::Str(s) => Some(s.len()),
@@ -139,6 +146,7 @@ impl Value {
     }
 
     /// Looks up a map field.
+    #[inline]
     pub fn field(&self, name: &str) -> Option<&Value> {
         self.as_map().and_then(|m| m.get(name))
     }
@@ -215,6 +223,7 @@ impl Value {
 }
 
 impl PartialEq for Value {
+    #[inline]
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Value::Null, Value::Null) => true,
@@ -300,6 +309,7 @@ impl Fnv {
     }
 
     /// Feeds bytes.
+    #[inline]
     pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
@@ -313,6 +323,7 @@ impl Fnv {
     }
 
     /// The digest so far.
+    #[inline]
     pub fn finish(&self) -> u64 {
         self.0
     }

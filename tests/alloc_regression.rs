@@ -1,0 +1,162 @@
+//! Allocation-regression guard for the verifier's group-replay hot path.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator and
+//! counts allocation *events* (alloc + realloc calls) while the
+//! re-execution phase replays a uniform 64-request group. The budget
+//! pinned here is the contract that slot-compiled frames and interned
+//! symbols keep the hot loop allocation-free: if a change reintroduces
+//! per-request `String`/`BTreeMap` traffic, this test fails CI.
+//!
+//! Run with `--release` for the numbers quoted in BENCH_PR3.json; the
+//! assertion bound holds in both profiles because allocation counts,
+//! unlike wall-clock, are deterministic and container-stable.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Wraps the system allocator, counting allocation events (calls to
+/// `alloc`/`realloc`, not bytes) while `COUNTING` is enabled.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Counts allocation events during `f`. Not reentrant; the tests in
+/// this file run single-threaded (one `#[test]` fn) so the global flag
+/// cannot be flipped concurrently.
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    ALLOC_EVENTS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let out = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (out, ALLOC_EVENTS.load(Ordering::SeqCst))
+}
+
+use kem::{dsl, ServerConfig, Value};
+
+/// A handler-op-heavy program whose requests all take the same path:
+/// locals, a non-loggable shared read/write, register / emit /
+/// listenerCount / unregister, and a short loop. Every payload is
+/// identical, so all `n` requests land in one re-execution group and
+/// every multivalue stays uniform.
+fn uniform_program() -> kem::Program {
+    let mut b = kem::ProgramBuilder::new();
+    b.shared_var("cfg", Value::int(7), false);
+    b.function(
+        "handle",
+        vec![
+            dsl::let_("x", dsl::field(dsl::payload(), "k")),
+            dsl::let_("s", dsl::sread("cfg")),
+            dsl::swrite("cfg", dsl::add(dsl::sread("cfg"), dsl::lit(0))),
+            dsl::let_("y", dsl::add(dsl::local("x"), dsl::local("s"))),
+            dsl::let_("i", dsl::lit(0)),
+            dsl::while_(
+                dsl::lt(dsl::local("i"), dsl::lit(8)),
+                vec![
+                    dsl::let_("acc", dsl::add(dsl::local("y"), dsl::local("i"))),
+                    dsl::let_("i", dsl::add(dsl::local("i"), dsl::lit(1))),
+                ],
+            ),
+            dsl::register("boom", "on_boom"),
+            dsl::emit("boom", dsl::local("y")),
+            dsl::listener_count("n", "boom"),
+            dsl::unregister("boom", "on_boom"),
+            dsl::respond(dsl::local("y")),
+        ],
+    );
+    b.function(
+        "on_boom",
+        vec![dsl::let_("z", dsl::add(dsl::payload(), dsl::lit(1)))],
+    );
+    b.request_handler("handle");
+    b.build().expect("uniform program builds")
+}
+
+/// Replays a uniform group of `n` identical requests and returns
+/// (allocation events during the replay phase, total replayed ops).
+fn replay_allocs(n: usize) -> (u64, u64) {
+    let program = uniform_program();
+    let cfg = ServerConfig::default();
+    let inputs: Vec<Value> = (0..n)
+        .map(|_| Value::from_map([("k".to_string(), Value::int(5))].into()))
+        .collect();
+    let (out, advice) = karousos::run_instrumented_server(
+        &program,
+        &inputs,
+        &cfg,
+        karousos::CollectorMode::Karousos,
+    )
+    .expect("server run succeeds");
+
+    let ops: u64 = advice.opcounts.values().map(|&c| c as u64).sum();
+    assert!(ops > 0, "scenario must replay at least one op");
+
+    let pre = karousos::verifier::preprocess(&program, &out.trace, &advice, cfg.isolation)
+        .expect("preprocess accepts honest advice");
+    let mut vars = karousos::verifier::VarStates::new();
+    // No loggable vars in the scenario, so the trusted init phase
+    // installs nothing; replay starts from an empty dictionary.
+    let (stats, allocs) = count_allocs(|| {
+        karousos::verifier::ReExecutor::new(&program, &out.trace, &advice, &pre, &mut vars).run()
+    });
+    let stats = stats.expect("replay accepts honest advice");
+    assert_eq!(stats.groups, 1, "identical payloads must form one group");
+    (allocs, ops)
+}
+
+#[test]
+fn uniform_group_replay_allocation_budget() {
+    // Warm-up run: let lazy one-time allocations (thread-local RNG
+    // buffers, hash seeds) happen outside the measured window.
+    let _ = replay_allocs(8);
+
+    let (allocs_8, ops_8) = replay_allocs(8);
+    let (allocs_64, ops_64) = replay_allocs(64);
+    let per_op_8 = allocs_8 as f64 / ops_8 as f64;
+    let per_op_64 = allocs_64 as f64 / ops_64 as f64;
+    eprintln!("n=8:  {allocs_8} allocs / {ops_8} ops = {per_op_8:.3} allocs/op");
+    eprintln!("n=64: {allocs_64} allocs / {ops_64} ops = {per_op_64:.3} allocs/op");
+
+    // Pinned budget. Pre-refactor baseline (name-based interpreter,
+    // commit 14c4229): 397 events / 256 ops = 1.551 allocs/op at n=64.
+    // Slot-compiled frames + interned symbols measure 32 events
+    // (0.125 allocs/op) — a 12.4x reduction; the bound below leaves
+    // ~2x headroom for allocator/container jitter while still failing
+    // loudly if per-request string or map traffic comes back.
+    assert!(
+        allocs_64 <= 64,
+        "uniform-group replay exceeded the allocation budget: \
+         {allocs_64} allocs for {ops_64} ops (budget 64; measured 32)"
+    );
+    // The per-request marginal cost must stay ~zero: growing the group
+    // 8x (56 extra requests, 224 extra replayed ops) may only add the
+    // handful of events attributable to container growth.
+    assert!(
+        allocs_64.saturating_sub(allocs_8) <= 16,
+        "replay allocations scale with group size: \
+         n=8 -> {allocs_8}, n=64 -> {allocs_64} (marginal budget 16)"
+    );
+}
