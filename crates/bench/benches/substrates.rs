@@ -66,6 +66,7 @@ fn bench_graph(c: &mut Criterion) {
                 g.add_edge(
                     GNode::op(RequestId(0), hid.clone(), i),
                     GNode::op(RequestId(0), hid.clone(), i + 1),
+                    karousos::EdgeKind::Program,
                 );
             }
             assert!(!g.has_cycle());

@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! harness [figure] [--requests N] [--iters K] [--seed S] [--verify-threads T]
+//!         [--obs-out trace.json] [--metrics-out metrics.json]
 //!
 //!   figure ∈ { fig6, fig7, fig8, fig9, fig10, fig11, fig12, ratios,
-//!              errorbars, ablations, bench-pr3, all }
+//!              errorbars, ablations, bench-pr3, bench-pr4, all }
 //! ```
+//!
+//! `--obs-out` / `--metrics-out` capture one fully-instrumented wiki
+//! run and write the Chrome `trace_event` / metrics-registry JSON
+//! exports (open the trace in Perfetto or `chrome://tracing`). With no
+//! explicit figure, the capture is the whole job.
 //!
 //! `--verify-threads T` (default 4, `0` = one per core) sets the worker
 //! count for the parallel Karousos audit; every verification table
@@ -81,21 +87,34 @@ fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
 
 struct Opts {
     figure: String,
+    /// Whether a figure was named on the command line (as opposed to
+    /// the `all` default): `--obs-out`/`--metrics-out` without an
+    /// explicit figure runs only the telemetry capture.
+    figure_explicit: bool,
     requests: usize,
     iters: usize,
     seed: u64,
     seeds: u64,
     verify_threads: usize,
+    /// Chrome `trace_event` JSON destination (`--obs-out`); enables
+    /// telemetry capture for the run.
+    obs_out: Option<String>,
+    /// Metrics JSON destination (`--metrics-out`); enables telemetry
+    /// capture for the run.
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Opts {
     let mut opts = Opts {
         figure: "all".to_string(),
+        figure_explicit: false,
         requests: 600,
         iters: 3,
         seed: 1,
         seeds: 10,
         verify_threads: 4,
+        obs_out: None,
+        metrics_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -130,8 +149,25 @@ fn parse_args() -> Opts {
                 opts.verify_threads = numeric("--verify-threads", args.get(i + 1)) as usize;
                 i += 2;
             }
+            "--obs-out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--obs-out requires a file path");
+                    std::process::exit(2);
+                };
+                opts.obs_out = Some(path.clone());
+                i += 2;
+            }
+            "--metrics-out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--metrics-out requires a file path");
+                    std::process::exit(2);
+                };
+                opts.metrics_out = Some(path.clone());
+                i += 2;
+            }
             other => {
                 opts.figure = other.to_string();
+                opts.figure_explicit = true;
                 i += 1;
             }
         }
@@ -154,16 +190,6 @@ fn print_server_rows(label: &str, rows: &[ServerOverheadRow]) {
             r.overhead()
         );
     }
-}
-
-fn phase_line(p: &karousos::PhaseTiming) -> String {
-    format!(
-        "pre {} | replay {} | merge {} | cycle {} ms",
-        ms(p.preprocess),
-        ms(p.group_replay),
-        ms(p.graph_merge),
-        ms(p.cycle_check)
-    )
 }
 
 fn print_verif_rows(label: &str, rows: &[VerificationRow]) {
@@ -192,11 +218,8 @@ fn print_verif_rows(label: &str, rows: &[VerificationRow]) {
             r.karousos_groups,
             r.orochi_groups
         );
-        println!("                phases seq: {}", phase_line(&r.phases));
-        println!(
-            "                phases par: {}",
-            phase_line(&r.phases_parallel)
-        );
+        println!("                phases seq: {}", r.phases);
+        println!("                phases par: {}", r.phases_parallel);
     }
 }
 
@@ -614,6 +637,173 @@ fn bench_pr3(o: &Opts) {
     }
 }
 
+/// Captures one fully-instrumented run — advice collection plus the
+/// parallel audit — of the wiki workload and writes the exports named
+/// by `--obs-out` (Chrome `trace_event` JSON, loadable in Perfetto /
+/// `chrome://tracing`) and `--metrics-out` (metrics registry JSON).
+fn obs_capture(o: &Opts) {
+    use karousos::{audit_with_obs, run_instrumented_server_with_obs, CollectorMode};
+    let mut exp = workload::Experiment::paper_default(App::Wiki, Mix::Wiki, 8, o.seed);
+    exp.requests = o.requests;
+    let program = App::Wiki.program();
+    let inputs = exp.inputs();
+    let obs = obs::Obs::enabled();
+    let (out, advice) = run_instrumented_server_with_obs(
+        &program,
+        &inputs,
+        &exp.server_config(),
+        CollectorMode::Karousos,
+        &obs,
+    )
+    .expect("wiki app runs");
+    let report = audit_with_obs(
+        &program,
+        &out.trace,
+        &advice,
+        exp.isolation,
+        karousos::AuditOptions::with_threads(o.verify_threads),
+        &obs,
+    )
+    .expect("honest advice must be accepted");
+    println!(
+        "== telemetry capture: wiki mixed, {} requests, {} groups, {} spans ==",
+        o.requests,
+        report.reexec.groups,
+        obs.spans_snapshot().len()
+    );
+    if let Some(path) = &o.obs_out {
+        if let Err(e) = std::fs::write(path, obs.trace_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  wrote {path} (chrome://tracing / Perfetto)");
+    }
+    if let Some(path) = &o.metrics_out {
+        if let Err(e) = std::fs::write(path, obs.metrics_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  wrote {path}");
+    }
+}
+
+/// `bench-pr4`: machine-readable evidence for the telemetry layer.
+/// Writes `BENCH_PR4.json`: per-app audit wall-clock with observability
+/// off vs on (the overhead the noop default avoids paying), the
+/// per-phase breakdown, and the headline instruments (multivalue
+/// collapse ratio, dictionary-fed reads, edge counts by kind,
+/// cycle-check visits) from the instrumented run.
+fn bench_pr4(o: &Opts) {
+    use karousos::audit_with_obs;
+    use obs::{CounterId, GaugeId, Obs};
+
+    println!(
+        "== bench-pr4: audit telemetry ({} requests, {} iters) ==",
+        o.requests, o.iters
+    );
+    let mut apps_json = String::new();
+    for (app, mix) in [
+        (App::Motd, Mix::Mixed),
+        (App::Stacks, Mix::Mixed),
+        (App::Wiki, Mix::Wiki),
+    ] {
+        let p = bench::prepare(app, mix, o.requests, 8, o.seed);
+        let opts = karousos::AuditOptions::with_threads(o.verify_threads);
+        let (t_off, report) = bench::time_median(o.iters, || {
+            audit_with_obs(
+                &p.program,
+                &p.trace,
+                &p.karousos,
+                p.exp.isolation,
+                opts,
+                &Obs::noop(),
+            )
+            .expect("honest advice must be accepted")
+        });
+        let obs = Obs::enabled();
+        let (t_on, _) = bench::time_median(o.iters, || {
+            audit_with_obs(
+                &p.program,
+                &p.trace,
+                &p.karousos,
+                p.exp.isolation,
+                opts,
+                &obs,
+            )
+            .expect("honest advice must be accepted")
+        });
+        let overhead_pct = (t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+        let m = obs.metrics_snapshot();
+        // The enabled handle accumulated over `iters` runs; instruments
+        // below are per-run.
+        let iters = o.iters as u64;
+        let c = |id: CounterId| m.counter(id) / iters.max(1);
+        let uniform = c(CounterId::UniformOps);
+        let expanded = c(CounterId::ExpandedOps);
+        let collapse = uniform as f64 / (uniform + expanded).max(1) as f64;
+        let edge_kinds = [
+            CounterId::EdgesTime,
+            CounterId::EdgesProgram,
+            CounterId::EdgesBoundary,
+            CounterId::EdgesActivation,
+            CounterId::EdgesHandlerLog,
+            CounterId::EdgesExternalWr,
+            CounterId::EdgesVarWr,
+            CounterId::EdgesVarWw,
+            CounterId::EdgesVarRw,
+        ];
+        let edges_json = edge_kinds
+            .iter()
+            .map(|&k| format!("\"{}\": {}", k.name(), c(k)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        if !apps_json.is_empty() {
+            apps_json.push_str(",\n");
+        }
+        apps_json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"mix\": \"{}\", \"requests\": {}, \"concurrency\": 8,\n     \
+             \"audit_us_obs_off\": {}, \"audit_us_obs_on\": {}, \"obs_overhead_pct\": {:.1},\n     \
+             \"phases\": {},\n     \
+             \"metrics\": {{\"groups_formed\": {}, \"uniform_ops\": {uniform}, \
+             \"expanded_ops\": {expanded}, \"collapse_ratio\": {collapse:.3}, \
+             \"dict_feeds\": {}, \"logged_reads\": {}, \"cycle_check_visits\": {}, \
+             \"graph_nodes\": {}, \"graph_edges\": {},\n       \
+             \"edges\": {{{edges_json}}}}}}}",
+            app.name(),
+            mix.name(),
+            o.requests,
+            t_off.as_micros(),
+            t_on.as_micros(),
+            overhead_pct,
+            report.timing.to_json(),
+            c(CounterId::GroupsFormed),
+            c(CounterId::DictFeeds),
+            c(CounterId::LoggedReads),
+            c(CounterId::CycleCheckVisits),
+            m.gauge_value(GaugeId::GraphNodes).unwrap_or(0),
+            m.gauge_value(GaugeId::GraphEdges).unwrap_or(0),
+        ));
+        println!(
+            "  {:<7} obs off {} ms / on {} ms ({overhead_pct:+.1}%), collapse {collapse:.3}, \
+             {} groups",
+            app.name(),
+            ms(t_off),
+            ms(t_on),
+            c(CounterId::GroupsFormed)
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"pr4-observability\",\n  \"verify_threads\": {},\n  \
+         \"iters\": {},\n  \"apps\": [\n{apps_json}\n  ]\n}}\n",
+        o.verify_threads, o.iters
+    );
+    if let Err(e) = std::fs::write("BENCH_PR4.json", &json) {
+        eprintln!("failed to write BENCH_PR4.json: {e}");
+        std::process::exit(1);
+    }
+    println!("  wrote BENCH_PR4.json");
+}
+
 fn main() {
     let o = parse_args();
     if o.verify_threads != 1
@@ -624,6 +814,13 @@ fn main() {
              parallel verification will add thread overhead without speedup",
             o.verify_threads
         );
+    }
+    if o.obs_out.is_some() || o.metrics_out.is_some() {
+        obs_capture(&o);
+        // Without an explicit figure, the capture is the whole job.
+        if !o.figure_explicit {
+            return;
+        }
     }
     match o.figure.as_str() {
         "fig6" => fig6(&o),
@@ -637,6 +834,7 @@ fn main() {
         "errorbars" => errorbars(&o),
         "ablations" => ablations(&o),
         "bench-pr3" => bench_pr3(&o),
+        "bench-pr4" => bench_pr4(&o),
         "all" => {
             fig6(&o);
             fig7(&o);
@@ -650,7 +848,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure {other:?}; try fig6..fig12, ratios, errorbars, ablations, \
-                 bench-pr3, all"
+                 bench-pr3, bench-pr4, all"
             );
             std::process::exit(2);
         }

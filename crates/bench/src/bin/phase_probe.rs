@@ -28,16 +28,9 @@ fn main() {
                     AuditOptions::with_threads(t),
                 )
                 .unwrap();
-                let p = report.timing;
                 println!(
-                    "{mode:?} threads={t}: preprocess={:?} replay={:?} merge={:?} cycle={:?} \
-                     nodes={} edges={}",
-                    p.preprocess,
-                    p.group_replay,
-                    p.graph_merge,
-                    p.cycle_check,
-                    report.graph_nodes,
-                    report.graph_edges
+                    "{mode:?} threads={t}: {} nodes={} edges={}",
+                    report.timing, report.graph_nodes, report.graph_edges
                 );
             }
         }

@@ -52,6 +52,28 @@ fn hid_digest(hid: &HandlerId) -> u64 {
     h.finish()
 }
 
+/// Plain-`u64` tallies of what the collector observed and logged.
+///
+/// The R-concurrency *skip* rate — the paper's central server-side
+/// saving — is not derivable from the finished [`Advice`] (a skipped
+/// access leaves no log entry), so the collector counts accesses at
+/// the hook sites. Bare additions on inline fields: no branch, no
+/// allocation, no measurable cost on the collection path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorCounters {
+    /// Shared-variable accesses observed (reads and writes).
+    pub var_accesses: u64,
+    /// Accesses actually logged: R-concurrent with their dictating
+    /// write in Karousos mode, or every access in Orochi-JS mode.
+    pub r_concurrent_logged: u64,
+    /// Handler-log entries recorded (emit/register/unregister/check).
+    pub handler_ops_logged: u64,
+    /// Transaction-log entries recorded.
+    pub tx_ops_logged: u64,
+    /// Nondeterministic values recorded.
+    pub nondet_logged: u64,
+}
+
 /// The advice collector; plug into [`kem::run_server`] as the hooks.
 #[derive(Debug)]
 pub struct Collector {
@@ -65,6 +87,7 @@ pub struct Collector {
     per_request: HashMap<RequestId, Vec<(HandlerId, u64)>>,
     /// Orochi-JS order-sensitive tag chains.
     seq_digest: HashMap<RequestId, Fnv>,
+    counters: CollectorCounters,
 }
 
 impl Collector {
@@ -78,12 +101,20 @@ impl Collector {
             cf: HashMap::new(),
             per_request: HashMap::new(),
             seq_digest: HashMap::new(),
+            counters: CollectorCounters::default(),
         }
     }
 
     /// The collection mode.
     pub fn mode(&self) -> CollectorMode {
         self.mode
+    }
+
+    /// Tallies of what this collector has observed and logged so far.
+    /// Read before [`Collector::finish`] (which consumes the
+    /// collector).
+    pub fn counters(&self) -> CollectorCounters {
+        self.counters
     }
 
     /// Finalizes collection: computes tags and converts the store binlog
@@ -205,7 +236,9 @@ impl ExecHooks for Collector {
             CollectorMode::Karousos => r_concurrent(&op, &rec.last_write),
             CollectorMode::OrochiJs => true,
         };
+        self.counters.var_accesses += 1;
         if log_it {
+            self.counters.r_concurrent_logged += 1;
             self.backfill_write(var, &rec);
             self.advice.var_logs.entry(var).or_default().insert(
                 op,
@@ -236,7 +269,9 @@ impl ExecHooks for Collector {
             CollectorMode::Karousos => r_concurrent(&op, &rec.last_write),
             CollectorMode::OrochiJs => true,
         };
+        self.counters.var_accesses += 1;
         if log_it {
+            self.counters.r_concurrent_logged += 1;
             self.backfill_write(var, &rec);
             self.advice.var_logs.entry(var).or_default().insert(
                 op.clone(),
@@ -270,6 +305,7 @@ impl ExecHooks for Collector {
         event: &str,
         _activated: &[HandlerId],
     ) {
+        self.counters.handler_ops_logged += 1;
         self.advice
             .handler_logs
             .entry(rid)
@@ -291,6 +327,7 @@ impl ExecHooks for Collector {
         event: &str,
         function: kem::FunctionId,
     ) {
+        self.counters.handler_ops_logged += 1;
         self.advice
             .handler_logs
             .entry(rid)
@@ -313,6 +350,7 @@ impl ExecHooks for Collector {
         event: &str,
         function: kem::FunctionId,
     ) {
+        self.counters.handler_ops_logged += 1;
         self.advice
             .handler_logs
             .entry(rid)
@@ -338,6 +376,7 @@ impl ExecHooks for Collector {
         // Only the operation and its arguments are logged (§C.1.3);
         // the verifier recomputes the observed count from the handler
         // log's registration history.
+        self.counters.handler_ops_logged += 1;
         self.advice
             .handler_logs
             .entry(rid)
@@ -365,6 +404,7 @@ impl ExecHooks for Collector {
         record: &TxOpRecord,
         _activates: &HandlerId,
     ) {
+        self.counters.tx_ops_logged += 1;
         if record.kind == TxOpKind::Start {
             let ktx = KTxId {
                 rid,
@@ -455,6 +495,7 @@ impl ExecHooks for Collector {
         opnum: u32,
         value: &Value,
     ) -> Option<Value> {
+        self.counters.nondet_logged += 1;
         self.advice
             .nondet
             .insert(OpRef::new(rid, hid.clone(), opnum), value.clone());
@@ -471,9 +512,39 @@ pub fn run_instrumented_server(
     cfg: &kem::ServerConfig,
     mode: CollectorMode,
 ) -> Result<(kem::RunOutput, Advice), kem::RuntimeError> {
+    run_instrumented_server_with_obs(program, inputs, cfg, mode, &obs::Obs::noop())
+}
+
+/// [`run_instrumented_server`] with telemetry: records a `server-run`
+/// span whose args carry the collector's [`CollectorCounters`] skip
+/// rate — accesses observed vs actually logged, the saving that is
+/// *not* derivable from the finished advice. (Advice-volume
+/// *counters* are fed by the verifier, the side that also sees
+/// wire-delivered advice; feeding them here too would double-count
+/// when one handle observes both halves of a run.) With a noop handle
+/// this is exactly `run_instrumented_server`.
+pub fn run_instrumented_server_with_obs(
+    program: &kem::Program,
+    inputs: &[Value],
+    cfg: &kem::ServerConfig,
+    mode: CollectorMode,
+    obs: &obs::Obs,
+) -> Result<(kem::RunOutput, Advice), kem::RuntimeError> {
+    let t_run = obs.span_start();
     let mut collector = Collector::new(mode);
     let out = kem::run_server(program, inputs, cfg, &mut collector)?;
+    let c = collector.counters();
     let advice = collector.finish(&out.binlog);
+    obs.record_span(
+        "server-run",
+        0,
+        t_run,
+        &[
+            ("requests", inputs.len() as u64),
+            ("var_accesses", c.var_accesses),
+            ("logged", c.r_concurrent_logged),
+        ],
+    );
     Ok((out, advice))
 }
 

@@ -52,7 +52,8 @@ pub use advice::{
     TxPos, VarLog, VarLogEntry,
 };
 pub use collector::{
-    run_instrumented_server, run_instrumented_server_encoded, Collector, CollectorMode,
+    run_instrumented_server, run_instrumented_server_encoded, run_instrumented_server_with_obs,
+    Collector, CollectorCounters, CollectorMode,
 };
 pub use faultinject::{
     honest_must_accept, Mutation, MutationClass, MutationOutcome, Mutator, WireMutator,
@@ -61,8 +62,10 @@ pub use lint::{lint_advice, LintWarning};
 pub use multivalue::{MultiValue, MultiValueIter};
 pub use rorder::{r_concurrent, r_ordered, r_precedes};
 pub use verifier::{
-    audit, audit_encoded, audit_encoded_with_options, audit_with_options, audit_with_schedule,
-    ooo_audit, ooo_audit_with_options, AuditOptions, AuditReport, PhaseTiming, ReexecStats,
+    audit, audit_encoded, audit_encoded_with_obs, audit_encoded_with_options, audit_forensic,
+    audit_with_obs, audit_with_options, audit_with_schedule, cycle_report, ooo_audit,
+    ooo_audit_with_options, AuditDiagnostics, AuditFailure, AuditOptions, AuditReport,
+    CycleEdgeReport, CycleProbe, CycleReport, EdgeKind, FeedCounters, PhaseTiming, ReexecStats,
     RejectReason, ReplaySchedule,
 };
 pub use wire::{advice_sizes, decode_advice, encode_advice, AdviceSizes};

@@ -1,0 +1,304 @@
+//! REJECT forensics: structured diagnostics for failed audits.
+//!
+//! The paper's verifier answers ACCEPT/REJECT; operating an audit at
+//! scale additionally needs *why*. [`AuditDiagnostics`] captures the
+//! rejection's phase, the typed [`RejectReason`], and — for
+//! [`RejectReason::CycleInG`] — a [`CycleReport`]: a minimal simple
+//! cycle of the execution graph in which every edge carries its
+//! [`EdgeKind`] and a rendered provenance line naming the operations
+//! (and, for internal-state edges, the variable) that induced it.
+//! Produced by [`crate::verifier::audit_forensic`].
+
+use kem::VarId;
+
+use crate::verifier::graph::{CycleEdge, EdgeKind, Graph};
+use crate::verifier::reject::RejectReason;
+
+/// An audit failure carrying its diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditFailure {
+    /// The typed rejection (identical to what the plain `audit_*`
+    /// entry points return).
+    pub reason: RejectReason,
+    /// Structured forensics for the rejection.
+    pub diagnostics: AuditDiagnostics,
+}
+
+impl std::fmt::Display for AuditFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.diagnostics.summary())
+    }
+}
+
+impl std::error::Error for AuditFailure {}
+
+/// Serializable post-mortem of a rejected audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditDiagnostics {
+    /// The audit phase that rejected: `"decode"`, `"preprocess"`,
+    /// `"reexec"`, or `"postprocess"`.
+    pub phase: &'static str,
+    /// [`RejectReason::kind`] of the rejection.
+    pub kind: &'static str,
+    /// The rejection's human-readable message.
+    pub reason: String,
+    /// Minimal-cycle forensics, present iff the rejection is
+    /// [`RejectReason::CycleInG`] and a cycle was extracted.
+    pub cycle: Option<CycleReport>,
+}
+
+/// A minimal simple cycle of the execution graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleReport {
+    /// Node labels along the cycle, in order.
+    pub nodes: Vec<String>,
+    /// The cycle's edges (one per hop, the last closing onto the
+    /// first node), each with kind and provenance.
+    pub edges: Vec<CycleEdgeReport>,
+}
+
+/// One edge of a reported cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleEdgeReport {
+    /// Source node label.
+    pub from: String,
+    /// Target node label.
+    pub to: String,
+    /// Why the edge exists.
+    pub kind: EdgeKind,
+    /// The inducing shared variable, for internal-state kinds.
+    pub var: Option<VarId>,
+    /// Rendered provenance: which operations/variables induced the
+    /// edge and under which rule.
+    pub provenance: String,
+}
+
+impl AuditDiagnostics {
+    /// Diagnostics for a rejection with no cycle forensics.
+    pub fn from_reason(phase: &'static str, reason: &RejectReason) -> Self {
+        AuditDiagnostics {
+            phase,
+            kind: reason.kind(),
+            reason: reason.to_string(),
+            cycle: None,
+        }
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        match &self.cycle {
+            Some(c) => format!(
+                "audit rejected in {}: {} (minimal cycle: {} edges)",
+                self.phase,
+                self.reason,
+                c.edges.len()
+            ),
+            None => format!("audit rejected in {}: {}", self.phase, self.reason),
+        }
+    }
+
+    /// Serializes the diagnostics as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"phase\": \"{}\",\n", esc(self.phase)));
+        out.push_str(&format!("  \"kind\": \"{}\",\n", esc(self.kind)));
+        out.push_str(&format!("  \"reason\": \"{}\",\n", esc(&self.reason)));
+        match &self.cycle {
+            None => out.push_str("  \"cycle\": null\n"),
+            Some(c) => {
+                out.push_str("  \"cycle\": {\n    \"nodes\": [");
+                for (i, n) in c.nodes.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\"", esc(n)));
+                }
+                out.push_str("],\n    \"edges\": [");
+                for (i, e) in c.edges.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n      {{\"from\": \"{}\", \"to\": \"{}\", \"kind\": \"{}\", \"var\": {}, \"provenance\": \"{}\"}}",
+                        esc(&e.from),
+                        esc(&e.to),
+                        e.kind.name(),
+                        match e.var {
+                            Some(v) => format!("\"{v}\""),
+                            None => "null".to_string(),
+                        },
+                        esc(&e.provenance)
+                    ));
+                }
+                out.push_str("\n    ]\n  }\n");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (labels contain no exotic characters,
+/// but advice-derived messages could).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts minimal-cycle forensics from a cyclic execution graph
+/// (`None` if the graph is acyclic).
+pub fn cycle_report(graph: &Graph) -> Option<CycleReport> {
+    let nodes = graph.find_min_cycle()?;
+    let edges = graph
+        .describe_cycle(&nodes)
+        .into_iter()
+        .map(|e| {
+            let provenance = render_provenance(&e);
+            CycleEdgeReport {
+                from: e.from_label,
+                to: e.to_label,
+                kind: e.kind,
+                var: e.var,
+                provenance,
+            }
+        })
+        .collect();
+    Some(CycleReport {
+        nodes: nodes
+            .iter()
+            .map(|&n| graph.node_label(n).to_string())
+            .collect(),
+        edges,
+    })
+}
+
+/// Renders why one edge exists, naming the inducing operations and
+/// variable.
+fn render_provenance(e: &CycleEdge) -> String {
+    let from = &e.from_label;
+    let to = &e.to_label;
+    match e.kind {
+        EdgeKind::Time => format!("trace time precedence: {from} completed before {to} began"),
+        EdgeKind::Program => format!("program order: {from} precedes {to} within its handler"),
+        EdgeKind::Boundary => {
+            format!("request/response boundary: {from} precedes {to} around the response")
+        }
+        EdgeKind::Activation => format!("activation: the emit at {from} activated handler {to}"),
+        EdgeKind::HandlerLog => {
+            format!("handler-log precedence: the advice orders {from} before {to}")
+        }
+        EdgeKind::ExternalWr => {
+            format!("external-state write-read: the GET at {to} reads the PUT at {from}")
+        }
+        EdgeKind::VarWr => format!(
+            "internal-state write-read on {}: the read at {to} observes the write at {from}",
+            var_name(e.var)
+        ),
+        EdgeKind::VarWw => format!(
+            "internal-state write-write on {}: the write at {to} overwrites the write at {from}",
+            var_name(e.var)
+        ),
+        EdgeKind::VarRw => format!(
+            "internal-state read-write on {}: the read at {from} precedes the overwrite at {to}",
+            var_name(e.var)
+        ),
+    }
+}
+
+fn var_name(var: Option<VarId>) -> String {
+    match var {
+        Some(v) => v.to_string(),
+        None => "an unknown variable".to_string(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::verifier::graph::GNode;
+    use kem::{FunctionId, HandlerId, RequestId};
+
+    fn hid() -> HandlerId {
+        HandlerId::root(FunctionId(0))
+    }
+
+    #[test]
+    fn cycle_report_names_kinds_and_vars() {
+        let mut g = Graph::new();
+        let a = GNode::op(RequestId(0), hid(), 1);
+        let b = GNode::op(RequestId(1), hid(), 1);
+        g.add_var_edge(a.clone(), b.clone(), EdgeKind::VarWr, VarId(3));
+        g.add_edge(b, a, EdgeKind::HandlerLog);
+        let report = cycle_report(&g).unwrap();
+        assert_eq!(report.edges.len(), 2);
+        let wr = report
+            .edges
+            .iter()
+            .find(|e| e.kind == EdgeKind::VarWr)
+            .unwrap();
+        assert!(wr.provenance.contains("v3"));
+        assert!(wr.provenance.contains("write-read"));
+        let hl = report
+            .edges
+            .iter()
+            .find(|e| e.kind == EdgeKind::HandlerLog)
+            .unwrap();
+        assert!(hl.provenance.contains("handler-log"));
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_report() {
+        let mut g = Graph::new();
+        g.add_edge(
+            GNode::op(RequestId(0), hid(), 1),
+            GNode::op(RequestId(1), hid(), 1),
+            EdgeKind::Time,
+        );
+        assert!(cycle_report(&g).is_none());
+    }
+
+    #[test]
+    fn diagnostics_json_escapes_and_round_trips_shape() {
+        let d = AuditDiagnostics {
+            phase: "postprocess",
+            kind: "CycleInG",
+            reason: "execution graph has a \"cycle\"".to_string(),
+            cycle: Some(CycleReport {
+                nodes: vec!["r0 f0 op1".into(), "r1 f0 op1".into()],
+                edges: vec![CycleEdgeReport {
+                    from: "r0 f0 op1".into(),
+                    to: "r1 f0 op1".into(),
+                    kind: EdgeKind::VarWr,
+                    var: Some(VarId(3)),
+                    provenance: "internal-state write-read on v3".into(),
+                }],
+            }),
+        };
+        let json = d.to_json();
+        assert!(json.contains("\\\"cycle\\\""));
+        assert!(json.contains("\"kind\": \"wr\""));
+        assert!(json.contains("\"var\": \"v3\""));
+        assert!(d.summary().contains("1 edges"));
+    }
+
+    #[test]
+    fn from_reason_has_no_cycle() {
+        let d = AuditDiagnostics::from_reason("preprocess", &RejectReason::UnbalancedTrace);
+        assert_eq!(d.kind, "UnbalancedTrace");
+        assert!(d.cycle.is_none());
+        assert!(d.to_json().contains("\"cycle\": null"));
+    }
+}

@@ -8,10 +8,16 @@
 //! internal-state WR/WW/RW edges added during postprocessing. The audit
 //! accepts only if `G` is acyclic — i.e. the whole execution is
 //! well-ordered and physically possible.
+//!
+//! Every edge is stored with its [`EdgeKind`] (and, for internal-state
+//! edges, the inducing variable), so a rejected audit can report *why*
+//! each edge of the offending cycle exists instead of a bare
+//! ACCEPT/REJECT bit — see [`Graph::find_min_cycle`] and
+//! [`Graph::describe_cycle`].
 
 use std::collections::HashMap;
 
-use kem::{HandlerId, RequestId};
+use kem::{HandlerId, RequestId, VarId};
 
 /// Position within a handler: start (`0`), an operation, or end (`∞`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,12 +63,110 @@ impl GNode {
     }
 }
 
+/// Why an edge of `G` exists — one variant per edge source in the
+/// paper's construction (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Trace time precedence: the source event completed before the
+    /// target event began, per the trusted trace.
+    Time,
+    /// Program order within one handler execution.
+    Program,
+    /// Request/response boundary edges around arrival and delivery.
+    Boundary,
+    /// Event activation: the emitting operation precedes the activated
+    /// handler's start.
+    Activation,
+    /// Handler-log precedence claimed by the advice.
+    HandlerLog,
+    /// External-state write→read: a kv GET reads a specific PUT.
+    ExternalWr,
+    /// Internal-state write→read on a shared variable.
+    VarWr,
+    /// Internal-state write→write on a shared variable.
+    VarWw,
+    /// Internal-state read→overwrite (anti-dependency) on a shared
+    /// variable.
+    VarRw,
+}
+
+impl EdgeKind {
+    /// Every kind, in catalog order.
+    pub const ALL: [EdgeKind; 9] = [
+        EdgeKind::Time,
+        EdgeKind::Program,
+        EdgeKind::Boundary,
+        EdgeKind::Activation,
+        EdgeKind::HandlerLog,
+        EdgeKind::ExternalWr,
+        EdgeKind::VarWr,
+        EdgeKind::VarWw,
+        EdgeKind::VarRw,
+    ];
+
+    /// Stable snake_case name used in exports and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::Time => "time",
+            EdgeKind::Program => "program",
+            EdgeKind::Boundary => "boundary",
+            EdgeKind::Activation => "activation",
+            EdgeKind::HandlerLog => "handler_log",
+            EdgeKind::ExternalWr => "external_wr",
+            EdgeKind::VarWr => "wr",
+            EdgeKind::VarWw => "ww",
+            EdgeKind::VarRw => "rw",
+        }
+    }
+}
+
+/// Sentinel for "no inducing variable" in the packed edge record.
+const NO_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    from: u32,
+    to: u32,
+    kind: EdgeKind,
+    var: u32,
+}
+
+/// Outcome of the cycle-check DFS: the first back edge found (if any)
+/// and the number of node visits performed (the `cycle_check_visits`
+/// metric).
+#[derive(Debug, Clone, Copy)]
+pub struct CycleProbe {
+    /// `Some((from, to))` where `from → to` is a back edge closing a
+    /// cycle; `None` if the graph is acyclic.
+    pub back_edge: Option<(u32, u32)>,
+    /// Nodes pushed onto the DFS stack.
+    pub visits: u64,
+}
+
+/// One edge of a reported cycle, with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleEdge {
+    /// Source node id.
+    pub from: u32,
+    /// Target node id.
+    pub to: u32,
+    /// Rendered source node label.
+    pub from_label: String,
+    /// Rendered target node label.
+    pub to_label: String,
+    /// Why the edge exists.
+    pub kind: EdgeKind,
+    /// The shared variable that induced the edge, for internal-state
+    /// kinds.
+    pub var: Option<VarId>,
+}
+
 /// An interned directed graph with cycle detection.
 #[derive(Debug, Default)]
 pub struct Graph {
     ids: HashMap<GNode, u32>,
     names: Vec<String>,
-    edges: Vec<(u32, u32)>,
+    edges: Vec<Edge>,
 }
 
 impl Graph {
@@ -88,11 +192,29 @@ impl Graph {
         self.ids.contains_key(node)
     }
 
-    /// Adds a directed edge, interning endpoints as needed.
-    pub fn add_edge(&mut self, from: GNode, to: GNode) {
+    /// Adds a directed edge of the given kind, interning endpoints as
+    /// needed.
+    pub fn add_edge(&mut self, from: GNode, to: GNode, kind: EdgeKind) {
         let f = self.add_node(from);
         let t = self.add_node(to);
-        self.edges.push((f, t));
+        self.edges.push(Edge {
+            from: f,
+            to: t,
+            kind,
+            var: NO_VAR,
+        });
+    }
+
+    /// Adds an internal-state edge induced by accesses to `var`.
+    pub fn add_var_edge(&mut self, from: GNode, to: GNode, kind: EdgeKind, var: VarId) {
+        let f = self.add_node(from);
+        let t = self.add_node(to);
+        self.edges.push(Edge {
+            from: f,
+            to: t,
+            kind,
+            var: var.0,
+        });
     }
 
     /// Reserves capacity for at least `nodes` more nodes and `edges`
@@ -114,44 +236,82 @@ impl Graph {
         self.edges.len()
     }
 
+    /// Rendered label of node `id` (empty if out of range).
+    pub fn node_label(&self, id: u32) -> &str {
+        self.names
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Number of edges of each kind, indexed like [`EdgeKind::ALL`].
+    /// Computed from the stored edge list, so recording kinds costs
+    /// the hot path nothing beyond the tag byte per edge.
+    pub fn edge_kind_counts(&self) -> [u64; EdgeKind::ALL.len()] {
+        let mut counts = [0u64; EdgeKind::ALL.len()];
+        for e in &self.edges {
+            counts[e.kind as usize] += 1;
+        }
+        counts
+    }
+
     /// Renders the graph in Graphviz `dot` format, for debugging
     /// rejected audits (`dot -Tsvg` the output to see the alleged
-    /// ordering and hunt the cycle).
+    /// ordering and hunt the cycle). Edges are labelled with their
+    /// kind.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph G {\n  rankdir=LR;\n  node [shape=box,fontsize=9];\n");
         for (i, name) in self.names.iter().enumerate() {
             let _ = writeln!(out, "  n{i} [label=\"{name}\"];");
         }
-        for &(f, t) in &self.edges {
-            let _ = writeln!(out, "  n{f} -> n{t};");
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.from,
+                e.to,
+                e.kind.name()
+            );
         }
         out.push_str("}\n");
         out
     }
 
-    /// Whether the graph contains a directed cycle (iterative DFS).
-    ///
-    /// The adjacency is built once, in compressed-sparse-row form (two
-    /// exactly-sized allocations instead of one `Vec` per node) — this
-    /// runs once per audit, over the fully merged graph, and is the
-    /// postprocessing phase's dominant cost on large workloads.
-    pub fn has_cycle(&self) -> bool {
+    /// CSR adjacency: `(offsets, targets)` built once per traversal
+    /// (two exactly-sized allocations instead of one `Vec` per node).
+    fn csr(&self) -> (Vec<u32>, Vec<u32>) {
         let n = self.ids.len();
-        // CSR: out-degree count → prefix-sum offsets → scatter targets.
         let mut offsets: Vec<u32> = vec![0; n + 1];
-        for &(f, _) in &self.edges {
-            offsets[f as usize + 1] += 1;
+        for e in &self.edges {
+            offsets[e.from as usize + 1] += 1;
         }
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
         let mut targets: Vec<u32> = vec![0; self.edges.len()];
         let mut cursor = offsets.clone();
-        for &(f, t) in &self.edges {
-            targets[cursor[f as usize] as usize] = t;
-            cursor[f as usize] += 1;
+        for e in &self.edges {
+            targets[cursor[e.from as usize] as usize] = e.to;
+            cursor[e.from as usize] += 1;
         }
+        (offsets, targets)
+    }
+
+    /// Whether the graph contains a directed cycle (iterative DFS).
+    ///
+    /// This runs once per audit, over the fully merged graph, and is
+    /// the postprocessing phase's dominant cost on large workloads.
+    pub fn has_cycle(&self) -> bool {
+        self.probe_cycle().back_edge.is_some()
+    }
+
+    /// Runs the cycle-check DFS, returning the first back edge found
+    /// (deterministic: DFS roots and CSR children are visited in
+    /// insertion order) together with the visit count.
+    pub fn probe_cycle(&self) -> CycleProbe {
+        let n = self.ids.len();
+        let (offsets, targets) = self.csr();
         let children = |node: u32| -> &[u32] {
             &targets[offsets[node as usize] as usize..offsets[node as usize + 1] as usize]
         };
@@ -161,6 +321,7 @@ impl Graph {
             Grey,
             Black,
         }
+        let mut visits: u64 = 0;
         let mut colour = vec![Colour::White; n];
         for root in 0..n {
             if colour[root] != Colour::White {
@@ -168,15 +329,22 @@ impl Graph {
             }
             let mut stack: Vec<(u32, u32)> = vec![(root as u32, 0)];
             colour[root] = Colour::Grey;
+            visits += 1;
             while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
                 let kids = children(node);
                 if (*idx as usize) < kids.len() {
                     let child = kids[*idx as usize];
                     *idx += 1;
                     match colour[child as usize] {
-                        Colour::Grey => return true,
+                        Colour::Grey => {
+                            return CycleProbe {
+                                back_edge: Some((node, child)),
+                                visits,
+                            }
+                        }
                         Colour::White => {
                             colour[child as usize] = Colour::Grey;
+                            visits += 1;
                             stack.push((child, 0));
                         }
                         Colour::Black => {}
@@ -187,7 +355,99 @@ impl Graph {
                 }
             }
         }
-        false
+        CycleProbe {
+            back_edge: None,
+            visits,
+        }
+    }
+
+    /// Extracts a minimal simple cycle, as the node sequence
+    /// `[v0, v1, ..., vk]` meaning `v0 → v1 → ... → vk → v0`, or
+    /// `None` if the graph is acyclic.
+    ///
+    /// The cycle-check DFS finds a back edge `u → v`; the shortest
+    /// path `v ⇝ u` (BFS over the CSR adjacency, deterministic by
+    /// insertion order) closed by that back edge is a minimal cycle
+    /// *through that edge* — small enough to read in a forensics
+    /// report. Iterative throughout, so deep graphs (100k-node
+    /// chains) cannot overflow the stack.
+    pub fn find_min_cycle(&self) -> Option<Vec<u32>> {
+        let (u, v) = self.probe_cycle().back_edge?;
+        if u == v {
+            return Some(vec![u]);
+        }
+        let n = self.ids.len();
+        let (offsets, targets) = self.csr();
+        // BFS shortest path v ⇝ u.
+        let mut parent: Vec<u32> = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        parent[v as usize] = v;
+        queue.push_back(v);
+        'bfs: while let Some(node) = queue.pop_front() {
+            let lo = offsets[node as usize] as usize;
+            let hi = offsets[node as usize + 1] as usize;
+            for &child in &targets[lo..hi] {
+                if parent[child as usize] == u32::MAX {
+                    parent[child as usize] = node;
+                    if child == u {
+                        break 'bfs;
+                    }
+                    queue.push_back(child);
+                }
+            }
+        }
+        if parent[u as usize] == u32::MAX {
+            // The DFS guarantees v ⇝ u exists (u was Grey, i.e. on the
+            // stack above v); treat an unreachable u defensively as
+            // "no cycle extracted".
+            return None;
+        }
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cur = parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse(); // v, ..., u — and u → v closes the cycle.
+        Some(path)
+    }
+
+    /// Describes the cycle given as a node sequence (the
+    /// [`Graph::find_min_cycle`] format): one [`CycleEdge`] per hop,
+    /// carrying the edge's kind and inducing variable. When parallel
+    /// edges connect a pair, the first inserted wins (deterministic).
+    pub fn describe_cycle(&self, nodes: &[u32]) -> Vec<CycleEdge> {
+        let mut first_edge: HashMap<(u32, u32), &Edge> = HashMap::with_capacity(self.edges.len());
+        for e in &self.edges {
+            first_edge.entry((e.from, e.to)).or_insert(e);
+        }
+        let mut out = Vec::with_capacity(nodes.len());
+        for i in 0..nodes.len() {
+            let from = nodes[i];
+            let to = nodes[(i + 1) % nodes.len()];
+            let (kind, var) = match first_edge.get(&(from, to)) {
+                Some(e) => (
+                    e.kind,
+                    if e.var == NO_VAR {
+                        None
+                    } else {
+                        Some(VarId(e.var))
+                    },
+                ),
+                // Defensive: a hop not backed by a stored edge renders
+                // as a time edge with no variable.
+                None => (EdgeKind::Time, None),
+            };
+            out.push(CycleEdge {
+                from,
+                to,
+                from_label: self.node_label(from).to_string(),
+                to_label: self.node_label(to).to_string(),
+                kind,
+                var,
+            });
+        }
+        out
     }
 }
 
@@ -220,18 +480,25 @@ mod tests {
         g.add_edge(
             GNode::ReqStart(RequestId(0)),
             GNode::op(RequestId(0), hid(), 0),
+            EdgeKind::Boundary,
         );
         g.add_edge(
             GNode::op(RequestId(0), hid(), 0),
             GNode::op(RequestId(0), hid(), 1),
+            EdgeKind::Program,
         );
         g.add_edge(
             GNode::op(RequestId(0), hid(), 1),
             GNode::ReqEnd(RequestId(0)),
+            EdgeKind::Boundary,
         );
         assert!(!g.has_cycle());
+        assert!(g.find_min_cycle().is_none());
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 3);
+        let counts = g.edge_kind_counts();
+        assert_eq!(counts[EdgeKind::Boundary as usize], 2);
+        assert_eq!(counts[EdgeKind::Program as usize], 1);
     }
 
     #[test]
@@ -240,18 +507,26 @@ mod tests {
         let a = GNode::op(RequestId(0), hid(), 1);
         let b = GNode::op(RequestId(1), hid(), 1);
         let c = GNode::op(RequestId(2), hid(), 1);
-        g.add_edge(a.clone(), b.clone());
-        g.add_edge(b, c.clone());
-        g.add_edge(c, a);
+        g.add_edge(a.clone(), b.clone(), EdgeKind::Time);
+        g.add_edge(b, c.clone(), EdgeKind::Time);
+        g.add_edge(c, a, EdgeKind::HandlerLog);
         assert!(g.has_cycle());
+        let probe = g.probe_cycle();
+        assert!(probe.back_edge.is_some());
+        assert!(probe.visits >= 3);
     }
 
     #[test]
     fn self_loop_is_a_cycle() {
         let mut g = Graph::new();
         let a = GNode::ReqStart(RequestId(0));
-        g.add_edge(a.clone(), a);
+        g.add_edge(a.clone(), a, EdgeKind::Time);
         assert!(g.has_cycle());
+        let cycle = g.find_min_cycle().unwrap();
+        assert_eq!(cycle.len(), 1);
+        let edges = g.describe_cycle(&cycle);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].from, edges[0].to);
     }
 
     #[test]
@@ -281,11 +556,12 @@ mod tests {
         g.add_edge(
             GNode::ReqStart(RequestId(0)),
             GNode::op(RequestId(0), hid(), 1),
+            EdgeKind::Boundary,
         );
         let dot = g.to_dot();
         assert!(dot.starts_with("digraph G {"));
         assert!(dot.contains("r0:REQ"));
-        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n0 -> n1 [label=\"boundary\"];"));
         assert!(dot.trim_end().ends_with('}'));
     }
 
@@ -297,8 +573,50 @@ mod tests {
             g.add_edge(
                 GNode::op(RequestId(0), hid(), i),
                 GNode::op(RequestId(0), hid(), i + 1),
+                EdgeKind::Program,
             );
         }
         assert!(!g.has_cycle());
+        let probe = g.probe_cycle();
+        assert_eq!(probe.visits, 100_001);
+    }
+
+    #[test]
+    fn min_cycle_is_shortest_through_back_edge() {
+        // A long cycle 0→1→2→3→0 with a shortcut 1→3 (and the DFS
+        // back edge closing at 3→0): the reported cycle must use the
+        // shortcut, not the long way round.
+        let mut g = Graph::new();
+        let node = |i: u64| GNode::op(RequestId(i), hid(), 1);
+        g.add_edge(node(0), node(1), EdgeKind::Time);
+        g.add_edge(node(1), node(2), EdgeKind::Time);
+        g.add_edge(node(2), node(3), EdgeKind::Time);
+        g.add_edge(node(3), node(0), EdgeKind::HandlerLog);
+        g.add_edge(node(1), node(3), EdgeKind::Activation);
+        let cycle = g.find_min_cycle().unwrap();
+        assert_eq!(cycle.len(), 3, "0→1→(shortcut)→3→0, not the 4-hop loop");
+        let edges = g.describe_cycle(&cycle);
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().any(|e| e.kind == EdgeKind::Activation));
+        assert!(edges.iter().any(|e| e.kind == EdgeKind::HandlerLog));
+        // Consecutive edges chain: each edge's target is the next
+        // edge's source, and the last closes onto the first.
+        for (i, e) in edges.iter().enumerate() {
+            assert_eq!(e.to, edges[(i + 1) % edges.len()].from);
+        }
+    }
+
+    #[test]
+    fn var_edges_carry_their_variable() {
+        let mut g = Graph::new();
+        let a = GNode::op(RequestId(0), hid(), 1);
+        let b = GNode::op(RequestId(1), hid(), 1);
+        g.add_var_edge(a.clone(), b.clone(), EdgeKind::VarWr, VarId(7));
+        g.add_edge(b, a, EdgeKind::Time);
+        let cycle = g.find_min_cycle().unwrap();
+        let edges = g.describe_cycle(&cycle);
+        let wr = edges.iter().find(|e| e.kind == EdgeKind::VarWr).unwrap();
+        assert_eq!(wr.var, Some(VarId(7)));
+        assert!(edges.iter().all(|e| !e.from_label.is_empty()));
     }
 }

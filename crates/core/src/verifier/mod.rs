@@ -11,6 +11,7 @@
 //! * acyclicity of the execution graph `G` after the per-variable
 //!   WR/WW/RW edges are embedded.
 
+mod forensics;
 mod graph;
 mod isolation;
 mod preprocess;
@@ -18,15 +19,17 @@ mod reexec;
 mod reject;
 mod vars;
 
-pub use graph::{GNode, Graph, HPos};
+pub use forensics::{cycle_report, AuditDiagnostics, AuditFailure, CycleEdgeReport, CycleReport};
+pub use graph::{CycleEdge, CycleProbe, EdgeKind, GNode, Graph, HPos};
 pub use preprocess::{preprocess, OpMapEntry, Preprocessed};
 pub use reexec::{ReExecutor, ReexecStats, ReexecTiming, ReplaySchedule};
 pub use reject::RejectReason;
-pub use vars::VarStates;
+pub use vars::{FeedCounters, VarStates};
 
 use std::time::{Duration, Instant};
 
 use kem::{init_handler_id, OpRef, Program, RequestId, Trace, VarId};
+use obs::{CounterId, GaugeId, HistogramId, Obs};
 
 use crate::advice::Advice;
 
@@ -108,6 +111,34 @@ impl PhaseTiming {
     pub fn total(&self) -> Duration {
         self.preprocess + self.group_replay + self.graph_merge + self.cycle_check
     }
+
+    /// The phase breakdown as a JSON object (microsecond integers).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"preprocess_us\": {}, \"group_replay_us\": {}, \"graph_merge_us\": {}, \"cycle_check_us\": {}, \"total_us\": {}}}",
+            self.preprocess.as_micros(),
+            self.group_replay.as_micros(),
+            self.graph_merge.as_micros(),
+            self.cycle_check.as_micros(),
+            self.total().as_micros()
+        )
+    }
+}
+
+impl std::fmt::Display for PhaseTiming {
+    /// One-line human-readable breakdown, shared by the bench harness
+    /// and the phase probe.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        write!(
+            f,
+            "pre {:.2} | replay {:.2} | merge {:.2} | cycle {:.2} ms",
+            ms(self.preprocess),
+            ms(self.group_replay),
+            ms(self.graph_merge),
+            ms(self.cycle_check)
+        )
+    }
 }
 
 /// Statistics of a successful audit.
@@ -159,13 +190,34 @@ pub fn audit_encoded_with_options(
     isolation: kvstore::IsolationLevel,
     opts: AuditOptions,
 ) -> Result<AuditReport, RejectReason> {
+    audit_encoded_with_obs(program, trace, advice_bytes, isolation, opts, &env_obs())
+}
+
+/// [`audit_encoded_with_options`] recording into an explicit [`Obs`]
+/// handle (decoded byte counts land in the `bytes_decoded` counter).
+pub fn audit_encoded_with_obs(
+    program: &Program,
+    trace: &Trace,
+    advice_bytes: &[u8],
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+    obs: &Obs,
+) -> Result<AuditReport, RejectReason> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let span = obs.span_start();
         let advice = crate::wire::decode_advice(advice_bytes).map_err(|e| {
             RejectReason::MalformedAdvice {
                 what: e.to_string(),
             }
         })?;
-        audit_with_options(program, trace, &advice, isolation, opts)
+        obs.count(CounterId::BytesDecoded, advice_bytes.len() as u64);
+        obs.record_span(
+            "decode-advice",
+            0,
+            span,
+            &[("bytes", advice_bytes.len() as u64)],
+        );
+        audit_core(program, trace, &advice, isolation, opts, obs, false).map_err(|f| f.reason)
     })) {
         Ok(outcome) => outcome,
         Err(payload) => Err(RejectReason::VerifierInternal {
@@ -301,13 +353,138 @@ pub fn audit_with_options(
     isolation: kvstore::IsolationLevel,
     opts: AuditOptions,
 ) -> Result<AuditReport, RejectReason> {
+    audit_core(program, trace, advice, isolation, opts, &env_obs(), false).map_err(|f| f.reason)
+}
+
+/// [`audit_with_options`] recording spans and metrics into an explicit
+/// [`Obs`] handle. The handle cannot change the verdict: a noop handle
+/// takes early-return branches everywhere, and an enabled one only
+/// observes.
+pub fn audit_with_obs(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+    obs: &Obs,
+) -> Result<AuditReport, RejectReason> {
+    audit_core(program, trace, advice, isolation, opts, obs, false).map_err(|f| f.reason)
+}
+
+/// [`audit_with_options`] with REJECT forensics: on rejection the
+/// returned [`AuditFailure`] carries an [`AuditDiagnostics`] — for a
+/// cyclic execution graph that includes a minimal cycle whose every
+/// edge names its [`EdgeKind`] and inducing operations/variable.
+pub fn audit_forensic(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+    obs: &Obs,
+) -> Result<AuditReport, Box<AuditFailure>> {
+    audit_core(program, trace, advice, isolation, opts, obs, true)
+}
+
+/// Whether `KAROUSOS_OBS` asks the plain entry points to exercise the
+/// instrumented path (any value other than empty/`0`). The recording
+/// handle is created per audit and dropped with it — this gate exists
+/// so the whole test suite can be rerun over the instrumented path by
+/// exporting the variable (the CI observability job does exactly
+/// that); programmatic consumers use [`audit_with_obs`] instead.
+fn obs_env_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("KAROUSOS_OBS")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            })
+            .unwrap_or(false)
+    })
+}
+
+fn env_obs() -> Obs {
+    if obs_env_enabled() {
+        Obs::enabled()
+    } else {
+        Obs::noop()
+    }
+}
+
+/// The counter a given edge kind feeds.
+fn edge_counter(kind: EdgeKind) -> CounterId {
+    match kind {
+        EdgeKind::Time => CounterId::EdgesTime,
+        EdgeKind::Program => CounterId::EdgesProgram,
+        EdgeKind::Boundary => CounterId::EdgesBoundary,
+        EdgeKind::Activation => CounterId::EdgesActivation,
+        EdgeKind::HandlerLog => CounterId::EdgesHandlerLog,
+        EdgeKind::ExternalWr => CounterId::EdgesExternalWr,
+        EdgeKind::VarWr => CounterId::EdgesVarWr,
+        EdgeKind::VarWw => CounterId::EdgesVarWw,
+        EdgeKind::VarRw => CounterId::EdgesVarRw,
+    }
+}
+
+// Failures are boxed: an `AuditFailure` is ~150 bytes of diagnostics
+// that every ACCEPTing call would otherwise reserve return-slot space
+// for (clippy::result_large_err).
+fn fail(phase: &'static str, reason: RejectReason) -> Box<AuditFailure> {
+    let diagnostics = AuditDiagnostics::from_reason(phase, &reason);
+    Box::new(AuditFailure {
+        reason,
+        diagnostics,
+    })
+}
+
+/// The shared implementation behind every grouped-audit entry point:
+/// phases are timed, spanned, and metered through `obs`, and failures
+/// are wrapped in [`AuditFailure`] (cycle forensics only when
+/// `forensic` — extracting the minimal cycle costs an extra traversal,
+/// so the plain entry points skip it and return the bare reason).
+fn audit_core(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+    obs: &Obs,
+    forensic: bool,
+) -> Result<AuditReport, Box<AuditFailure>> {
     let threads = opts.effective_threads();
     let mut timing = PhaseTiming::default();
 
     // Preprocess (includes isolation-level verification).
     let t = Instant::now();
-    let pre = preprocess(program, trace, advice, isolation)?;
+    let span = obs.span_start();
+    let pre = match preprocess(program, trace, advice, isolation) {
+        Ok(pre) => pre,
+        Err(reason) => return Err(fail("preprocess", reason)),
+    };
+    obs.record_span("preprocess", 0, span, &[]);
     timing.preprocess = t.elapsed();
+
+    // Advice-volume metrics (guarded: the sums cost a walk over the
+    // advice, which the disabled path must not pay).
+    if obs.is_enabled() {
+        let mut var_entries = 0u64;
+        for log in advice.var_logs.values() {
+            var_entries += log.len() as u64;
+            obs.observe(HistogramId::VarLogLen, log.len() as u64);
+        }
+        obs.count(CounterId::RConcurrentOpsLogged, var_entries);
+        obs.count(
+            CounterId::HandlerOpsLogged,
+            advice.handler_logs.values().map(|l| l.len() as u64).sum(),
+        );
+        obs.count(
+            CounterId::TxOpsLogged,
+            advice.tx_logs.values().map(|l| l.len() as u64).sum(),
+        );
+        obs.count(CounterId::NondetLogged, advice.nondet.len() as u64);
+        obs.gauge(GaugeId::WorkerThreads, threads as u64);
+    }
 
     // Run the initialization phase (trusted: it is part of the program;
     // Fig. 14 line 20), installing loggable variables.
@@ -318,17 +495,52 @@ pub fn audit_with_options(
     // their variable-access streams in group order.
     let (reexec, reexec_timing) = ReExecutor::new(program, trace, advice, &pre, &mut vars)
         .with_schedule(opts.schedule)
-        .run_threaded(threads)?;
+        .with_obs(obs.clone())
+        .run_threaded(threads)
+        .map_err(|reason| fail("reexec", reason))?;
     timing.group_replay = reexec_timing.group_replay;
+
+    obs.count(CounterId::GroupsFormed, reexec.groups as u64);
+    obs.count(CounterId::UniformOps, reexec.uniform_ops);
+    obs.count(CounterId::ExpandedOps, reexec.expanded_ops);
+    let feeds = vars.feeds();
+    obs.count(CounterId::DictFeeds, feeds.dict_feeds);
+    obs.count(CounterId::LoggedReads, feeds.logged_reads);
 
     // Postprocess: embed internal-state edges, check acyclicity.
     let mut graph = pre.graph;
     let t = Instant::now();
-    vars.add_internal_state_edges_sharded(&mut graph, threads)?;
+    let span = obs.span_start();
+    if let Err(reason) = vars.add_internal_state_edges_sharded(&mut graph, threads) {
+        return Err(fail("postprocess", reason));
+    }
+    obs.record_span("graph-merge", 0, span, &[]);
     timing.graph_merge = reexec_timing.state_merge + t.elapsed();
+
+    if obs.is_enabled() {
+        let counts = graph.edge_kind_counts();
+        for kind in EdgeKind::ALL {
+            obs.count(edge_counter(kind), counts[kind as usize]);
+        }
+        obs.gauge(GaugeId::GraphNodes, graph.node_count() as u64);
+        obs.gauge(GaugeId::GraphEdges, graph.edge_count() as u64);
+    }
+
     let t = Instant::now();
-    if graph.has_cycle() {
-        return Err(RejectReason::CycleInG);
+    let span = obs.span_start();
+    let probe = graph.probe_cycle();
+    obs.count(CounterId::CycleCheckVisits, probe.visits);
+    obs.record_span("cycle-check", 0, span, &[("visits", probe.visits)]);
+    if probe.back_edge.is_some() {
+        let reason = RejectReason::CycleInG;
+        let mut diagnostics = AuditDiagnostics::from_reason("postprocess", &reason);
+        if forensic {
+            diagnostics.cycle = cycle_report(&graph);
+        }
+        return Err(Box::new(AuditFailure {
+            reason,
+            diagnostics,
+        }));
     }
     timing.cycle_check = t.elapsed();
     Ok(AuditReport {

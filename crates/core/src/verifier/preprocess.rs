@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use kem::{HandlerId, OpRef, Program, RequestId, Trace, TraceEvent};
 
 use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType, TxPos};
-use crate::verifier::graph::{GNode, Graph, HPos};
+use crate::verifier::graph::{EdgeKind, GNode, Graph, HPos};
 use crate::verifier::isolation::verify_isolation;
 use crate::verifier::reject::RejectReason;
 
@@ -105,7 +105,7 @@ fn add_time_precedence_edges(graph: &mut Graph, trace: &Trace) {
         };
         graph.add_node(node.clone());
         if let Some(p) = prev {
-            graph.add_edge(p, node.clone());
+            graph.add_edge(p, node.clone(), EdgeKind::Time);
         }
         prev = Some(node);
     }
@@ -134,7 +134,7 @@ fn add_program_edges(
                 hid: hid.clone(),
                 pos: HPos::Op(i),
             };
-            graph.add_edge(prev, node.clone());
+            graph.add_edge(prev, node.clone(), EdgeKind::Program);
             prev = node;
         }
         graph.add_edge(
@@ -144,6 +144,7 @@ fn add_program_edges(
                 hid: hid.clone(),
                 pos: HPos::End,
             },
+            EdgeKind::Program,
         );
     }
     Ok(())
@@ -164,6 +165,7 @@ fn add_boundary_edges(
                     hid: hid.clone(),
                     pos: HPos::Start,
                 },
+                EdgeKind::Boundary,
             );
         }
     }
@@ -186,7 +188,11 @@ fn add_boundary_edges(
                 why: "opnum out of range",
             });
         }
-        graph.add_edge(GNode::op(rid, hid_r.clone(), *opnum_r), GNode::ReqEnd(rid));
+        graph.add_edge(
+            GNode::op(rid, hid_r.clone(), *opnum_r),
+            GNode::ReqEnd(rid),
+            EdgeKind::Boundary,
+        );
         let after = if *opnum_r == *count {
             GNode::Handler {
                 rid,
@@ -196,7 +202,7 @@ fn add_boundary_edges(
         } else {
             GNode::op(rid, hid_r.clone(), *opnum_r + 1)
         };
-        graph.add_edge(GNode::ReqEnd(rid), after);
+        graph.add_edge(GNode::ReqEnd(rid), after, EdgeKind::Boundary);
     }
     Ok(())
 }
@@ -223,6 +229,7 @@ fn add_activation_edges(graph: &mut Graph, advice: &Advice) -> Result<(), Reject
                 hid: hid.clone(),
                 pos: HPos::Start,
             },
+            EdgeKind::Activation,
         );
     }
     Ok(())
@@ -309,6 +316,7 @@ fn add_handler_related_edges(
                 graph.add_edge(
                     GNode::op(p.rid, p.hid, p.opnum),
                     GNode::op(op.rid, op.hid.clone(), op.opnum),
+                    EdgeKind::HandlerLog,
                 );
             }
             prev = Some(op.clone());
@@ -443,6 +451,7 @@ fn add_external_state_edges(
                         graph.add_edge(
                             GNode::op(w_op.rid, w_op.hid, w_op.opnum),
                             GNode::op(op.rid, op.hid.clone(), op.opnum),
+                            EdgeKind::ExternalWr,
                         );
                     }
                     // Transactions observe their own writes.

@@ -30,6 +30,8 @@ use kem::{
     INIT_FUNCTION,
 };
 
+use obs::{HistogramId, Obs, ObsShard};
+
 use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType, VarLog};
 use crate::multivalue::MultiValue;
 use crate::verifier::preprocess::{OpMapEntry, Preprocessed};
@@ -187,6 +189,9 @@ struct GroupRun {
     consumed: HashSet<OpRef>,
     outputs: HashMap<RequestId, Value>,
     stats: ReexecStats,
+    /// The worker's telemetry shard (disabled — and heap-free — unless
+    /// the audit was handed an enabled [`Obs`]).
+    obs: ObsShard,
 }
 
 /// The re-executed operation a handler-log entry must match, borrowing
@@ -268,6 +273,9 @@ pub struct ReExecutor<'a> {
     consumed: HashSet<OpRef>,
     outputs: HashMap<RequestId, Value>,
     stats: ReexecStats,
+    /// Telemetry handle; [`Obs::noop`] (zero-cost) unless installed
+    /// via [`ReExecutor::with_obs`].
+    obs: Obs,
 }
 
 /// Per-handler interpreter frame: slot-indexed locals over the
@@ -324,6 +332,7 @@ impl<'a> ReExecutor<'a> {
             consumed: HashSet::with_capacity(pre.op_map.len()),
             outputs: HashMap::with_capacity(advice.tags.len()),
             stats: ReexecStats::default(),
+            obs: Obs::noop(),
         }
     }
 
@@ -365,6 +374,7 @@ impl<'a> ReExecutor<'a> {
             consumed: HashSet::with_capacity(pre.op_map.len()),
             outputs: HashMap::with_capacity(advice.tags.len()),
             stats: ReexecStats::default(),
+            obs: Obs::noop(),
         }
     }
 
@@ -375,6 +385,15 @@ impl<'a> ReExecutor<'a> {
             self.rng = rand::SeedableRng::seed_from_u64(seed);
         }
         self.schedule = schedule;
+        self
+    }
+
+    /// Installs a telemetry handle. Workers record group-replay spans
+    /// and histograms into per-lane shards that the merge phase
+    /// absorbs in ascending group order, so exported metrics are
+    /// deterministic across thread counts.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -424,6 +443,7 @@ impl<'a> ReExecutor<'a> {
         }
         let groups = self.advice.groups(&order);
         let ngroups = groups.len();
+        let obs_handle = self.obs.clone();
         let (program, trace, advice, pre, schedule) = (
             self.program,
             self.trace,
@@ -440,7 +460,9 @@ impl<'a> ReExecutor<'a> {
         // from (the trusted initialization writes only).
         let init_vars: VarStates = global.clone();
 
-        let run_unit = |gidx: usize, rids: &[RequestId]| -> GroupRun {
+        let run_unit = |gidx: usize, rids: &[RequestId], lane: u32| -> GroupRun {
+            let mut shard = obs_handle.shard(lane);
+            let t_group = shard.span_start();
             let mut ex = ReExecutor::for_group(
                 program,
                 trace,
@@ -455,6 +477,23 @@ impl<'a> ReExecutor<'a> {
                     rids: rids.to_vec(),
                 })
                 .err();
+            if shard.is_enabled() {
+                let size = rids.len() as u64;
+                // The group's handler-tree digest is its control-flow
+                // tag (equal across members by construction).
+                let digest = rids
+                    .first()
+                    .and_then(|r| advice.tags.get(r))
+                    .copied()
+                    .unwrap_or(0);
+                shard.observe(HistogramId::GroupSize, size);
+                let dur = shard.record_span(
+                    "group-replay",
+                    t_group,
+                    &[("group", gidx as u64), ("size", size), ("digest", digest)],
+                );
+                shard.observe(HistogramId::GroupReplayUs, dur);
+            }
             let events = match ex.vars {
                 VarBackend::Recording { events, .. } => events,
                 // Statically impossible; losing the event stream would
@@ -473,6 +512,7 @@ impl<'a> ReExecutor<'a> {
                 consumed: ex.consumed,
                 outputs: ex.outputs,
                 stats: ex.stats,
+                obs: shard,
             }
         };
 
@@ -486,7 +526,7 @@ impl<'a> ReExecutor<'a> {
                     out.push(None);
                     continue;
                 }
-                let unit = run_unit(gidx, rids);
+                let unit = run_unit(gidx, rids, 0);
                 failed = unit.error.is_some();
                 out.push(Some(unit));
             }
@@ -504,8 +544,11 @@ impl<'a> ReExecutor<'a> {
             slots.resize_with(ngroups, || None);
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        s.spawn(|| {
+                    .map(|w| {
+                        // Lane 0 is the coordinator; workers get 1..=n.
+                        let lane = w as u32 + 1;
+                        let (next, failed_floor) = (&next, &failed_floor);
+                        s.spawn(move || {
                             let mut done: Vec<(usize, GroupRun)> = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -515,7 +558,7 @@ impl<'a> ReExecutor<'a> {
                                 if i > failed_floor.load(Ordering::Relaxed) {
                                     continue;
                                 }
-                                let unit = run_unit_ref(i, &groups_ref[i]);
+                                let unit = run_unit_ref(i, &groups_ref[i], lane);
                                 if unit.error.is_some() {
                                     failed_floor.fetch_min(i, Ordering::Relaxed);
                                 }
@@ -549,6 +592,7 @@ impl<'a> ReExecutor<'a> {
         // sequential audit would, so the first error — replayed or
         // group-local — is the sequential audit's error.
         let t_merge = Instant::now();
+        let t_merge_span = obs_handle.span_start();
         let mut stats = ReexecStats {
             groups: ngroups,
             ..Default::default()
@@ -578,6 +622,9 @@ impl<'a> ReExecutor<'a> {
                     }
                 }
             }
+            // Absorbed before the error check so a failing group's
+            // replay span still appears in the exported trace.
+            obs_handle.absorb(unit.obs);
             if let Some(e) = unit.error {
                 return Err(e);
             }
@@ -588,6 +635,12 @@ impl<'a> ReExecutor<'a> {
         }
         final_checks(trace, advice, pre, &order, &executed, &consumed, &outputs)?;
         timing.state_merge = t_merge.elapsed();
+        obs_handle.record_span(
+            "state-merge",
+            0,
+            t_merge_span,
+            &[("groups", ngroups as u64)],
+        );
         Ok((stats, timing))
     }
 

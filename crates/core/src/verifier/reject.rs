@@ -204,6 +204,46 @@ pub enum RejectReason {
     },
 }
 
+impl RejectReason {
+    /// Stable machine-readable variant name, used by the forensics
+    /// export (`AuditDiagnostics::to_json`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RejectReason::UnbalancedTrace => "UnbalancedTrace",
+            RejectReason::UnknownRequest { .. } => "UnknownRequest",
+            RejectReason::BadResponseEmitter { .. } => "BadResponseEmitter",
+            RejectReason::InvalidLogOp { .. } => "InvalidLogOp",
+            RejectReason::MissingActivatedHandler { .. } => "MissingActivatedHandler",
+            RejectReason::BadActivationParent { .. } => "BadActivationParent",
+            RejectReason::TxLogMalformed { .. } => "TxLogMalformed",
+            RejectReason::BadDictatingWrite { .. } => "BadDictatingWrite",
+            RejectReason::SelfReadNotLastModification { .. } => "SelfReadNotLastModification",
+            RejectReason::WriteOrderMismatch { .. } => "WriteOrderMismatch",
+            RejectReason::Isolation(_) => "Isolation",
+            RejectReason::GroupSetupMismatch { .. } => "GroupSetupMismatch",
+            RejectReason::Divergence { .. } => "Divergence",
+            RejectReason::StateOpMismatch { .. } => "StateOpMismatch",
+            RejectReason::HandlerOpMismatch { .. } => "HandlerOpMismatch",
+            RejectReason::EmitActivationMismatch { .. } => "EmitActivationMismatch",
+            RejectReason::OpcountMismatch { .. } => "OpcountMismatch",
+            RejectReason::ResponseEmitterMismatch { .. } => "ResponseEmitterMismatch",
+            RejectReason::OutputMismatch { .. } => "OutputMismatch",
+            RejectReason::HandlerNotExecuted { .. } => "HandlerNotExecuted",
+            RejectReason::MissingNondet { .. } => "MissingNondet",
+            RejectReason::MissingTag { .. } => "MissingTag",
+            RejectReason::VarLogMismatch { .. } => "VarLogMismatch",
+            RejectReason::VarChainBroken { .. } => "VarChainBroken",
+            RejectReason::CycleInG => "CycleInG",
+            RejectReason::ReexecError { .. } => "ReexecError",
+            RejectReason::MalformedAdvice { .. } => "MalformedAdvice",
+            RejectReason::MalformedAdviceAt { .. } => "MalformedAdviceAt",
+            RejectReason::VerifierInternal { .. } => "VerifierInternal",
+            RejectReason::ImplausibleNondet { .. } => "ImplausibleNondet",
+            RejectReason::UnexecutedLogEntry { .. } => "UnexecutedLogEntry",
+        }
+    }
+}
+
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

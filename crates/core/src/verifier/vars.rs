@@ -25,7 +25,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use kem::{HandlerId, OpRef, RequestId, Value, VarId};
 
 use crate::advice::{AccessType, VarLog};
-use crate::verifier::graph::{GNode, Graph};
+use crate::verifier::graph::{EdgeKind, GNode, Graph};
 use crate::verifier::reject::RejectReason;
 
 /// Per-variable verifier state.
@@ -133,20 +133,41 @@ impl VarState {
 #[derive(Debug, Default, Clone)]
 pub struct VarStates {
     per: Vec<VarState>,
+    feeds: FeedCounters,
+}
+
+/// How re-executed reads were fed: from a logged var-log entry
+/// (R-concurrent accesses) or from the dictionary via
+/// `FindNearestRPrecedingWrite` (R-ordered accesses). Plain `u64`
+/// adds on the replay hot path — no branch, no allocation — whose
+/// totals surface as the `logged_reads` / `dict_feeds` metrics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FeedCounters {
+    /// Reads satisfied from the advice dictionary.
+    pub dict_feeds: u64,
+    /// Reads satisfied by a logged var-log entry.
+    pub logged_reads: u64,
 }
 
 /// One variable's contribution to the execution graph: the WR / WW / RW
-/// edges its write chain implies, as operation-coordinate pairs.
-/// Fragments are built independently per variable (optionally on worker
-/// threads) and merged into `G` in ascending-`VarId` order, so the
-/// final graph — and any rejection — is identical regardless of how the
-/// assembly was sharded.
-type EdgeFragment = Vec<(OpRef, OpRef)>;
+/// edges its write chain implies, as operation-coordinate pairs tagged
+/// with their [`EdgeKind`]. Fragments are built independently per
+/// variable (optionally on worker threads) and merged into `G` in
+/// ascending-`VarId` order, so the final graph — and any rejection — is
+/// identical regardless of how the assembly was sharded.
+type EdgeFragment = Vec<(OpRef, OpRef, EdgeKind)>;
 
 impl VarStates {
     /// Creates empty state.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// How reads were fed so far (see [`FeedCounters`]). Read from the
+    /// global state after the merge phase, the totals equal a
+    /// sequential re-execution's regardless of worker count.
+    pub fn feeds(&self) -> FeedCounters {
+        self.feeds
     }
 
     /// The state slot for `var`, growing the dense table on first
@@ -173,8 +194,14 @@ impl VarStates {
         op: OpRef,
         log: Option<&VarLog>,
     ) -> Result<Value, RejectReason> {
+        let logged = log.and_then(|l| l.get(&op));
+        if logged.is_some() {
+            self.feeds.logged_reads += 1;
+        } else {
+            self.feeds.dict_feeds += 1;
+        }
         let state = self.state_mut(var);
-        if let Some(entry) = log.and_then(|l| l.get(&op)) {
+        if let Some(entry) = logged {
             // Logged read: the dictating write must itself be logged;
             // feed its value.
             if entry.access != AccessType::Read {
@@ -402,11 +429,14 @@ impl VarStates {
         // sizes (each edge introduces at most two new nodes).
         let total_edges: usize = fragments.iter().map(Vec::len).sum();
         g.reserve(total_edges.saturating_mul(2), total_edges);
-        for frag in &fragments {
-            for (from, to) in frag {
-                g.add_edge(
+        for (i, frag) in fragments.iter().enumerate() {
+            let var = VarId(i as u32);
+            for (from, to, kind) in frag {
+                g.add_var_edge(
                     GNode::op(from.rid, from.hid.clone(), from.opnum),
                     GNode::op(to.rid, to.hid.clone(), to.opnum),
+                    *kind,
+                    var,
                 );
             }
         }
@@ -422,9 +452,9 @@ fn var_fragment(state: &VarState) -> Result<EdgeFragment, RejectReason> {
     // An ordering edge is recorded unless an endpoint belongs to the
     // trusted initialization activation (which precedes everything and
     // cannot participate in a cycle).
-    let push = |edges: &mut EdgeFragment, from: &OpRef, to: &OpRef| {
+    let push = |edges: &mut EdgeFragment, from: &OpRef, to: &OpRef, kind: EdgeKind| {
         if from.rid != RequestId::INIT && to.rid != RequestId::INIT {
-            edges.push((from.clone(), to.clone()));
+            edges.push((from.clone(), to.clone(), kind));
         }
     };
     let mut visited: HashSet<OpRef> = HashSet::new();
@@ -438,16 +468,16 @@ fn var_fragment(state: &VarState) -> Result<EdgeFragment, RejectReason> {
         let readers = state.read_observers.get(&w);
         if let Some(readers) = readers {
             for r in readers {
-                push(&mut edges, &w, r);
+                push(&mut edges, &w, r, EdgeKind::VarWr);
             }
         }
         if let Some(w2) = state.write_observer.get(&w) {
             if let Some(readers) = readers {
                 for r in readers {
-                    push(&mut edges, r, w2);
+                    push(&mut edges, r, w2, EdgeKind::VarRw);
                 }
             }
-            push(&mut edges, &w, w2);
+            push(&mut edges, &w, w2, EdgeKind::VarWw);
         }
         cur = state.write_observer.get(&w).cloned();
     }

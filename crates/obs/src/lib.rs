@@ -1,0 +1,390 @@
+//! `karousos-obs`: zero-dependency observability for the Karousos
+//! audit pipeline.
+//!
+//! Three pieces:
+//!
+//! 1. **Metrics registry** ([`metrics`]) — catalog-addressed
+//!    counters, gauges, and fixed-bucket histograms stored in inline
+//!    arrays, recorded into per-thread [`ObsShard`]s and merged
+//!    deterministically (the same discipline as the verifier's
+//!    per-variable edge fragments).
+//! 2. **Span tracing** ([`span`]) — a heap-free [`Span`] record, a
+//!    ring-buffer recorder, and a Chrome `trace_event` exporter.
+//! 3. **The [`Obs`] handle** — `Obs::noop()` is the default
+//!    everywhere: it holds no allocation, and every record call is an
+//!    inlined early return, so the instrumented hot path costs
+//!    nothing when observability is off (the PR 3 alloc-regression
+//!    budget is enforced against this path). `Obs::enabled()` turns
+//!    on recording behind one `Arc<Mutex<_>>`; worker threads never
+//!    touch the lock — they record into private [`ObsShard`]s that
+//!    the coordinator absorbs in ascending group order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    bucket_bound, bucket_index, CounterId, GaugeId, HistogramId, MetricsShard, NUM_BUCKETS,
+};
+pub use span::{chrome_trace_json, Span, SpanRing, MAX_SPAN_ARGS};
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring-buffer capacity (spans retained) for
+/// [`Obs::enabled`].
+pub const DEFAULT_SPAN_CAPACITY: usize = 16_384;
+
+struct Recorded {
+    metrics: MetricsShard,
+    spans: SpanRing,
+}
+
+struct Inner {
+    epoch: Instant,
+    state: Mutex<Recorded>,
+}
+
+/// Cloneable observability handle. The noop handle is a `None` and
+/// costs one branch per record call; the enabled handle records
+/// through a mutex (coordinator-only — workers use [`ObsShard`]s).
+#[derive(Clone)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::noop()
+    }
+}
+
+impl Obs {
+    /// The disabled handle: no allocation, all record calls are
+    /// early-return no-ops.
+    #[inline]
+    pub fn noop() -> Self {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle with the default span-ring capacity.
+    pub fn enabled() -> Self {
+        Obs::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled handle retaining at most `span_capacity` spans.
+    pub fn with_capacity(span_capacity: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(Recorded {
+                    metrics: MetricsShard::new(true),
+                    spans: SpanRing::new(span_capacity),
+                }),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Mints a private shard for lane `lane` (worker index). Shard
+    /// creation is allocation-free; record into it without locks and
+    /// hand it back via [`Obs::absorb`].
+    pub fn shard(&self, lane: u32) -> ObsShard {
+        match &self.inner {
+            Some(inner) => ObsShard {
+                lane,
+                epoch: inner.epoch,
+                metrics: MetricsShard::new(true),
+                spans: Vec::new(),
+            },
+            None => ObsShard::disabled(),
+        }
+    }
+
+    /// Folds a shard's metrics and spans into the handle. Call in a
+    /// deterministic order (the verifier absorbs group shards in
+    /// ascending group order).
+    pub fn absorb(&self, shard: ObsShard) {
+        let Some(inner) = &self.inner else { return };
+        if !shard.metrics.is_enabled() {
+            return;
+        }
+        if let Ok(mut st) = inner.state.lock() {
+            st.metrics.merge(&shard.metrics);
+            for s in shard.spans {
+                st.spans.push(s);
+            }
+        }
+    }
+
+    /// Add `n` to counter `c`.
+    #[inline]
+    pub fn count(&self, c: CounterId, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        if let Ok(mut st) = inner.state.lock() {
+            st.metrics.count(c, n);
+        }
+    }
+
+    /// Set gauge `g` to `v`.
+    #[inline]
+    pub fn gauge(&self, g: GaugeId, v: u64) {
+        let Some(inner) = &self.inner else { return };
+        if let Ok(mut st) = inner.state.lock() {
+            st.metrics.gauge(g, v);
+        }
+    }
+
+    /// Record one observation of `v` in histogram `h`.
+    #[inline]
+    pub fn observe(&self, h: HistogramId, v: u64) {
+        let Some(inner) = &self.inner else { return };
+        if let Ok(mut st) = inner.state.lock() {
+            st.metrics.observe(h, v);
+        }
+    }
+
+    /// Start-of-span timestamp; `None` when disabled, so the matching
+    /// [`Obs::record_span`] is free.
+    #[inline]
+    pub fn span_start(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Completes a span opened with [`Obs::span_start`] on `lane` and
+    /// records it. Returns the span duration in microseconds (0 when
+    /// disabled).
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        lane: u32,
+        start: Option<Instant>,
+        args: &[(&'static str, u64)],
+    ) -> u64 {
+        let (Some(inner), Some(start)) = (&self.inner, start) else {
+            return 0;
+        };
+        let ts_us = start.duration_since(inner.epoch).as_micros() as u64;
+        let dur_us = start.elapsed().as_micros() as u64;
+        if let Ok(mut st) = inner.state.lock() {
+            st.spans.push(Span {
+                name,
+                cat: "audit",
+                lane,
+                ts_us,
+                dur_us,
+                args: Span::pack_args(args),
+            });
+        }
+        dur_us
+    }
+
+    /// Snapshot of the merged metrics (a disabled, empty shard when
+    /// the handle is noop).
+    pub fn metrics_snapshot(&self) -> MetricsShard {
+        match &self.inner {
+            Some(inner) => match inner.state.lock() {
+                Ok(st) => st.metrics,
+                Err(_) => MetricsShard::new(false),
+            },
+            None => MetricsShard::new(false),
+        }
+    }
+
+    /// Snapshot of the retained spans in insertion order, including
+    /// the drop count folded into the `spans_dropped` counter of
+    /// [`Obs::metrics_snapshot`] exports.
+    pub fn spans_snapshot(&self) -> Vec<Span> {
+        match &self.inner {
+            Some(inner) => match inner.state.lock() {
+                Ok(st) => st.spans.snapshot(),
+                Err(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Metrics JSON export (see [`MetricsShard::to_json`]); the ring's
+    /// drop count is surfaced as the `spans_dropped` counter.
+    pub fn metrics_json(&self) -> String {
+        let mut m = self.metrics_snapshot();
+        if let Some(inner) = &self.inner {
+            if let Ok(st) = inner.state.lock() {
+                let dropped = st.spans.dropped();
+                if dropped > 0 {
+                    m.count(CounterId::SpansDropped, dropped);
+                }
+            }
+        }
+        m.to_json()
+    }
+
+    /// Chrome `trace_event` JSON export of the retained spans.
+    pub fn trace_json(&self) -> String {
+        chrome_trace_json(&self.spans_snapshot())
+    }
+}
+
+/// A lock-free, allocation-free-at-rest recording surface for one
+/// lane (worker). Created via [`Obs::shard`] (or
+/// [`ObsShard::disabled`] for the default noop), filled locally, and
+/// handed back to the handle with [`Obs::absorb`].
+#[derive(Debug, Clone)]
+pub struct ObsShard {
+    lane: u32,
+    epoch: Instant,
+    /// The shard's metrics (public so absorbers can inspect/merge).
+    pub metrics: MetricsShard,
+    spans: Vec<Span>,
+}
+
+impl Default for ObsShard {
+    fn default() -> Self {
+        ObsShard::disabled()
+    }
+}
+
+impl ObsShard {
+    /// A disabled shard: every record call is a no-op and no heap is
+    /// touched.
+    pub fn disabled() -> Self {
+        ObsShard {
+            lane: 0,
+            epoch: Instant::now(),
+            metrics: MetricsShard::new(false),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Whether record calls do anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// The lane this shard records under.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Add `n` to counter `c`.
+    #[inline]
+    pub fn count(&mut self, c: CounterId, n: u64) {
+        self.metrics.count(c, n);
+    }
+
+    /// Record one observation of `v` in histogram `h`.
+    #[inline]
+    pub fn observe(&mut self, h: HistogramId, v: u64) {
+        self.metrics.observe(h, v);
+    }
+
+    /// Start-of-span timestamp; `None` when disabled.
+    #[inline]
+    pub fn span_start(&self) -> Option<Instant> {
+        if self.metrics.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Completes a span opened with [`ObsShard::span_start`] and
+    /// records it locally. Returns the duration in microseconds (0
+    /// when disabled).
+    pub fn record_span(
+        &mut self,
+        name: &'static str,
+        start: Option<Instant>,
+        args: &[(&'static str, u64)],
+    ) -> u64 {
+        let Some(start) = start else { return 0 };
+        let ts_us = start.duration_since(self.epoch).as_micros() as u64;
+        let dur_us = start.elapsed().as_micros() as u64;
+        self.spans.push(Span {
+            name,
+            cat: "audit",
+            lane: self.lane,
+            ts_us,
+            dur_us,
+            args: Span::pack_args(args),
+        });
+        dur_us
+    }
+
+    /// Spans recorded into this shard so far.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing_and_shards_are_disabled() {
+        let obs = Obs::noop();
+        obs.count(CounterId::GroupsFormed, 3);
+        let t = obs.span_start();
+        assert!(t.is_none());
+        assert_eq!(obs.record_span("x", 0, t, &[]), 0);
+        let mut shard = obs.shard(5);
+        assert!(!shard.is_enabled());
+        shard.count(CounterId::GroupsFormed, 3);
+        let st = shard.span_start();
+        assert!(st.is_none());
+        obs.absorb(shard);
+        assert_eq!(obs.metrics_snapshot().counter(CounterId::GroupsFormed), 0);
+        assert!(obs.spans_snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_handle_merges_shards_and_orders_spans() {
+        let obs = Obs::with_capacity(8);
+        let t = obs.span_start();
+        obs.record_span("preprocess", 0, t, &[]);
+        let mut a = obs.shard(1);
+        a.count(CounterId::DictFeeds, 2);
+        let ta = a.span_start();
+        a.record_span("group-replay", ta, &[("group", 0)]);
+        let mut b = obs.shard(2);
+        b.count(CounterId::DictFeeds, 5);
+        obs.absorb(a);
+        obs.absorb(b);
+        let m = obs.metrics_snapshot();
+        assert_eq!(m.counter(CounterId::DictFeeds), 7);
+        let spans = obs.spans_snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "preprocess");
+        assert_eq!(spans[1].lane, 1);
+        assert_eq!(spans[1].args[0], Some(("group", 0)));
+    }
+
+    #[test]
+    fn trace_json_is_emitted_for_enabled_handle() {
+        let obs = Obs::enabled();
+        let t = obs.span_start();
+        obs.record_span("cycle-check", 0, t, &[("visits", 42)]);
+        let json = obs.trace_json();
+        assert!(json.contains("\"cycle-check\""));
+        assert!(json.contains("\"visits\":42"));
+        let metrics = obs.metrics_json();
+        assert!(metrics.contains("\"cycle_check_visits\": 0"));
+    }
+}

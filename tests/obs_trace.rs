@@ -1,0 +1,292 @@
+//! Telemetry integration: the Chrome `trace_event` exporter emits
+//! valid JSON with the expected span set and per-lane monotone
+//! timestamps, and the metrics registry is deterministic across
+//! worker-thread counts (worker shards are absorbed in ascending group
+//! order, the same discipline as the verifier's edge fragments).
+
+use apps::App;
+use karousos::{audit_with_obs, run_instrumented_server, AuditOptions, CollectorMode};
+use obs::{CounterId, GaugeId, HistogramId, Obs};
+use workload::{Experiment, Mix};
+
+/// Minimal recursive-descent JSON validator: enough to assert the
+/// exporters emit well-formed JSON without pulling in a parser crate.
+mod json {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing garbage at byte {i}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, "true"),
+            Some(b'f') => literal(b, i, "false"),
+            Some(b'n') => literal(b, i, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            other => Err(format!("unexpected {other:?} at byte {i}")),
+        }
+    }
+
+    fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*i..].starts_with(lit.as_bytes()) {
+            *i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {i}"))
+        }
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        while *i < b.len()
+            && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *i += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map_err(|e| format!("bad number {text:?}: {e}"))?;
+        Ok(())
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // opening quote
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                c if c < 0x20 => return Err(format!("raw control byte in string at {i}")),
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // '{'
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("object key must be a string at byte {i}"));
+            }
+            string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("missing ':' at byte {i}"));
+            }
+            *i += 1;
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("unexpected {other:?} in object at byte {i}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // '['
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("unexpected {other:?} in array at byte {i}")),
+            }
+        }
+    }
+}
+
+fn wiki_run() -> (
+    kem::Program,
+    kem::RunOutput,
+    karousos::Advice,
+    kvstore::IsolationLevel,
+) {
+    let mut exp = Experiment::paper_default(App::Wiki, Mix::Wiki, 8, 3);
+    exp.requests = 60;
+    let program = App::Wiki.program();
+    let inputs = exp.inputs();
+    let (out, advice) = run_instrumented_server(
+        &program,
+        &inputs,
+        &exp.server_config(),
+        CollectorMode::Karousos,
+    )
+    .expect("wiki app runs");
+    (program, out, advice, exp.isolation)
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_expected_spans() {
+    let (program, out, advice, iso) = wiki_run();
+    let obs = Obs::enabled();
+    audit_with_obs(
+        &program,
+        &out.trace,
+        &advice,
+        iso,
+        AuditOptions::with_threads(4),
+        &obs,
+    )
+    .expect("honest advice must be accepted");
+
+    let trace = obs.trace_json();
+    json::validate(&trace).expect("trace export must be valid JSON");
+    for needle in [
+        "\"traceEvents\"",
+        "\"displayTimeUnit\"",
+        "\"preprocess\"",
+        "\"group-replay\"",
+        "\"state-merge\"",
+        "\"cycle-check\"",
+        "\"ph\":\"X\"",
+    ] {
+        assert!(trace.contains(needle), "trace export missing {needle}");
+    }
+
+    let metrics = obs.metrics_json();
+    json::validate(&metrics).expect("metrics export must be valid JSON");
+    assert!(metrics.contains("\"groups_formed\""));
+}
+
+#[test]
+fn span_timestamps_are_monotone_per_lane() {
+    let (program, out, advice, iso) = wiki_run();
+    let obs = Obs::enabled();
+    audit_with_obs(
+        &program,
+        &out.trace,
+        &advice,
+        iso,
+        AuditOptions::with_threads(4),
+        &obs,
+    )
+    .expect("honest advice must be accepted");
+
+    let spans = obs.spans_snapshot();
+    assert!(!spans.is_empty());
+    let mut replay_spans = 0usize;
+    let mut last_ts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for s in &spans {
+        let prev = last_ts.entry(s.lane).or_insert(0);
+        assert!(
+            s.ts_us >= *prev,
+            "lane {} span {:?} went backwards: {} < {prev}",
+            s.lane,
+            s.name,
+            s.ts_us
+        );
+        *prev = s.ts_us;
+        if s.name == "group-replay" {
+            replay_spans += 1;
+            assert!(s.args.iter().flatten().any(|(k, _)| *k == "group"));
+            assert!(s.args.iter().flatten().any(|(k, _)| *k == "size"));
+        }
+    }
+    let groups = obs.metrics_snapshot().counter(CounterId::GroupsFormed);
+    assert!(groups > 1, "wiki workload should form several groups");
+    assert_eq!(replay_spans as u64, groups, "one replay span per group");
+}
+
+#[test]
+fn metrics_are_deterministic_across_thread_counts() {
+    let (program, out, advice, iso) = wiki_run();
+    let snapshot = |threads: usize| {
+        let obs = Obs::enabled();
+        audit_with_obs(
+            &program,
+            &out.trace,
+            &advice,
+            iso,
+            AuditOptions::with_threads(threads),
+            &obs,
+        )
+        .expect("honest advice must be accepted");
+        obs.metrics_snapshot()
+    };
+    let seq = snapshot(1);
+    let par = snapshot(4);
+    for c in CounterId::ALL {
+        assert_eq!(
+            seq.counter(c),
+            par.counter(c),
+            "counter {} must not depend on the worker count",
+            c.name()
+        );
+    }
+    // Timing histograms legitimately differ; the structural ones must
+    // not.
+    for h in [HistogramId::GroupSize, HistogramId::VarLogLen] {
+        assert_eq!(seq.histogram(h), par.histogram(h), "histogram {}", h.name());
+    }
+    // WorkerThreads is *expected* to differ; the graph-shape gauges
+    // must not.
+    assert_eq!(
+        seq.gauge_value(GaugeId::GraphNodes),
+        par.gauge_value(GaugeId::GraphNodes)
+    );
+    assert_eq!(
+        seq.gauge_value(GaugeId::GraphEdges),
+        par.gauge_value(GaugeId::GraphEdges)
+    );
+    assert_eq!(seq.gauge_value(GaugeId::WorkerThreads), Some(1));
+    assert_eq!(par.gauge_value(GaugeId::WorkerThreads), Some(4));
+
+    // The per-kind edge counters decompose the edge gauge exactly.
+    let edge_sum: u64 = [
+        CounterId::EdgesTime,
+        CounterId::EdgesProgram,
+        CounterId::EdgesBoundary,
+        CounterId::EdgesActivation,
+        CounterId::EdgesHandlerLog,
+        CounterId::EdgesExternalWr,
+        CounterId::EdgesVarWr,
+        CounterId::EdgesVarWw,
+        CounterId::EdgesVarRw,
+    ]
+    .iter()
+    .map(|&c| seq.counter(c))
+    .sum();
+    assert_eq!(Some(edge_sum), seq.gauge_value(GaugeId::GraphEdges));
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a harness metrics export against schema/metrics.schema.json.
+
+CI runners don't ship the `jsonschema` package, so this implements the
+small draft-07 subset the checked-in schema actually uses: `type`,
+`required`, `properties`, `additionalProperties: false`, `items`,
+`minItems` / `maxItems`, `minimum`, and `$ref` into `#/definitions`.
+
+Usage: validate_metrics.py <schema.json> <metrics.json>
+"""
+
+import json
+import sys
+
+
+def resolve(schema, root):
+    while "$ref" in schema:
+        ref = schema["$ref"]
+        assert ref.startswith("#/"), f"unsupported $ref {ref!r}"
+        node = root
+        for part in ref[2:].split("/"):
+            node = node[part]
+        schema = node
+    return schema
+
+
+def type_ok(value, ty):
+    if ty == "object":
+        return isinstance(value, dict)
+    if ty == "array":
+        return isinstance(value, list)
+    if ty == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if ty == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if ty == "string":
+        return isinstance(value, str)
+    if ty == "null":
+        return value is None
+    if ty == "boolean":
+        return isinstance(value, bool)
+    raise AssertionError(f"unsupported type {ty!r}")
+
+
+def check(value, schema, root, path, errors):
+    schema = resolve(schema, root)
+
+    ty = schema.get("type")
+    if ty is not None:
+        types = ty if isinstance(ty, list) else [ty]
+        if not any(type_ok(value, t) for t in types):
+            errors.append(f"{path}: expected {types}, got {type(value).__name__}")
+            return
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key {key!r}")
+        for key, sub in props.items():
+            if key in value:
+                check(value[key], sub, root, f"{path}.{key}", errors)
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{path}: {len(value)} items > maxItems {schema['maxItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                check(item, items, root, f"{path}[{i}]", errors)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    with open(sys.argv[2]) as f:
+        metrics = json.load(f)
+    errors = []
+    check(metrics, schema, schema, "$", errors)
+    if errors:
+        for e in errors:
+            print(f"schema violation: {e}", file=sys.stderr)
+        return 1
+    print(f"{sys.argv[2]}: conforms to {sys.argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
