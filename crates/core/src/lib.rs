@@ -68,4 +68,7 @@ pub use verifier::{
     CycleEdgeReport, CycleProbe, CycleReport, EdgeKind, FeedCounters, PhaseTiming, ReexecStats,
     RejectReason, ReplaySchedule,
 };
-pub use wire::{advice_sizes, decode_advice, encode_advice, AdviceSizes};
+pub use wire::{
+    advice_sizes, decode_advice, decode_advice_fast, decode_advice_view, encode_advice,
+    owned_decode_copy_bytes, AdviceSizes, AdviceView, DecodeStats, ValueView,
+};

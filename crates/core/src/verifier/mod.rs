@@ -21,7 +21,9 @@ mod vars;
 
 pub use forensics::{cycle_report, AuditDiagnostics, AuditFailure, CycleEdgeReport, CycleReport};
 pub use graph::{CycleEdge, CycleProbe, EdgeKind, GNode, Graph, HPos};
-pub use preprocess::{preprocess, OpMapEntry, Preprocessed};
+pub use preprocess::{
+    preprocess, preprocess_staged, DeferredEdges, OpMapEntry, PreStaged, Preprocessed,
+};
 pub use reexec::{ReExecutor, ReexecStats, ReexecTiming, ReplaySchedule};
 pub use reject::RejectReason;
 pub use vars::{FeedCounters, VarStates};
@@ -44,6 +46,12 @@ pub struct AuditOptions {
     /// The order each group's active queue is drained in (Lemma-1
     /// experiments; deployments use FIFO).
     pub schedule: ReplaySchedule,
+    /// Pipelined audit: shard the preprocess sections per request and
+    /// overlap the deferred graph-edge merge (and the streaming state
+    /// merge) with group replay. Off replays the strictly
+    /// barrier-separated phases; verdicts and metrics are bit-identical
+    /// either way — only wall-clock scheduling changes.
+    pub pipeline: bool,
 }
 
 impl Default for AuditOptions {
@@ -51,6 +59,7 @@ impl Default for AuditOptions {
         AuditOptions {
             threads: 1,
             schedule: ReplaySchedule::Fifo,
+            pipeline: true,
         }
     }
 }
@@ -65,16 +74,27 @@ impl AuditOptions {
     }
 
     /// Options from the environment: `KAROUSOS_VERIFY_THREADS` sets the
-    /// worker count (default `1`; `0` = one per core). This is what the
-    /// plain [`audit`] / [`audit_encoded`] entry points use, so the
-    /// whole test suite can be rerun against the parallel path by
-    /// exporting the variable.
+    /// worker count (default `1`; `0` = one per core) and
+    /// `KAROUSOS_PIPELINE` toggles the pipelined audit (`0`/`off`/
+    /// `false` disable it; default on). This is what the plain
+    /// [`audit`] / [`audit_encoded`] entry points use, so the whole
+    /// test suite can be rerun against any point of the matrix by
+    /// exporting the variables.
     pub fn from_env() -> Self {
         let threads = std::env::var("KAROUSOS_VERIFY_THREADS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .unwrap_or(1);
-        AuditOptions::with_threads(threads)
+        let pipeline = std::env::var("KAROUSOS_PIPELINE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                !(v.is_empty() || v == "0" || v == "off" || v == "false")
+            })
+            .unwrap_or(true);
+        AuditOptions {
+            pipeline,
+            ..AuditOptions::with_threads(threads)
+        }
     }
 
     /// The concrete worker count (`0` resolved to the core count).
@@ -205,17 +225,27 @@ pub fn audit_encoded_with_obs(
 ) -> Result<AuditReport, RejectReason> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let span = obs.span_start();
-        let advice = crate::wire::decode_advice(advice_bytes).map_err(|e| {
-            RejectReason::MalformedAdvice {
-                what: e.to_string(),
-            }
-        })?;
+        // Zero-copy decode: borrow strings out of the wire buffer and
+        // only copy what survives into the owned advice (interned
+        // values, map keys). The view decoder reads the same bytes with
+        // the same budgets, so malformed advice rejects with the same
+        // positioned error the owned decoder gave.
+        let (advice, decode_stats) =
+            crate::wire::decode_advice_fast(advice_bytes).map_err(|e| {
+                RejectReason::MalformedAdvice {
+                    what: e.to_string(),
+                }
+            })?;
         obs.count(CounterId::BytesDecoded, advice_bytes.len() as u64);
+        obs.count(CounterId::DecodeBytesCopied, decode_stats.bytes_copied);
         obs.record_span(
             "decode-advice",
             0,
             span,
-            &[("bytes", advice_bytes.len() as u64)],
+            &[
+                ("bytes", advice_bytes.len() as u64),
+                ("copied", decode_stats.bytes_copied),
+            ],
         );
         audit_core(program, trace, &advice, isolation, opts, obs, false).map_err(|f| f.reason)
     })) {
@@ -303,7 +333,9 @@ pub fn ooo_audit_with_options(
     let threads = opts.effective_threads();
     let mut timing = PhaseTiming::default();
     let t = Instant::now();
-    let pre = preprocess(program, trace, advice, isolation)?;
+    let mut staged = preprocess_staged(program, trace, advice, isolation, threads)?;
+    staged.deferred.merge_into(&mut staged.pre.graph);
+    let pre = staged.pre;
     timing.preprocess = t.elapsed();
     let mut vars = VarStates::new();
     init_vars(program, &mut vars);
@@ -455,13 +487,28 @@ fn audit_core(
     let threads = opts.effective_threads();
     let mut timing = PhaseTiming::default();
 
-    // Preprocess (includes isolation-level verification).
+    // Preprocess (includes isolation-level verification): the
+    // advice-driven sections run sharded per request; the edge
+    // fragments come back deferred so the pipelined audit can overlap
+    // their merge into `G` with group replay.
     let t = Instant::now();
     let span = obs.span_start();
-    let pre = match preprocess(program, trace, advice, isolation) {
-        Ok(pre) => pre,
+    let staged = match preprocess_staged(program, trace, advice, isolation, threads) {
+        Ok(staged) => staged,
         Err(reason) => return Err(fail("preprocess", reason)),
     };
+    let PreStaged {
+        mut pre,
+        mut deferred,
+    } = staged;
+    if !opts.pipeline {
+        // Unpipelined: merge the deferred edges here, inside the
+        // preprocess phase, as the barrier-separated audit always has.
+        let espan = obs.span_start();
+        let edges = deferred.edge_count() as u64;
+        deferred.merge_into(&mut pre.graph);
+        obs.record_span("edge-merge", 0, espan, &[("edges", edges)]);
+    }
     obs.record_span("preprocess", 0, span, &[]);
     timing.preprocess = t.elapsed();
 
@@ -491,13 +538,30 @@ fn audit_core(
     let mut vars = VarStates::new();
     init_vars(program, &mut vars);
 
-    // ReExec: workers replay whole groups; the serial tail re-applies
-    // their variable-access streams in group order.
-    let (reexec, reexec_timing) = ReExecutor::new(program, trace, advice, &pre, &mut vars)
+    // ReExec: workers replay whole groups. Unpipelined, the serial tail
+    // re-applies their variable-access streams in group order after a
+    // barrier; pipelined, the coordinator first merges the deferred
+    // preprocess edges into `G` (replay never reads the graph) and then
+    // streams each group's unit into the global state as it lands —
+    // same units, same ascending order, same checks.
+    let mut graph = std::mem::take(&mut pre.graph);
+    let executor = ReExecutor::new(program, trace, advice, &pre, &mut vars)
         .with_schedule(opts.schedule)
-        .with_obs(obs.clone())
-        .run_threaded(threads)
-        .map_err(|reason| fail("reexec", reason))?;
+        .with_obs(obs.clone());
+    let (reexec, reexec_timing) = if opts.pipeline {
+        let graph_ref = &mut graph;
+        let deferred_ref = &mut deferred;
+        let overlap_obs = obs.clone();
+        executor.run_pipelined(threads, move || {
+            let espan = overlap_obs.span_start();
+            let edges = deferred_ref.edge_count() as u64;
+            deferred_ref.merge_into(graph_ref);
+            overlap_obs.record_span("edge-merge", 0, espan, &[("edges", edges)]);
+        })
+    } else {
+        executor.run_threaded(threads)
+    }
+    .map_err(|reason| fail("reexec", reason))?;
     timing.group_replay = reexec_timing.group_replay;
 
     obs.count(CounterId::GroupsFormed, reexec.groups as u64);
@@ -508,7 +572,6 @@ fn audit_core(
     obs.count(CounterId::LoggedReads, feeds.logged_reads);
 
     // Postprocess: embed internal-state edges, check acyclicity.
-    let mut graph = pre.graph;
     let t = Instant::now();
     let span = obs.span_start();
     if let Err(reason) = vars.add_internal_state_edges_sharded(&mut graph, threads) {

@@ -434,6 +434,37 @@ impl<'a> ReExecutor<'a> {
     /// `threads = 1`: that path runs the very same worker-and-merge
     /// code, just on one thread.
     pub fn run_threaded(self, threads: usize) -> Result<(ReexecStats, ReexecTiming), RejectReason> {
+        self.run_impl(threads, None::<fn()>)
+    }
+
+    /// [`ReExecutor::run_threaded`] with an overlapped side job and a
+    /// *streaming* merge: `overlap` runs on the coordinator thread
+    /// while workers replay groups, and each group's recorded unit is
+    /// merged into the global state as soon as it lands — still in
+    /// ascending group order — instead of after a full-replay barrier.
+    /// The audit uses the side job to build `G`'s deferred preprocess
+    /// edges concurrently with group replay.
+    ///
+    /// Outcome equivalence with [`ReExecutor::run_threaded`]: workers
+    /// run the same per-group code, the merge consumes units in the
+    /// same ascending order through the same [`merge_unit`] checks, and
+    /// `overlap` touches no replay state — so verdicts, errors, and
+    /// statistics are bit-identical; only the wall-clock overlap
+    /// differs. On a single thread the overlap degenerates to running
+    /// the side job before replay.
+    pub fn run_pipelined<F: FnOnce() + Send>(
+        self,
+        threads: usize,
+        overlap: F,
+    ) -> Result<(ReexecStats, ReexecTiming), RejectReason> {
+        self.run_impl(threads, Some(overlap))
+    }
+
+    fn run_impl<F: FnOnce() + Send>(
+        self,
+        threads: usize,
+        overlap: Option<F>,
+    ) -> Result<(ReexecStats, ReexecTiming), RejectReason> {
         let t_replay = Instant::now();
         let order = self.trace.request_ids();
         for rid in &order {
@@ -516,83 +547,10 @@ impl<'a> ReExecutor<'a> {
             }
         };
 
-        let units: Vec<Option<GroupRun>> = if threads <= 1 || ngroups <= 1 {
-            let mut out: Vec<Option<GroupRun>> = Vec::with_capacity(ngroups);
-            let mut failed = false;
-            for (gidx, rids) in groups.iter().enumerate() {
-                // The merge never looks past the first failing group,
-                // so neither does the replay.
-                if failed {
-                    out.push(None);
-                    continue;
-                }
-                let unit = run_unit(gidx, rids, 0);
-                failed = unit.error.is_some();
-                out.push(Some(unit));
-            }
-            out
-        } else {
-            let next = AtomicUsize::new(0);
-            // Smallest group index known to have failed: workers skip
-            // groups strictly beyond it (the merge stops there), but
-            // never groups before it, which the merge still needs.
-            let failed_floor = AtomicUsize::new(usize::MAX);
-            let groups_ref = &groups;
-            let run_unit_ref = &run_unit;
-            let workers = threads.min(ngroups);
-            let mut slots: Vec<Option<GroupRun>> = Vec::new();
-            slots.resize_with(ngroups, || None);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        // Lane 0 is the coordinator; workers get 1..=n.
-                        let lane = w as u32 + 1;
-                        let (next, failed_floor) = (&next, &failed_floor);
-                        s.spawn(move || {
-                            let mut done: Vec<(usize, GroupRun)> = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= ngroups {
-                                    break;
-                                }
-                                if i > failed_floor.load(Ordering::Relaxed) {
-                                    continue;
-                                }
-                                let unit = run_unit_ref(i, &groups_ref[i], lane);
-                                if unit.error.is_some() {
-                                    failed_floor.fetch_min(i, Ordering::Relaxed);
-                                }
-                                done.push((i, unit));
-                            }
-                            done
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    match h.join() {
-                        Ok(done) => {
-                            for (i, unit) in done {
-                                slots[i] = Some(unit);
-                            }
-                        }
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    }
-                }
-            });
-            slots
-        };
-        let mut timing = ReexecTiming {
-            group_replay: t_replay.elapsed(),
-            ..Default::default()
-        };
-
-        // Merge, in ascending group order (the sequential replay
-        // order). Re-applying each group's accesses to the global state
-        // runs the cross-group checks at the same event position the
-        // sequential audit would, so the first error — replayed or
-        // group-local — is the sequential audit's error.
-        let t_merge = Instant::now();
-        let t_merge_span = obs_handle.span_start();
+        // Merge state shared by all three paths (sequential, barrier
+        // parallel, streaming parallel); every unit goes through
+        // [`merge_unit`] in ascending group order, which is what keeps
+        // their outcomes bit-identical.
         let mut stats = ReexecStats {
             groups: ngroups,
             ..Default::default()
@@ -601,37 +559,279 @@ impl<'a> ReExecutor<'a> {
             HashSet::with_capacity(advice.opcounts.len());
         let mut consumed: HashSet<OpRef> = HashSet::with_capacity(pre.op_map.len());
         let mut outputs: HashMap<RequestId, Value> = HashMap::with_capacity(order.len());
-        for slot in units {
+        let mut timing = ReexecTiming::default();
+
+        if threads <= 1 || ngroups <= 1 {
+            // The pipelined overlap degenerates to overlap-first on a
+            // single thread: the side job runs to completion, then the
+            // groups replay exactly as in the unpipelined audit.
+            if let Some(side) = overlap {
+                side();
+            }
+            let mut units: Vec<Option<GroupRun>> = Vec::with_capacity(ngroups);
+            let mut failed = false;
+            for (gidx, rids) in groups.iter().enumerate() {
+                // The merge never looks past the first failing group,
+                // so neither does the replay.
+                if failed {
+                    units.push(None);
+                    continue;
+                }
+                let unit = run_unit(gidx, rids, 0);
+                failed = unit.error.is_some();
+                units.push(Some(unit));
+            }
+            timing.group_replay = t_replay.elapsed();
+            let t_merge = Instant::now();
+            let t_merge_span = obs_handle.span_start();
+            for slot in units {
+                let Some(unit) = slot else {
+                    return Err(RejectReason::VerifierInternal {
+                        what: "group skipped before the first failing group".into(),
+                    });
+                };
+                merge_unit(
+                    global,
+                    advice,
+                    &obs_handle,
+                    &mut stats,
+                    &mut executed,
+                    &mut consumed,
+                    &mut outputs,
+                    unit,
+                )?;
+            }
+            final_checks(trace, advice, pre, &order, &executed, &consumed, &outputs)?;
+            timing.state_merge = t_merge.elapsed();
+            obs_handle.record_span(
+                "state-merge",
+                0,
+                t_merge_span,
+                &[("groups", ngroups as u64)],
+            );
+            return Ok((stats, timing));
+        }
+
+        if let Some(side) = overlap {
+            // Streaming pipeline: workers publish finished units on a
+            // shared board; the coordinator runs the side job, then
+            // merges units in ascending group order as they land, so
+            // the side job and the merge both overlap replay.
+            use std::sync::{Condvar, Mutex};
+            let next = AtomicUsize::new(0);
+            // Smallest group index known to have failed: workers skip
+            // groups strictly beyond it (the merge stops there), but
+            // never groups before it, which the merge still needs.
+            let failed_floor = AtomicUsize::new(usize::MAX);
+            let workers = threads.min(ngroups);
+            let workers_alive = AtomicUsize::new(workers);
+            let groups_ref = &groups;
+            let run_unit_ref = &run_unit;
+            let obs_ref = &obs_handle;
+            let board: Mutex<Vec<Option<GroupRun>>> = Mutex::new({
+                let mut v: Vec<Option<GroupRun>> = Vec::new();
+                v.resize_with(ngroups, || None);
+                v
+            });
+            let ready = Condvar::new();
+            let poisoned = || RejectReason::VerifierInternal {
+                what: "group result board poisoned".into(),
+            };
+
+            let mut merge_wall = Duration::ZERO;
+            let merged: Result<(), RejectReason> = std::thread::scope(|s| {
+                for w in 0..workers {
+                    // Lane 0 is the coordinator; workers get 1..=n.
+                    let lane = w as u32 + 1;
+                    let (next, failed_floor, workers_alive) =
+                        (&next, &failed_floor, &workers_alive);
+                    let (board, ready) = (&board, &ready);
+                    s.spawn(move || {
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= ngroups {
+                                break;
+                            }
+                            if i > failed_floor.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            // A panicking group must still report, or
+                            // the streaming merge would stall waiting
+                            // for its slot: convert the panic into the
+                            // same internal-error REJECT the audit's
+                            // outer catch_unwind boundary produces.
+                            let unit =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_unit_ref(i, &groups_ref[i], lane)
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    GroupRun {
+                                        events: Vec::new(),
+                                        error: Some(RejectReason::VerifierInternal {
+                                            what: super::panic_message(payload.as_ref()),
+                                        }),
+                                        executed: HashSet::new(),
+                                        consumed: HashSet::new(),
+                                        outputs: HashMap::new(),
+                                        stats: ReexecStats::default(),
+                                        obs: obs_ref.shard(lane),
+                                    }
+                                });
+                            if unit.error.is_some() {
+                                failed_floor.fetch_min(i, Ordering::Relaxed);
+                            }
+                            if let Ok(mut slots) = board.lock() {
+                                slots[i] = Some(unit);
+                            }
+                            ready.notify_all();
+                        }
+                        workers_alive.fetch_sub(1, Ordering::Relaxed);
+                        ready.notify_all();
+                    });
+                }
+
+                // Coordinator: the overlapped side job first (the audit
+                // merges G's deferred preprocess edges here), then the
+                // in-order streaming merge.
+                side();
+                let t_merge = Instant::now();
+                let t_merge_span = obs_handle.span_start();
+                let mut out: Result<(), RejectReason> = Ok(());
+                'merge: for gidx in 0..ngroups {
+                    let unit = {
+                        let mut slots = board.lock().map_err(|_| poisoned())?;
+                        loop {
+                            if let Some(u) = slots[gidx].take() {
+                                break u;
+                            }
+                            if workers_alive.load(Ordering::Relaxed) == 0 {
+                                // Every worker exited without filling
+                                // this slot: fail closed instead of
+                                // waiting forever.
+                                out = Err(RejectReason::VerifierInternal {
+                                    what: "group worker exited without reporting".into(),
+                                });
+                                break 'merge;
+                            }
+                            let (guard, _) = ready
+                                .wait_timeout(slots, Duration::from_millis(20))
+                                .map_err(|_| poisoned())?;
+                            slots = guard;
+                        }
+                    };
+                    if let Err(e) = merge_unit(
+                        global,
+                        advice,
+                        obs_ref,
+                        &mut stats,
+                        &mut executed,
+                        &mut consumed,
+                        &mut outputs,
+                        unit,
+                    ) {
+                        // Nothing past this group will merge; let the
+                        // in-flight workers drain.
+                        failed_floor.fetch_min(gidx, Ordering::Relaxed);
+                        out = Err(e);
+                        break 'merge;
+                    }
+                }
+                if out.is_ok() {
+                    out = final_checks(trace, advice, pre, &order, &executed, &consumed, &outputs);
+                }
+                merge_wall = t_merge.elapsed();
+                if out.is_ok() {
+                    obs_handle.record_span(
+                        "state-merge",
+                        0,
+                        t_merge_span,
+                        &[("groups", ngroups as u64)],
+                    );
+                }
+                out
+            });
+            merged?;
+            // Replay, side job, and merge overlapped: group_replay is
+            // the whole scope's wall clock and state_merge the merge
+            // loop's share of it (the two no longer sum to a phase
+            // total).
+            timing.group_replay = t_replay.elapsed();
+            timing.state_merge = merge_wall;
+            return Ok((stats, timing));
+        }
+
+        let next = AtomicUsize::new(0);
+        // Smallest group index known to have failed: workers skip
+        // groups strictly beyond it (the merge stops there), but
+        // never groups before it, which the merge still needs.
+        let failed_floor = AtomicUsize::new(usize::MAX);
+        let groups_ref = &groups;
+        let run_unit_ref = &run_unit;
+        let workers = threads.min(ngroups);
+        let mut slots: Vec<Option<GroupRun>> = Vec::new();
+        slots.resize_with(ngroups, || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    // Lane 0 is the coordinator; workers get 1..=n.
+                    let lane = w as u32 + 1;
+                    let (next, failed_floor) = (&next, &failed_floor);
+                    s.spawn(move || {
+                        let mut done: Vec<(usize, GroupRun)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= ngroups {
+                                break;
+                            }
+                            if i > failed_floor.load(Ordering::Relaxed) {
+                                continue;
+                            }
+                            let unit = run_unit_ref(i, &groups_ref[i], lane);
+                            if unit.error.is_some() {
+                                failed_floor.fetch_min(i, Ordering::Relaxed);
+                            }
+                            done.push((i, unit));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(done) => {
+                        for (i, unit) in done {
+                            slots[i] = Some(unit);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        timing.group_replay = t_replay.elapsed();
+
+        // Merge, in ascending group order (the sequential replay
+        // order). Re-applying each group's accesses to the global state
+        // runs the cross-group checks at the same event position the
+        // sequential audit would, so the first error — replayed or
+        // group-local — is the sequential audit's error.
+        let t_merge = Instant::now();
+        let t_merge_span = obs_handle.span_start();
+        for slot in slots {
             let Some(unit) = slot else {
                 return Err(RejectReason::VerifierInternal {
                     what: "group skipped before the first failing group".into(),
                 });
             };
-            for ev in &unit.events {
-                match ev {
-                    VarEvent::Read { var, op } => {
-                        global.on_read(*var, op.clone(), advice.var_logs.get(var))?;
-                    }
-                    VarEvent::Write { var, op, value } => {
-                        global.on_write(
-                            *var,
-                            op.clone(),
-                            value.clone(),
-                            advice.var_logs.get(var),
-                        )?;
-                    }
-                }
-            }
-            // Absorbed before the error check so a failing group's
-            // replay span still appears in the exported trace.
-            obs_handle.absorb(unit.obs);
-            if let Some(e) = unit.error {
-                return Err(e);
-            }
-            stats.absorb(&unit.stats);
-            executed.extend(unit.executed);
-            consumed.extend(unit.consumed);
-            outputs.extend(unit.outputs);
+            merge_unit(
+                global,
+                advice,
+                &obs_handle,
+                &mut stats,
+                &mut executed,
+                &mut consumed,
+                &mut outputs,
+                unit,
+            )?;
         }
         final_checks(trace, advice, pre, &order, &executed, &consumed, &outputs)?;
         timing.state_merge = t_merge.elapsed();
@@ -1664,6 +1864,48 @@ impl<'a> ReExecutor<'a> {
             }
         })
     }
+}
+
+/// Applies one group's recorded unit to the global merge state, in the
+/// shared serial order: replay the event stream through the global
+/// variable states (running the cross-group checks at the same event
+/// position the sequential audit would), absorb the worker's telemetry
+/// shard, surface the group's own error, then fold its statistics and
+/// coverage sets. Every merge path — sequential, barrier parallel, and
+/// streaming pipeline — consumes units through this one function in
+/// ascending group order, so their outcomes cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn merge_unit(
+    global: &mut VarStates,
+    advice: &Advice,
+    obs_handle: &Obs,
+    stats: &mut ReexecStats,
+    executed: &mut HashSet<(RequestId, HandlerId)>,
+    consumed: &mut HashSet<OpRef>,
+    outputs: &mut HashMap<RequestId, Value>,
+    unit: GroupRun,
+) -> Result<(), RejectReason> {
+    for ev in &unit.events {
+        match ev {
+            VarEvent::Read { var, op } => {
+                global.on_read(*var, op.clone(), advice.var_logs.get(var))?;
+            }
+            VarEvent::Write { var, op, value } => {
+                global.on_write(*var, op.clone(), value.clone(), advice.var_logs.get(var))?;
+            }
+        }
+    }
+    // Absorbed before the error check so a failing group's replay span
+    // still appears in the exported trace.
+    obs_handle.absorb(unit.obs);
+    if let Some(e) = unit.error {
+        return Err(e);
+    }
+    stats.absorb(&unit.stats);
+    executed.extend(unit.executed);
+    consumed.extend(unit.consumed);
+    outputs.extend(unit.outputs);
+    Ok(())
 }
 
 /// The whole-audit checks after every group replayed (Fig. 18 lines

@@ -232,3 +232,159 @@ proptest! {
         prop_assert_eq!(decoded.nondet.values().next().unwrap(), &v);
     }
 }
+
+// ---------------------------------------------------------------------
+// Zero-copy decoder equivalence: the borrowed view must be a perfect
+// stand-in for the owned decoder — on well-formed bytes (identical
+// advice, byte-identical re-encoding, never more copying than the
+// owned path) and on hostile bytes (the same positioned `WireError`).
+
+use karousos::{decode_advice_fast, decode_advice_view, owned_decode_copy_bytes, WireMutator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn view_reencodes_byte_identically(a in arb_advice()) {
+        let bytes = encode_advice(&a);
+        let view = decode_advice_view(&bytes).expect("own encoding decodes as view");
+        prop_assert_eq!(view.encode(), bytes.clone());
+        prop_assert_eq!(view.to_advice(), a);
+    }
+
+    #[test]
+    fn fast_decode_matches_owned_and_copies_less(a in arb_advice()) {
+        let bytes = encode_advice(&a);
+        let owned = decode_advice(&bytes).expect("own encoding decodes");
+        let (fast, stats) = decode_advice_fast(&bytes).expect("own encoding fast-decodes");
+        prop_assert_eq!(&fast, &owned);
+        prop_assert!(
+            stats.bytes_copied <= owned_decode_copy_bytes(&owned),
+            "zero-copy path copied {} bytes, owned path {}",
+            stats.bytes_copied,
+            owned_decode_copy_bytes(&owned)
+        );
+    }
+
+    #[test]
+    fn view_and_owned_agree_on_truncation(a in arb_advice(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_advice(&a);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            let owned_err = decode_advice(&bytes[..cut]).expect_err("truncation accepted");
+            let view_err = decode_advice_view(&bytes[..cut]).expect_err("truncation accepted");
+            prop_assert_eq!(owned_err, view_err);
+        }
+    }
+
+    #[test]
+    fn view_and_owned_agree_on_bit_flips(
+        a in arb_advice(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_advice(&a);
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match (decode_advice(&bytes), decode_advice_view(&bytes)) {
+            (Ok(owned), Ok(view)) => prop_assert_eq!(owned, view.to_advice()),
+            (Err(oe), Err(ve)) => prop_assert_eq!(oe, ve),
+            (owned, view) => prop_assert!(
+                false,
+                "owned {:?} vs view {:?} disagree on acceptance",
+                owned.is_ok(),
+                view.is_ok()
+            ),
+        }
+    }
+
+    #[test]
+    fn view_and_owned_agree_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        match (decode_advice(&bytes), decode_advice_view(&bytes)) {
+            (Ok(owned), Ok(view)) => prop_assert_eq!(owned, view.to_advice()),
+            (Err(oe), Err(ve)) => prop_assert_eq!(oe, ve),
+            (owned, view) => prop_assert!(
+                false,
+                "owned {:?} vs view {:?} disagree on acceptance",
+                owned.is_ok(),
+                view.is_ok()
+            ),
+        }
+    }
+}
+
+/// The PR 1 hostile wire mutators, exhaustively: every mutator at many
+/// seeds must drive both decoders to the same outcome — the same
+/// positioned error, or the same accepted advice.
+#[test]
+fn hostile_wire_mutations_error_identically_on_both_decoders() {
+    let mut advice = Advice::default();
+    advice.tags.insert(RequestId(0), 7);
+    advice.tags.insert(RequestId(1), 7);
+    let hid = HandlerId::root(FunctionId(3));
+    advice.opcounts.insert((RequestId(0), hid.clone()), 2);
+    advice
+        .response_emitted_by
+        .insert(RequestId(0), (hid.clone(), 2));
+    advice.handler_logs.insert(
+        RequestId(0),
+        vec![HandlerLogEntry {
+            hid: hid.clone(),
+            opnum: 1,
+            op: HandlerOp::Emit {
+                event: "posted".into(),
+            },
+        }],
+    );
+    advice.nondet.insert(
+        OpRef::new(RequestId(1), hid, 1),
+        Value::str("nondeterministic"),
+    );
+    let honest = encode_advice(&advice);
+
+    let mut compared = 0usize;
+    let mut diverged_from_honest = 0usize;
+    for m in WireMutator::ALL {
+        for seed in 0..64 {
+            let Some(mutation) = m.apply(&honest, seed) else {
+                continue;
+            };
+            match (
+                decode_advice(&mutation.bytes),
+                decode_advice_view(&mutation.bytes),
+            ) {
+                (Ok(owned), Ok(view)) => assert_eq!(
+                    owned,
+                    view.to_advice(),
+                    "{} seed {seed}: accepted advice differs",
+                    mutation.mutator
+                ),
+                (Err(oe), Err(ve)) => {
+                    assert_eq!(
+                        oe, ve,
+                        "{} seed {seed}: positioned errors differ",
+                        mutation.mutator
+                    );
+                    diverged_from_honest += 1;
+                }
+                (owned, view) => panic!(
+                    "{} seed {seed}: owned ok={} vs view ok={} disagree",
+                    mutation.mutator,
+                    owned.is_ok(),
+                    view.is_ok()
+                ),
+            }
+            compared += 1;
+        }
+    }
+    assert!(compared >= 200, "only {compared} wire mutations compared");
+    assert!(
+        diverged_from_honest >= 50,
+        "only {diverged_from_honest} mutations errored; REJECT-side coverage too small"
+    );
+}

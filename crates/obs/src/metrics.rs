@@ -64,13 +64,16 @@ pub enum CounterId {
     CycleCheckVisits,
     /// Advice bytes decoded from the wire format.
     BytesDecoded,
+    /// String bytes the decode phase copied out of the wire buffer
+    /// into owned storage (the zero-copy decoder's residual copies).
+    DecodeBytesCopied,
     /// Spans dropped because the ring-buffer recorder wrapped.
     SpansDropped,
 }
 
 impl CounterId {
     /// Every counter, in catalog order.
-    pub const ALL: [CounterId; 21] = [
+    pub const ALL: [CounterId; 22] = [
         CounterId::GroupsFormed,
         CounterId::UniformOps,
         CounterId::ExpandedOps,
@@ -91,6 +94,7 @@ impl CounterId {
         CounterId::EdgesVarRw,
         CounterId::CycleCheckVisits,
         CounterId::BytesDecoded,
+        CounterId::DecodeBytesCopied,
         CounterId::SpansDropped,
     ];
 
@@ -120,6 +124,7 @@ impl CounterId {
             CounterId::EdgesVarRw => "edges_rw",
             CounterId::CycleCheckVisits => "cycle_check_visits",
             CounterId::BytesDecoded => "bytes_decoded",
+            CounterId::DecodeBytesCopied => "decode_bytes_copied",
             CounterId::SpansDropped => "spans_dropped",
         }
     }

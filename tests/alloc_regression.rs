@@ -13,6 +13,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Wraps the system allocator, counting allocation events (calls to
 /// `alloc`/`realloc`, not bytes) while `COUNTING` is enabled.
@@ -44,9 +45,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Counts allocation events during `f`. Not reentrant; the tests in
-/// this file run single-threaded (one `#[test]` fn) so the global flag
-/// cannot be flipped concurrently.
+/// Serializes the tests in this file: the counting flag is global, so
+/// two `#[test]` fns measuring concurrently would double-count.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Counts allocation events during `f`. Not reentrant; callers hold
+/// `SERIAL` so the global flag cannot be flipped concurrently.
 fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
     ALLOC_EVENTS.store(0, Ordering::SeqCst);
     COUNTING.store(true, Ordering::SeqCst);
@@ -129,6 +133,7 @@ fn replay_allocs(n: usize) -> (u64, u64) {
 
 #[test]
 fn uniform_group_replay_allocation_budget() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // Warm-up run: let lazy one-time allocations (thread-local RNG
     // buffers, hash seeds) happen outside the measured window.
     let _ = replay_allocs(8);
@@ -158,5 +163,80 @@ fn uniform_group_replay_allocation_budget() {
         allocs_64.saturating_sub(allocs_8) <= 16,
         "replay allocations scale with group size: \
          n=8 -> {allocs_8}, n=64 -> {allocs_64} (marginal budget 16)"
+    );
+}
+
+/// Decode-phase allocation budget, pinning the PR 5 zero-copy gains
+/// rather than measuring them once. Two layers:
+///
+/// * the borrowed **view** decoder (`decode_advice_view`) — the actual
+///   zero-copy decode — must stay >= 5x below the owned decoder in
+///   allocation events;
+/// * the end-to-end fast path (`decode_advice_fast` = view decode +
+///   interned materialization of the owned `Advice` the verifier
+///   consumes) must stay >= 2x below, with its residual string copies
+///   strictly under the owned path's.
+///
+/// Uses a wiki-style workload because its advice carries the repeated
+/// event names, handler ids, and string values the interner and
+/// handler-id span cache exist for.
+#[test]
+fn decode_phase_allocation_budget() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    use apps::App;
+    use workload::{Experiment, Mix};
+
+    let mut exp = Experiment::paper_default(App::Wiki, Mix::Wiki, 4, 11);
+    exp.requests = 64;
+    let program = App::Wiki.program();
+    let (_, advice) = karousos::run_instrumented_server(
+        &program,
+        &exp.inputs(),
+        &exp.server_config(),
+        karousos::CollectorMode::Karousos,
+    )
+    .expect("wiki run succeeds");
+    let bytes = karousos::encode_advice(&advice);
+
+    // Warm-up all paths (hash seeds, lazy statics).
+    let _ = karousos::decode_advice(&bytes).expect("decodes");
+    let _ = karousos::decode_advice_view(&bytes).expect("decodes");
+    let _ = karousos::decode_advice_fast(&bytes).expect("decodes");
+
+    let (owned, owned_allocs) = count_allocs(|| karousos::decode_advice(&bytes));
+    let owned = owned.expect("owned decode accepts");
+    let (_, view_allocs) = count_allocs(|| karousos::decode_advice_view(&bytes).map(|_| ()));
+    let (fast, fast_allocs) = count_allocs(|| karousos::decode_advice_fast(&bytes));
+    let (fast, stats) = fast.expect("fast decode accepts");
+    assert_eq!(fast, owned, "decoders disagree on honest advice");
+
+    eprintln!(
+        "decode allocs: owned {owned_allocs}, view {view_allocs} ({:.1}x fewer), \
+         fast {fast_allocs} ({:.1}x fewer); {} wire bytes, {} copied",
+        owned_allocs as f64 / view_allocs.max(1) as f64,
+        owned_allocs as f64 / fast_allocs.max(1) as f64,
+        bytes.len(),
+        stats.bytes_copied
+    );
+
+    // Measured at introduction: owned 20309, view 1418 (14.3x fewer),
+    // fast 7593 (2.7x fewer), 13058 of 63720 wire bytes copied. The
+    // bounds leave headroom for workload drift while still failing
+    // loudly if per-entry copying comes back.
+    assert!(
+        view_allocs.saturating_mul(5) <= owned_allocs,
+        "zero-copy view decode regressed: {view_allocs} allocs vs owned \
+         {owned_allocs} (pin: >= 5x fewer)"
+    );
+    assert!(
+        fast_allocs.saturating_mul(2) <= owned_allocs,
+        "fast decode regressed: {fast_allocs} allocs vs owned {owned_allocs} \
+         (pin: >= 2x fewer)"
+    );
+    assert!(
+        stats.bytes_copied < karousos::owned_decode_copy_bytes(&owned),
+        "zero-copy decode copied {} bytes, owned-equivalent {}",
+        stats.bytes_copied,
+        karousos::owned_decode_copy_bytes(&owned)
     );
 }

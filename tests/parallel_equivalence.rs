@@ -1,11 +1,14 @@
 //! Determinism keystone for the parallel verifier: an audit's outcome
 //! — verdict, statistics, and on rejection the exact [`RejectReason`]
-//! — must be independent of the worker-thread count. Workers replay
-//! whole groups with local state and the merge phase re-applies their
-//! variable-access streams in ascending group order, so `threads = 1`
-//! and `threads = N` run the same logical event sequence; this test
-//! pins that equivalence across every app, every isolation level, and
-//! a broad sample of hostile-advice mutations.
+//! — must be independent of the worker-thread count AND of the
+//! pipelined-audit toggle. Workers replay whole groups with local
+//! state and the merge phase re-applies their variable-access streams
+//! in ascending group order (barrier or streaming), while the sharded
+//! preprocess and deferred edge merge reproduce the serial section
+//! order exactly; so every `(threads, pipeline)` point runs the same
+//! logical event sequence. This test pins that equivalence across
+//! every app, every isolation level, and a broad sample of
+//! hostile-advice mutations.
 
 use apps::App;
 use karousos::{
@@ -15,7 +18,31 @@ use karousos::{
 use kvstore::IsolationLevel;
 use workload::{Experiment, Mix};
 
-const THREADS: [usize; 3] = [2, 4, 8];
+/// The full audit matrix: every thread count crossed with the
+/// pipelined-audit toggle. `(1, pipeline: false)` is the strictly
+/// barrier-separated serial audit every other point must match.
+fn matrix() -> Vec<AuditOptions> {
+    let mut configs = Vec::new();
+    for pipeline in [false, true] {
+        for threads in [1, 2, 4, 8] {
+            configs.push(AuditOptions {
+                threads,
+                pipeline,
+                ..AuditOptions::default()
+            });
+        }
+    }
+    configs
+}
+
+/// The serial barrier-separated baseline.
+fn baseline() -> AuditOptions {
+    AuditOptions {
+        threads: 1,
+        pipeline: false,
+        ..AuditOptions::default()
+    }
+}
 
 /// The comparable portion of an audit outcome (timing excluded: it is
 /// the one field that legitimately varies run to run).
@@ -59,7 +86,7 @@ fn honest_audits_agree_across_thread_counts() {
                 &trace,
                 &advice,
                 isolation,
-                AuditOptions::with_threads(1),
+                baseline(),
             ));
             assert!(
                 sequential.is_ok(),
@@ -67,19 +94,17 @@ fn honest_audits_agree_across_thread_counts() {
                 app.name(),
                 sequential
             );
-            for threads in THREADS {
+            for opts in matrix() {
                 let parallel = comparable(audit_with_options(
-                    &program,
-                    &trace,
-                    &advice,
-                    isolation,
-                    AuditOptions::with_threads(threads),
+                    &program, &trace, &advice, isolation, opts,
                 ));
                 assert_eq!(
                     sequential,
                     parallel,
-                    "{} at {isolation}: threads=1 vs threads={threads} disagree",
-                    app.name()
+                    "{} at {isolation}: serial baseline vs threads={} pipeline={} disagree",
+                    app.name(),
+                    opts.threads,
+                    opts.pipeline
                 );
             }
         }
@@ -107,24 +132,22 @@ fn hostile_audits_agree_across_thread_counts() {
                 &trace,
                 bytes,
                 isolation,
-                AuditOptions::with_threads(1),
+                baseline(),
             ));
             if sequential.is_err() {
                 rejected += 1;
             }
-            for threads in THREADS {
+            for opts in matrix() {
                 let parallel = comparable(audit_encoded_with_options(
-                    &program,
-                    &trace,
-                    bytes,
-                    isolation,
-                    AuditOptions::with_threads(threads),
+                    &program, &trace, bytes, isolation, opts,
                 ));
                 assert_eq!(
                     sequential,
                     parallel,
-                    "{label} on {} at {isolation}: threads=1 vs threads={threads} disagree",
-                    app.name()
+                    "{label} on {} at {isolation}: serial baseline vs threads={} pipeline={} disagree",
+                    app.name(),
+                    opts.threads,
+                    opts.pipeline
                 );
             }
             checked += 1;
@@ -165,14 +188,20 @@ fn auto_thread_count_resolves_and_agrees() {
         &trace,
         &advice,
         IsolationLevel::Serializable,
-        AuditOptions::with_threads(1),
+        baseline(),
     ));
-    let auto = comparable(audit_with_options(
-        &program,
-        &trace,
-        &advice,
-        IsolationLevel::Serializable,
-        AuditOptions::with_threads(0),
-    ));
-    assert_eq!(sequential, auto);
+    for pipeline in [false, true] {
+        let auto = comparable(audit_with_options(
+            &program,
+            &trace,
+            &advice,
+            IsolationLevel::Serializable,
+            AuditOptions {
+                threads: 0,
+                pipeline,
+                ..AuditOptions::default()
+            },
+        ));
+        assert_eq!(sequential, auto, "auto threads, pipeline={pipeline}");
+    }
 }
