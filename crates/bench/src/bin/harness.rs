@@ -5,7 +5,8 @@
 //!         [--obs-out trace.json] [--metrics-out metrics.json]
 //!
 //!   figure ∈ { fig6, fig7, fig8, fig9, fig10, fig11, fig12, ratios,
-//!              errorbars, ablations, bench-pr3, bench-pr4, bench-pr5, all }
+//!              errorbars, ablations, bench-pr3, bench-pr4, bench-pr5,
+//!              bench-pr6, all }
 //! ```
 //!
 //! `--obs-out` / `--metrics-out` capture one fully-instrumented wiki
@@ -1005,6 +1006,143 @@ fn bench_pr5(o: &Opts) {
     }
 }
 
+/// `bench-pr6`: machine-readable evidence for resource governance.
+/// Writes `BENCH_PR6.json` pinning (a) the fuel-metering overhead on an
+/// honest wiki run — audit wall-clock under the default `Limits`
+/// (metered) vs `Limits::unlimited()` (all budgets off), which must
+/// stay within 5% — and (b) the metered audit's allocation count,
+/// which must not exceed the unmetered one (the meter is two integer
+/// fields, not a data structure). Also reports the honest run's fuel
+/// bill and the headroom it leaves under the default budget. Exits
+/// nonzero on any breach, so CI can run it as a smoke test.
+fn bench_pr6(o: &Opts) {
+    use karousos::{audit_with_obs, AuditOptions, Limits};
+    use obs::Obs;
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "== bench-pr6: resource-governed audit ({} requests, {} iters, {cores} cores) ==",
+        o.requests, o.iters
+    );
+
+    let p = bench::prepare(App::Wiki, Mix::Wiki, o.requests, 8, o.seed);
+    let audit = |limits: Limits| {
+        let mut opts = AuditOptions::with_threads(o.verify_threads.max(1));
+        opts.limits = limits;
+        audit_with_obs(
+            &p.program,
+            &p.trace,
+            &p.karousos,
+            p.exp.isolation,
+            opts,
+            &Obs::noop(),
+        )
+        .expect("honest advice must be accepted")
+    };
+
+    // Warm both paths once. The overhead is measured on interleaved
+    // metered/unmetered pairs — the median of per-pair ratios — so
+    // slow drift on a shared runner cancels instead of landing on one
+    // side of a back-to-back comparison.
+    let report = audit(Limits::default());
+    let _ = audit(Limits::unlimited());
+    let mut pairs: Vec<(std::time::Duration, std::time::Duration)> = (0..o.iters.max(3))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let _ = audit(Limits::default());
+            let tm = t0.elapsed();
+            let t1 = std::time::Instant::now();
+            let _ = audit(Limits::unlimited());
+            (tm, t1.elapsed())
+        })
+        .collect();
+    pairs.sort_by(|a, b| {
+        let ra = a.0.as_secs_f64() / a.1.as_secs_f64().max(1e-9);
+        let rb = b.0.as_secs_f64() / b.1.as_secs_f64().max(1e-9);
+        ra.total_cmp(&rb)
+    });
+    let (t_metered, t_unmetered) = pairs[pairs.len() / 2];
+    let overhead_pct =
+        (t_metered.as_secs_f64() / t_unmetered.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+    let within_time_budget = overhead_pct <= 5.0;
+
+    // Single-threaded audits for the allocation comparison: worker
+    // scheduling perturbs counts by a handful of allocations, the
+    // sequential path is deterministic.
+    let seq_audit = |limits: Limits| {
+        let mut opts = AuditOptions::with_threads(1);
+        opts.limits = limits;
+        audit_with_obs(
+            &p.program,
+            &p.trace,
+            &p.karousos,
+            p.exp.isolation,
+            opts,
+            &Obs::noop(),
+        )
+        .expect("honest advice must be accepted")
+    };
+    let (_, metered_allocs) = count_allocs(|| seq_audit(Limits::default()));
+    let (_, unmetered_allocs) = count_allocs(|| seq_audit(Limits::unlimited()));
+    // The fuel/deadline meter must be allocation-free: two counters and
+    // an Instant, charged inline on the replay hot path.
+    let within_alloc_budget = metered_allocs <= unmetered_allocs;
+
+    let fuel = report.reexec.fuel_spent;
+    let headroom = Limits::default()
+        .replay_fuel
+        .saturating_sub(report.reexec.max_group_fuel);
+    println!(
+        "  wiki audit: metered {} ms vs unmetered {} ms ({overhead_pct:+.1}% metering overhead)",
+        ms(t_metered),
+        ms(t_unmetered),
+    );
+    println!(
+        "  allocs: metered {metered_allocs} vs unmetered {unmetered_allocs}; \
+         fuel bill {fuel} steps, max group {} of {} budget",
+        report.reexec.max_group_fuel,
+        Limits::default().replay_fuel,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr6-resource-governance\",\n  \"iters\": {},\n  \
+         \"requests\": {},\n  \"available_cores\": {cores},\n  \
+         \"metered_audit_us\": {},\n  \"unmetered_audit_us\": {},\n  \
+         \"metering_overhead_pct\": {overhead_pct:.2},\n  \
+         \"metered_allocs\": {metered_allocs},\n  \"unmetered_allocs\": {unmetered_allocs},\n  \
+         \"honest_fuel_spent\": {fuel},\n  \"honest_max_group_fuel\": {},\n  \
+         \"default_replay_fuel\": {},\n  \"fuel_headroom\": {headroom},\n  \
+         \"budget\": {{\"max_overhead_pct\": 5.0, \"within_time_budget\": {within_time_budget}, \
+         \"within_alloc_budget\": {within_alloc_budget}}}\n}}\n",
+        o.iters,
+        o.requests,
+        t_metered.as_micros(),
+        t_unmetered.as_micros(),
+        report.reexec.max_group_fuel,
+        Limits::default().replay_fuel,
+    );
+    if let Err(e) = std::fs::write("BENCH_PR6.json", &json) {
+        eprintln!("failed to write BENCH_PR6.json: {e}");
+        std::process::exit(1);
+    }
+    println!("  wrote BENCH_PR6.json");
+    if !within_time_budget {
+        eprintln!(
+            "FUEL METERING OVERHEAD BUDGET EXCEEDED: {overhead_pct:+.1}% > 5% \
+             (metered {} ms vs unmetered {} ms)",
+            ms(t_metered),
+            ms(t_unmetered)
+        );
+        std::process::exit(1);
+    }
+    if !within_alloc_budget {
+        eprintln!(
+            "METERING ALLOCATION REGRESSION: metered {metered_allocs} > unmetered {unmetered_allocs}"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let o = parse_args();
     if o.verify_threads != 1
@@ -1037,6 +1175,7 @@ fn main() {
         "bench-pr3" => bench_pr3(&o),
         "bench-pr4" => bench_pr4(&o),
         "bench-pr5" => bench_pr5(&o),
+        "bench-pr6" => bench_pr6(&o),
         "all" => {
             fig6(&o);
             fig7(&o);
@@ -1050,7 +1189,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure {other:?}; try fig6..fig12, ratios, errorbars, ablations, \
-                 bench-pr3, bench-pr4, bench-pr5, all"
+                 bench-pr3, bench-pr4, bench-pr5, bench-pr6, all"
             );
             std::process::exit(2);
         }

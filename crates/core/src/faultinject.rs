@@ -522,6 +522,180 @@ impl Mutator {
     }
 }
 
+/// Resource-exhaustion mutators: each crafts advice that attacks one
+/// budget in [`crate::config::Limits`], for the chaos harness proving
+/// every exhaustion vector terminates with a typed REJECT instead of a
+/// hang, OOM, or abort (DESIGN.md §10).
+///
+/// Unlike [`Mutator`], whose semantic cases trip a *correctness*
+/// defense, these trip a *resource* defense: under a tight limit the
+/// audit must reject with the [`MutationOutcome`] this mutator's
+/// [`ExhaustMutator::expected`] names, and under default (generous)
+/// limits the attack must still terminate with some typed verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustMutator {
+    /// Inflate every recorded nondet integer to 2^40. A program whose
+    /// loop bound is advice-fed (a nondet counter) replays 2^40
+    /// iterations → the fuel meter trips → `ResourceExhausted`
+    /// (`replay_fuel`), or the group deadline if fuel is unmetered.
+    LoopBomb,
+    /// Wrap one recorded nondet value in lists nested past the
+    /// decoder's depth guard. The recursion that would exhaust the
+    /// verifier's stack is cut off by the nesting cap →
+    /// `MalformedAdvice` ("value nesting too deep").
+    DeepRecursion,
+    /// Replace one recorded nondet value with a list of 2^16 elements:
+    /// many small nodes whose decoded form dwarfs its wire form. The
+    /// cumulative node budget trips → `ResourceExhausted`
+    /// (`decode_max_nodes`).
+    AllocBomb,
+    /// Flood one variable's log with 2^14 fabricated entries. The
+    /// pre-preprocess volume walk trips → `ResourceExhausted`
+    /// (`dict_max_entries`) before any dictionary is allocated.
+    DictFlood,
+    /// Inflate every handler opcount to 2^20. Each claimed operation
+    /// implies a graph node (plus edges), so the advice-implied node
+    /// bound trips → `ResourceExhausted` (`graph_max_nodes`) before
+    /// preprocess allocates the graph.
+    EdgeExplosion,
+    /// Merge every request into one group by giving all requests the
+    /// same control-flow tag. Every `MultiValue` in that group's replay
+    /// would be as wide as the whole trace → the group-width cap trips
+    /// → `ResourceExhausted` (`max_group_width`).
+    OversizedMultivalue,
+}
+
+impl ExhaustMutator {
+    /// Every exhaustion mutator.
+    pub const ALL: &'static [ExhaustMutator] = &[
+        ExhaustMutator::LoopBomb,
+        ExhaustMutator::DeepRecursion,
+        ExhaustMutator::AllocBomb,
+        ExhaustMutator::DictFlood,
+        ExhaustMutator::EdgeExplosion,
+        ExhaustMutator::OversizedMultivalue,
+    ];
+
+    /// The mutator's name, for reporting.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExhaustMutator::LoopBomb => "loop-bomb",
+            ExhaustMutator::DeepRecursion => "deep-recursion",
+            ExhaustMutator::AllocBomb => "alloc-bomb",
+            ExhaustMutator::DictFlood => "dict-flood",
+            ExhaustMutator::EdgeExplosion => "edge-explosion",
+            ExhaustMutator::OversizedMultivalue => "oversized-multivalue",
+        }
+    }
+
+    /// The budget this mutator attacks, i.e. the
+    /// [`crate::verifier::ResourceKind`] a tight-limits audit must
+    /// report — or `None` for [`ExhaustMutator::DeepRecursion`], whose
+    /// designed defense is the decoder's nesting guard
+    /// (`MalformedAdvice`), not a configured budget.
+    pub fn expected(self) -> Option<crate::verifier::ResourceKind> {
+        use crate::verifier::ResourceKind;
+        match self {
+            ExhaustMutator::LoopBomb => Some(ResourceKind::ReplayFuel),
+            ExhaustMutator::DeepRecursion => None,
+            ExhaustMutator::AllocBomb => Some(ResourceKind::DecodeNodes),
+            ExhaustMutator::DictFlood => Some(ResourceKind::DictEntries),
+            ExhaustMutator::EdgeExplosion => Some(ResourceKind::GraphNodes),
+            ExhaustMutator::OversizedMultivalue => Some(ResourceKind::GroupWidth),
+        }
+    }
+
+    /// Applies this mutator to `advice` with deterministic randomness
+    /// from `seed`. Returns `None` when the advice has nothing this
+    /// mutator targets (e.g. no nondet values to inflate).
+    pub fn apply(self, advice: &Advice, seed: u64) -> Option<Mutation> {
+        let mut rng = Rng::new(seed ^ fnv1a(self.name()));
+        let mut a = advice.clone();
+        let description = match self {
+            ExhaustMutator::LoopBomb => {
+                if a.nondet.is_empty() {
+                    return None;
+                }
+                let mut inflated = 0usize;
+                for v in a.nondet.values_mut() {
+                    *v = Value::Int(1 << 40);
+                    inflated += 1;
+                }
+                format!("inflated {inflated} nondet values to 2^40")
+            }
+            ExhaustMutator::DeepRecursion => {
+                let ops: Vec<OpRef> = a.nondet.keys().cloned().collect();
+                if ops.is_empty() {
+                    return None;
+                }
+                let op = ops[rng.below(ops.len())].clone();
+                // Nest two past the decoder's 64-level guard.
+                let mut v = Value::Int(0);
+                for _ in 0..66 {
+                    v = Value::from_vec(vec![v]);
+                }
+                a.nondet.insert(op.clone(), v);
+                format!("wrapped nondet value at {op} in 66 nested lists")
+            }
+            ExhaustMutator::AllocBomb => {
+                let ops: Vec<OpRef> = a.nondet.keys().cloned().collect();
+                if ops.is_empty() {
+                    return None;
+                }
+                let op = ops[rng.below(ops.len())].clone();
+                let n = 1usize << 16;
+                a.nondet
+                    .insert(op.clone(), Value::from_vec(vec![Value::Null; n]));
+                format!("replaced nondet value at {op} with a {n}-element list")
+            }
+            ExhaustMutator::DictFlood => {
+                let var = a.var_logs.keys().next().copied().unwrap_or(VarId(0));
+                let hid = HandlerId::root(FunctionId(0));
+                let n = 1u32 << 14;
+                let log = a.var_logs.entry(var).or_default();
+                for i in 0..n {
+                    log.insert(
+                        OpRef::new(RequestId(u64::MAX), hid.clone(), i),
+                        crate::advice::VarLogEntry {
+                            access: crate::advice::AccessType::Write,
+                            value: Some(Value::Int(i as i64)),
+                            prec: None,
+                        },
+                    );
+                }
+                format!("flooded v{}'s log with {n} fabricated entries", var.0)
+            }
+            ExhaustMutator::EdgeExplosion => {
+                if a.opcounts.is_empty() {
+                    return None;
+                }
+                let mut inflated = 0usize;
+                for count in a.opcounts.values_mut() {
+                    *count = 1 << 20;
+                    inflated += 1;
+                }
+                format!("inflated {inflated} opcounts to 2^20")
+            }
+            ExhaustMutator::OversizedMultivalue => {
+                if a.tags.len() < 2 {
+                    return None;
+                }
+                let shared = *a.tags.values().next()?;
+                for tag in a.tags.values_mut() {
+                    *tag = shared;
+                }
+                format!("merged all {} requests into one group", a.tags.len())
+            }
+        };
+        Some(Mutation {
+            mutator: self.name(),
+            class: MutationClass::Semantic,
+            description,
+            bytes: encode_advice(&a),
+        })
+    }
+}
+
 /// Wire-level mutators: operate directly on the encoded bytes, before
 /// any decoding. These exercise the codec's own defenses (positioned
 /// errors, the trailing-bytes check, declared-length budgets).

@@ -31,6 +31,7 @@
 
 pub mod advice;
 pub mod collector;
+pub mod config;
 pub mod faultinject;
 pub mod lint;
 pub mod multivalue;
@@ -55,8 +56,10 @@ pub use collector::{
     run_instrumented_server, run_instrumented_server_encoded, run_instrumented_server_with_obs,
     Collector, CollectorCounters, CollectorMode,
 };
+pub use config::Limits;
 pub use faultinject::{
-    honest_must_accept, Mutation, MutationClass, MutationOutcome, Mutator, WireMutator,
+    honest_must_accept, ExhaustMutator, Mutation, MutationClass, MutationOutcome, Mutator,
+    WireMutator,
 };
 pub use lint::{lint_advice, LintWarning};
 pub use multivalue::{MultiValue, MultiValueIter};
@@ -66,9 +69,10 @@ pub use verifier::{
     audit_with_obs, audit_with_options, audit_with_schedule, cycle_report, ooo_audit,
     ooo_audit_with_options, AuditDiagnostics, AuditFailure, AuditOptions, AuditReport,
     CycleEdgeReport, CycleProbe, CycleReport, EdgeKind, FeedCounters, PhaseTiming, ReexecStats,
-    RejectReason, ReplaySchedule,
+    RejectReason, ReplaySchedule, ResourceKind,
 };
 pub use wire::{
-    advice_sizes, decode_advice, decode_advice_fast, decode_advice_view, encode_advice,
-    owned_decode_copy_bytes, AdviceSizes, AdviceView, DecodeStats, ValueView,
+    advice_sizes, decode_advice, decode_advice_fast, decode_advice_fast_bounded,
+    decode_advice_view, encode_advice, owned_decode_copy_bytes, AdviceSizes, AdviceView,
+    BoundedDecodeError, DecodeStats, ValueView,
 };

@@ -24,8 +24,10 @@ pub use graph::{CycleEdge, CycleProbe, EdgeKind, GNode, Graph, HPos};
 pub use preprocess::{
     preprocess, preprocess_staged, DeferredEdges, OpMapEntry, PreStaged, Preprocessed,
 };
+#[doc(hidden)]
+pub use reexec::inject_group_panic_for_tests;
 pub use reexec::{ReExecutor, ReexecStats, ReexecTiming, ReplaySchedule};
-pub use reject::RejectReason;
+pub use reject::{RejectReason, ResourceKind};
 pub use vars::{FeedCounters, VarStates};
 
 use std::time::{Duration, Instant};
@@ -34,6 +36,7 @@ use kem::{init_handler_id, OpRef, Program, RequestId, Trace, VarId};
 use obs::{CounterId, GaugeId, HistogramId, Obs};
 
 use crate::advice::Advice;
+use crate::config::Limits;
 
 /// Knobs for how an audit executes. None of them can change the
 /// verdict — a parallel audit produces bit-identical statistics and the
@@ -52,6 +55,12 @@ pub struct AuditOptions {
     /// barrier-separated phases; verdicts and metrics are bit-identical
     /// either way — only wall-clock scheduling changes.
     pub pipeline: bool,
+    /// Resource budgets (DESIGN.md §10). The fuel budget is counted
+    /// deterministically, so like the other knobs it cannot make
+    /// verdicts diverge across the threads×pipeline matrix; the
+    /// wall-clock deadline is the one machine-dependent exception and
+    /// defaults far above any honest group.
+    pub limits: Limits,
 }
 
 impl Default for AuditOptions {
@@ -60,6 +69,7 @@ impl Default for AuditOptions {
             threads: 1,
             schedule: ReplaySchedule::Fifo,
             pipeline: true,
+            limits: Limits::default(),
         }
     }
 }
@@ -73,27 +83,20 @@ impl AuditOptions {
         }
     }
 
-    /// Options from the environment: `KAROUSOS_VERIFY_THREADS` sets the
-    /// worker count (default `1`; `0` = one per core) and
-    /// `KAROUSOS_PIPELINE` toggles the pipelined audit (`0`/`off`/
-    /// `false` disable it; default on). This is what the plain
-    /// [`audit`] / [`audit_encoded`] entry points use, so the whole
-    /// test suite can be rerun against any point of the matrix by
-    /// exporting the variables.
+    /// Options from the environment (the full variable table lives in
+    /// [`crate::config`]): `KAROUSOS_VERIFY_THREADS` sets the worker
+    /// count (default `1`; `0` = one per core), `KAROUSOS_PIPELINE`
+    /// toggles the pipelined audit (`0`/`off`/`false` disable it;
+    /// default on), and `KAROUSOS_LIMITS_*` override individual
+    /// resource budgets. This is what the plain [`audit`] /
+    /// [`audit_encoded`] entry points use, so the whole test suite can
+    /// be rerun against any point of the matrix by exporting the
+    /// variables.
     pub fn from_env() -> Self {
-        let threads = std::env::var("KAROUSOS_VERIFY_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(1);
-        let pipeline = std::env::var("KAROUSOS_PIPELINE")
-            .map(|v| {
-                let v = v.trim().to_ascii_lowercase();
-                !(v.is_empty() || v == "0" || v == "off" || v == "false")
-            })
-            .unwrap_or(true);
         AuditOptions {
-            pipeline,
-            ..AuditOptions::with_threads(threads)
+            pipeline: crate::config::pipeline_from_env(),
+            limits: Limits::from_env(),
+            ..AuditOptions::with_threads(crate::config::verify_threads_from_env())
         }
     }
 
@@ -225,17 +228,42 @@ pub fn audit_encoded_with_obs(
 ) -> Result<AuditReport, RejectReason> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let span = obs.span_start();
+        // Byte budget first: the cheapest check, applied before a
+        // single advice byte is parsed.
+        if advice_bytes.len() as u64 > opts.limits.decode_max_bytes {
+            return Err(RejectReason::ResourceExhausted {
+                resource: ResourceKind::DecodeBytes,
+                group: None,
+                spent: advice_bytes.len() as u64,
+                limit: opts.limits.decode_max_bytes,
+            });
+        }
         // Zero-copy decode: borrow strings out of the wire buffer and
         // only copy what survives into the owned advice (interned
         // values, map keys). The view decoder reads the same bytes with
         // the same budgets, so malformed advice rejects with the same
-        // positioned error the owned decoder gave.
+        // positioned error the owned decoder gave. The node budget caps
+        // total declared collection elements across all sections.
         let (advice, decode_stats) =
-            crate::wire::decode_advice_fast(advice_bytes).map_err(|e| {
-                RejectReason::MalformedAdvice {
-                    what: e.to_string(),
-                }
-            })?;
+            crate::wire::decode_advice_fast_bounded(advice_bytes, opts.limits.decode_max_nodes)
+                .map_err(|e| match e {
+                    crate::wire::BoundedDecodeError::NodesExhausted { offset: _, limit } => {
+                        RejectReason::ResourceExhausted {
+                            resource: ResourceKind::DecodeNodes,
+                            group: None,
+                            // The budget trips on the first node past
+                            // the cap; the true declared total is
+                            // unknown (and unaffordable to learn).
+                            spent: limit.saturating_add(1),
+                            limit,
+                        }
+                    }
+                    crate::wire::BoundedDecodeError::Malformed(e) => {
+                        RejectReason::MalformedAdvice {
+                            what: e.to_string(),
+                        }
+                    }
+                })?;
         obs.count(CounterId::BytesDecoded, advice_bytes.len() as u64);
         obs.count(CounterId::DecodeBytesCopied, decode_stats.bytes_copied);
         obs.record_span(
@@ -250,9 +278,15 @@ pub fn audit_encoded_with_obs(
         audit_core(program, trace, &advice, isolation, opts, obs, false).map_err(|f| f.reason)
     })) {
         Ok(outcome) => outcome,
-        Err(payload) => Err(RejectReason::VerifierInternal {
-            what: panic_message(&payload),
-        }),
+        Err(payload) => {
+            // The backstop fired: record it (the fault-injection
+            // harness treats any crossing of this boundary as a
+            // verifier bug) and carry the payload into the forensics.
+            obs.count(CounterId::PanicsCaught, 1);
+            Err(RejectReason::VerifierInternal {
+                what: format!("audit panicked: {}", panic_message(&payload)),
+            })
+        }
     }
 }
 
@@ -332,6 +366,7 @@ pub fn ooo_audit_with_options(
 ) -> Result<AuditReport, RejectReason> {
     let threads = opts.effective_threads();
     let mut timing = PhaseTiming::default();
+    check_advice_volume(advice, &opts.limits)?;
     let t = Instant::now();
     let mut staged = preprocess_staged(program, trace, advice, isolation, threads)?;
     staged.deferred.merge_into(&mut staged.pre.graph);
@@ -342,12 +377,14 @@ pub fn ooo_audit_with_options(
     let t = Instant::now();
     let reexec = ReExecutor::new(program, trace, advice, &pre, &mut vars)
         .with_schedule(opts.schedule)
+        .with_limits(opts.limits)
         .run_ungrouped()?;
     timing.group_replay = t.elapsed();
     let mut graph = pre.graph;
     let t = Instant::now();
     vars.add_internal_state_edges_sharded(&mut graph, threads)?;
     timing.graph_merge = t.elapsed();
+    check_graph_volume(graph.node_count(), graph.edge_count(), &opts.limits)?;
     let t = Instant::now();
     if graph.has_cycle() {
         return Err(RejectReason::CycleInG);
@@ -426,14 +463,7 @@ pub fn audit_forensic(
 /// that); programmatic consumers use [`audit_with_obs`] instead.
 fn obs_env_enabled() -> bool {
     static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        std::env::var("KAROUSOS_OBS")
-            .map(|v| {
-                let v = v.trim();
-                !v.is_empty() && v != "0"
-            })
-            .unwrap_or(false)
-    })
+    *ENABLED.get_or_init(crate::config::obs_from_env)
 }
 
 fn env_obs() -> Obs {
@@ -457,6 +487,62 @@ fn edge_counter(kind: EdgeKind) -> CounterId {
         EdgeKind::VarWw => CounterId::EdgesVarWw,
         EdgeKind::VarRw => CounterId::EdgesVarRw,
     }
+}
+
+/// Pre-replay volume budgets on decoded advice (DESIGN.md §10): the
+/// total dictionary feed (every var-log entry becomes a dictionary
+/// entry during replay) and a lower bound on the execution graph's node
+/// count (each advice opcount implies that many operation nodes, plus a
+/// begin/end pair per handler). Both are sums the verifier can compute
+/// in one cheap walk *before* committing to preprocess allocations, so
+/// flood advice rejects in O(advice) instead of O(allocated).
+fn check_advice_volume(advice: &Advice, limits: &Limits) -> Result<(), RejectReason> {
+    let dict_entries: u64 = advice.var_logs.values().map(|l| l.len() as u64).sum();
+    if dict_entries > limits.dict_max_entries {
+        return Err(RejectReason::ResourceExhausted {
+            resource: ResourceKind::DictEntries,
+            group: None,
+            spent: dict_entries,
+            limit: limits.dict_max_entries,
+        });
+    }
+    let mut implied_nodes: u64 = 0;
+    for count in advice.opcounts.values() {
+        implied_nodes = implied_nodes.saturating_add(*count as u64 + 2);
+    }
+    if implied_nodes > limits.graph_max_nodes {
+        return Err(RejectReason::ResourceExhausted {
+            resource: ResourceKind::GraphNodes,
+            group: None,
+            spent: implied_nodes,
+            limit: limits.graph_max_nodes,
+        });
+    }
+    Ok(())
+}
+
+/// Post-merge graph budgets: the final node/edge counts of `G` after
+/// every edge source merged. The pre-replay estimate bounds the
+/// advice-implied nodes; this is the authoritative check before the
+/// cycle traversal commits to visiting them all.
+fn check_graph_volume(nodes: usize, edges: usize, limits: &Limits) -> Result<(), RejectReason> {
+    if nodes as u64 > limits.graph_max_nodes {
+        return Err(RejectReason::ResourceExhausted {
+            resource: ResourceKind::GraphNodes,
+            group: None,
+            spent: nodes as u64,
+            limit: limits.graph_max_nodes,
+        });
+    }
+    if edges as u64 > limits.graph_max_edges {
+        return Err(RejectReason::ResourceExhausted {
+            resource: ResourceKind::GraphEdges,
+            group: None,
+            spent: edges as u64,
+            limit: limits.graph_max_edges,
+        });
+    }
+    Ok(())
 }
 
 // Failures are boxed: an `AuditFailure` is ~150 bytes of diagnostics
@@ -486,6 +572,12 @@ fn audit_core(
 ) -> Result<AuditReport, Box<AuditFailure>> {
     let threads = opts.effective_threads();
     let mut timing = PhaseTiming::default();
+
+    // Volume budgets before preprocess commits to advice-proportional
+    // allocations.
+    if let Err(reason) = check_advice_volume(advice, &opts.limits) {
+        return Err(fail("preprocess", reason));
+    }
 
     // Preprocess (includes isolation-level verification): the
     // advice-driven sections run sharded per request; the edge
@@ -547,6 +639,7 @@ fn audit_core(
     let mut graph = std::mem::take(&mut pre.graph);
     let executor = ReExecutor::new(program, trace, advice, &pre, &mut vars)
         .with_schedule(opts.schedule)
+        .with_limits(opts.limits)
         .with_obs(obs.clone());
     let (reexec, reexec_timing) = if opts.pipeline {
         let graph_ref = &mut graph;
@@ -587,6 +680,18 @@ fn audit_core(
         }
         obs.gauge(GaugeId::GraphNodes, graph.node_count() as u64);
         obs.gauge(GaugeId::GraphEdges, graph.edge_count() as u64);
+        obs.gauge(
+            GaugeId::FuelHeadroom,
+            opts.limits
+                .replay_fuel
+                .saturating_sub(reexec.max_group_fuel),
+        );
+    }
+
+    // Final graph budgets before the traversal commits to visiting
+    // every node the merged graph materialized.
+    if let Err(reason) = check_graph_volume(graph.node_count(), graph.edge_count(), &opts.limits) {
+        return Err(fail("postprocess", reason));
     }
 
     let t = Instant::now();

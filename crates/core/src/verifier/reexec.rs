@@ -22,7 +22,7 @@
 //! loop touches only pre-sized tables and `Arc`-backed values.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use kem::{
@@ -30,16 +30,39 @@ use kem::{
     INIT_FUNCTION,
 };
 
-use obs::{HistogramId, Obs, ObsShard};
+use obs::{CounterId, HistogramId, Obs, ObsShard};
 
 use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType, VarLog};
+use crate::config::Limits;
 use crate::multivalue::MultiValue;
 use crate::verifier::preprocess::{OpMapEntry, Preprocessed};
-use crate::verifier::reject::RejectReason;
+use crate::verifier::reject::{RejectReason, ResourceKind};
 use crate::verifier::vars::VarStates;
 
 /// Iteration guard for `While` loops driven by (possibly forged) advice.
+/// Per-loop only — nested loops multiply, which is why the fuel meter
+/// (a budget on *total* steps) is the real denial-of-audit defense and
+/// this stays a coarse backstop.
 const LOOP_LIMIT: u32 = 1_000_000;
+
+/// Fuel units between wall-clock polls of the group deadline: frequent
+/// enough that an over-deadline group is caught within microseconds of
+/// real work, rare enough that `Instant::now` stays off the hot path.
+const DEADLINE_POLL_INTERVAL: u64 = 4096;
+
+/// Group index the next replay worker should panic in (test-only,
+/// armed by [`inject_group_panic_for_tests`]); `-1` means disarmed.
+static INJECT_PANIC: AtomicI64 = AtomicI64::new(-1);
+
+/// Arms a one-shot injected panic in the worker that replays group `g`
+/// (`-1` disarms). Exercises the replay supervisor from integration
+/// tests: the panic must become a quarantined
+/// [`RejectReason::VerifierInternal`] verdict without deadlocking any
+/// merge path or killing the process.
+#[doc(hidden)]
+pub fn inject_group_panic_for_tests(g: i64) {
+    INJECT_PANIC.store(g, Ordering::SeqCst);
+}
 
 /// The order in which a group's `active` queue is drained.
 ///
@@ -74,6 +97,14 @@ pub struct ReexecStats {
     pub uniform_ops: u64,
     /// Operations that expanded to per-request evaluation.
     pub expanded_ops: u64,
+    /// Replay fuel spent (one unit per statement executed and per
+    /// expression node evaluated). Counted inside the single-threaded
+    /// per-group interpreter, so the total is bit-identical at every
+    /// threads×pipeline configuration.
+    pub fuel_spent: u64,
+    /// The hungriest single group's fuel spend — the number the
+    /// `fuel_headroom` gauge is measured against.
+    pub max_group_fuel: u64,
 }
 
 impl ReexecStats {
@@ -84,6 +115,8 @@ impl ReexecStats {
         self.activations_covered += other.activations_covered;
         self.uniform_ops += other.uniform_ops;
         self.expanded_ops += other.expanded_ops;
+        self.fuel_spent += other.fuel_spent;
+        self.max_group_fuel = self.max_group_fuel.max(other.max_group_fuel);
     }
 }
 
@@ -192,6 +225,53 @@ struct GroupRun {
     /// The worker's telemetry shard (disabled — and heap-free — unless
     /// the audit was handed an enabled [`Obs`]).
     obs: ObsShard,
+    /// Whether this unit was synthesized by the supervisor because the
+    /// worker panicked mid-group (feeds the `panics_caught` counter).
+    panicked: bool,
+}
+
+/// Quarantine bookkeeping for the merge (DESIGN.md §10).
+///
+/// A *quarantining* error ([`RejectReason::quarantines`]: resource
+/// exhaustion or a caught worker panic) poisons only its own group:
+/// the merge skips that group's semantic contribution, keeps replaying
+/// and merging the remaining groups, and reports the first quarantine
+/// verdict at the end. A *hard* (semantic) error still stops the audit
+/// at that group, exactly as before — except that if a quarantine came
+/// first in group order, the quarantine verdict wins, because the hard
+/// error was derived from artifacts downstream of the poisoned group.
+#[derive(Default)]
+struct Quarantine {
+    /// First quarantining verdict in ascending group order.
+    first: Option<RejectReason>,
+    /// Number of quarantined groups (feeds `groups_quarantined`).
+    groups: u64,
+    /// Number of those that were caught panics (feeds `panics_caught`).
+    panics: u64,
+}
+
+impl Quarantine {
+    /// Resolve a hard error against any earlier quarantine: the
+    /// quarantine verdict wins because later groups' artifacts are
+    /// untrustworthy once an earlier group was poisoned.
+    fn resolve(&self, hard: RejectReason) -> RejectReason {
+        self.first.clone().unwrap_or(hard)
+    }
+
+    /// Flush quarantine telemetry and return the pending verdict, if
+    /// any. Call once after the merge loop finishes.
+    fn finish(&mut self, obs_handle: &Obs) -> Result<(), RejectReason> {
+        if self.groups > 0 {
+            obs_handle.count(CounterId::GroupsQuarantined, self.groups);
+        }
+        if self.panics > 0 {
+            obs_handle.count(CounterId::PanicsCaught, self.panics);
+        }
+        match self.first.take() {
+            Some(q) => Err(q),
+            None => Ok(()),
+        }
+    }
 }
 
 /// The re-executed operation a handler-log entry must match, borrowing
@@ -276,6 +356,25 @@ pub struct ReExecutor<'a> {
     /// Telemetry handle; [`Obs::noop`] (zero-cost) unless installed
     /// via [`ReExecutor::with_obs`].
     obs: Obs,
+    /// Resource budgets; per-group meters are armed from this
+    /// (installed via [`ReExecutor::with_limits`], unlimited by
+    /// default).
+    limits: Limits,
+    /// Fuel spent by this executor's replay so far.
+    fuel_spent: u64,
+    /// Armed fuel ceiling (from `limits.replay_fuel`, scaled for the
+    /// single-pass ungrouped replay).
+    fuel_limit: u64,
+    /// Armed group-width ceiling.
+    max_group_width: u64,
+    /// Armed wall-clock deadline, if any.
+    deadline: Option<Instant>,
+    /// The armed deadline's span in milliseconds (forensics).
+    deadline_ms: u64,
+    /// Fuel level at which the wall clock is next polled.
+    next_deadline_poll: u64,
+    /// The group this executor replays (`None` for ungrouped).
+    group: Option<u64>,
 }
 
 /// Per-handler interpreter frame: slot-indexed locals over the
@@ -333,6 +432,14 @@ impl<'a> ReExecutor<'a> {
             outputs: HashMap::with_capacity(advice.tags.len()),
             stats: ReexecStats::default(),
             obs: Obs::noop(),
+            limits: Limits::unlimited(),
+            fuel_spent: 0,
+            fuel_limit: u64::MAX,
+            max_group_width: u64::MAX,
+            deadline: None,
+            deadline_ms: u64::MAX,
+            next_deadline_poll: DEADLINE_POLL_INTERVAL,
+            group: None,
         }
     }
 
@@ -375,6 +482,14 @@ impl<'a> ReExecutor<'a> {
             outputs: HashMap::with_capacity(advice.tags.len()),
             stats: ReexecStats::default(),
             obs: Obs::noop(),
+            limits: Limits::unlimited(),
+            fuel_spent: 0,
+            fuel_limit: u64::MAX,
+            max_group_width: u64::MAX,
+            deadline: None,
+            deadline_ms: u64::MAX,
+            next_deadline_poll: DEADLINE_POLL_INTERVAL,
+            group: None,
         }
     }
 
@@ -395,6 +510,71 @@ impl<'a> ReExecutor<'a> {
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Installs resource budgets (DESIGN.md §10). Grouped runs arm a
+    /// fresh per-group fuel/deadline meter from these for every group;
+    /// the ungrouped single-pass replay arms one meter scaled by the
+    /// request count (its one pass does every request's work).
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Arms the fuel/deadline meter. `scale` is `1` for a group worker
+    /// and the request count for the ungrouped replay.
+    fn arm_meter(&mut self, limits: &Limits, group: Option<u64>, scale: u64) {
+        let scale = scale.max(1);
+        self.fuel_spent = 0;
+        self.fuel_limit = limits.replay_fuel.saturating_mul(scale);
+        self.max_group_width = limits.max_group_width;
+        self.next_deadline_poll = DEADLINE_POLL_INTERVAL;
+        self.deadline_ms = limits.group_deadline_ms;
+        self.group = group;
+        // `u64::MAX` (or an Instant overflow) disables the deadline.
+        self.deadline = if limits.group_deadline_ms == u64::MAX {
+            None
+        } else {
+            Instant::now().checked_add(Duration::from_millis(
+                limits.group_deadline_ms.saturating_mul(scale),
+            ))
+        };
+    }
+
+    /// Charges `n` fuel units. One unit per statement executed and per
+    /// expression node evaluated makes the spend a pure function of
+    /// the program and the advice — never of the worker layout — so a
+    /// [`ResourceKind::ReplayFuel`] verdict is deterministic. Every
+    /// [`DEADLINE_POLL_INTERVAL`] units the wall clock is polled
+    /// against the group deadline (that verdict is machine-dependent
+    /// by nature; see DESIGN.md §10).
+    #[inline]
+    fn charge(&mut self, n: u64) -> Result<(), RejectReason> {
+        self.fuel_spent = self.fuel_spent.saturating_add(n);
+        if self.fuel_spent > self.fuel_limit {
+            return Err(RejectReason::ResourceExhausted {
+                resource: ResourceKind::ReplayFuel,
+                group: self.group,
+                spent: self.fuel_spent,
+                limit: self.fuel_limit,
+            });
+        }
+        if self.fuel_spent >= self.next_deadline_poll {
+            self.next_deadline_poll = self.fuel_spent.saturating_add(DEADLINE_POLL_INTERVAL);
+            if let Some(deadline) = self.deadline {
+                let now = Instant::now();
+                if now > deadline {
+                    let over = now.duration_since(deadline).as_millis() as u64;
+                    return Err(RejectReason::ResourceExhausted {
+                        resource: ResourceKind::GroupDeadline,
+                        group: self.group,
+                        spent: self.deadline_ms.saturating_add(over),
+                        limit: self.deadline_ms,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Draws the next handler from the active queue per the schedule.
@@ -475,12 +655,13 @@ impl<'a> ReExecutor<'a> {
         let groups = self.advice.groups(&order);
         let ngroups = groups.len();
         let obs_handle = self.obs.clone();
-        let (program, trace, advice, pre, schedule) = (
+        let (program, trace, advice, pre, schedule, limits) = (
             self.program,
             self.trace,
             self.advice,
             self.pre,
             self.schedule,
+            self.limits,
         );
         let VarBackend::Global(global) = self.vars else {
             return Err(RejectReason::VerifierInternal {
@@ -492,59 +673,99 @@ impl<'a> ReExecutor<'a> {
         let init_vars: VarStates = global.clone();
 
         let run_unit = |gidx: usize, rids: &[RequestId], lane: u32| -> GroupRun {
-            let mut shard = obs_handle.shard(lane);
-            let t_group = shard.span_start();
-            let mut ex = ReExecutor::for_group(
-                program,
-                trace,
-                advice,
-                pre,
-                init_vars.clone(),
-                schedule,
-                gidx,
-            );
-            let mut error = ex
-                .run_group(Group {
-                    rids: rids.to_vec(),
-                })
-                .err();
-            if shard.is_enabled() {
-                let size = rids.len() as u64;
-                // The group's handler-tree digest is its control-flow
-                // tag (equal across members by construction).
-                let digest = rids
-                    .first()
-                    .and_then(|r| advice.tags.get(r))
-                    .copied()
-                    .unwrap_or(0);
-                shard.observe(HistogramId::GroupSize, size);
-                let dur = shard.record_span(
-                    "group-replay",
-                    t_group,
-                    &[("group", gidx as u64), ("size", size), ("digest", digest)],
-                );
-                shard.observe(HistogramId::GroupReplayUs, dur);
-            }
-            let events = match ex.vars {
-                VarBackend::Recording { events, .. } => events,
-                // Statically impossible; losing the event stream would
-                // silently weaken the merge checks, so fail closed.
-                VarBackend::Global(_) => {
-                    error = Some(RejectReason::VerifierInternal {
-                        what: "group worker lost its event stream".into(),
-                    });
-                    Vec::new()
+            // Supervisor boundary: a panicking group must not take a
+            // worker thread (or the whole audit) down — it becomes a
+            // quarantined [`RejectReason::VerifierInternal`] unit and
+            // the remaining groups keep replaying.
+            let supervised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if INJECT_PANIC.load(Ordering::SeqCst) == gidx as i64
+                    && INJECT_PANIC
+                        .compare_exchange(gidx as i64, -1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    // Test-only hook (armed by
+                    // `inject_group_panic_for_tests`) that exercises
+                    // this supervisor.
+                    #[allow(clippy::panic)]
+                    {
+                        panic!("injected test panic in group {gidx}")
+                    };
                 }
-            };
-            GroupRun {
-                events,
-                error,
-                executed: ex.executed,
-                consumed: ex.consumed,
-                outputs: ex.outputs,
-                stats: ex.stats,
-                obs: shard,
-            }
+                let mut shard = obs_handle.shard(lane);
+                let t_group = shard.span_start();
+                let mut ex = ReExecutor::for_group(
+                    program,
+                    trace,
+                    advice,
+                    pre,
+                    init_vars.clone(),
+                    schedule,
+                    gidx,
+                );
+                ex.arm_meter(&limits, Some(gidx as u64), 1);
+                let mut error = ex
+                    .run_group(Group {
+                        rids: rids.to_vec(),
+                    })
+                    .err();
+                ex.stats.fuel_spent = ex.fuel_spent;
+                ex.stats.max_group_fuel = ex.fuel_spent;
+                if shard.is_enabled() {
+                    let size = rids.len() as u64;
+                    // The group's handler-tree digest is its control-flow
+                    // tag (equal across members by construction).
+                    let digest = rids
+                        .first()
+                        .and_then(|r| advice.tags.get(r))
+                        .copied()
+                        .unwrap_or(0);
+                    shard.observe(HistogramId::GroupSize, size);
+                    shard.count(CounterId::ReplayFuelSpent, ex.fuel_spent);
+                    shard.observe(HistogramId::GroupFuelSpent, ex.fuel_spent);
+                    let dur = shard.record_span(
+                        "group-replay",
+                        t_group,
+                        &[("group", gidx as u64), ("size", size), ("digest", digest)],
+                    );
+                    shard.observe(HistogramId::GroupReplayUs, dur);
+                }
+                let events = match ex.vars {
+                    VarBackend::Recording { events, .. } => events,
+                    // Statically impossible; losing the event stream would
+                    // silently weaken the merge checks, so fail closed.
+                    VarBackend::Global(_) => {
+                        error = Some(RejectReason::VerifierInternal {
+                            what: "group worker lost its event stream".into(),
+                        });
+                        Vec::new()
+                    }
+                };
+                GroupRun {
+                    events,
+                    error,
+                    executed: ex.executed,
+                    consumed: ex.consumed,
+                    outputs: ex.outputs,
+                    stats: ex.stats,
+                    obs: shard,
+                    panicked: false,
+                }
+            }));
+            supervised.unwrap_or_else(|payload| GroupRun {
+                events: Vec::new(),
+                error: Some(RejectReason::VerifierInternal {
+                    what: format!(
+                        "group {gidx} replay worker panicked: {}",
+                        super::panic_message(payload.as_ref())
+                    ),
+                }),
+                executed: HashSet::new(),
+                consumed: HashSet::new(),
+                outputs: HashMap::new(),
+                stats: ReexecStats::default(),
+                obs: obs_handle.shard(lane),
+                panicked: true,
+            })
         };
 
         // Merge state shared by all three paths (sequential, barrier
@@ -571,26 +792,30 @@ impl<'a> ReExecutor<'a> {
             let mut units: Vec<Option<GroupRun>> = Vec::with_capacity(ngroups);
             let mut failed = false;
             for (gidx, rids) in groups.iter().enumerate() {
-                // The merge never looks past the first failing group,
-                // so neither does the replay.
+                // The merge never looks past the first *hard*-failing
+                // group, so neither does the replay; quarantined groups
+                // don't stop it (graceful degradation).
                 if failed {
                     units.push(None);
                     continue;
                 }
                 let unit = run_unit(gidx, rids, 0);
-                failed = unit.error.is_some();
+                failed = unit.error.as_ref().is_some_and(|e| !e.quarantines());
                 units.push(Some(unit));
             }
             timing.group_replay = t_replay.elapsed();
             let t_merge = Instant::now();
             let t_merge_span = obs_handle.span_start();
+            let mut quarantine = Quarantine::default();
+            let mut merged: Result<(), RejectReason> = Ok(());
             for slot in units {
                 let Some(unit) = slot else {
-                    return Err(RejectReason::VerifierInternal {
+                    merged = Err(RejectReason::VerifierInternal {
                         what: "group skipped before the first failing group".into(),
                     });
+                    break;
                 };
-                merge_unit(
+                if let Err(e) = merge_unit(
                     global,
                     advice,
                     &obs_handle,
@@ -598,9 +823,16 @@ impl<'a> ReExecutor<'a> {
                     &mut executed,
                     &mut consumed,
                     &mut outputs,
+                    &mut quarantine,
                     unit,
-                )?;
+                ) {
+                    merged = Err(e);
+                    break;
+                }
             }
+            let pending = quarantine.finish(&obs_handle);
+            merged?;
+            pending?;
             final_checks(trace, advice, pre, &order, &executed, &consumed, &outputs)?;
             timing.state_merge = t_merge.elapsed();
             obs_handle.record_span(
@@ -655,29 +887,14 @@ impl<'a> ReExecutor<'a> {
                             if i > failed_floor.load(Ordering::Relaxed) {
                                 continue;
                             }
-                            // A panicking group must still report, or
-                            // the streaming merge would stall waiting
-                            // for its slot: convert the panic into the
-                            // same internal-error REJECT the audit's
-                            // outer catch_unwind boundary produces.
-                            let unit =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    run_unit_ref(i, &groups_ref[i], lane)
-                                }))
-                                .unwrap_or_else(|payload| {
-                                    GroupRun {
-                                        events: Vec::new(),
-                                        error: Some(RejectReason::VerifierInternal {
-                                            what: super::panic_message(payload.as_ref()),
-                                        }),
-                                        executed: HashSet::new(),
-                                        consumed: HashSet::new(),
-                                        outputs: HashMap::new(),
-                                        stats: ReexecStats::default(),
-                                        obs: obs_ref.shard(lane),
-                                    }
-                                });
-                            if unit.error.is_some() {
+                            // run_unit is supervised: a panicking group
+                            // reports a quarantined unit instead of
+                            // stalling the streaming merge on an empty
+                            // slot. Only hard (semantic) errors lower
+                            // the floor — quarantined groups don't stop
+                            // the groups behind them.
+                            let unit = run_unit_ref(i, &groups_ref[i], lane);
+                            if unit.error.as_ref().is_some_and(|e| !e.quarantines()) {
                                 failed_floor.fetch_min(i, Ordering::Relaxed);
                             }
                             if let Ok(mut slots) = board.lock() {
@@ -696,6 +913,7 @@ impl<'a> ReExecutor<'a> {
                 side();
                 let t_merge = Instant::now();
                 let t_merge_span = obs_handle.span_start();
+                let mut quarantine = Quarantine::default();
                 let mut out: Result<(), RejectReason> = Ok(());
                 'merge: for gidx in 0..ngroups {
                     let unit = {
@@ -727,6 +945,7 @@ impl<'a> ReExecutor<'a> {
                         &mut executed,
                         &mut consumed,
                         &mut outputs,
+                        &mut quarantine,
                         unit,
                     ) {
                         // Nothing past this group will merge; let the
@@ -735,6 +954,10 @@ impl<'a> ReExecutor<'a> {
                         out = Err(e);
                         break 'merge;
                     }
+                }
+                let qres = quarantine.finish(obs_ref);
+                if out.is_ok() {
+                    out = qres;
                 }
                 if out.is_ok() {
                     out = final_checks(trace, advice, pre, &order, &executed, &consumed, &outputs);
@@ -787,7 +1010,9 @@ impl<'a> ReExecutor<'a> {
                                 continue;
                             }
                             let unit = run_unit_ref(i, &groups_ref[i], lane);
-                            if unit.error.is_some() {
+                            // Quarantined groups don't lower the floor:
+                            // the merge skips them and keeps going.
+                            if unit.error.as_ref().is_some_and(|e| !e.quarantines()) {
                                 failed_floor.fetch_min(i, Ordering::Relaxed);
                             }
                             done.push((i, unit));
@@ -816,13 +1041,16 @@ impl<'a> ReExecutor<'a> {
         // group-local — is the sequential audit's error.
         let t_merge = Instant::now();
         let t_merge_span = obs_handle.span_start();
+        let mut quarantine = Quarantine::default();
+        let mut merged: Result<(), RejectReason> = Ok(());
         for slot in slots {
             let Some(unit) = slot else {
-                return Err(RejectReason::VerifierInternal {
+                merged = Err(RejectReason::VerifierInternal {
                     what: "group skipped before the first failing group".into(),
                 });
+                break;
             };
-            merge_unit(
+            if let Err(e) = merge_unit(
                 global,
                 advice,
                 &obs_handle,
@@ -830,9 +1058,16 @@ impl<'a> ReExecutor<'a> {
                 &mut executed,
                 &mut consumed,
                 &mut outputs,
+                &mut quarantine,
                 unit,
-            )?;
+            ) {
+                merged = Err(e);
+                break;
+            }
         }
+        let pending = quarantine.finish(&obs_handle);
+        merged?;
+        pending?;
         final_checks(trace, advice, pre, &order, &executed, &consumed, &outputs)?;
         timing.state_merge = t_merge.elapsed();
         obs_handle.record_span(
@@ -855,6 +1090,11 @@ impl<'a> ReExecutor<'a> {
     /// also audits advice from servers that decline to tag.
     pub fn run_ungrouped(mut self) -> Result<ReexecStats, RejectReason> {
         let order = self.trace.request_ids();
+        // OOOAudit replays every request as a singleton group on one
+        // thread, so the whole run shares a single meter scaled by the
+        // request count (the grouped path budgets per group).
+        let limits = self.limits;
+        self.arm_meter(&limits, None, order.len() as u64);
         self.stats.groups = order.len();
         // One global queue of (singleton group, handler, payload).
         let mut active: VecDeque<(Group, HandlerId, MultiValue)> = VecDeque::new();
@@ -903,6 +1143,8 @@ impl<'a> ReExecutor<'a> {
             &self.consumed,
             &self.outputs,
         )?;
+        self.stats.fuel_spent = self.fuel_spent;
+        self.stats.max_group_fuel = self.fuel_spent;
         Ok(self.stats)
     }
 
@@ -925,6 +1167,18 @@ impl<'a> ReExecutor<'a> {
     }
 
     fn run_group(&mut self, g: Group) -> Result<(), RejectReason> {
+        // Width cap: a forged control-flow tag that collapses many
+        // requests into one group multiplies every MultiValue by the
+        // group width, so an oversized group is rejected up front
+        // instead of amplifying allocations 2^20-fold.
+        if (g.n() as u64) > self.max_group_width {
+            return Err(RejectReason::ResourceExhausted {
+                resource: ResourceKind::GroupWidth,
+                group: self.group,
+                spent: g.n() as u64,
+                limit: self.max_group_width,
+            });
+        }
         // (1) Initialize: inputs and the request handlers. The common
         // case — every member sent the same input — collapses without
         // materializing a per-request vector.
@@ -1058,6 +1312,10 @@ impl<'a> ReExecutor<'a> {
         frame: &mut Frame<'f>,
         stmt: &'f RStmt,
     ) -> Result<(), RejectReason> {
+        // One fuel unit per statement: advice-driven control flow
+        // (loops, recursion) burns fuel and hits the budget instead of
+        // spinning the verifier forever.
+        self.charge(1)?;
         match stmt {
             RStmt::Let(slot, e) => {
                 let v = self.eval(g, frame, e)?;
@@ -1703,6 +1961,10 @@ impl<'a> ReExecutor<'a> {
         frame: &mut Frame<'_>,
         expr: &RExpr,
     ) -> Result<MultiValue, RejectReason> {
+        // One fuel unit per expression node, matching the statement
+        // charge in `exec_stmt`: together they meter every step the
+        // resolved interpreter takes, independent of thread count.
+        self.charge(1)?;
         let wrap = |e: kem::RuntimeError| RejectReason::ReexecError { message: e.message };
         Ok(match expr {
             RExpr::Const(v) => MultiValue::uniform(v.clone()),
@@ -1883,15 +2145,38 @@ fn merge_unit(
     executed: &mut HashSet<(RequestId, HandlerId)>,
     consumed: &mut HashSet<OpRef>,
     outputs: &mut HashMap<RequestId, Value>,
+    quarantine: &mut Quarantine,
     unit: GroupRun,
 ) -> Result<(), RejectReason> {
+    // A quarantined group contributes telemetry only: its events,
+    // stats, and coverage are discarded (they describe an aborted
+    // replay), and the merge moves on so the remaining groups still
+    // produce verdicts. The recorded verdict surfaces from
+    // `Quarantine::finish` after the merge loop.
+    if unit.error.as_ref().is_some_and(RejectReason::quarantines) {
+        obs_handle.absorb(unit.obs);
+        quarantine.groups += 1;
+        if unit.panicked {
+            quarantine.panics += 1;
+        }
+        if quarantine.first.is_none() {
+            quarantine.first = unit.error;
+        }
+        return Ok(());
+    }
     for ev in &unit.events {
         match ev {
             VarEvent::Read { var, op } => {
-                global.on_read(*var, op.clone(), advice.var_logs.get(var))?;
+                if let Err(e) = global.on_read(*var, op.clone(), advice.var_logs.get(var)) {
+                    return Err(quarantine.resolve(e));
+                }
             }
             VarEvent::Write { var, op, value } => {
-                global.on_write(*var, op.clone(), value.clone(), advice.var_logs.get(var))?;
+                if let Err(e) =
+                    global.on_write(*var, op.clone(), value.clone(), advice.var_logs.get(var))
+                {
+                    return Err(quarantine.resolve(e));
+                }
             }
         }
     }
@@ -1899,7 +2184,7 @@ fn merge_unit(
     // still appears in the exported trace.
     obs_handle.absorb(unit.obs);
     if let Some(e) = unit.error {
-        return Err(e);
+        return Err(quarantine.resolve(e));
     }
     stats.absorb(&unit.stats);
     executed.extend(unit.executed);

@@ -8,6 +8,72 @@ use kem::{OpRef, RequestId};
 
 use crate::advice::KTxId;
 
+/// Which governed resource a [`RejectReason::ResourceExhausted`]
+/// rejection ran out of. Every budget in
+/// [`crate::config::Limits`] maps to exactly one variant, so the
+/// chaos harness can assert not just *that* an exhaustion vector was
+/// contained but *which* budget contained it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// The deterministic per-group replay step budget
+    /// (`Limits::replay_fuel`).
+    ReplayFuel,
+    /// The per-group wall-clock deadline
+    /// (`Limits::group_deadline_ms`); `spent`/`limit` are
+    /// milliseconds. Unlike fuel this verdict is *not* deterministic —
+    /// it depends on the machine — which is why honest deployments set
+    /// it far above any plausible group (see DESIGN.md §10).
+    GroupDeadline,
+    /// The advice wire-size budget (`Limits::decode_max_bytes`).
+    DecodeBytes,
+    /// The advice decoded-entry budget (`Limits::decode_max_nodes`).
+    DecodeNodes,
+    /// The total advice dictionary-entry budget
+    /// (`Limits::dict_max_entries`).
+    DictEntries,
+    /// The execution-graph node budget (`Limits::graph_max_nodes`).
+    GraphNodes,
+    /// The execution-graph edge budget (`Limits::graph_max_edges`).
+    GraphEdges,
+    /// The replay-group width (multivalue lane) budget
+    /// (`Limits::max_group_width`).
+    GroupWidth,
+}
+
+impl ResourceKind {
+    /// Every resource kind, in catalog order.
+    pub const ALL: [ResourceKind; 8] = [
+        ResourceKind::ReplayFuel,
+        ResourceKind::GroupDeadline,
+        ResourceKind::DecodeBytes,
+        ResourceKind::DecodeNodes,
+        ResourceKind::DictEntries,
+        ResourceKind::GraphNodes,
+        ResourceKind::GraphEdges,
+        ResourceKind::GroupWidth,
+    ];
+
+    /// Stable snake_case name used in forensics exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::ReplayFuel => "replay_fuel",
+            ResourceKind::GroupDeadline => "group_deadline_ms",
+            ResourceKind::DecodeBytes => "decode_bytes",
+            ResourceKind::DecodeNodes => "decode_nodes",
+            ResourceKind::DictEntries => "dict_entries",
+            ResourceKind::GraphNodes => "graph_nodes",
+            ResourceKind::GraphEdges => "graph_edges",
+            ResourceKind::GroupWidth => "group_width",
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Why an audit rejected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RejectReason {
@@ -202,6 +268,26 @@ pub enum RejectReason {
         /// The coordinate of the unconsumed entry.
         at: OpRef,
     },
+    /// A resource budget from [`crate::config::Limits`] was exhausted:
+    /// the advice asked the verifier to spend more than the configured
+    /// ceiling (a denial-of-audit attempt), so the audit terminated
+    /// with this typed verdict instead of hanging or ballooning. The
+    /// fuel variant is deterministic — the budget is counted
+    /// identically at every threads×pipeline configuration.
+    ResourceExhausted {
+        /// Which budget ran out.
+        resource: ResourceKind,
+        /// The replay group that exhausted the budget, when the budget
+        /// is group-scoped (fuel, deadline, width); `None` for
+        /// whole-advice budgets (decode, dictionary, graph).
+        group: Option<u64>,
+        /// How much was consumed when the budget tripped (fuel steps,
+        /// bytes, entries, nodes/edges, lanes, or milliseconds —
+        /// matching `resource`).
+        spent: u64,
+        /// The configured ceiling that was exceeded.
+        limit: u64,
+    },
 }
 
 impl RejectReason {
@@ -240,7 +326,21 @@ impl RejectReason {
             RejectReason::VerifierInternal { .. } => "VerifierInternal",
             RejectReason::ImplausibleNondet { .. } => "ImplausibleNondet",
             RejectReason::UnexecutedLogEntry { .. } => "UnexecutedLogEntry",
+            RejectReason::ResourceExhausted { .. } => "ResourceExhausted",
         }
+    }
+
+    /// Whether this rejection *quarantines* rather than refutes: the
+    /// verdict says the verifier could not (or would not) finish the
+    /// work, not that the advice's semantics were proven wrong.
+    /// Quarantining verdicts let the remaining groups keep replaying
+    /// (graceful degradation, DESIGN.md §10); semantic rejections keep
+    /// the stop-at-first-failure discipline.
+    pub fn quarantines(&self) -> bool {
+        matches!(
+            self,
+            RejectReason::ResourceExhausted { .. } | RejectReason::VerifierInternal { .. }
+        )
     }
 }
 
@@ -311,6 +411,18 @@ impl std::fmt::Display for RejectReason {
             }
             RejectReason::UnexecutedLogEntry { at } => {
                 write!(f, "logged operation never produced by re-execution at {at}")
+            }
+            RejectReason::ResourceExhausted {
+                resource,
+                group,
+                spent,
+                limit,
+            } => {
+                write!(f, "resource budget exhausted: {resource}")?;
+                if let Some(g) = group {
+                    write!(f, " (group g{g})")?;
+                }
+                write!(f, ", spent {spent} of limit {limit}")
             }
         }
     }

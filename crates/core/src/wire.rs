@@ -155,17 +155,35 @@ impl Encoder {
     }
 }
 
+/// The [`WireError::what`] label reported when a decode exceeds its
+/// node budget ([`decode_advice_fast_bounded`]). A sentinel so callers
+/// can distinguish budget exhaustion (a resource verdict) from
+/// structural malformation (a malformed-advice verdict).
+pub const NODE_BUDGET_LABEL: &str = "decode node budget";
+
 /// Byte-stream decoder.
 #[derive(Debug)]
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Total declared collection elements so far. Every collection
+    /// length — sections, per-entry logs, nested value lists/maps,
+    /// handler-id paths — funnels through [`Decoder::len`], so this is
+    /// a faithful count of allocation-driving nodes.
+    nodes: u64,
+    /// Cap on `nodes`; `u64::MAX` means unmetered.
+    node_budget: u64,
 }
 
 impl<'a> Decoder<'a> {
     /// Creates a decoder over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Decoder { buf, pos: 0 }
+        Decoder {
+            buf,
+            pos: 0,
+            nodes: 0,
+            node_budget: u64::MAX,
+        }
     }
 
     /// Whether all bytes were consumed.
@@ -201,6 +219,17 @@ impl<'a> Decoder<'a> {
             return Err(WireError {
                 offset: start,
                 what,
+            });
+        }
+        // Cumulative node budget: each declared element is a node the
+        // decoder will materialize. Dense advice can pack many small
+        // nodes per byte across nesting levels, so the per-collection
+        // byte bound above does not by itself cap total work.
+        self.nodes = self.nodes.saturating_add(n as u64);
+        if self.nodes > self.node_budget {
+            return Err(WireError {
+                offset: start,
+                what: NODE_BUDGET_LABEL,
             });
         }
         Ok(n)
@@ -961,14 +990,16 @@ pub struct DecodeStats {
 /// they materialize, which the round-trip proptests pin.
 pub fn decode_advice_view(bytes: &[u8]) -> Result<AdviceView<'_>, WireError> {
     let mut cache = HidCache::default();
-    decode_advice_view_inner(bytes, &mut cache)
+    decode_advice_view_inner(bytes, &mut cache, u64::MAX)
 }
 
 fn decode_advice_view_inner<'a>(
     bytes: &'a [u8],
     cache: &mut HidCache<'a>,
+    node_budget: u64,
 ) -> Result<AdviceView<'a>, WireError> {
     let mut d = Decoder::new(bytes);
+    d.node_budget = node_budget;
     let mut a = AdviceView::default();
 
     let n = d.len("tags len", 2)?;
@@ -1141,7 +1172,68 @@ fn decode_advice_view_inner<'a>(
 /// `Arc` bump instead of a fresh copy.
 pub fn decode_advice_fast(bytes: &[u8]) -> Result<(Advice, DecodeStats), WireError> {
     let mut cache = HidCache::default();
-    let view = decode_advice_view_inner(bytes, &mut cache)?;
+    let view = decode_advice_view_inner(bytes, &mut cache, u64::MAX)?;
+    let mut stats = DecodeStats {
+        hid_cache_hits: cache.hits,
+        hid_cache_misses: cache.misses,
+        ..Default::default()
+    };
+    let advice = view.to_advice_with(&mut stats);
+    Ok((advice, stats))
+}
+
+/// How a bounded decode failed: structurally malformed bytes, or
+/// well-formed bytes that declared more than the budget allows. The
+/// two are different verdicts — malformation is the server lying about
+/// the format, exhaustion is the server (or an attacker) trying to make
+/// verification itself unaffordable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedDecodeError {
+    /// The bytes violate the wire format; positioned as
+    /// [`decode_advice`] would report it.
+    Malformed(WireError),
+    /// The advice declared more collection elements than `max_nodes`.
+    NodesExhausted {
+        /// Byte offset of the length declaration that crossed the cap.
+        offset: usize,
+        /// The configured budget.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for BoundedDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundedDecodeError::Malformed(e) => e.fmt(f),
+            BoundedDecodeError::NodesExhausted { offset, limit } => {
+                write!(f, "decode node budget ({limit}) exceeded at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundedDecodeError {}
+
+/// [`decode_advice_fast`] with a cap on the total number of declared
+/// collection elements. Every decode in the audit path goes through
+/// this: the per-collection byte budget in [`Decoder::len`] stops a
+/// single huge length claim, and `max_nodes` stops death-by-a-thousand
+/// small collections across nesting levels.
+pub fn decode_advice_fast_bounded(
+    bytes: &[u8],
+    max_nodes: u64,
+) -> Result<(Advice, DecodeStats), BoundedDecodeError> {
+    let mut cache = HidCache::default();
+    let view = match decode_advice_view_inner(bytes, &mut cache, max_nodes) {
+        Ok(v) => v,
+        Err(e) if e.what == NODE_BUDGET_LABEL => {
+            return Err(BoundedDecodeError::NodesExhausted {
+                offset: e.offset,
+                limit: max_nodes,
+            })
+        }
+        Err(e) => return Err(BoundedDecodeError::Malformed(e)),
+    };
     let mut stats = DecodeStats {
         hid_cache_hits: cache.hits,
         hid_cache_misses: cache.misses,

@@ -63,6 +63,12 @@ pub struct ServerConfig {
     pub policy: SchedPolicy,
     /// Guard against runaway `While` loops (iterations per loop).
     pub loop_limit: u32,
+    /// Total interpreter steps (statements + expression nodes) the run
+    /// may execute before erroring out. `u64::MAX` means unmetered —
+    /// the live server trusts its own program; harnesses that execute
+    /// adversarial or generated programs set a budget so a loop bomb
+    /// terminates deterministically instead of spinning.
+    pub fuel_limit: u64,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +78,7 @@ impl Default for ServerConfig {
             isolation: IsolationLevel::Serializable,
             policy: SchedPolicy::Random { seed: 0 },
             loop_limit: 1_000_000,
+            fuel_limit: u64::MAX,
         }
     }
 }
@@ -153,6 +160,7 @@ pub struct Runtime<'p> {
     sched_rng: SmallRng,
     steps: u64,
     activations: u64,
+    fuel: u64,
 }
 
 /// Runs `program` against `inputs` under `cfg`, reporting through
@@ -204,7 +212,20 @@ impl<'p> Runtime<'p> {
             sched_rng: SmallRng::seed_from_u64(seed),
             steps: 0,
             activations: 0,
+            fuel: 0,
         }
+    }
+
+    /// Burns one unit of interpreter fuel; errors once the configured
+    /// budget is exhausted. Charged per statement and per expression
+    /// node, mirroring the verifier's replay meter.
+    #[inline]
+    fn burn_fuel(&mut self) -> Result<(), RuntimeError> {
+        self.fuel = self.fuel.saturating_add(1);
+        if self.fuel > self.cfg.fuel_limit {
+            return Err(RuntimeError::new("interpreter fuel budget exhausted"));
+        }
+        Ok(())
     }
 
     /// Runs the initialization activation `I`: installs every declared
@@ -339,6 +360,7 @@ impl<'p> Runtime<'p> {
         stmt: &'f RStmt,
         hooks: &mut H,
     ) -> Result<(), RuntimeError> {
+        self.burn_fuel()?;
         match stmt {
             RStmt::Let(slot, e) => {
                 let v = self.eval(frame, e, hooks)?;
@@ -730,6 +752,7 @@ impl<'p> Runtime<'p> {
         expr: &'f RExpr,
         hooks: &mut H,
     ) -> Result<Value, RuntimeError> {
+        self.burn_fuel()?;
         Ok(match expr {
             RExpr::Const(v) => v.clone(),
             RExpr::Local(slot) => match frame.locals.get(*slot as usize).and_then(Option::as_ref) {
@@ -1139,6 +1162,24 @@ mod tests {
         };
         let err = run_server(&p, &[Value::Null], &cfg, &mut NoopHooks).unwrap_err();
         assert!(err.message.contains("iteration limit"));
+    }
+
+    #[test]
+    fn fuel_budget_guards() {
+        let mut b = ProgramBuilder::new();
+        b.function(
+            "handle",
+            vec![while_(lit(true), vec![]), respond(lit(1i64))],
+        );
+        b.request_handler("handle");
+        let p = b.build().unwrap();
+        // The fuel budget trips before the (much larger) loop limit.
+        let cfg = ServerConfig {
+            fuel_limit: 100,
+            ..Default::default()
+        };
+        let err = run_server(&p, &[Value::Null], &cfg, &mut NoopHooks).unwrap_err();
+        assert!(err.message.contains("fuel budget"));
     }
 
     #[test]

@@ -69,11 +69,21 @@ pub enum CounterId {
     DecodeBytesCopied,
     /// Spans dropped because the ring-buffer recorder wrapped.
     SpansDropped,
+    /// Replay fuel spent across all groups (one unit per statement
+    /// executed and expression node evaluated; deterministic at every
+    /// threads×pipeline configuration).
+    ReplayFuelSpent,
+    /// Groups quarantined to a `ResourceExhausted`/`VerifierInternal`
+    /// verdict instead of stopping the whole audit.
+    GroupsQuarantined,
+    /// Worker panics caught and converted into quarantined
+    /// `VerifierInternal` verdicts by the replay supervisor.
+    PanicsCaught,
 }
 
 impl CounterId {
     /// Every counter, in catalog order.
-    pub const ALL: [CounterId; 22] = [
+    pub const ALL: [CounterId; 25] = [
         CounterId::GroupsFormed,
         CounterId::UniformOps,
         CounterId::ExpandedOps,
@@ -96,6 +106,9 @@ impl CounterId {
         CounterId::BytesDecoded,
         CounterId::DecodeBytesCopied,
         CounterId::SpansDropped,
+        CounterId::ReplayFuelSpent,
+        CounterId::GroupsQuarantined,
+        CounterId::PanicsCaught,
     ];
 
     /// Number of counters in the catalog.
@@ -126,6 +139,9 @@ impl CounterId {
             CounterId::BytesDecoded => "bytes_decoded",
             CounterId::DecodeBytesCopied => "decode_bytes_copied",
             CounterId::SpansDropped => "spans_dropped",
+            CounterId::ReplayFuelSpent => "replay_fuel_spent",
+            CounterId::GroupsQuarantined => "groups_quarantined",
+            CounterId::PanicsCaught => "panics_caught",
         }
     }
 }
@@ -140,14 +156,19 @@ pub enum GaugeId {
     GraphEdges,
     /// Worker threads used by the parallel verifier.
     WorkerThreads,
+    /// Replay-fuel budget remaining after the hungriest group
+    /// (`limits.replay_fuel - max(per-group fuel spent)`) — how close
+    /// the audit came to a `ResourceExhausted` verdict.
+    FuelHeadroom,
 }
 
 impl GaugeId {
     /// Every gauge, in catalog order.
-    pub const ALL: [GaugeId; 3] = [
+    pub const ALL: [GaugeId; 4] = [
         GaugeId::GraphNodes,
         GaugeId::GraphEdges,
         GaugeId::WorkerThreads,
+        GaugeId::FuelHeadroom,
     ];
 
     /// Number of gauges in the catalog.
@@ -159,6 +180,7 @@ impl GaugeId {
             GaugeId::GraphNodes => "graph_nodes",
             GaugeId::GraphEdges => "graph_edges",
             GaugeId::WorkerThreads => "worker_threads",
+            GaugeId::FuelHeadroom => "fuel_headroom",
         }
     }
 }
@@ -173,14 +195,17 @@ pub enum HistogramId {
     GroupReplayUs,
     /// Entries per variable log in the advice.
     VarLogLen,
+    /// Replay fuel spent per group.
+    GroupFuelSpent,
 }
 
 impl HistogramId {
     /// Every histogram, in catalog order.
-    pub const ALL: [HistogramId; 3] = [
+    pub const ALL: [HistogramId; 4] = [
         HistogramId::GroupSize,
         HistogramId::GroupReplayUs,
         HistogramId::VarLogLen,
+        HistogramId::GroupFuelSpent,
     ];
 
     /// Number of histograms in the catalog.
@@ -192,6 +217,7 @@ impl HistogramId {
             HistogramId::GroupSize => "group_size",
             HistogramId::GroupReplayUs => "group_replay_us",
             HistogramId::VarLogLen => "var_log_len",
+            HistogramId::GroupFuelSpent => "group_fuel_spent",
         }
     }
 }

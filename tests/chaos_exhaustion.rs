@@ -1,0 +1,293 @@
+//! Chaos harness for resource governance (DESIGN.md §10): every
+//! exhaustion vector in the [`ExhaustMutator`] catalogue must terminate
+//! with a structured REJECT under a tight budget — never a hang, an
+//! OOM, or an abort — and the verdict must be identical at every
+//! threads×pipeline configuration. Honest advice must stay ACCEPTed
+//! under the default limits.
+
+use karousos::{
+    audit_encoded_with_options, audit_with_options, encode_advice, run_instrumented_server, Advice,
+    AuditOptions, CollectorMode, ExhaustMutator, Limits, RejectReason,
+};
+use kem::dsl::*;
+use kem::{Program, ProgramBuilder, RunOutput, SchedPolicy, ServerConfig, Value};
+use kvstore::IsolationLevel;
+
+/// A handler whose loop bound is advice-fed: the recorded nondet
+/// counter drives the outer loop, so forged advice controls how much
+/// work replay does. The inner loop keeps each outer iteration well
+/// under the per-loop backstop while multiplying total steps — the
+/// shape `LOOP_LIMIT` alone cannot contain and the fuel meter must.
+fn spin_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.shared_var("last", Value::Int(0), true);
+    b.function(
+        "handle",
+        vec![
+            nondet_counter("n"),
+            let_("i", lit(0i64)),
+            while_(
+                lt(local("i"), local("n")),
+                vec![
+                    let_("j", lit(0i64)),
+                    while_(
+                        lt(local("j"), lit(100i64)),
+                        vec![let_("j", add(local("j"), lit(1i64)))],
+                    ),
+                    let_("i", add(local("i"), lit(1i64))),
+                ],
+            ),
+            swrite("last", local("i")),
+            respond(lit(0i64)),
+        ],
+    );
+    b.request_handler("handle");
+    b.build().unwrap()
+}
+
+/// Two control-flow paths, so honest runs form two groups — the
+/// fixture for group-width attacks (merging the tags makes one group
+/// as wide as the whole trace).
+fn branch_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.shared_var("seen", Value::Int(0), true);
+    b.function(
+        "handle",
+        vec![
+            swrite("seen", add(sread("seen"), lit(1i64))),
+            iff(
+                field(payload(), "b"),
+                vec![respond(lit(1i64))],
+                vec![respond(lit(2i64))],
+            ),
+        ],
+    );
+    b.request_handler("handle");
+    b.build().unwrap()
+}
+
+fn honest(program: &Program, inputs: &[Value], seed: u64) -> (RunOutput, Advice) {
+    let cfg = ServerConfig {
+        concurrency: 2,
+        policy: SchedPolicy::Random { seed },
+        ..Default::default()
+    };
+    run_instrumented_server(program, inputs, &cfg, CollectorMode::Karousos).unwrap()
+}
+
+/// The full determinism matrix: the quarantine verdict (like any other
+/// verdict) must be bit-identical across worker counts and pipeline
+/// modes.
+const MATRIX: [(usize, bool); 4] = [(1, false), (1, true), (4, false), (4, true)];
+
+fn audit_matrix(
+    program: &Program,
+    out: &RunOutput,
+    bytes: &[u8],
+    limits: Limits,
+) -> Vec<Result<(), RejectReason>> {
+    MATRIX
+        .iter()
+        .map(|&(threads, pipeline)| {
+            let opts = AuditOptions {
+                pipeline,
+                limits,
+                ..AuditOptions::with_threads(threads)
+            };
+            audit_encoded_with_options(
+                program,
+                &out.trace,
+                bytes,
+                IsolationLevel::Serializable,
+                opts,
+            )
+            .map(|_| ())
+        })
+        .collect()
+}
+
+/// Applies `m` to honest advice and audits under `limits`, asserting
+/// every matrix cell rejects identically with the expected verdict.
+fn assert_contained(
+    program: &Program,
+    out: &RunOutput,
+    advice: &Advice,
+    m: ExhaustMutator,
+    limits: Limits,
+) {
+    let mutation = m
+        .apply(advice, 7)
+        .unwrap_or_else(|| panic!("{} found nothing to mutate", m.name()));
+    let verdicts = audit_matrix(program, out, &mutation.bytes, limits);
+    let first = verdicts[0].clone();
+    for (v, &(threads, pipeline)) in verdicts.iter().zip(MATRIX.iter()) {
+        assert_eq!(
+            *v,
+            first,
+            "{}: verdict diverged at threads={threads} pipeline={pipeline}",
+            m.name()
+        );
+    }
+    match (&first, m.expected()) {
+        (Err(RejectReason::ResourceExhausted { resource, .. }), Some(want)) => {
+            assert_eq!(
+                *resource,
+                want,
+                "{}: tripped {resource}, expected {want}",
+                m.name()
+            );
+        }
+        (Err(RejectReason::MalformedAdvice { .. }), None) => {}
+        other => panic!(
+            "{}: expected a contained rejection, got {:?} ({})",
+            m.name(),
+            other.0,
+            mutation.description
+        ),
+    }
+}
+
+#[test]
+fn loop_bomb_is_contained_by_fuel() {
+    let program = spin_program();
+    let (out, advice) = honest(&program, &vec![Value::Null; 6], 3);
+    // Honest replay under the default limits still ACCEPTs.
+    let honest_bytes = encode_advice(&advice);
+    for v in audit_matrix(&program, &out, &honest_bytes, Limits::default()) {
+        v.expect("honest spin advice must accept under default limits");
+    }
+    let limits = Limits {
+        replay_fuel: 200_000,
+        ..Limits::default()
+    };
+    assert_contained(&program, &out, &advice, ExhaustMutator::LoopBomb, limits);
+}
+
+#[test]
+fn loop_bomb_is_contained_by_deadline_when_fuel_is_unmetered() {
+    let program = spin_program();
+    let (out, advice) = honest(&program, &vec![Value::Null; 4], 5);
+    let mutation = ExhaustMutator::LoopBomb.apply(&advice, 7).unwrap();
+    // Fuel unmetered: only the wall clock can stop the spin. The
+    // deadline verdict is machine-dependent in its `spent` field, so
+    // (unlike fuel) it is asserted per-cell, not across the matrix.
+    let limits = Limits {
+        replay_fuel: u64::MAX,
+        group_deadline_ms: 100,
+        ..Limits::default()
+    };
+    for v in audit_matrix(&program, &out, &mutation.bytes, limits) {
+        match v {
+            Err(RejectReason::ResourceExhausted { resource, .. }) => {
+                assert_eq!(resource, karousos::verifier::ResourceKind::GroupDeadline);
+            }
+            other => panic!("expected deadline verdict, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn deep_recursion_is_contained_by_the_nesting_guard() {
+    let program = spin_program();
+    let (out, advice) = honest(&program, &vec![Value::Null; 4], 11);
+    assert_contained(
+        &program,
+        &out,
+        &advice,
+        ExhaustMutator::DeepRecursion,
+        Limits::default(),
+    );
+}
+
+#[test]
+fn alloc_bomb_is_contained_by_the_node_budget() {
+    let program = spin_program();
+    let (out, advice) = honest(&program, &vec![Value::Null; 4], 13);
+    let limits = Limits {
+        decode_max_nodes: 8_192,
+        ..Limits::default()
+    };
+    assert_contained(&program, &out, &advice, ExhaustMutator::AllocBomb, limits);
+}
+
+#[test]
+fn dict_flood_is_contained_by_the_entry_budget() {
+    let program = branch_program();
+    let inputs: Vec<Value> = (0..8)
+        .map(|i| Value::map([("b", Value::int(i % 2))]))
+        .collect();
+    let (out, advice) = honest(&program, &inputs, 17);
+    let limits = Limits {
+        dict_max_entries: 1_000,
+        ..Limits::default()
+    };
+    assert_contained(&program, &out, &advice, ExhaustMutator::DictFlood, limits);
+}
+
+#[test]
+fn edge_explosion_is_contained_by_the_graph_budget() {
+    let program = spin_program();
+    let (out, advice) = honest(&program, &vec![Value::Null; 4], 19);
+    let limits = Limits {
+        graph_max_nodes: 100_000,
+        ..Limits::default()
+    };
+    assert_contained(
+        &program,
+        &out,
+        &advice,
+        ExhaustMutator::EdgeExplosion,
+        limits,
+    );
+}
+
+#[test]
+fn oversized_multivalue_is_contained_by_the_width_cap() {
+    let program = branch_program();
+    let inputs: Vec<Value> = (0..8)
+        .map(|i| Value::map([("b", Value::int(i % 2))]))
+        .collect();
+    let (out, advice) = honest(&program, &inputs, 23);
+    // Honest groups are 4 wide; the merged group is 8 wide.
+    let limits = Limits {
+        max_group_width: 6,
+        ..Limits::default()
+    };
+    assert_contained(
+        &program,
+        &out,
+        &advice,
+        ExhaustMutator::OversizedMultivalue,
+        limits,
+    );
+}
+
+/// The structured-audit path (decoded advice) honors limits too: the
+/// same loop bomb through [`audit_with_options`] instead of the
+/// encoded entry point.
+#[test]
+fn decoded_audit_path_is_fuel_metered_too() {
+    let program = spin_program();
+    let (out, advice) = honest(&program, &vec![Value::Null; 4], 29);
+    let mutation = ExhaustMutator::LoopBomb.apply(&advice, 7).unwrap();
+    let mutated = karousos::decode_advice(&mutation.bytes).unwrap();
+    let opts = AuditOptions {
+        limits: Limits {
+            replay_fuel: 200_000,
+            ..Limits::default()
+        },
+        ..AuditOptions::with_threads(1)
+    };
+    match audit_with_options(
+        &program,
+        &out.trace,
+        &mutated,
+        IsolationLevel::Serializable,
+        opts,
+    ) {
+        Err(RejectReason::ResourceExhausted { resource, .. }) => {
+            assert_eq!(resource, karousos::verifier::ResourceKind::ReplayFuel);
+        }
+        other => panic!("expected fuel verdict, got {other:?}"),
+    }
+}

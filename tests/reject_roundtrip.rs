@@ -1,0 +1,382 @@
+//! Exhaustive round-trip pinning of the [`RejectReason`] catalogue:
+//! every variant's `kind()` string and Display form is part of the
+//! audit's external contract (forensics exports, CI triage, the paper
+//! artifact's result tables), so changes must be deliberate. The
+//! `reasons()` fixture below is checked against the variant count —
+//! adding a variant without extending this test fails to compile the
+//! intent, not just the string.
+
+use karousos::{AuditDiagnostics, KTxId, RejectReason, ResourceKind};
+use kem::{FunctionId, HandlerId, OpRef, RequestId};
+
+fn op() -> OpRef {
+    OpRef::new(RequestId(7), HandlerId::root(FunctionId(2)), 3)
+}
+
+/// One instance of every `RejectReason` variant, in declaration order,
+/// paired with its pinned `kind()` name and a pinned Display fragment.
+fn reasons() -> Vec<(RejectReason, &'static str, &'static str)> {
+    vec![
+        (
+            RejectReason::UnbalancedTrace,
+            "UnbalancedTrace",
+            "trace is not balanced",
+        ),
+        (
+            RejectReason::UnknownRequest { rid: RequestId(7) },
+            "UnknownRequest",
+            "unknown request",
+        ),
+        (
+            RejectReason::BadResponseEmitter {
+                rid: RequestId(7),
+                why: "absent",
+            },
+            "BadResponseEmitter",
+            "bad responseEmittedBy",
+        ),
+        (
+            RejectReason::InvalidLogOp {
+                at: op(),
+                why: "opnum out of range",
+            },
+            "InvalidLogOp",
+            "invalid log op",
+        ),
+        (
+            RejectReason::MissingActivatedHandler { rid: RequestId(7) },
+            "MissingActivatedHandler",
+            "activated handler missing",
+        ),
+        (
+            RejectReason::BadActivationParent { rid: RequestId(7) },
+            "BadActivationParent",
+            "missing/invalid activator",
+        ),
+        (
+            RejectReason::TxLogMalformed {
+                tx: KTxId {
+                    rid: RequestId(7),
+                    hid: HandlerId::root(FunctionId(2)),
+                    opnum: 1,
+                },
+                why: "entry after commit",
+            },
+            "TxLogMalformed",
+            "malformed transaction log",
+        ),
+        (
+            RejectReason::BadDictatingWrite { at: op() },
+            "BadDictatingWrite",
+            "bad dictating write",
+        ),
+        (
+            RejectReason::SelfReadNotLastModification { at: op() },
+            "SelfReadNotLastModification",
+            "not last modification",
+        ),
+        (
+            RejectReason::WriteOrderMismatch { why: "hole" },
+            "WriteOrderMismatch",
+            "write order mismatch",
+        ),
+        (
+            RejectReason::Isolation(adya::Violation::G0 {
+                witness: adya::TxnId(4),
+            }),
+            "Isolation",
+            "isolation violation",
+        ),
+        (
+            RejectReason::GroupSetupMismatch { why: "tag clash" },
+            "GroupSetupMismatch",
+            "group setup mismatch",
+        ),
+        (
+            RejectReason::Divergence {
+                context: "branch arm".to_string(),
+            },
+            "Divergence",
+            "group divergence",
+        ),
+        (
+            RejectReason::StateOpMismatch {
+                at: op(),
+                why: "key differs",
+            },
+            "StateOpMismatch",
+            "state op mismatch",
+        ),
+        (
+            RejectReason::HandlerOpMismatch {
+                at: op(),
+                why: "type differs",
+            },
+            "HandlerOpMismatch",
+            "handler op mismatch",
+        ),
+        (
+            RejectReason::EmitActivationMismatch { at: op() },
+            "EmitActivationMismatch",
+            "emit activation mismatch",
+        ),
+        (
+            RejectReason::OpcountMismatch { rid: RequestId(7) },
+            "OpcountMismatch",
+            "opcount mismatch",
+        ),
+        (
+            RejectReason::ResponseEmitterMismatch { rid: RequestId(7) },
+            "ResponseEmitterMismatch",
+            "response emitter mismatch",
+        ),
+        (
+            RejectReason::OutputMismatch { rid: RequestId(7) },
+            "OutputMismatch",
+            "output mismatch",
+        ),
+        (
+            RejectReason::HandlerNotExecuted { rid: RequestId(7) },
+            "HandlerNotExecuted",
+            "never executed",
+        ),
+        (
+            RejectReason::MissingNondet { at: op() },
+            "MissingNondet",
+            "missing nondet",
+        ),
+        (
+            RejectReason::MissingTag { rid: RequestId(7) },
+            "MissingTag",
+            "missing control-flow tag",
+        ),
+        (
+            RejectReason::VarLogMismatch {
+                at: op(),
+                why: "value differs",
+            },
+            "VarLogMismatch",
+            "variable log mismatch",
+        ),
+        (
+            RejectReason::VarChainBroken { why: "fork" },
+            "VarChainBroken",
+            "variable chain broken",
+        ),
+        (
+            RejectReason::CycleInG,
+            "CycleInG",
+            "execution graph has a cycle",
+        ),
+        (
+            RejectReason::ReexecError {
+                message: "type error".to_string(),
+            },
+            "ReexecError",
+            "re-execution error",
+        ),
+        (
+            RejectReason::MalformedAdvice {
+                what: "truncated".to_string(),
+            },
+            "MalformedAdvice",
+            "malformed advice",
+        ),
+        (
+            RejectReason::MalformedAdviceAt {
+                at: op(),
+                what: "index escapes log",
+            },
+            "MalformedAdviceAt",
+            "malformed advice at",
+        ),
+        (
+            RejectReason::VerifierInternal {
+                what: "caught panic".to_string(),
+            },
+            "VerifierInternal",
+            "verifier internal error",
+        ),
+        (
+            RejectReason::ImplausibleNondet { at: op() },
+            "ImplausibleNondet",
+            "implausible nondet",
+        ),
+        (
+            RejectReason::UnexecutedLogEntry { at: op() },
+            "UnexecutedLogEntry",
+            "never produced by re-execution",
+        ),
+        (
+            RejectReason::ResourceExhausted {
+                resource: ResourceKind::ReplayFuel,
+                group: Some(3),
+                spent: 1001,
+                limit: 1000,
+            },
+            "ResourceExhausted",
+            "resource budget exhausted: replay_fuel (group g3), spent 1001 of limit 1000",
+        ),
+    ]
+}
+
+#[test]
+fn every_variant_has_a_stable_kind_and_display() {
+    let all = reasons();
+    // Coverage floor: grep-derived variant count. If RejectReason grows,
+    // this number and `reasons()` must both grow with it.
+    assert_eq!(all.len(), 32, "RejectReason variant added without a pin");
+    let mut kinds = std::collections::BTreeSet::new();
+    for (reason, kind, display_fragment) in &all {
+        assert_eq!(reason.kind(), *kind);
+        let shown = reason.to_string();
+        assert!(
+            shown.contains(display_fragment),
+            "{kind}: Display {shown:?} lost pinned fragment {display_fragment:?}"
+        );
+        assert!(kinds.insert(*kind), "duplicate kind string {kind}");
+    }
+}
+
+#[test]
+fn quarantine_split_is_exactly_the_resource_and_internal_variants() {
+    for (reason, kind, _) in reasons() {
+        let expected = matches!(kind, "ResourceExhausted" | "VerifierInternal");
+        assert_eq!(
+            reason.quarantines(),
+            expected,
+            "{kind}: quarantines() drifted from the documented split"
+        );
+    }
+}
+
+#[test]
+fn every_variant_exports_to_forensics_json() {
+    for (reason, kind, _) in reasons() {
+        let diag = AuditDiagnostics::from_reason("reexec", &reason);
+        let json = diag.to_json();
+        assert!(
+            json.contains(&format!("\"kind\": \"{kind}\"")),
+            "{kind}: kind missing from forensics JSON {json}"
+        );
+        assert!(json.contains("\"phase\": \"reexec\""), "{kind}: {json}");
+        // The Display form rides along as the human-readable reason and
+        // must be JSON-escaped into a parseable document.
+        json::validate(&json).unwrap_or_else(|e| panic!("{kind}: invalid JSON {json}: {e}"));
+    }
+}
+
+#[test]
+fn resource_kind_names_are_pinned() {
+    let expected = [
+        ("replay_fuel", ResourceKind::ReplayFuel),
+        ("group_deadline_ms", ResourceKind::GroupDeadline),
+        ("decode_bytes", ResourceKind::DecodeBytes),
+        ("decode_nodes", ResourceKind::DecodeNodes),
+        ("dict_entries", ResourceKind::DictEntries),
+        ("graph_nodes", ResourceKind::GraphNodes),
+        ("graph_edges", ResourceKind::GraphEdges),
+        ("group_width", ResourceKind::GroupWidth),
+    ];
+    assert_eq!(expected.len(), ResourceKind::ALL.len());
+    for ((name, kind), listed) in expected.iter().zip(ResourceKind::ALL) {
+        assert_eq!(*kind, listed, "ALL order drifted");
+        assert_eq!(kind.name(), *name);
+        assert_eq!(kind.to_string(), *name);
+    }
+}
+
+/// Minimal JSON well-formedness validator (no serde in the workspace).
+mod json {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        skip_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at {i}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn skip_value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => skip_delimited(b, i, b'}', true),
+            Some(b'[') => skip_delimited(b, i, b']', false),
+            Some(b'"') => skip_string(b, i),
+            Some(_) => skip_scalar(b, i),
+            None => Err("unexpected end".to_string()),
+        }
+    }
+
+    fn skip_delimited(b: &[u8], i: &mut usize, close: u8, object: bool) -> Result<(), String> {
+        *i += 1;
+        skip_ws(b, i);
+        if b.get(*i) == Some(&close) {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            if object {
+                skip_ws(b, i);
+                skip_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at {i}"));
+                }
+                *i += 1;
+            }
+            skip_value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(c) if *c == close => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or close at {i}, got {other:?}")),
+            }
+        }
+    }
+
+    fn skip_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                0x00..=0x1f => return Err(format!("raw control byte 0x{c:02x} at {i}")),
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn skip_scalar(b: &[u8], i: &mut usize) -> Result<(), String> {
+        let start = *i;
+        while *i < b.len() && !b",]}\t\r\n ".contains(&b[*i]) {
+            *i += 1;
+        }
+        let tok = &b[start..*i];
+        if tok == b"null" || tok == b"true" || tok == b"false" {
+            return Ok(());
+        }
+        let s = std::str::from_utf8(tok).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| format!("bad scalar {s:?} at {start}"))
+    }
+}
