@@ -3,16 +3,21 @@
 //! ```text
 //! harness [figure] [--requests N] [--iters K] [--seed S] [--verify-threads T]
 //!         [--obs-out trace.json] [--metrics-out metrics.json]
+//!         [--dump-bytecode app]
 //!
 //!   figure ∈ { fig6, fig7, fig8, fig9, fig10, fig11, fig12, ratios,
 //!              errorbars, ablations, bench-pr3, bench-pr4, bench-pr5,
-//!              bench-pr6, all }
+//!              bench-pr6, bench-pr7, all }
 //! ```
 //!
 //! `--obs-out` / `--metrics-out` capture one fully-instrumented wiki
 //! run and write the Chrome `trace_event` / metrics-registry JSON
 //! exports (open the trace in Perfetto or `chrome://tracing`). With no
 //! explicit figure, the capture is the whole job.
+//!
+//! `--dump-bytecode <motd|stacks|wiki>` prints the compiled replay
+//! bytecode of every function in the app's program (DESIGN.md §11) and
+//! exits — the artifact both the runtime and the verifier dispatch.
 //!
 //! `--verify-threads T` (default 4, `0` = one per core) sets the worker
 //! count for the parallel Karousos audit; every verification table
@@ -103,6 +108,9 @@ struct Opts {
     /// Metrics JSON destination (`--metrics-out`); enables telemetry
     /// capture for the run.
     metrics_out: Option<String>,
+    /// `--dump-bytecode <app>`: print the compiled replay bytecode of
+    /// every function in the named app's program and exit.
+    dump_bytecode: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -116,6 +124,7 @@ fn parse_args() -> Opts {
         verify_threads: 4,
         obs_out: None,
         metrics_out: None,
+        dump_bytecode: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -164,6 +173,14 @@ fn parse_args() -> Opts {
                     std::process::exit(2);
                 };
                 opts.metrics_out = Some(path.clone());
+                i += 2;
+            }
+            "--dump-bytecode" => {
+                let Some(app) = args.get(i + 1) else {
+                    eprintln!("--dump-bytecode requires an app name (motd, stacks, wiki)");
+                    std::process::exit(2);
+                };
+                opts.dump_bytecode = Some(app.clone());
                 i += 2;
             }
             other => {
@@ -1143,8 +1160,226 @@ fn bench_pr6(o: &Opts) {
     }
 }
 
+/// `bench-pr7`: machine-readable evidence for the bytecode VM.
+/// Writes `BENCH_PR7.json` comparing tree-walk vs bytecode replay on
+/// the real apps (motd, stacks, wiki): replay-phase wall-clock measured
+/// on interleaved pairs (median of per-pair ratios, so runner drift
+/// cancels), replay-phase allocation events, and fuel bills — which
+/// must be bit-identical between the two interpreters. Also audits
+/// every app across the full threads{1,4} × pipeline{off,on} ×
+/// bytecode{off,on} matrix and asserts verdicts and structural metrics
+/// never diverge. Exits nonzero on divergence, on a fuel-bill
+/// mismatch, or if the VM is slower than the tree-walk anywhere, so CI
+/// can run it as a smoke test.
+fn bench_pr7(o: &Opts) {
+    use karousos::{audit_with_obs, AuditOptions};
+    use obs::Obs;
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "== bench-pr7: bytecode-VM replay ({} requests, {} iters, {cores} cores) ==",
+        o.requests, o.iters
+    );
+
+    let mut diverged = false;
+    let mut regressed = false;
+    let mut best_speedup = 0f64;
+    let mut best_alloc_reduction = 0f64;
+    let mut apps_json = String::new();
+    for (app, mix) in [
+        (App::Motd, Mix::Mixed),
+        (App::Stacks, Mix::Mixed),
+        (App::Wiki, Mix::Wiki),
+    ] {
+        let p = bench::prepare(app, mix, o.requests, 8, o.seed);
+
+        // Full-matrix bit-identity: the serial tree-walk barrier audit
+        // is the baseline every other configuration must reproduce
+        // exactly (stats, fuel bill, graph shape).
+        let mut baseline: Option<karousos::AuditReport> = None;
+        for threads in [1usize, 4] {
+            for pipeline in [false, true] {
+                for bytecode in [false, true] {
+                    let mut opts = AuditOptions::with_threads(threads);
+                    opts.pipeline = pipeline;
+                    opts.bytecode = bytecode;
+                    let report = audit_with_obs(
+                        &p.program,
+                        &p.trace,
+                        &p.karousos,
+                        p.exp.isolation,
+                        opts,
+                        &Obs::noop(),
+                    )
+                    .expect("honest advice must be accepted");
+                    match &baseline {
+                        None => baseline = Some(report),
+                        Some(b) => {
+                            if b.reexec != report.reexec
+                                || b.graph_nodes != report.graph_nodes
+                                || b.graph_edges != report.graph_edges
+                            {
+                                eprintln!(
+                                    "DIVERGENCE: {} threads={threads} pipeline={pipeline} \
+                                     bytecode={bytecode} disagrees with tree-walk baseline",
+                                    app.name()
+                                );
+                                diverged = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Replay-phase comparison: preprocess once, then run the group
+        // replay alone with each interpreter. Interleaved pairs so slow
+        // drift on a shared runner lands on both sides.
+        let pre =
+            karousos::verifier::preprocess(&p.program, &p.trace, &p.karousos, p.exp.isolation)
+                .expect("preprocess accepts honest advice");
+        let replay = |bytecode: bool| {
+            let mut vars = karousos::verifier::VarStates::new();
+            karousos::verifier::init_vars(&p.program, &mut vars);
+            karousos::verifier::ReExecutor::new(&p.program, &p.trace, &p.karousos, &pre, &mut vars)
+                .with_bytecode(bytecode)
+                .run()
+                .expect("replay accepts honest advice")
+        };
+        let stats_tw = replay(false);
+        let stats_bc = replay(true);
+        if stats_tw.fuel_spent != stats_bc.fuel_spent
+            || stats_tw.max_group_fuel != stats_bc.max_group_fuel
+        {
+            eprintln!(
+                "FUEL MISMATCH: {} tree-walk {} vs bytecode {} \
+                 (max group {} vs {})",
+                app.name(),
+                stats_tw.fuel_spent,
+                stats_bc.fuel_spent,
+                stats_tw.max_group_fuel,
+                stats_bc.max_group_fuel
+            );
+            diverged = true;
+        }
+        let (_, allocs_tw) = count_allocs(|| replay(false));
+        let (_, allocs_bc) = count_allocs(|| replay(true));
+        let mut pairs: Vec<(std::time::Duration, std::time::Duration)> = (0..o.iters.max(3))
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let _ = replay(false);
+                let tw = t0.elapsed();
+                let t1 = std::time::Instant::now();
+                let _ = replay(true);
+                (tw, t1.elapsed())
+            })
+            .collect();
+        pairs.sort_by(|a, b| {
+            let ra = a.0.as_secs_f64() / a.1.as_secs_f64().max(1e-9);
+            let rb = b.0.as_secs_f64() / b.1.as_secs_f64().max(1e-9);
+            ra.total_cmp(&rb)
+        });
+        let (t_tw, t_bc) = pairs[pairs.len() / 2];
+        let speedup = t_tw.as_secs_f64() / t_bc.as_secs_f64().max(1e-9);
+        let alloc_reduction = allocs_tw as f64 / allocs_bc.max(1) as f64;
+        // Guard against real regressions only: motd replay is
+        // advice-check-dominated (fuel bill ~4k vs stacks' ~250k), so
+        // its ratio sits within measurement noise of 1.0 either way.
+        if speedup < 0.9 {
+            eprintln!(
+                "REPLAY REGRESSION: {} bytecode {} ms slower than tree-walk {} ms",
+                app.name(),
+                ms(t_bc),
+                ms(t_tw)
+            );
+            regressed = true;
+        }
+        if app == App::Stacks || app == App::Wiki {
+            best_speedup = best_speedup.max(speedup);
+            best_alloc_reduction = best_alloc_reduction.max(alloc_reduction);
+        }
+        let ops: u64 = p.karousos.opcounts.values().map(|&c| c as u64).sum();
+        if !apps_json.is_empty() {
+            apps_json.push_str(",\n");
+        }
+        apps_json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"mix\": \"{}\", \"requests\": {}, \"concurrency\": 8,\n     \
+             \"replay_us_tree_walk\": {}, \"replay_us_bytecode\": {}, \
+             \"replay_speedup\": {speedup:.2},\n     \
+             \"replay_allocs_tree_walk\": {allocs_tw}, \"replay_allocs_bytecode\": {allocs_bc}, \
+             \"alloc_reduction\": {alloc_reduction:.2},\n     \
+             \"replayed_ops\": {ops}, \
+             \"allocs_per_op_tree_walk\": {:.3}, \"allocs_per_op_bytecode\": {:.3},\n     \
+             \"fuel_spent\": {}, \"max_group_fuel\": {}, \"fuel_bit_identical\": {}}}",
+            app.name(),
+            mix.name(),
+            o.requests,
+            t_tw.as_micros(),
+            t_bc.as_micros(),
+            allocs_tw as f64 / ops.max(1) as f64,
+            allocs_bc as f64 / ops.max(1) as f64,
+            stats_bc.fuel_spent,
+            stats_bc.max_group_fuel,
+            stats_tw.fuel_spent == stats_bc.fuel_spent,
+        ));
+        println!(
+            "  {:<7} replay: tree-walk {} ms / {allocs_tw} allocs vs \
+             bytecode {} ms / {allocs_bc} allocs ({speedup:.2}x wall, \
+             {alloc_reduction:.2}x fewer allocs); fuel {}",
+            app.name(),
+            ms(t_tw),
+            ms(t_bc),
+            stats_bc.fuel_spent,
+        );
+    }
+
+    let target_met = best_speedup >= 1.5 && best_alloc_reduction >= 3.0;
+    let json = format!(
+        "{{\n  \"bench\": \"pr7-bytecode-vm\",\n  \"iters\": {},\n  \
+         \"requests\": {},\n  \"available_cores\": {cores},\n  \
+         \"matrix\": \"threads{{1,4}} x pipeline{{off,on}} x bytecode{{off,on}}\",\n  \
+         \"configs_bit_identical\": {},\n  \
+         \"target\": {{\"min_speedup\": 1.5, \"min_alloc_reduction\": 3.0, \
+         \"scope\": \"stacks|wiki\", \"best_speedup\": {best_speedup:.2}, \
+         \"best_alloc_reduction\": {best_alloc_reduction:.2}, \"met\": {target_met}}},\n  \
+         \"apps\": [\n{apps_json}\n  ]\n}}\n",
+        o.iters, o.requests, !diverged,
+    );
+    if let Err(e) = std::fs::write("BENCH_PR7.json", &json) {
+        eprintln!("failed to write BENCH_PR7.json: {e}");
+        std::process::exit(1);
+    }
+    println!("  wrote BENCH_PR7.json");
+    if diverged || regressed {
+        std::process::exit(1);
+    }
+}
+
+/// `--dump-bytecode <app>`: disassembles the compiled replay bytecode
+/// of every function in the app's program (DESIGN.md §11) — blocks,
+/// pc, fuel charge, and pool-resolved operands.
+fn dump_bytecode(app_name: &str) {
+    let Some(app) = App::ALL.iter().copied().find(|a| a.name() == app_name) else {
+        eprintln!("--dump-bytecode: unknown app {app_name:?}; try motd, stacks, wiki");
+        std::process::exit(2);
+    };
+    let program = app.program();
+    let resolved = program.resolved();
+    let code = program.code();
+    for (func, fc) in resolved.functions.iter().zip(code.funcs.iter()) {
+        print!(
+            "{}",
+            kem::bytecode::disassemble(fc, func, &resolved.interner)
+        );
+    }
+}
+
 fn main() {
     let o = parse_args();
+    if let Some(app) = &o.dump_bytecode {
+        dump_bytecode(app);
+        return;
+    }
     if o.verify_threads != 1
         && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) == 1
     {
@@ -1176,6 +1411,7 @@ fn main() {
         "bench-pr4" => bench_pr4(&o),
         "bench-pr5" => bench_pr5(&o),
         "bench-pr6" => bench_pr6(&o),
+        "bench-pr7" => bench_pr7(&o),
         "all" => {
             fig6(&o);
             fig7(&o);
@@ -1189,7 +1425,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure {other:?}; try fig6..fig12, ratios, errorbars, ablations, \
-                 bench-pr3, bench-pr4, bench-pr5, bench-pr6, all"
+                 bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, all"
             );
             std::process::exit(2);
         }

@@ -12,6 +12,7 @@
 //! |---|---|---|
 //! | `KAROUSOS_VERIFY_THREADS` | replay/graph worker count (`0` = one per core) | `1` |
 //! | `KAROUSOS_PIPELINE` | pipelined audit (`0`/`off`/`false`/empty disable) | on |
+//! | `KAROUSOS_BYTECODE` | bytecode-VM replay (`0`/`off`/`false`/empty fall back to the tree-walk) | on |
 //! | `KAROUSOS_OBS` | instrumented path for plain entry points (empty/`0` off) | off |
 //! | `KAROUSOS_LIMITS_REPLAY_FUEL` | per-group replay step budget | `1<<26` |
 //! | `KAROUSOS_LIMITS_GROUP_DEADLINE_MS` | per-group wall-clock deadline (ms) | `60000` |
@@ -31,6 +32,13 @@
 pub const ENV_VERIFY_THREADS: &str = "KAROUSOS_VERIFY_THREADS";
 /// `KAROUSOS_PIPELINE`: toggles the pipelined audit (default on).
 pub const ENV_PIPELINE: &str = "KAROUSOS_PIPELINE";
+/// `KAROUSOS_BYTECODE`: toggles bytecode-VM replay in both the live
+/// runtime and the verifier (default on; off falls back to the
+/// tree-walking interpreters). Same contract as `KAROUSOS_PIPELINE`.
+/// Defined in `kem::bytecode` because the gate also governs the live
+/// server, which cannot depend on this crate; re-exported here so the
+/// verifier side reads it from the same module as every other gate.
+pub const ENV_BYTECODE: &str = kem::bytecode::ENV_BYTECODE;
 /// `KAROUSOS_OBS`: plain entry points record into an enabled
 /// observability handle (default off).
 pub const ENV_OBS: &str = "KAROUSOS_OBS";
@@ -216,6 +224,13 @@ pub fn obs_from_env() -> bool {
     parse_switch_default_off(env_var(ENV_OBS).as_deref())
 }
 
+/// Reads `KAROUSOS_BYTECODE` (see
+/// [`kem::bytecode::parse_bytecode_switch`]; same contract as
+/// [`parse_switch_default_on`]).
+pub fn bytecode_from_env() -> bool {
+    kem::bytecode::bytecode_from_env()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +258,18 @@ mod tests {
         assert!(!parse_switch_default_on(Some("false")));
         assert!(parse_switch_default_on(Some("1")));
         assert!(parse_switch_default_on(Some("on")));
+    }
+
+    #[test]
+    fn karousos_bytecode_parse() {
+        use kem::bytecode::parse_bytecode_switch;
+        assert!(parse_bytecode_switch(None));
+        assert!(!parse_bytecode_switch(Some("")));
+        assert!(!parse_bytecode_switch(Some("0")));
+        assert!(!parse_bytecode_switch(Some("OFF")));
+        assert!(!parse_bytecode_switch(Some("false")));
+        assert!(parse_bytecode_switch(Some("1")));
+        assert!(parse_bytecode_switch(Some("on")));
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct AuditOptions {
     /// wall-clock deadline is the one machine-dependent exception and
     /// defaults far above any honest group.
     pub limits: Limits,
+    /// Bytecode-VM replay (DESIGN.md §11): dispatch each group over
+    /// the program's compiled opcode stream instead of walking the
+    /// resolved AST. Off falls back to the tree-walk; verdicts,
+    /// statistics, and fuel bills are bit-identical either way.
+    pub bytecode: bool,
 }
 
 impl Default for AuditOptions {
@@ -70,6 +75,7 @@ impl Default for AuditOptions {
             schedule: ReplaySchedule::Fifo,
             pipeline: true,
             limits: Limits::default(),
+            bytecode: true,
         }
     }
 }
@@ -87,8 +93,9 @@ impl AuditOptions {
     /// [`crate::config`]): `KAROUSOS_VERIFY_THREADS` sets the worker
     /// count (default `1`; `0` = one per core), `KAROUSOS_PIPELINE`
     /// toggles the pipelined audit (`0`/`off`/`false` disable it;
-    /// default on), and `KAROUSOS_LIMITS_*` override individual
-    /// resource budgets. This is what the plain [`audit`] /
+    /// default on), `KAROUSOS_BYTECODE` toggles bytecode-VM replay
+    /// (same contract, default on), and `KAROUSOS_LIMITS_*` override
+    /// individual resource budgets. This is what the plain [`audit`] /
     /// [`audit_encoded`] entry points use, so the whole test suite can
     /// be rerun against any point of the matrix by exporting the
     /// variables.
@@ -96,6 +103,7 @@ impl AuditOptions {
         AuditOptions {
             pipeline: crate::config::pipeline_from_env(),
             limits: Limits::from_env(),
+            bytecode: crate::config::bytecode_from_env(),
             ..AuditOptions::with_threads(crate::config::verify_threads_from_env())
         }
     }
@@ -378,6 +386,7 @@ pub fn ooo_audit_with_options(
     let reexec = ReExecutor::new(program, trace, advice, &pre, &mut vars)
         .with_schedule(opts.schedule)
         .with_limits(opts.limits)
+        .with_bytecode(opts.bytecode)
         .run_ungrouped()?;
     timing.group_replay = t.elapsed();
     let mut graph = pre.graph;
@@ -640,6 +649,7 @@ fn audit_core(
     let executor = ReExecutor::new(program, trace, advice, &pre, &mut vars)
         .with_schedule(opts.schedule)
         .with_limits(opts.limits)
+        .with_bytecode(opts.bytecode)
         .with_obs(obs.clone());
     let (reexec, reexec_timing) = if opts.pipeline {
         let graph_ref = &mut graph;

@@ -375,6 +375,32 @@ pub struct ReExecutor<'a> {
     next_deadline_poll: u64,
     /// The group this executor replays (`None` for ungrouped).
     group: Option<u64>,
+    /// Dispatch handler bodies over the program's compiled bytecode
+    /// (DESIGN.md §11) instead of tree-walking the resolved AST. The
+    /// two paths are observably identical; bytecode is the hot-path
+    /// default (`KAROUSOS_BYTECODE`).
+    bytecode: bool,
+    /// Bytecode ops dispatched by this executor (fed to
+    /// [`CounterId::BytecodeOps`] once per group, in merge order).
+    vm_ops: u64,
+    // Reusable bytecode scratch. Handlers run to completion (never
+    // reentrantly), so one operand stack, loop-counter stack, iterator
+    // stack, and frame-slot/opcount pools serve every activation of
+    // the group — uniform-group replay then allocates per *distinct*
+    // value, not per op, approaching the microbench profile.
+    vm_stack: Vec<MultiValue>,
+    vm_loops: Vec<u32>,
+    vm_iters: Vec<(MultiValue, usize, usize)>,
+    vm_locals: Vec<Option<MultiValue>>,
+    vm_counts: Vec<Option<u32>>,
+}
+
+/// Pops an operand, failing closed (the compiler balances the stack,
+/// so underflow is a verifier bug, not bad advice).
+fn vm_pop(stack: &mut Vec<MultiValue>) -> Result<MultiValue, RejectReason> {
+    stack.pop().ok_or_else(|| RejectReason::VerifierInternal {
+        what: "bytecode operand stack underflow".into(),
+    })
 }
 
 /// Per-handler interpreter frame: slot-indexed locals over the
@@ -440,6 +466,13 @@ impl<'a> ReExecutor<'a> {
             deadline_ms: u64::MAX,
             next_deadline_poll: DEADLINE_POLL_INTERVAL,
             group: None,
+            bytecode: crate::config::bytecode_from_env(),
+            vm_ops: 0,
+            vm_stack: Vec::new(),
+            vm_loops: Vec::new(),
+            vm_iters: Vec::new(),
+            vm_locals: Vec::new(),
+            vm_counts: Vec::new(),
         }
     }
 
@@ -490,6 +523,15 @@ impl<'a> ReExecutor<'a> {
             deadline_ms: u64::MAX,
             next_deadline_poll: DEADLINE_POLL_INTERVAL,
             group: None,
+            // Group workers inherit the coordinator's choice in
+            // `run_impl`; this default only covers direct use.
+            bytecode: true,
+            vm_ops: 0,
+            vm_stack: Vec::new(),
+            vm_loops: Vec::new(),
+            vm_iters: Vec::new(),
+            vm_locals: Vec::new(),
+            vm_counts: Vec::new(),
         }
     }
 
@@ -518,6 +560,16 @@ impl<'a> ReExecutor<'a> {
     /// request count (its one pass does every request's work).
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Selects bytecode dispatch (the default) or the tree-walking
+    /// fallback for handler bodies. Verdicts, stats, digests, and fuel
+    /// bills are bit-identical either way; the gate exists for
+    /// differential testing and as a transition escape hatch
+    /// (`KAROUSOS_BYTECODE=0`).
+    pub fn with_bytecode(mut self, bytecode: bool) -> Self {
+        self.bytecode = bytecode;
         self
     }
 
@@ -573,6 +625,34 @@ impl<'a> ReExecutor<'a> {
                     });
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` units with exactly the observable effect of `n`
+    /// consecutive [`Self::charge`]`(1)` calls — which is how the
+    /// tree-walk spends the entry charges the compiler folds onto one
+    /// op. The tree-walk performs no fallible action between those unit
+    /// charges, so only the exhaustion report is sensitive to the
+    /// batching: it must carry `spent == limit + 1`, the value the
+    /// first over-budget unit produces.
+    #[inline]
+    fn charge_units(&mut self, n: u64) -> Result<(), RejectReason> {
+        let new = self.fuel_spent.saturating_add(n);
+        if new > self.fuel_limit {
+            self.fuel_spent = self.fuel_limit.saturating_add(1);
+            return Err(RejectReason::ResourceExhausted {
+                resource: ResourceKind::ReplayFuel,
+                group: self.group,
+                spent: self.fuel_spent,
+                limit: self.fuel_limit,
+            });
+        }
+        self.fuel_spent = new;
+        if new >= self.next_deadline_poll {
+            // Delegate the (cold) deadline poll to the unit path.
+            self.next_deadline_poll = new;
+            return self.charge(0);
         }
         Ok(())
     }
@@ -655,13 +735,14 @@ impl<'a> ReExecutor<'a> {
         let groups = self.advice.groups(&order);
         let ngroups = groups.len();
         let obs_handle = self.obs.clone();
-        let (program, trace, advice, pre, schedule, limits) = (
+        let (program, trace, advice, pre, schedule, limits, bytecode) = (
             self.program,
             self.trace,
             self.advice,
             self.pre,
             self.schedule,
             self.limits,
+            self.bytecode,
         );
         let VarBackend::Global(global) = self.vars else {
             return Err(RejectReason::VerifierInternal {
@@ -702,6 +783,7 @@ impl<'a> ReExecutor<'a> {
                     schedule,
                     gidx,
                 );
+                ex.bytecode = bytecode;
                 ex.arm_meter(&limits, Some(gidx as u64), 1);
                 let mut error = ex
                     .run_group(Group {
@@ -721,6 +803,7 @@ impl<'a> ReExecutor<'a> {
                         .unwrap_or(0);
                     shard.observe(HistogramId::GroupSize, size);
                     shard.count(CounterId::ReplayFuelSpent, ex.fuel_spent);
+                    shard.count(CounterId::BytecodeOps, ex.vm_ops);
                     shard.observe(HistogramId::GroupFuelSpent, ex.fuel_spent);
                     let dur = shard.record_span(
                         "group-replay",
@@ -1253,21 +1336,43 @@ impl<'a> ReExecutor<'a> {
                 message: format!("handler references unknown function {fid}"),
             });
         };
-        let mut counts: Vec<Option<u32>> = Vec::with_capacity(g.n());
+        // On the VM path, frame slots and per-member opcounts come from
+        // reusable pools: handlers never nest, so each activation clears
+        // and refills the same buffers instead of allocating. (Error
+        // paths drop the pooled buffers with the frame — the group is
+        // finished then.) The tree-walk keeps its per-activation
+        // allocations: it is the preserved baseline the VM is measured
+        // against.
+        let (mut locals, mut counts) = if self.bytecode {
+            let mut locals = std::mem::take(&mut self.vm_locals);
+            locals.clear();
+            let mut counts = std::mem::take(&mut self.vm_counts);
+            counts.clear();
+            counts.reserve(g.n());
+            (locals, counts)
+        } else {
+            (Vec::new(), Vec::with_capacity(g.n()))
+        };
+        locals.resize(func.n_slots as usize, None);
         for rid in &g.rids {
             counts.push(self.advice.opcounts.get(&(*rid, hid.clone())).copied());
         }
         let mut frame = Frame {
             hid,
             idx: 0,
-            locals: vec![None; func.n_slots as usize],
+            locals,
             func,
             counts,
         };
         if let Some(s0) = frame.locals.get_mut(0) {
             *s0 = Some(payload);
         }
-        self.exec_block(g, active, &mut frame, &func.body)?;
+        if self.bytecode {
+            let code = &self.program.code().funcs[fid.0 as usize];
+            self.exec_code(g, active, &mut frame, code)?;
+        } else {
+            self.exec_block(g, active, &mut frame, &func.body)?;
+        }
         // (c) Handler exit: every request must have consumed exactly its
         // reported operation count.
         for (i, rid) in g.rids.iter().enumerate() {
@@ -1276,7 +1381,571 @@ impl<'a> ReExecutor<'a> {
                 _ => return Err(RejectReason::OpcountMismatch { rid: *rid }),
             }
         }
+        if self.bytecode {
+            frame.locals.clear();
+            self.vm_locals = frame.locals;
+            frame.counts.clear();
+            self.vm_counts = frame.counts;
+        }
         Ok(())
+    }
+
+    /// Bytecode dispatch over one handler body: observably identical to
+    /// [`Self::exec_block`] over the same resolved function — the same
+    /// advice checks in the same order, the same bumps, the same
+    /// rejections with the same payloads and precedence, and the same
+    /// fuel sequence (the compiler attaches every tree-walk entry
+    /// charge to the first op of the charged node's subtree; see
+    /// `kem::bytecode`).
+    fn exec_code(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        frame: &mut Frame<'_>,
+        code: &kem::bytecode::FuncCode,
+    ) -> Result<(), RejectReason> {
+        // Scratch is swapped out so dispatch can borrow `self` freely;
+        // restored on every exit path, cleared (errors may leave
+        // operands behind).
+        let mut stack = std::mem::take(&mut self.vm_stack);
+        let mut loops = std::mem::take(&mut self.vm_loops);
+        let mut iters = std::mem::take(&mut self.vm_iters);
+        stack.reserve(code.max_stack as usize);
+        let result = self.dispatch(g, active, frame, code, &mut stack, &mut loops, &mut iters);
+        stack.clear();
+        loops.clear();
+        iters.clear();
+        self.vm_stack = stack;
+        self.vm_loops = loops;
+        self.vm_iters = iters;
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        frame: &mut Frame<'_>,
+        code: &kem::bytecode::FuncCode,
+        stack: &mut Vec<MultiValue>,
+        loops: &mut Vec<u32>,
+        iters: &mut Vec<(MultiValue, usize, usize)>,
+    ) -> Result<(), RejectReason> {
+        use kem::bytecode::Op;
+        let wrap = |e: kem::RuntimeError| RejectReason::ReexecError { message: e.message };
+        let underflow = |what: &'static str| RejectReason::VerifierInternal { what: what.into() };
+        let n = g.n();
+        let mut pc = 0usize;
+        loop {
+            // The tree-walk spends these units one at a time on the
+            // descent to this op's action, but performs no fallible
+            // action in between — so a single batched add is
+            // observably identical (charge_units reports spent ==
+            // limit + 1 on the trip, as the first over-budget unit
+            // would).
+            let units = code.charges[pc];
+            if units > 0 {
+                self.charge_units(u64::from(units))?;
+            }
+            self.vm_ops += 1;
+            match code.ops[pc] {
+                Op::Const(i) => stack.push(MultiValue::uniform(code.consts[i as usize].clone())),
+                Op::Local(slot) => match frame.locals.get(slot as usize).and_then(Option::as_ref) {
+                    Some(v) => stack.push(v.clone()),
+                    None => {
+                        return Err(RejectReason::ReexecError {
+                            message: format!("unknown local {}", frame.func.slot_name(slot)),
+                        })
+                    }
+                },
+                Op::SharedRead { var, loggable } => {
+                    if loggable {
+                        let idx = self.bump(g, frame)?;
+                        let advice = self.advice;
+                        let log = advice.var_logs.get(&var);
+                        let hid = frame.hid.clone();
+                        let mv = MultiValue::collect(n, |i| {
+                            self.vars
+                                .on_read(var, OpRef::new(g.rids[i], hid.clone(), idx), log)
+                        })?;
+                        self.note_dedup(&mv);
+                        stack.push(mv);
+                    } else {
+                        let program = self.program;
+                        let init = &program.var(var).init;
+                        let mv = MultiValue::collect(n, |i| {
+                            Ok::<_, RejectReason>(
+                                self.nonlog
+                                    .get(&(var, g.rids[i]))
+                                    .cloned()
+                                    .unwrap_or_else(|| init.clone()),
+                            )
+                        })?;
+                        stack.push(mv);
+                    }
+                }
+                Op::Bin(op) => {
+                    let b = vm_pop(stack)?;
+                    let a = vm_pop(stack)?;
+                    stack.push(
+                        a.zip(&b, n, |x, y| kem::eval_binop(op, x, y))
+                            .map_err(wrap)?,
+                    );
+                }
+                Op::Not => {
+                    let a = vm_pop(stack)?;
+                    stack.push(
+                        a.map(|v| Ok::<_, kem::RuntimeError>(Value::Bool(!v.truthy())))
+                            .map_err(wrap)?,
+                    );
+                }
+                Op::Field(i) => {
+                    let a = vm_pop(stack)?;
+                    let name = code.strings[i as usize].as_str();
+                    stack.push(
+                        a.map(|v| {
+                            Ok::<_, kem::RuntimeError>(
+                                v.field(name).cloned().unwrap_or(Value::Null),
+                            )
+                        })
+                        .map_err(wrap)?,
+                    );
+                }
+                Op::Index => {
+                    let i = vm_pop(stack)?;
+                    let a = vm_pop(stack)?;
+                    stack.push(a.zip(&i, n, kem::eval_index).map_err(wrap)?);
+                }
+                Op::Len => {
+                    let a = vm_pop(stack)?;
+                    stack.push(a.map(kem::eval_len).map_err(wrap)?);
+                }
+                Op::Contains => {
+                    let b = vm_pop(stack)?;
+                    let a = vm_pop(stack)?;
+                    stack.push(a.zip(&b, n, kem::eval_contains).map_err(wrap)?);
+                }
+                Op::MakeList(count) => {
+                    let items = stack.split_off(stack.len() - count as usize);
+                    let mv = if items.iter().all(MultiValue::is_uniform) {
+                        MultiValue::uniform(Value::from_vec(
+                            items.iter().map(|m| m.get(0).clone()).collect(),
+                        ))
+                    } else {
+                        MultiValue::from_vec(
+                            (0..n)
+                                .map(|i| {
+                                    Value::from_vec(
+                                        items.iter().map(|m| m.get(i).clone()).collect(),
+                                    )
+                                })
+                                .collect(),
+                        )
+                    };
+                    stack.push(mv);
+                }
+                Op::MakeMap { keys, n: count } => {
+                    let vals = stack.split_off(stack.len() - count as usize);
+                    let key_strs = &code.strings[keys as usize..(keys + count) as usize];
+                    let mv = if vals.iter().all(MultiValue::is_uniform) {
+                        MultiValue::uniform(Value::from_map(
+                            key_strs
+                                .iter()
+                                .cloned()
+                                .zip(vals.iter().map(|m| m.get(0).clone()))
+                                .collect(),
+                        ))
+                    } else {
+                        MultiValue::from_vec(
+                            (0..n)
+                                .map(|i| {
+                                    Value::from_map(
+                                        key_strs
+                                            .iter()
+                                            .cloned()
+                                            .zip(vals.iter().map(|m| m.get(i).clone()))
+                                            .collect(),
+                                    )
+                                })
+                                .collect(),
+                        )
+                    };
+                    stack.push(mv);
+                }
+                Op::MapInsert => {
+                    let v = vm_pop(stack)?;
+                    let k = vm_pop(stack)?;
+                    let m = vm_pop(stack)?;
+                    let mv = if m.is_uniform() && k.is_uniform() && v.is_uniform() {
+                        MultiValue::uniform(
+                            kem::eval_map_insert(m.get(0), k.get(0), v.get(0)).map_err(wrap)?,
+                        )
+                    } else {
+                        MultiValue::from_vec(
+                            (0..n)
+                                .map(|i| kem::eval_map_insert(m.get(i), k.get(i), v.get(i)))
+                                .collect::<Result<_, _>>()
+                                .map_err(wrap)?,
+                        )
+                    };
+                    stack.push(mv);
+                }
+                Op::MapRemove => {
+                    let k = vm_pop(stack)?;
+                    let m = vm_pop(stack)?;
+                    stack.push(m.zip(&k, n, kem::eval_map_remove).map_err(wrap)?);
+                }
+                Op::ListPush => {
+                    let v = vm_pop(stack)?;
+                    let l = vm_pop(stack)?;
+                    stack.push(l.zip(&v, n, kem::eval_list_push).map_err(wrap)?);
+                }
+                Op::Keys => {
+                    let m = vm_pop(stack)?;
+                    stack.push(m.map(kem::eval_keys).map_err(wrap)?);
+                }
+                Op::Digest => {
+                    let v = vm_pop(stack)?;
+                    stack.push(
+                        v.map(|x| Ok::<_, kem::RuntimeError>(kem::eval_digest(x)))
+                            .map_err(wrap)?,
+                    );
+                }
+                Op::ToStr => {
+                    let v = vm_pop(stack)?;
+                    stack.push(
+                        v.map(|x| Ok::<_, kem::RuntimeError>(kem::eval_to_str(x)))
+                            .map_err(wrap)?,
+                    );
+                }
+                Op::StoreLocal(slot) => {
+                    let v = vm_pop(stack)?;
+                    if let Some(s) = frame.locals.get_mut(slot as usize) {
+                        *s = Some(v);
+                    }
+                }
+                Op::SharedWrite { var, loggable } => {
+                    let v = vm_pop(stack)?;
+                    if loggable {
+                        let idx = self.bump(g, frame)?;
+                        self.note_dedup(&v);
+                        let log = self.advice.var_logs.get(&var);
+                        for (rid, val) in g.rids.iter().zip(v.iter(n)) {
+                            self.vars.on_write(
+                                var,
+                                OpRef::new(*rid, frame.hid.clone(), idx),
+                                val.clone(),
+                                log,
+                            )?;
+                        }
+                    } else {
+                        for (rid, val) in g.rids.iter().zip(v.iter(n)) {
+                            self.nonlog.insert((var, *rid), val.clone());
+                        }
+                    }
+                }
+                Op::Branch { else_target } => {
+                    let c = vm_pop(stack)?;
+                    let Some(taken) = c.truthiness(n) else {
+                        return Err(RejectReason::Divergence {
+                            context: "if condition".into(),
+                        });
+                    };
+                    if !taken {
+                        pc = else_target as usize;
+                        continue;
+                    }
+                }
+                Op::Jump(t) => {
+                    pc = t as usize;
+                    continue;
+                }
+                Op::LoopEnter => loops.push(0),
+                Op::LoopBranch { end } => {
+                    let c = vm_pop(stack)?;
+                    let Some(taken) = c.truthiness(n) else {
+                        return Err(RejectReason::Divergence {
+                            context: "while condition".into(),
+                        });
+                    };
+                    if taken {
+                        let Some(iters_count) = loops.last_mut() else {
+                            return Err(underflow("bytecode loop-counter underflow"));
+                        };
+                        *iters_count += 1;
+                        if *iters_count > LOOP_LIMIT {
+                            return Err(RejectReason::ReexecError {
+                                message: "while loop exceeded iteration limit".into(),
+                            });
+                        }
+                    } else {
+                        loops.pop();
+                        pc = end as usize;
+                        continue;
+                    }
+                }
+                Op::ForEnter => {
+                    let l = vm_pop(stack)?;
+                    // All members must iterate the same number of
+                    // times; non-list members reject before the
+                    // length-divergence verdict (tree-walk error
+                    // order).
+                    let len = match &l {
+                        MultiValue::Uniform(v) => {
+                            let Some(items) = v.as_list() else {
+                                return Err(RejectReason::ReexecError {
+                                    message: "for-each over non-list".into(),
+                                });
+                            };
+                            items.len()
+                        }
+                        MultiValue::Per(vs) => {
+                            let mut lens = Vec::with_capacity(vs.len());
+                            for v in vs {
+                                let Some(items) = v.as_list() else {
+                                    return Err(RejectReason::ReexecError {
+                                        message: "for-each over non-list".into(),
+                                    });
+                                };
+                                lens.push(items.len());
+                            }
+                            if lens.windows(2).any(|w| w[0] != w[1]) {
+                                return Err(RejectReason::Divergence {
+                                    context: "for-each length".into(),
+                                });
+                            }
+                            lens.first().copied().unwrap_or(0)
+                        }
+                    };
+                    iters.push((l, 0, len));
+                }
+                Op::ForNext { slot, end } => {
+                    let Some((l, idx, len)) = iters.last_mut() else {
+                        return Err(underflow("bytecode iterator underflow"));
+                    };
+                    if *idx < *len {
+                        let nth = |v: &Value, i: usize| -> Result<Value, RejectReason> {
+                            v.as_list()
+                                .and_then(|items| items.get(i).cloned())
+                                .ok_or_else(|| RejectReason::ReexecError {
+                                    message: "for-each item out of range".into(),
+                                })
+                        };
+                        let item = match &*l {
+                            MultiValue::Uniform(v) => MultiValue::uniform(nth(v, *idx)?),
+                            MultiValue::Per(vs) => MultiValue::from_vec(
+                                vs.iter().map(|v| nth(v, *idx)).collect::<Result<_, _>>()?,
+                            ),
+                        };
+                        *idx += 1;
+                        if let Some(s) = frame.locals.get_mut(slot as usize) {
+                            *s = Some(item);
+                        }
+                    } else {
+                        iters.pop();
+                        pc = end as usize;
+                        continue;
+                    }
+                }
+                Op::Emit { event } => {
+                    let payload = vm_pop(stack)?;
+                    let idx = self.bump(g, frame)?;
+                    let program = self.program;
+                    let event = program.resolved().interner.resolve(event);
+                    for rid in &g.rids {
+                        self.check_handler_op(*rid, &frame.hid, idx, &ExpectedOp::Emit { event })?;
+                        self.consumed
+                            .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+                    }
+                    self.activate_handlers(g, active, frame, idx, payload)?;
+                }
+                Op::Register { event, function } => {
+                    let idx = self.bump(g, frame)?;
+                    let program = self.program;
+                    let event = program.resolved().interner.resolve(event);
+                    for rid in &g.rids {
+                        self.check_handler_op(
+                            *rid,
+                            &frame.hid,
+                            idx,
+                            &ExpectedOp::Register { event, function },
+                        )?;
+                        self.consumed
+                            .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+                    }
+                }
+                Op::Unregister { event, function } => {
+                    let idx = self.bump(g, frame)?;
+                    let program = self.program;
+                    let event = program.resolved().interner.resolve(event);
+                    for rid in &g.rids {
+                        self.check_handler_op(
+                            *rid,
+                            &frame.hid,
+                            idx,
+                            &ExpectedOp::Unregister { event, function },
+                        )?;
+                        self.consumed
+                            .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+                    }
+                }
+                Op::Respond => {
+                    let v = vm_pop(stack)?;
+                    for (rid, val) in g.rids.iter().zip(v.iter(n)) {
+                        match self.advice.response_emitted_by.get(rid) {
+                            Some((h, i)) if *h == frame.hid && *i == frame.idx => {}
+                            _ => return Err(RejectReason::ResponseEmitterMismatch { rid: *rid }),
+                        }
+                        self.outputs.insert(*rid, val.clone());
+                    }
+                }
+                // The token/key screening ops exist for the live
+                // runtime, which validates between operand evaluations;
+                // re-execution validates per member at the terminal op.
+                Op::TxToken | Op::RowKey => {}
+                Op::TxStart { on_done } => {
+                    let ctx = vm_pop(stack)?;
+                    let idx = self.bump(g, frame)?;
+                    let mut payloads = Vec::with_capacity(n);
+                    for (i, rid) in g.rids.iter().enumerate() {
+                        let ktx = KTxId {
+                            rid: *rid,
+                            hid: frame.hid.clone(),
+                            opnum: idx,
+                        };
+                        let token = self.tx_table.len() as i64;
+                        self.tx_table.push(ktx.clone());
+                        self.tx_counters.insert(ktx.clone(), 0);
+                        let entry = self.check_state_op(*rid, &frame.hid, idx, &ktx, 0)?;
+                        self.consumed
+                            .insert(OpRef::new(*rid, frame.hid.clone(), idx));
+                        if entry.optype != TxOpType::Start {
+                            return Err(RejectReason::StateOpMismatch {
+                                at: OpRef::new(*rid, frame.hid.clone(), idx),
+                                why: "expected tx_start",
+                            });
+                        }
+                        payloads.push(Value::map([
+                            ("ctx", ctx.get(i).clone()),
+                            ("ok", Value::Bool(true)),
+                            ("tx", Value::Int(token)),
+                        ]));
+                    }
+                    self.enqueue_continuation(g, active, frame, idx, on_done, payloads)?;
+                }
+                Op::TxGet { on_done } => {
+                    let ctx = vm_pop(stack)?;
+                    let key = vm_pop(stack)?;
+                    let tx = vm_pop(stack)?;
+                    self.exec_tx_vals(
+                        g,
+                        active,
+                        frame,
+                        TxOpType::Get,
+                        tx,
+                        Some(key),
+                        None,
+                        ctx,
+                        on_done,
+                    )?;
+                }
+                Op::TxPut { on_done } => {
+                    let ctx = vm_pop(stack)?;
+                    let value = vm_pop(stack)?;
+                    let key = vm_pop(stack)?;
+                    let tx = vm_pop(stack)?;
+                    self.exec_tx_vals(
+                        g,
+                        active,
+                        frame,
+                        TxOpType::Put,
+                        tx,
+                        Some(key),
+                        Some(value),
+                        ctx,
+                        on_done,
+                    )?;
+                }
+                Op::TxCommit { on_done } => {
+                    let ctx = vm_pop(stack)?;
+                    let tx = vm_pop(stack)?;
+                    self.exec_tx_vals(
+                        g,
+                        active,
+                        frame,
+                        TxOpType::Commit,
+                        tx,
+                        None,
+                        None,
+                        ctx,
+                        on_done,
+                    )?;
+                }
+                Op::TxAbort { on_done } => {
+                    let ctx = vm_pop(stack)?;
+                    let tx = vm_pop(stack)?;
+                    self.exec_tx_vals(
+                        g,
+                        active,
+                        frame,
+                        TxOpType::Abort,
+                        tx,
+                        None,
+                        None,
+                        ctx,
+                        on_done,
+                    )?;
+                }
+                Op::ListenerCount { slot, event } => {
+                    let idx = self.bump(g, frame)?;
+                    let program = self.program;
+                    let event = program.resolved().interner.resolve(event);
+                    let hid = frame.hid.clone();
+                    let mv = MultiValue::collect(n, |i| {
+                        let rid = g.rids[i];
+                        self.check_handler_op(rid, &hid, idx, &ExpectedOp::Check { event })?;
+                        let op = OpRef::new(rid, hid.clone(), idx);
+                        self.consumed.insert(op.clone());
+                        let Some(count) = self.pre.check_counts.get(&op) else {
+                            return Err(RejectReason::HandlerOpMismatch {
+                                at: op,
+                                why: "check op has no recomputed count",
+                            });
+                        };
+                        Ok(Value::Int(*count))
+                    })?;
+                    if let Some(s) = frame.locals.get_mut(slot as usize) {
+                        *s = Some(mv);
+                    }
+                }
+                Op::Nondet { slot, kind } => {
+                    let idx = self.bump(g, frame)?;
+                    let hid = frame.hid.clone();
+                    let mv = MultiValue::collect(n, |i| {
+                        let op = OpRef::new(g.rids[i], hid.clone(), idx);
+                        let Some(v) = self.advice.nondet.get(&op) else {
+                            return Err(RejectReason::MissingNondet { at: op });
+                        };
+                        let plausible = match kind {
+                            kem::NondetKind::Counter => v.as_int().is_some_and(|i| i >= 1),
+                            kem::NondetKind::Random { bound } => {
+                                v.as_int().is_some_and(|i| (0..bound.max(1)).contains(&i))
+                            }
+                        };
+                        if !plausible {
+                            return Err(RejectReason::ImplausibleNondet { at: op });
+                        }
+                        Ok(v.clone())
+                    })?;
+                    if let Some(s) = frame.locals.get_mut(slot as usize) {
+                        *s = Some(mv);
+                    }
+                }
+                Op::Ret => return Ok(()),
+            }
+            pc += 1;
+        }
     }
 
     /// Advances the operation counter, checking it stays within every
@@ -1746,6 +2415,29 @@ impl<'a> ReExecutor<'a> {
         let key_v = key.map(|k| self.eval(g, frame, k)).transpose()?;
         let value_v = value.map(|v| self.eval(g, frame, v)).transpose()?;
         let ctx_v = self.eval(g, frame, ctx)?;
+        self.exec_tx_vals(
+            g, active, frame, requested, tx_v, key_v, value_v, ctx_v, on_done,
+        )
+    }
+
+    /// The operand-independent tail of an asynchronous state operation:
+    /// token resolution, per-transaction sequencing, advice checks, and
+    /// continuation payload construction. Shared by the tree-walk
+    /// ([`Self::exec_tx_op`]) and the bytecode dispatch loop, which
+    /// evaluates the operands from its operand stack.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_tx_vals(
+        &mut self,
+        g: &Group,
+        active: &mut VecDeque<(HandlerId, MultiValue)>,
+        frame: &mut Frame<'_>,
+        requested: TxOpType,
+        tx_v: MultiValue,
+        key_v: Option<MultiValue>,
+        value_v: Option<MultiValue>,
+        ctx_v: MultiValue,
+        on_done: kem::FunctionId,
+    ) -> Result<(), RejectReason> {
         let idx = self.bump(g, frame)?;
         if let Some(k) = &key_v {
             self.note_dedup(k);

@@ -284,6 +284,10 @@ pub struct Program {
     /// bodies), computed once at build time. Shared so `Program` clones
     /// stay cheap.
     resolved: std::sync::Arc<crate::resolve::Resolved>,
+    /// Flat bytecode for every resolved body (DESIGN.md §11), compiled
+    /// once at build time alongside the resolve pass. Both executors
+    /// dispatch over this when bytecode mode is on.
+    code: std::sync::Arc<crate::bytecode::CodeSet>,
 }
 
 impl Program {
@@ -293,6 +297,12 @@ impl Program {
     /// group replay execute.
     pub fn resolved(&self) -> &crate::resolve::Resolved {
         &self.resolved
+    }
+
+    /// The compiled bytecode ([`crate::bytecode::CodeSet`]), parallel
+    /// to [`Resolved::functions`](crate::resolve::Resolved::functions).
+    pub fn code(&self) -> &crate::bytecode::CodeSet {
+        &self.code
     }
 
     /// Resolves a function name.
@@ -444,6 +454,7 @@ impl ProgramBuilder {
             &fn_by_name,
             &var_by_name,
         )?;
+        let code = crate::bytecode::compile(&resolved);
         Ok(Program {
             functions: self.functions,
             vars: self.vars,
@@ -452,6 +463,7 @@ impl ProgramBuilder {
             fn_by_name,
             var_by_name,
             resolved: std::sync::Arc::new(resolved),
+            code: std::sync::Arc::new(code),
         })
     }
 }

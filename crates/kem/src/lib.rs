@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod bytecode;
 mod error;
 mod hooks;
 mod ids;

@@ -69,6 +69,12 @@ pub struct ServerConfig {
     /// adversarial or generated programs set a budget so a loop bomb
     /// terminates deterministically instead of spinning.
     pub fuel_limit: u64,
+    /// Dispatch handler bodies over the compiled bytecode
+    /// ([`crate::bytecode`]) instead of tree-walking the resolved AST.
+    /// Both paths are observably identical (hooks, opnums, errors,
+    /// fuel); the default follows `KAROUSOS_BYTECODE` (on unless
+    /// explicitly disabled).
+    pub bytecode: bool,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +85,7 @@ impl Default for ServerConfig {
             policy: SchedPolicy::Random { seed: 0 },
             loop_limit: 1_000_000,
             fuel_limit: u64::MAX,
+            bytecode: crate::bytecode::bytecode_from_env(),
         }
     }
 }
@@ -161,6 +168,12 @@ pub struct Runtime<'p> {
     steps: u64,
     activations: u64,
     fuel: u64,
+    // Reusable bytecode-dispatch scratch: handlers run to completion
+    // (never reentrantly), so one operand stack, loop-counter stack,
+    // and for-each iterator stack serve every activation.
+    bc_stack: Vec<Value>,
+    bc_loops: Vec<u32>,
+    bc_iters: Vec<(Value, usize)>,
 }
 
 /// Runs `program` against `inputs` under `cfg`, reporting through
@@ -213,6 +226,9 @@ impl<'p> Runtime<'p> {
             steps: 0,
             activations: 0,
             fuel: 0,
+            bc_stack: Vec::new(),
+            bc_loops: Vec::new(),
+            bc_iters: Vec::new(),
         }
     }
 
@@ -225,6 +241,22 @@ impl<'p> Runtime<'p> {
         if self.fuel > self.cfg.fuel_limit {
             return Err(RuntimeError::new("interpreter fuel budget exhausted"));
         }
+        Ok(())
+    }
+
+    /// Batched [`Self::burn_fuel`]: the compiler folds consecutive
+    /// entry charges onto one op with no fallible action in between,
+    /// so adding them at once is observably identical — including the
+    /// post-trip fuel value of `limit + 1` that the first over-budget
+    /// unit would leave behind.
+    #[inline]
+    fn burn_fuel_units(&mut self, n: u64) -> Result<(), RuntimeError> {
+        let new = self.fuel.saturating_add(n);
+        if new > self.cfg.fuel_limit {
+            self.fuel = self.cfg.fuel_limit.saturating_add(1);
+            return Err(RuntimeError::new("interpreter fuel budget exhausted"));
+        }
+        self.fuel = new;
         Ok(())
     }
 
@@ -337,8 +369,417 @@ impl<'p> Runtime<'p> {
             // Slot 0 is always `payload` (pre-assigned by the resolver).
             *s0 = Some(act.payload);
         }
-        self.exec_block(&mut frame, &func.body, hooks)?;
+        if self.cfg.bytecode {
+            let code = &self.program.code().funcs[act.function.0 as usize];
+            self.exec_code(&mut frame, code, hooks)?;
+        } else {
+            self.exec_block(&mut frame, &func.body, hooks)?;
+        }
         hooks.on_handler_end(frame.rid, &frame.hid, frame.opnum);
+        Ok(())
+    }
+
+    /// Bytecode dispatch over one handler body: observably identical to
+    /// [`Self::exec_block`] over the same resolved function — same
+    /// hooks in the same order, same opnums, same errors with the same
+    /// messages and precedence, same fuel sequence (the compiler's
+    /// charge table attaches every tree-walk entry charge to the first
+    /// op of the charged node's subtree; see [`crate::bytecode`]).
+    fn exec_code<H: ExecHooks>(
+        &mut self,
+        frame: &mut Frame<'_>,
+        code: &crate::bytecode::FuncCode,
+        hooks: &mut H,
+    ) -> Result<(), RuntimeError> {
+        // Scratch is swapped out so dispatch can borrow `self` freely;
+        // restored on every exit path, cleared (errors may leave
+        // operands behind).
+        let mut stack = std::mem::take(&mut self.bc_stack);
+        let mut loops = std::mem::take(&mut self.bc_loops);
+        let mut iters = std::mem::take(&mut self.bc_iters);
+        stack.reserve(code.max_stack as usize);
+        let result = self.dispatch(frame, code, hooks, &mut stack, &mut loops, &mut iters);
+        stack.clear();
+        loops.clear();
+        iters.clear();
+        self.bc_stack = stack;
+        self.bc_loops = loops;
+        self.bc_iters = iters;
+        result
+    }
+
+    fn dispatch<H: ExecHooks>(
+        &mut self,
+        frame: &mut Frame<'_>,
+        code: &crate::bytecode::FuncCode,
+        hooks: &mut H,
+        stack: &mut Vec<Value>,
+        loops: &mut Vec<u32>,
+        iters: &mut Vec<(Value, usize)>,
+    ) -> Result<(), RuntimeError> {
+        use crate::bytecode::Op;
+        let pop = |stack: &mut Vec<Value>| -> Value {
+            stack.pop().expect("compiler balances the operand stack")
+        };
+        let mut pc = 0usize;
+        loop {
+            // The tree-walk spends these units one at a time on the
+            // descent to this op's action, with no fallible action in
+            // between — one batched add is observably identical.
+            let units = code.charges[pc];
+            if units > 0 {
+                self.burn_fuel_units(u64::from(units))?;
+            }
+            match code.ops[pc] {
+                Op::Const(i) => stack.push(code.consts[i as usize].clone()),
+                Op::Local(slot) => match frame.locals.get(slot as usize).and_then(Option::as_ref) {
+                    Some(v) => stack.push(v.clone()),
+                    None => {
+                        let name = frame.func.slot_name(slot);
+                        return Err(RuntimeError::new(format!("unknown local {name:?}")));
+                    }
+                },
+                Op::SharedRead { var, loggable } => {
+                    let v = self.vars[var.0 as usize].clone();
+                    if loggable {
+                        frame.opnum += 1;
+                        hooks.on_var_read(var, frame.rid, &frame.hid, frame.opnum, &v);
+                    }
+                    stack.push(v);
+                }
+                Op::Bin(op) => {
+                    let b = pop(stack);
+                    let a = pop(stack);
+                    stack.push(crate::ops::eval_binop(op, &a, &b)?);
+                }
+                Op::Not => {
+                    let a = pop(stack);
+                    stack.push(Value::Bool(!a.truthy()));
+                }
+                Op::Field(i) => {
+                    let a = pop(stack);
+                    let name = code.strings[i as usize].as_str();
+                    stack.push(a.field(name).cloned().unwrap_or(Value::Null));
+                }
+                Op::Index => {
+                    let i = pop(stack);
+                    let a = pop(stack);
+                    stack.push(crate::ops::eval_index(&a, &i)?);
+                }
+                Op::Len => {
+                    let a = pop(stack);
+                    stack.push(crate::ops::eval_len(&a)?);
+                }
+                Op::Contains => {
+                    let b = pop(stack);
+                    let a = pop(stack);
+                    stack.push(crate::ops::eval_contains(&a, &b)?);
+                }
+                Op::MakeList(n) => {
+                    let items = stack.split_off(stack.len() - n as usize);
+                    stack.push(Value::from_vec(items));
+                }
+                Op::MakeMap { keys, n } => {
+                    let vals = stack.split_off(stack.len() - n as usize);
+                    let mut m = BTreeMap::new();
+                    for (j, v) in vals.into_iter().enumerate() {
+                        m.insert(code.strings[keys as usize + j].clone(), v);
+                    }
+                    stack.push(Value::from_map(m));
+                }
+                Op::MapInsert => {
+                    let v = pop(stack);
+                    let k = pop(stack);
+                    let m = pop(stack);
+                    stack.push(crate::ops::eval_map_insert(&m, &k, &v)?);
+                }
+                Op::MapRemove => {
+                    let k = pop(stack);
+                    let m = pop(stack);
+                    stack.push(crate::ops::eval_map_remove(&m, &k)?);
+                }
+                Op::ListPush => {
+                    let v = pop(stack);
+                    let l = pop(stack);
+                    stack.push(crate::ops::eval_list_push(&l, &v)?);
+                }
+                Op::Keys => {
+                    let m = pop(stack);
+                    stack.push(crate::ops::eval_keys(&m)?);
+                }
+                Op::Digest => {
+                    let v = pop(stack);
+                    stack.push(crate::ops::eval_digest(&v));
+                }
+                Op::ToStr => {
+                    let v = pop(stack);
+                    stack.push(crate::ops::eval_to_str(&v));
+                }
+                Op::StoreLocal(slot) => {
+                    let v = pop(stack);
+                    frame.locals[slot as usize] = Some(v);
+                }
+                Op::SharedWrite { var, loggable } => {
+                    let v = pop(stack);
+                    if loggable {
+                        frame.opnum += 1;
+                        hooks.on_var_write(var, frame.rid, &frame.hid, frame.opnum, &v);
+                    }
+                    self.vars[var.0 as usize] = v;
+                }
+                Op::Branch { else_target } => {
+                    let taken = pop(stack).truthy();
+                    hooks.on_branch(frame.rid, &frame.hid, taken);
+                    if !taken {
+                        pc = else_target as usize;
+                        continue;
+                    }
+                }
+                Op::Jump(t) => {
+                    pc = t as usize;
+                    continue;
+                }
+                Op::LoopEnter => loops.push(0),
+                Op::LoopBranch { end } => {
+                    let taken = pop(stack).truthy();
+                    hooks.on_branch(frame.rid, &frame.hid, taken);
+                    if taken {
+                        let iters = loops.last_mut().expect("compiler balances loop counters");
+                        *iters += 1;
+                        if *iters > self.cfg.loop_limit {
+                            return Err(RuntimeError::new("while loop exceeded iteration limit"));
+                        }
+                    } else {
+                        loops.pop();
+                        pc = end as usize;
+                        continue;
+                    }
+                }
+                Op::ForEnter => {
+                    let list_v = pop(stack);
+                    if list_v.as_list().is_none() {
+                        return Err(RuntimeError::type_error("for-each", &list_v));
+                    }
+                    iters.push((list_v, 0));
+                }
+                Op::ForNext { slot, end } => {
+                    let (list_v, idx) = iters.last_mut().expect("compiler balances iterators");
+                    match list_v.as_list().and_then(|l| l.get(*idx)).cloned() {
+                        Some(item) => {
+                            *idx += 1;
+                            hooks.on_branch(frame.rid, &frame.hid, true);
+                            frame.locals[slot as usize] = Some(item);
+                        }
+                        None => {
+                            hooks.on_branch(frame.rid, &frame.hid, false);
+                            iters.pop();
+                            pc = end as usize;
+                            continue;
+                        }
+                    }
+                }
+                Op::Emit { event } => {
+                    let payload = pop(stack);
+                    frame.opnum += 1;
+                    let fns = self.registered_for(frame.rid, event);
+                    let activations: Vec<Activation> = fns
+                        .iter()
+                        .map(|&f| Activation {
+                            rid: frame.rid,
+                            hid: HandlerId::child(&frame.hid, f, frame.opnum),
+                            function: f,
+                            payload: payload.clone(),
+                        })
+                        .collect();
+                    let hids: Vec<HandlerId> = activations.iter().map(|a| a.hid.clone()).collect();
+                    let event_name = self.resolved.interner.resolve(event);
+                    hooks.on_emit(frame.rid, &frame.hid, frame.opnum, event_name, &hids);
+                    if !activations.is_empty() {
+                        self.pending_events.push_back(PendingEvent { activations });
+                    }
+                }
+                Op::Register { event, function } => {
+                    frame.opnum += 1;
+                    let resolved = self.resolved;
+                    let regs = self.request_regs.entry(frame.rid).or_default();
+                    if regs.iter().any(|(e, g)| *e == event && *g == function)
+                        || resolved
+                            .global_regs
+                            .iter()
+                            .any(|(e, g)| *e == event && *g == function)
+                    {
+                        let fname = self
+                            .program
+                            .functions
+                            .get(function.0 as usize)
+                            .map_or("?", |fun| fun.name.as_str());
+                        let ename = resolved.interner.resolve(event);
+                        return Err(RuntimeError::new(format!(
+                            "function {fname:?} already registered for event {ename:?}"
+                        )));
+                    }
+                    regs.push((event, function));
+                    let event_name = resolved.interner.resolve(event);
+                    hooks.on_register(frame.rid, &frame.hid, frame.opnum, event_name, function);
+                }
+                Op::Unregister { event, function } => {
+                    frame.opnum += 1;
+                    if let Some(regs) = self.request_regs.get_mut(&frame.rid) {
+                        regs.retain(|(e, g)| !(*e == event && *g == function));
+                    }
+                    let event_name = self.resolved.interner.resolve(event);
+                    hooks.on_unregister(frame.rid, &frame.hid, frame.opnum, event_name, function);
+                }
+                Op::Respond => {
+                    let v = pop(stack);
+                    match self.responded.get_mut(&frame.rid) {
+                        Some(done) if !*done => *done = true,
+                        Some(_) => {
+                            return Err(RuntimeError::new(format!(
+                                "request {} responded twice",
+                                frame.rid
+                            )))
+                        }
+                        None => {
+                            return Err(RuntimeError::new(format!(
+                                "response for unknown request {}",
+                                frame.rid
+                            )))
+                        }
+                    }
+                    hooks.on_respond(frame.rid, &frame.hid, frame.opnum, &v);
+                    self.trace.push_response(frame.rid, v);
+                    self.in_flight -= 1;
+                }
+                Op::TxToken => {
+                    // The tree-walk validates the token between operand
+                    // evaluations; peek (the terminal tx op still needs
+                    // it) and fail with the identical error.
+                    let tx_v = stack.last().expect("compiler balances the operand stack");
+                    if tx_v.as_int().is_none() {
+                        return Err(RuntimeError::type_error("transaction token", tx_v));
+                    }
+                }
+                Op::RowKey => {
+                    let kv = stack.last().expect("compiler balances the operand stack");
+                    if kv.as_str().is_none() {
+                        return Err(RuntimeError::type_error("row key", kv));
+                    }
+                }
+                Op::TxStart { on_done } => {
+                    let ctx = pop(stack);
+                    frame.opnum += 1;
+                    self.pending_db.push_back(PendingDb {
+                        rid: frame.rid,
+                        parent: frame.hid.clone(),
+                        opnum: frame.opnum,
+                        kind: TxOpKind::Start,
+                        txn: None,
+                        key: None,
+                        value: None,
+                        ctx,
+                        on_done,
+                    });
+                }
+                Op::TxGet { on_done } => {
+                    let ctx = pop(stack);
+                    let key = pop(stack);
+                    let tx_v = pop(stack);
+                    self.queue_tx_vals(frame, TxOpKind::Get, tx_v, Some(key), None, ctx, on_done)?;
+                }
+                Op::TxPut { on_done } => {
+                    let ctx = pop(stack);
+                    let value = pop(stack);
+                    let key = pop(stack);
+                    let tx_v = pop(stack);
+                    self.queue_tx_vals(
+                        frame,
+                        TxOpKind::Put,
+                        tx_v,
+                        Some(key),
+                        Some(value),
+                        ctx,
+                        on_done,
+                    )?;
+                }
+                Op::TxCommit { on_done } => {
+                    let ctx = pop(stack);
+                    let tx_v = pop(stack);
+                    self.queue_tx_vals(frame, TxOpKind::Commit, tx_v, None, None, ctx, on_done)?;
+                }
+                Op::TxAbort { on_done } => {
+                    let ctx = pop(stack);
+                    let tx_v = pop(stack);
+                    self.queue_tx_vals(frame, TxOpKind::Abort, tx_v, None, None, ctx, on_done)?;
+                }
+                Op::ListenerCount { slot, event } => {
+                    frame.opnum += 1;
+                    let count = self.registered_for(frame.rid, event).len() as i64;
+                    let event_name = self.resolved.interner.resolve(event);
+                    hooks.on_check_op(frame.rid, &frame.hid, frame.opnum, event_name, count);
+                    frame.locals[slot as usize] = Some(Value::Int(count));
+                }
+                Op::Nondet { slot, kind } => {
+                    frame.opnum += 1;
+                    let generated = match kind {
+                        NondetKind::Counter => {
+                            self.nondet_counter += 1;
+                            Value::Int(self.nondet_counter)
+                        }
+                        NondetKind::Random { bound } => {
+                            Value::Int(self.nondet_rng.gen_range(0..bound.max(1)))
+                        }
+                    };
+                    let v = hooks
+                        .on_nondet(frame.rid, &frame.hid, frame.opnum, &generated)
+                        .unwrap_or(generated);
+                    frame.locals[slot as usize] = Some(v);
+                }
+                Op::Ret => return Ok(()),
+            }
+            pc += 1;
+        }
+    }
+
+    /// Queues a non-start transactional op from already-evaluated
+    /// operands (the bytecode path's tail of [`Self::queue_tx_op`];
+    /// the type checks repeat the tree-walk's conversions verbatim,
+    /// though [`Op::TxToken`]/[`Op::RowKey`] already screened them).
+    #[allow(clippy::too_many_arguments)]
+    fn queue_tx_vals(
+        &mut self,
+        frame: &mut Frame<'_>,
+        kind: TxOpKind,
+        tx_v: Value,
+        key: Option<Value>,
+        value: Option<Value>,
+        ctx: Value,
+        on_done: FunctionId,
+    ) -> Result<(), RuntimeError> {
+        let txn = tx_v
+            .as_int()
+            .map(|i| TxnId(i as u64))
+            .ok_or_else(|| RuntimeError::type_error("transaction token", &tx_v))?;
+        let key = match key {
+            Some(kv) => Some(
+                kv.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| RuntimeError::type_error("row key", &kv))?,
+            ),
+            None => None,
+        };
+        frame.opnum += 1;
+        self.pending_db.push_back(PendingDb {
+            rid: frame.rid,
+            parent: frame.hid.clone(),
+            opnum: frame.opnum,
+            kind,
+            txn: Some(txn),
+            key,
+            value,
+            ctx,
+            on_done,
+        });
         Ok(())
     }
 

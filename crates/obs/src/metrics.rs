@@ -73,6 +73,10 @@ pub enum CounterId {
     /// executed and expression node evaluated; deterministic at every
     /// threads×pipeline configuration).
     ReplayFuelSpent,
+    /// Bytecode instructions dispatched by the VM replay loop across
+    /// all groups (zero when `KAROUSOS_BYTECODE` selects the
+    /// tree-walk).
+    BytecodeOps,
     /// Groups quarantined to a `ResourceExhausted`/`VerifierInternal`
     /// verdict instead of stopping the whole audit.
     GroupsQuarantined,
@@ -83,7 +87,7 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in catalog order.
-    pub const ALL: [CounterId; 25] = [
+    pub const ALL: [CounterId; 26] = [
         CounterId::GroupsFormed,
         CounterId::UniformOps,
         CounterId::ExpandedOps,
@@ -107,6 +111,7 @@ impl CounterId {
         CounterId::DecodeBytesCopied,
         CounterId::SpansDropped,
         CounterId::ReplayFuelSpent,
+        CounterId::BytecodeOps,
         CounterId::GroupsQuarantined,
         CounterId::PanicsCaught,
     ];
@@ -140,6 +145,7 @@ impl CounterId {
             CounterId::DecodeBytesCopied => "decode_bytes_copied",
             CounterId::SpansDropped => "spans_dropped",
             CounterId::ReplayFuelSpent => "replay_fuel_spent",
+            CounterId::BytecodeOps => "bytecode_ops",
             CounterId::GroupsQuarantined => "groups_quarantined",
             CounterId::PanicsCaught => "panics_caught",
         }

@@ -99,9 +99,10 @@ fn uniform_program() -> kem::Program {
     b.build().expect("uniform program builds")
 }
 
-/// Replays a uniform group of `n` identical requests and returns
-/// (allocation events during the replay phase, total replayed ops).
-fn replay_allocs(n: usize) -> (u64, u64) {
+/// Replays a uniform group of `n` identical requests under the given
+/// interpreter and returns (allocation events during the replay phase,
+/// total replayed ops).
+fn replay_allocs(n: usize, bytecode: bool) -> (u64, u64) {
     let program = uniform_program();
     let cfg = ServerConfig::default();
     let inputs: Vec<Value> = (0..n)
@@ -124,7 +125,9 @@ fn replay_allocs(n: usize) -> (u64, u64) {
     // No loggable vars in the scenario, so the trusted init phase
     // installs nothing; replay starts from an empty dictionary.
     let (stats, allocs) = count_allocs(|| {
-        karousos::verifier::ReExecutor::new(&program, &out.trace, &advice, &pre, &mut vars).run()
+        karousos::verifier::ReExecutor::new(&program, &out.trace, &advice, &pre, &mut vars)
+            .with_bytecode(bytecode)
+            .run()
     });
     let stats = stats.expect("replay accepts honest advice");
     assert_eq!(stats.groups, 1, "identical payloads must form one group");
@@ -136,10 +139,10 @@ fn uniform_group_replay_allocation_budget() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // Warm-up run: let lazy one-time allocations (thread-local RNG
     // buffers, hash seeds) happen outside the measured window.
-    let _ = replay_allocs(8);
+    let _ = replay_allocs(8, false);
 
-    let (allocs_8, ops_8) = replay_allocs(8);
-    let (allocs_64, ops_64) = replay_allocs(64);
+    let (allocs_8, ops_8) = replay_allocs(8, false);
+    let (allocs_64, ops_64) = replay_allocs(64, false);
     let per_op_8 = allocs_8 as f64 / ops_8 as f64;
     let per_op_64 = allocs_64 as f64 / ops_64 as f64;
     eprintln!("n=8:  {allocs_8} allocs / {ops_8} ops = {per_op_8:.3} allocs/op");
@@ -163,6 +166,97 @@ fn uniform_group_replay_allocation_budget() {
         allocs_64.saturating_sub(allocs_8) <= 16,
         "replay allocations scale with group size: \
          n=8 -> {allocs_8}, n=64 -> {allocs_64} (marginal budget 16)"
+    );
+}
+
+/// The bytecode VM must hold the same uniform-group budget as the
+/// tree-walk — and never allocate *more*: its frame buffers (locals,
+/// opcount cache, operand stack, loop/iterator scratch) are pooled on
+/// the executor and reused across groups, so the only allocations left
+/// are the semantic ones both interpreters share.
+#[test]
+fn bytecode_vm_uniform_replay_allocation_budget() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = replay_allocs(8, true);
+
+    let (tree_walk, _) = replay_allocs(64, false);
+    let (vm, ops) = replay_allocs(64, true);
+    eprintln!("n=64: tree-walk {tree_walk} allocs, bytecode VM {vm} allocs / {ops} ops");
+    assert!(
+        vm <= tree_walk,
+        "bytecode VM allocates more than the tree-walk on a uniform \
+         group: {vm} vs {tree_walk} events"
+    );
+    assert!(
+        vm <= 64,
+        "bytecode-VM uniform-group replay exceeded the allocation \
+         budget: {vm} allocs for {ops} ops (budget 64)"
+    );
+}
+
+/// Real-application bytecode-replay budget: a stacks workload (the
+/// most interpreter-dominated of the paper apps) replayed group by
+/// group. Allocation counts are deterministic, so the VM-never-worse
+/// pin is exact, and the absolute per-op ceiling guards against
+/// per-activation frame traffic coming back on either path.
+#[test]
+fn stacks_group_replay_allocation_budget() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    use apps::App;
+    use workload::{Experiment, Mix};
+
+    let mut exp = Experiment::paper_default(App::Stacks, Mix::RW_MIXES[1], 8, 11);
+    exp.requests = 64;
+    let program = App::Stacks.program();
+    let (out, advice) = karousos::run_instrumented_server(
+        &program,
+        &exp.inputs(),
+        &exp.server_config(),
+        karousos::CollectorMode::Karousos,
+    )
+    .expect("stacks run succeeds");
+    let ops: u64 = advice.opcounts.values().map(|&c| c as u64).sum();
+    let pre = karousos::verifier::preprocess(&program, &out.trace, &advice, exp.isolation)
+        .expect("preprocess accepts honest advice");
+    let replay = |bytecode: bool| {
+        let mut vars = karousos::verifier::VarStates::new();
+        karousos::verifier::init_vars(&program, &mut vars);
+        let (stats, allocs) = count_allocs(|| {
+            karousos::verifier::ReExecutor::new(&program, &out.trace, &advice, &pre, &mut vars)
+                .with_bytecode(bytecode)
+                .run()
+        });
+        let stats = stats.expect("replay accepts honest advice");
+        (allocs, stats)
+    };
+    // Warm-up, then measure both interpreters.
+    let _ = replay(false);
+    let (tree_walk, stats_tw) = replay(false);
+    let (vm, stats_vm) = replay(true);
+    let per_op_tw = tree_walk as f64 / ops as f64;
+    let per_op_vm = vm as f64 / ops as f64;
+    eprintln!(
+        "stacks n=64: tree-walk {tree_walk} allocs ({per_op_tw:.3}/op), \
+         bytecode VM {vm} allocs ({per_op_vm:.3}/op), fuel {}",
+        stats_vm.fuel_spent
+    );
+    assert_eq!(
+        stats_tw, stats_vm,
+        "interpreters disagree on honest stacks stats"
+    );
+    assert!(
+        vm <= tree_walk,
+        "bytecode VM allocates more than the tree-walk on stacks: \
+         {vm} vs {tree_walk} events"
+    );
+    // Most stacks replay allocations are semantic (COW map/list updates
+    // shared by both interpreters — see EXPERIMENTS.md); the ceiling
+    // pins them plus headroom so per-activation frame or string traffic
+    // fails loudly.
+    assert!(
+        per_op_vm <= 12.0,
+        "stacks bytecode replay exceeded the per-op allocation ceiling: \
+         {per_op_vm:.3} allocs/op (ceiling 12.0)"
     );
 }
 

@@ -1,0 +1,398 @@
+//! Differential equivalence of the two replay interpreters.
+//!
+//! The bytecode VM (DESIGN.md §11) is a drop-in replacement for the
+//! tree-walk: same verdicts, same statistics (including the
+//! bit-identical fuel bill), same `RejectReason` payloads, at every
+//! threads×pipeline point. This harness pins that equivalence three
+//! ways: over randomly generated programs (a seeded grammar covering
+//! every non-transactional opcode), over honest runs of the paper
+//! applications at every isolation level (transactions included), and
+//! over a hostile corpus of several hundred structured and wire-level
+//! advice mutations.
+
+use apps::App;
+use karousos::{
+    audit_encoded_with_options, audit_with_options, encode_advice, run_instrumented_server,
+    AuditOptions, AuditReport, CollectorMode, Mutator, RejectReason, WireMutator,
+};
+use kem::dsl::*;
+use kem::{Expr, Program, ProgramBuilder, SchedPolicy, ServerConfig, Stmt, Value};
+use kvstore::IsolationLevel;
+use proptest::prelude::*;
+use workload::{Experiment, Mix};
+
+/// The comparable portion of an audit outcome (timing excluded).
+type Outcome = Result<(karousos::ReexecStats, usize, usize), RejectReason>;
+
+fn comparable(r: Result<AuditReport, RejectReason>) -> Outcome {
+    r.map(|rep| (rep.reexec, rep.graph_nodes, rep.graph_edges))
+}
+
+/// Tree-walk serial baseline: every other cell must match it exactly.
+fn baseline() -> AuditOptions {
+    AuditOptions {
+        threads: 1,
+        pipeline: false,
+        bytecode: false,
+        ..AuditOptions::default()
+    }
+}
+
+/// threads{1,4} × pipeline{off,on} × bytecode{off,on}.
+fn matrix() -> Vec<AuditOptions> {
+    let mut configs = Vec::new();
+    for threads in [1usize, 4] {
+        for pipeline in [false, true] {
+            for bytecode in [false, true] {
+                configs.push(AuditOptions {
+                    pipeline,
+                    bytecode,
+                    ..AuditOptions::with_threads(threads)
+                });
+            }
+        }
+    }
+    configs
+}
+
+fn assert_matrix_agrees(
+    program: &Program,
+    trace: &kem::Trace,
+    bytes: &[u8],
+    isolation: IsolationLevel,
+    label: &str,
+) -> Outcome {
+    let sequential = comparable(audit_encoded_with_options(
+        program,
+        trace,
+        bytes,
+        isolation,
+        baseline(),
+    ));
+    for opts in matrix() {
+        let cell = comparable(audit_encoded_with_options(
+            program, trace, bytes, isolation, opts,
+        ));
+        assert_eq!(
+            sequential, cell,
+            "{label}: tree-walk baseline vs threads={} pipeline={} bytecode={} disagree",
+            opts.threads, opts.pipeline, opts.bytecode
+        );
+    }
+    sequential
+}
+
+// ---------------------------------------------------------------------
+// Generated programs: a seeded grammar over the non-transactional
+// surface (arithmetic, collections, control flow, shared state, emit,
+// listener counts, nondet). Programs are correct by construction —
+// ints where arithmetic happens, in-range literal indexing — so every
+// honest run completes and the audit must ACCEPT identically under
+// both interpreters.
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 so each proptest seed names one program.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A small int-valued expression (safe operands for arithmetic).
+fn gen_int_expr(r: &mut Rng) -> Expr {
+    match r.below(6) {
+        0 => lit(r.below(10) as i64),
+        1 => sread("acc"),
+        2 => field(payload(), "k"),
+        3 => add(sread("acc"), lit(r.below(5) as i64)),
+        4 => mul(field(payload(), "k"), lit(1 + r.below(3) as i64)),
+        _ => sub(lit(r.below(20) as i64), field(payload(), "k")),
+    }
+}
+
+fn gen_stmt(r: &mut Rng, depth: u32) -> Vec<Stmt> {
+    match r.below(if depth == 0 { 6 } else { 9 }) {
+        0 => vec![swrite("acc", add(sread("acc"), gen_int_expr(r)))],
+        1 => vec![swrite(
+            "dict",
+            map_insert(
+                sread("dict"),
+                to_str(field(payload(), "k")),
+                gen_int_expr(r),
+            ),
+        )],
+        2 => vec![swrite("log", list_push(sread("log"), gen_int_expr(r)))],
+        3 => vec![
+            let_("t", listv(vec![lit(1i64), gen_int_expr(r), lit(3i64)])),
+            swrite("acc", add(sread("acc"), index(local("t"), lit(1i64)))),
+        ],
+        4 => vec![
+            let_("m", mapv(vec![("a", gen_int_expr(r)), ("b", lit(2i64))])),
+            swrite(
+                "acc",
+                add(sread("acc"), add(len(keys(local("m"))), len(local("m")))),
+            ),
+        ],
+        5 => vec![
+            nondet_random("n", 4),
+            swrite("log", list_push(sread("log"), local("n"))),
+        ],
+        6 => {
+            // Bounded counting loop; the body recurses one level down.
+            let bound = 1 + r.below(3) as i64;
+            let mut body = gen_stmt(r, depth - 1);
+            body.push(let_("i", add(local("i"), lit(1i64))));
+            vec![
+                let_("i", lit(0i64)),
+                while_(lt(local("i"), lit(bound)), body),
+            ]
+        }
+        7 => {
+            let cond = match r.below(3) {
+                0 => lt(field(payload(), "k"), lit(r.below(4) as i64)),
+                1 => eq(modulo(sread("acc"), lit(2i64)), lit(0i64)),
+                _ => contains(sread("dict"), to_str(field(payload(), "k"))),
+            };
+            vec![iff(cond, gen_stmt(r, depth - 1), gen_stmt(r, depth - 1))]
+        }
+        _ => {
+            let mut body = gen_stmt(r, depth - 1);
+            body.push(swrite("acc", add(sread("acc"), local("x"))));
+            vec![for_each(
+                "x",
+                listv(vec![lit(1i64), lit(2i64), gen_int_expr(r)]),
+                body,
+            )]
+        }
+    }
+}
+
+fn gen_program(seed: u64) -> Program {
+    let mut r = Rng(seed);
+    let mut b = ProgramBuilder::new();
+    b.shared_var("acc", Value::Int(0), true);
+    b.shared_var("dict", Value::map(Vec::<(String, Value)>::new()), true);
+    b.shared_var("log", Value::list(Vec::new()), true);
+    let mut body = Vec::new();
+    for _ in 0..2 + r.below(4) {
+        body.extend(gen_stmt(&mut r, 2));
+    }
+    if r.below(2) == 0 {
+        body.push(emit("tick", gen_int_expr(&mut r)));
+    }
+    if r.below(2) == 0 {
+        body.push(listener_count("lc", "tick"));
+        body.push(swrite("acc", add(sread("acc"), local("lc"))));
+    }
+    body.push(respond(digest(sread("dict"))));
+    b.function("handle", body);
+    b.function(
+        "on_tick",
+        vec![swrite("log", list_push(sread("log"), payload()))],
+    );
+    b.request_handler("handle");
+    b.global_registration("tick", "on_tick");
+    b.build().expect("generated program builds")
+}
+
+proptest! {
+    // Each case runs a server plus a 9-cell audit matrix; keep the
+    // count moderate (the grammar reaches every opcode within a few
+    // dozen draws).
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_programs_replay_identically(
+        seed in 0u64..10_000,
+        sched_seed in 0u64..1_000,
+        requests in 4usize..16,
+    ) {
+        let program = gen_program(seed);
+        let inputs: Vec<Value> = (0..requests)
+            .map(|i| Value::map([("k", Value::int(i as i64 % 5))]))
+            .collect();
+        let cfg = ServerConfig {
+            concurrency: 3,
+            policy: SchedPolicy::Random { seed: sched_seed },
+            ..Default::default()
+        };
+        let (out, advice) =
+            run_instrumented_server(&program, &inputs, &cfg, CollectorMode::Karousos)
+                .expect("generated programs run cleanly");
+        let bytes = encode_advice(&advice);
+        let verdict = assert_matrix_agrees(
+            &program,
+            &out.trace,
+            &bytes,
+            IsolationLevel::Serializable,
+            &format!("generated program seed={seed}"),
+        );
+        prop_assert!(
+            verdict.is_ok(),
+            "honest generated run rejected (seed={seed}): {:?}",
+            verdict
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paper applications: honest runs at every isolation level (the wiki
+// workload is transaction-heavy, so the tx opcodes replay here).
+// ---------------------------------------------------------------------
+
+#[test]
+fn honest_apps_replay_identically_across_the_matrix() {
+    for app in App::ALL {
+        for isolation in IsolationLevel::ALL {
+            let mix = if app == App::Wiki {
+                Mix::Wiki
+            } else {
+                Mix::RW_MIXES[1]
+            };
+            let mut exp = Experiment::paper_default(app, mix, 4, 61);
+            exp.requests = 16;
+            exp.isolation = isolation;
+            let program = app.program();
+            let (out, advice) = run_instrumented_server(
+                &program,
+                &exp.inputs(),
+                &exp.server_config(),
+                CollectorMode::Karousos,
+            )
+            .expect("apps run cleanly");
+            let bytes = encode_advice(&advice);
+            let verdict = assert_matrix_agrees(
+                &program,
+                &out.trace,
+                &bytes,
+                isolation,
+                &format!("{} at {isolation}", app.name()),
+            );
+            assert!(
+                verdict.is_ok(),
+                "honest {} run rejected at {isolation}: {:?}",
+                app.name(),
+                verdict
+            );
+        }
+    }
+}
+
+/// The structured audit entry point resolves `bytecode` from
+/// [`AuditOptions::from_env`]; both explicit settings must agree with
+/// it on a real app (guards the env-gate wiring end to end).
+#[test]
+fn explicit_bytecode_settings_agree_with_default() {
+    let app = App::Stacks;
+    let mut exp = Experiment::paper_default(app, Mix::RW_MIXES[1], 4, 67);
+    exp.requests = 12;
+    let program = app.program();
+    let (out, advice) = run_instrumented_server(
+        &program,
+        &exp.inputs(),
+        &exp.server_config(),
+        CollectorMode::Karousos,
+    )
+    .expect("apps run cleanly");
+    let default = comparable(audit_with_options(
+        &program,
+        &out.trace,
+        &advice,
+        IsolationLevel::Serializable,
+        AuditOptions::default(),
+    ));
+    for bytecode in [false, true] {
+        let explicit = comparable(audit_with_options(
+            &program,
+            &out.trace,
+            &advice,
+            IsolationLevel::Serializable,
+            AuditOptions {
+                bytecode,
+                ..AuditOptions::default()
+            },
+        ));
+        assert_eq!(
+            default, explicit,
+            "bytecode={bytecode} diverges from default"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hostile corpus: the two interpreters must reject the same mutants
+// for the same reason with the same payload.
+// ---------------------------------------------------------------------
+
+#[test]
+fn hostile_corpus_replays_identically() {
+    const SEEDS: u64 = 5;
+    let mut checked = 0usize;
+    let mut rejected = 0usize;
+    for (i, (app, isolation)) in App::ALL.iter().zip(IsolationLevel::ALL).enumerate() {
+        let mix = if *app == App::Wiki {
+            Mix::Wiki
+        } else {
+            Mix::RW_MIXES[1]
+        };
+        let mut exp = Experiment::paper_default(*app, mix, 4, 700 + i as u64);
+        exp.requests = 12;
+        exp.isolation = isolation;
+        let program = app.program();
+        let (out, advice) = run_instrumented_server(
+            &program,
+            &exp.inputs(),
+            &exp.server_config(),
+            CollectorMode::Karousos,
+        )
+        .expect("apps run cleanly");
+        let honest_bytes = encode_advice(&advice);
+
+        let mut check = |bytes: &[u8], label: &str| {
+            let verdict = assert_matrix_agrees(
+                &program,
+                &out.trace,
+                bytes,
+                isolation,
+                &format!("{label} on {}", app.name()),
+            );
+            if verdict.is_err() {
+                rejected += 1;
+            }
+            checked += 1;
+        };
+
+        for m in Mutator::ALL {
+            for seed in 0..SEEDS {
+                if let Some(mutation) = m.apply(&advice, seed) {
+                    check(&mutation.bytes, mutation.mutator);
+                }
+            }
+        }
+        for m in WireMutator::ALL {
+            for seed in 0..SEEDS {
+                if let Some(mutation) = m.apply(&honest_bytes, seed) {
+                    check(&mutation.bytes, mutation.mutator);
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 200,
+        "only {checked} mutations compared; corpus too small"
+    );
+    assert!(
+        rejected >= 100,
+        "only {rejected} rejections compared; REJECT-side coverage too small"
+    );
+}

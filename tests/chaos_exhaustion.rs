@@ -76,9 +76,21 @@ fn honest(program: &Program, inputs: &[Value], seed: u64) -> (RunOutput, Advice)
 }
 
 /// The full determinism matrix: the quarantine verdict (like any other
-/// verdict) must be bit-identical across worker counts and pipeline
-/// modes.
-const MATRIX: [(usize, bool); 4] = [(1, false), (1, true), (4, false), (4, true)];
+/// verdict) must be bit-identical across worker counts, pipeline
+/// modes, and replay interpreters (tree-walk and bytecode VM). For
+/// `ResourceExhausted` that includes the `(group, spent, limit)`
+/// payload — the VM's batched fuel charging must trip at exactly the
+/// unit the tree-walk would.
+const MATRIX: [(usize, bool, bool); 8] = [
+    (1, false, false),
+    (1, false, true),
+    (1, true, false),
+    (1, true, true),
+    (4, false, false),
+    (4, false, true),
+    (4, true, false),
+    (4, true, true),
+];
 
 fn audit_matrix(
     program: &Program,
@@ -88,9 +100,10 @@ fn audit_matrix(
 ) -> Vec<Result<(), RejectReason>> {
     MATRIX
         .iter()
-        .map(|&(threads, pipeline)| {
+        .map(|&(threads, pipeline, bytecode)| {
             let opts = AuditOptions {
                 pipeline,
+                bytecode,
                 limits,
                 ..AuditOptions::with_threads(threads)
             };
@@ -120,11 +133,11 @@ fn assert_contained(
         .unwrap_or_else(|| panic!("{} found nothing to mutate", m.name()));
     let verdicts = audit_matrix(program, out, &mutation.bytes, limits);
     let first = verdicts[0].clone();
-    for (v, &(threads, pipeline)) in verdicts.iter().zip(MATRIX.iter()) {
+    for (v, &(threads, pipeline, bytecode)) in verdicts.iter().zip(MATRIX.iter()) {
         assert_eq!(
             *v,
             first,
-            "{}: verdict diverged at threads={threads} pipeline={pipeline}",
+            "{}: verdict diverged at threads={threads} pipeline={pipeline} bytecode={bytecode}",
             m.name()
         );
     }
@@ -161,6 +174,26 @@ fn loop_bomb_is_contained_by_fuel() {
         ..Limits::default()
     };
     assert_contained(&program, &out, &advice, ExhaustMutator::LoopBomb, limits);
+    // The fuel payload must be exact, not merely matrix-identical: the
+    // tree-walk charges one unit at a time so the first over-budget
+    // unit reports spent == limit + 1, and the VM's batched charging
+    // must reproduce that value bit-for-bit.
+    let mutation = ExhaustMutator::LoopBomb.apply(&advice, 7).unwrap();
+    for v in audit_matrix(&program, &out, &mutation.bytes, limits) {
+        match v {
+            Err(RejectReason::ResourceExhausted {
+                resource,
+                spent,
+                limit,
+                ..
+            }) => {
+                assert_eq!(resource, karousos::verifier::ResourceKind::ReplayFuel);
+                assert_eq!(limit, 200_000);
+                assert_eq!(spent, 200_001, "fuel trip must report limit + 1");
+            }
+            other => panic!("expected fuel verdict, got {other:?}"),
+        }
+    }
 }
 
 #[test]
