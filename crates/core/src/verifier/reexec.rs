@@ -21,8 +21,9 @@
 //! replaying a uniform-group operation allocation-free: the per-request
 //! loop touches only pre-sized tables and `Arc`-backed values.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use kem::{
@@ -53,6 +54,28 @@ const DEADLINE_POLL_INTERVAL: u64 = 4096;
 /// Group index the next replay worker should panic in (test-only,
 /// armed by [`inject_group_panic_for_tests`]); `-1` means disarmed.
 static INJECT_PANIC: AtomicI64 = AtomicI64::new(-1);
+
+/// Interned keys for transaction continuation payloads, in the field
+/// order the payload builder pushes them. Cloning an `Arc<str>` is a
+/// refcount bump, not an allocation, so every payload shares these.
+struct TxPayloadKeys {
+    ctx: Arc<str>,
+    tx: Arc<str>,
+    ok: Arc<str>,
+    found: Arc<str>,
+    value: Arc<str>,
+}
+
+fn tx_payload_keys() -> &'static TxPayloadKeys {
+    static KEYS: OnceLock<TxPayloadKeys> = OnceLock::new();
+    KEYS.get_or_init(|| TxPayloadKeys {
+        ctx: Arc::from("ctx"),
+        tx: Arc::from("tx"),
+        ok: Arc::from("ok"),
+        found: Arc::from("found"),
+        value: Arc::from("value"),
+    })
+}
 
 /// Arms a one-shot injected panic in the worker that replays group `g`
 /// (`-1` disarms). Exercises the replay supervisor from integration
@@ -1502,7 +1525,7 @@ impl<'a> ReExecutor<'a> {
                 }
                 Op::Field(i) => {
                     let a = vm_pop(stack)?;
-                    let name = code.strings[i as usize].as_str();
+                    let name = code.strings[i as usize].as_ref();
                     stack.push(
                         a.map(|v| {
                             Ok::<_, kem::RuntimeError>(
@@ -1549,23 +1572,21 @@ impl<'a> ReExecutor<'a> {
                     let vals = stack.split_off(stack.len() - count as usize);
                     let key_strs = &code.strings[keys as usize..(keys + count) as usize];
                     let mv = if vals.iter().all(MultiValue::is_uniform) {
-                        MultiValue::uniform(Value::from_map(
+                        MultiValue::uniform(Value::from_pairs(
                             key_strs
                                 .iter()
                                 .cloned()
-                                .zip(vals.iter().map(|m| m.get(0).clone()))
-                                .collect(),
+                                .zip(vals.iter().map(|m| m.get(0).clone())),
                         ))
                     } else {
                         MultiValue::from_vec(
                             (0..n)
                                 .map(|i| {
-                                    Value::from_map(
+                                    Value::from_pairs(
                                         key_strs
                                             .iter()
                                             .cloned()
-                                            .zip(vals.iter().map(|m| m.get(i).clone()))
-                                            .collect(),
+                                            .zip(vals.iter().map(|m| m.get(i).clone())),
                                     )
                                 })
                                 .collect(),
@@ -1826,10 +1847,11 @@ impl<'a> ReExecutor<'a> {
                                 why: "expected tx_start",
                             });
                         }
-                        payloads.push(Value::map([
-                            ("ctx", ctx.get(i).clone()),
-                            ("ok", Value::Bool(true)),
-                            ("tx", Value::Int(token)),
+                        let keys = tx_payload_keys();
+                        payloads.push(Value::from_pairs([
+                            (Arc::clone(&keys.ctx), ctx.get(i).clone()),
+                            (Arc::clone(&keys.ok), Value::Bool(true)),
+                            (Arc::clone(&keys.tx), Value::Int(token)),
                         ]));
                     }
                     self.enqueue_continuation(g, active, frame, idx, on_done, payloads)?;
@@ -2187,10 +2209,11 @@ impl<'a> ReExecutor<'a> {
                             why: "expected tx_start",
                         });
                     }
-                    payloads.push(Value::map([
-                        ("ctx", ctx.get(i).clone()),
-                        ("ok", Value::Bool(true)),
-                        ("tx", Value::Int(token)),
+                    let keys = tx_payload_keys();
+                    payloads.push(Value::from_pairs([
+                        (Arc::clone(&keys.ctx), ctx.get(i).clone()),
+                        (Arc::clone(&keys.ok), Value::Bool(true)),
+                        (Arc::clone(&keys.tx), Value::Int(token)),
                     ]));
                 }
                 self.enqueue_continuation(g, active, frame, idx, *on_done, payloads)?;
@@ -2467,10 +2490,10 @@ impl<'a> ReExecutor<'a> {
             let entry = self.check_state_op(*rid, &frame.hid, idx, &ktx, txnum)?;
             self.consumed
                 .insert(OpRef::new(*rid, frame.hid.clone(), idx));
-            let mut payload = BTreeMap::from([
-                ("ctx".to_string(), ctx_v.get(i).clone()),
-                ("tx".to_string(), tx_v.get(i).clone()),
-            ]);
+            let keys = tx_payload_keys();
+            let mut payload: Vec<(Arc<str>, Value)> = Vec::with_capacity(5);
+            payload.push((Arc::clone(&keys.ctx), ctx_v.get(i).clone()));
+            payload.push((Arc::clone(&keys.tx), tx_v.get(i).clone()));
             if entry.optype == TxOpType::Abort && requested != TxOpType::Abort {
                 // The operation allegedly conflicted and aborted the
                 // transaction (the paper's retry-error path); feed the
@@ -2484,8 +2507,8 @@ impl<'a> ReExecutor<'a> {
                         });
                     }
                 }
-                payload.insert("ok".into(), Value::Bool(false));
-                payloads.push(Value::from_map(payload));
+                payload.push((Arc::clone(&keys.ok), Value::Bool(false)));
+                payloads.push(Value::from_pairs(payload));
                 continue;
             }
             if entry.optype != requested {
@@ -2514,9 +2537,9 @@ impl<'a> ReExecutor<'a> {
                     };
                     match from {
                         None => {
-                            payload.insert("ok".into(), Value::Bool(true));
-                            payload.insert("found".into(), Value::Bool(false));
-                            payload.insert("value".into(), Value::Null);
+                            payload.push((Arc::clone(&keys.ok), Value::Bool(true)));
+                            payload.push((Arc::clone(&keys.found), Value::Bool(false)));
+                            payload.push((Arc::clone(&keys.value), Value::Null));
                         }
                         Some(pos) => {
                             let Some(w) = self.advice.tx_entry(pos) else {
@@ -2531,9 +2554,9 @@ impl<'a> ReExecutor<'a> {
                                     what: "dictating write is not a PUT",
                                 });
                             };
-                            payload.insert("ok".into(), Value::Bool(true));
-                            payload.insert("found".into(), Value::Bool(true));
-                            payload.insert("value".into(), value.clone());
+                            payload.push((Arc::clone(&keys.ok), Value::Bool(true)));
+                            payload.push((Arc::clone(&keys.found), Value::Bool(true)));
+                            payload.push((Arc::clone(&keys.value), value.clone()));
                         }
                     }
                 }
@@ -2564,16 +2587,16 @@ impl<'a> ReExecutor<'a> {
                             why: "logged PUT value differs from re-execution",
                         });
                     }
-                    payload.insert("ok".into(), Value::Bool(true));
+                    payload.push((Arc::clone(&keys.ok), Value::Bool(true)));
                 }
                 TxOpType::Commit | TxOpType::Abort => {
-                    payload.insert("ok".into(), Value::Bool(true));
+                    payload.push((Arc::clone(&keys.ok), Value::Bool(true)));
                 }
                 TxOpType::Start => {
                     return Err(internal("TxStart routed through exec_tx_op"));
                 }
             }
-            payloads.push(Value::from_map(payload));
+            payloads.push(Value::from_pairs(payload));
         }
         self.enqueue_continuation(g, active, frame, idx, on_done, payloads)
     }
@@ -2754,21 +2777,15 @@ impl<'a> ReExecutor<'a> {
                     evaluated.push((k.clone(), self.eval(g, frame, e)?));
                 }
                 if evaluated.iter().all(|(_, m)| m.is_uniform()) {
-                    MultiValue::uniform(kem::Value::from_map(
-                        evaluated
-                            .iter()
-                            .map(|(k, m)| (k.clone(), m.get(0).clone()))
-                            .collect(),
+                    MultiValue::uniform(kem::Value::from_pairs(
+                        evaluated.iter().map(|(k, m)| (k.clone(), m.get(0).clone())),
                     ))
                 } else {
                     MultiValue::from_vec(
                         (0..g.n())
                             .map(|i| {
-                                kem::Value::from_map(
-                                    evaluated
-                                        .iter()
-                                        .map(|(k, m)| (k.clone(), m.get(i).clone()))
-                                        .collect(),
+                                kem::Value::from_pairs(
+                                    evaluated.iter().map(|(k, m)| (k.clone(), m.get(i).clone())),
                                 )
                             })
                             .collect(),

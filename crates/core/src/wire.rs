@@ -299,7 +299,7 @@ impl<'a> Decoder<'a> {
             0 => Ok(Value::Null),
             1 => Ok(Value::Bool(self.u8("bool")? != 0)),
             2 => Ok(Value::Int(self.i64("int")?)),
-            3 => Ok(Value::str(self.str("str")?)),
+            3 => Ok(Value::str(self.str_ref("str")?)),
             4 => {
                 // Every element is at least one tag byte.
                 let n = self.len("list len", 1)?;
@@ -312,12 +312,14 @@ impl<'a> Decoder<'a> {
             5 => {
                 // Every entry is at least a key-length byte + value tag.
                 let n = self.len("map len", 2)?;
-                let mut m = BTreeMap::new();
+                let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let k = self.str("map key")?;
-                    m.insert(k, self.value_at_depth(depth + 1)?);
+                    let k: std::sync::Arc<str> = std::sync::Arc::from(self.str_ref("map key")?);
+                    entries.push((k, self.value_at_depth(depth + 1)?));
                 }
-                Ok(Value::from_map(m))
+                // Duplicate wire keys resolve later-wins, exactly as
+                // the old `BTreeMap::insert` loop did.
+                Ok(Value::from_pairs(entries))
             }
             _ => Err(self.err("value tag")),
         }
@@ -1268,14 +1270,24 @@ fn view_to_value<'a>(
                 .map(|i| view_to_value(i, interner, stats))
                 .collect(),
         ),
-        ValueView::Map(entries) => {
-            let mut m = BTreeMap::new();
-            for (k, val) in entries {
-                stats.bytes_copied += k.len() as u64;
-                m.insert((*k).to_string(), view_to_value(val, interner, stats));
-            }
-            Value::from_map(m)
-        }
+        ValueView::Map(entries) => Value::from_pairs(entries.iter().map(|(k, val)| {
+            // Map keys go through the same interner as string values:
+            // advice maps repeat a small key vocabulary, so nearly every
+            // key after the first is a free `Arc` clone.
+            let key: std::sync::Arc<str> = match interner.get(*k) {
+                Some(Value::Str(s)) => {
+                    stats.strings_interned += 1;
+                    std::sync::Arc::clone(s)
+                }
+                _ => {
+                    stats.bytes_copied += k.len() as u64;
+                    let arc: std::sync::Arc<str> = std::sync::Arc::from(*k);
+                    interner.insert(k, Value::Str(std::sync::Arc::clone(&arc)));
+                    arc
+                }
+            };
+            (key, view_to_value(val, interner, stats))
+        })),
     }
 }
 
@@ -1538,14 +1550,14 @@ fn encode_value_view(e: &mut Encoder, v: &ValueView<'_>) {
 
 /// String bytes the *owned* decoder copies out of the wire buffer for
 /// `a`: event names and tx keys once (into their `String` fields),
-/// value strings twice (a `String` from the buffer, then the `Arc<str>`
-/// it is converted into), map keys once. The bench harness reports this
-/// against [`DecodeStats::bytes_copied`] as the before/after of the
-/// zero-copy decode.
+/// value strings once (straight into the `Arc<str>`), map keys once
+/// (into the persistent map's `Arc<str>` keys). The bench harness
+/// reports this against [`DecodeStats::bytes_copied`] as the
+/// before/after of the zero-copy decode.
 pub fn owned_decode_copy_bytes(a: &Advice) -> u64 {
     fn value_bytes(v: &Value) -> u64 {
         match v {
-            Value::Str(s) => 2 * s.len() as u64,
+            Value::Str(s) => s.len() as u64,
             Value::List(l) => l.iter().map(value_bytes).sum(),
             Value::Map(m) => m.iter().map(|(k, v)| k.len() as u64 + value_bytes(v)).sum(),
             _ => 0,

@@ -260,7 +260,9 @@ pub struct FuncCode {
     /// Constant pool ([`Op::Const`]).
     pub consts: Vec<Value>,
     /// String pool ([`Op::Field`] names, [`Op::MakeMap`] key runs).
-    pub strings: Vec<String>,
+    /// `Arc<str>` so `MakeMap` builds persistent-map keys without
+    /// copying.
+    pub strings: Vec<std::sync::Arc<str>>,
     /// Basic-block table, ascending by `start`.
     pub blocks: Vec<Block>,
     /// Maximum operand-stack depth any path reaches; executors reserve
@@ -339,7 +341,7 @@ impl Compiler {
     }
 
     fn str_idx(&mut self, s: &str) -> u32 {
-        self.code.strings.push(s.to_string());
+        self.code.strings.push(std::sync::Arc::from(s));
         (self.code.strings.len() - 1) as u32
     }
 
@@ -702,7 +704,7 @@ fn render_op(op: Op, code: &FuncCode, func: &RFunction, interner: &Interner) -> 
         Op::MakeList(n) => format!("makelist {n}"),
         Op::MakeMap { keys, n } => {
             let ks: Vec<&str> = (keys..keys + n)
-                .map(|i| code.strings[i as usize].as_str())
+                .map(|i| code.strings[i as usize].as_ref())
                 .collect();
             format!("makemap {ks:?}")
         }

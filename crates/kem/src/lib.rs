@@ -33,6 +33,7 @@ mod ids;
 mod label;
 mod ops;
 pub mod pretty;
+pub mod pvalue;
 pub mod resolve;
 mod runtime;
 mod trace;
@@ -53,5 +54,6 @@ pub use resolve::{RExpr, RFunction, RStmt, Resolved};
 pub use runtime::{
     init_handler_id, run_server, RunOutput, Runtime, SchedPolicy, ServerConfig, INIT_FUNCTION,
 };
+pub use pvalue::{PList, PMap};
 pub use trace::{Trace, TraceEvent};
 pub use value::{Fnv, Value};

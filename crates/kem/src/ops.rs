@@ -8,6 +8,7 @@
 use crate::ast::BinOp;
 use crate::error::RuntimeError;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// Evaluates a binary operator on two values.
 pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
@@ -16,11 +17,7 @@ pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError
         Add => match (a, b) {
             (Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
             (Value::Str(x), Value::Str(y)) => Value::str(format!("{x}{y}")),
-            (Value::List(x), Value::List(y)) => {
-                let mut l = (**x).clone();
-                l.extend(y.iter().cloned());
-                Value::from_vec(l)
-            }
+            (Value::List(x), Value::List(y)) => Value::List(x.concat(y)),
             _ => return Err(RuntimeError::type_error("add", a)),
         },
         Sub | Mul | Div | Mod => {
@@ -70,7 +67,7 @@ pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError
 pub fn eval_index(a: &Value, i: &Value) -> Result<Value, RuntimeError> {
     match (a, i) {
         (Value::List(l), Value::Int(n)) => Ok(l.get(*n as usize).cloned().unwrap_or(Value::Null)),
-        (Value::Map(m), Value::Str(k)) => Ok(m.get(k.as_ref()).cloned().unwrap_or(Value::Null)),
+        (Value::Map(m), Value::Str(k)) => Ok(m.get(k).cloned().unwrap_or(Value::Null)),
         _ => Err(RuntimeError::type_error("index", a)),
     }
 }
@@ -85,27 +82,27 @@ pub fn eval_len(a: &Value) -> Result<Value, RuntimeError> {
 /// Membership: key in map, element in list, substring in string.
 pub fn eval_contains(a: &Value, b: &Value) -> Result<Value, RuntimeError> {
     match (a, b) {
-        (Value::Map(m), Value::Str(k)) => Ok(Value::Bool(m.contains_key(k.as_ref()))),
+        (Value::Map(m), Value::Str(k)) => Ok(Value::Bool(m.contains_key(k))),
         (Value::List(l), x) => Ok(Value::Bool(l.contains(x))),
         (Value::Str(s), Value::Str(sub)) => Ok(Value::Bool(s.contains(sub.as_ref()))),
         _ => Err(RuntimeError::type_error("contains", a)),
     }
 }
 
-/// Functional map insert.
+/// Functional map insert: O(log n) path copy, sharing every untouched
+/// subtree with `m`. The key's `Arc<str>` is reused, so no string is
+/// copied either.
 pub fn eval_map_insert(m: &Value, k: &Value, v: &Value) -> Result<Value, RuntimeError> {
     let Value::Map(map) = m else {
         return Err(RuntimeError::type_error("map-insert", m));
     };
-    let Some(key) = k.as_str() else {
+    let Value::Str(key) = k else {
         return Err(RuntimeError::type_error("map-insert key", k));
     };
-    let mut map = (**map).clone();
-    map.insert(key.to_string(), v.clone());
-    Ok(Value::from_map(map))
+    Ok(Value::Map(map.insert(Arc::clone(key), v.clone())))
 }
 
-/// Functional map remove.
+/// Functional map remove: O(log n) path copy like [`eval_map_insert`].
 pub fn eval_map_remove(m: &Value, k: &Value) -> Result<Value, RuntimeError> {
     let Value::Map(map) = m else {
         return Err(RuntimeError::type_error("map-remove", m));
@@ -113,19 +110,16 @@ pub fn eval_map_remove(m: &Value, k: &Value) -> Result<Value, RuntimeError> {
     let Some(key) = k.as_str() else {
         return Err(RuntimeError::type_error("map-remove key", k));
     };
-    let mut map = (**map).clone();
-    map.remove(key);
-    Ok(Value::from_map(map))
+    Ok(Value::Map(map.remove(key)))
 }
 
-/// Functional list push.
+/// Functional list push: copies only the rightmost spine of the
+/// chunked list, sharing the prefix with `l`.
 pub fn eval_list_push(l: &Value, v: &Value) -> Result<Value, RuntimeError> {
     let Value::List(list) = l else {
         return Err(RuntimeError::type_error("list-push", l));
     };
-    let mut list = (**list).clone();
-    list.push(v.clone());
-    Ok(Value::from_vec(list))
+    Ok(Value::List(list.push(v.clone())))
 }
 
 /// Sorted keys of a map.
@@ -133,7 +127,9 @@ pub fn eval_keys(m: &Value) -> Result<Value, RuntimeError> {
     let Value::Map(map) = m else {
         return Err(RuntimeError::type_error("keys", m));
     };
-    Ok(Value::from_vec(map.keys().map(Value::str).collect()))
+    Ok(Value::List(
+        map.keys().map(|k| Value::Str(Arc::clone(k))).collect(),
+    ))
 }
 
 /// Stable hex digest.

@@ -60,8 +60,9 @@ pub enum RExpr {
     Contains(Box<RExpr>, Box<RExpr>),
     /// List literal.
     ListLit(Vec<RExpr>),
-    /// Map literal.
-    MapLit(Vec<(String, RExpr)>),
+    /// Map literal. Keys are `Arc<str>` so evaluation builds the
+    /// persistent map without copying key strings.
+    MapLit(Vec<(std::sync::Arc<str>, RExpr)>),
     /// Functional map insert.
     MapInsert(Box<RExpr>, Box<RExpr>, Box<RExpr>),
     /// Functional map remove.
@@ -332,7 +333,7 @@ impl<'a> FnResolver<'a> {
             Expr::MapLit(pairs) => RExpr::MapLit(
                 pairs
                     .iter()
-                    .map(|(k, v)| Ok((k.clone(), self.expr(v)?)))
+                    .map(|(k, v)| Ok((std::sync::Arc::from(k.as_str()), self.expr(v)?)))
                     .collect::<Result<_, BuildError>>()?,
             ),
             Expr::MapInsert(m, k, v) => RExpr::MapInsert(self.bx(m)?, self.bx(k)?, self.bx(v)?),

@@ -17,7 +17,8 @@
 //!   [`ExecHooks`](crate::ExecHooks); running with
 //!   [`NoopHooks`](crate::NoopHooks) is the *unmodified server* baseline.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, OnceLock};
 
 use kvstore::{IsolationLevel, Store, StoreStats, TxError, TxnId};
 use rand::rngs::SmallRng;
@@ -30,6 +31,28 @@ use crate::ids::{FunctionId, HandlerId, RequestId, Sym, VarId};
 use crate::resolve::{RExpr, RFunction, RStmt, Resolved};
 use crate::trace::Trace;
 use crate::value::Value;
+
+/// Interned keys for transactional continuation payloads. Cloning an
+/// `Arc<str>` is a refcount bump, not an allocation, so every payload
+/// the store hands to a continuation shares these five strings.
+struct TxPayloadKeys {
+    ctx: Arc<str>,
+    tx: Arc<str>,
+    ok: Arc<str>,
+    found: Arc<str>,
+    value: Arc<str>,
+}
+
+fn tx_payload_keys() -> &'static TxPayloadKeys {
+    static KEYS: OnceLock<TxPayloadKeys> = OnceLock::new();
+    KEYS.get_or_init(|| TxPayloadKeys {
+        ctx: Arc::from("ctx"),
+        tx: Arc::from("tx"),
+        ok: Arc::from("ok"),
+        found: Arc::from("found"),
+        value: Arc::from("value"),
+    })
+}
 
 /// The function id reserved for the initialization activation `I` (§3).
 pub const INIT_FUNCTION: FunctionId = FunctionId(u32::MAX);
@@ -458,7 +481,7 @@ impl<'p> Runtime<'p> {
                 }
                 Op::Field(i) => {
                     let a = pop(stack);
-                    let name = code.strings[i as usize].as_str();
+                    let name = code.strings[i as usize].as_ref();
                     stack.push(a.field(name).cloned().unwrap_or(Value::Null));
                 }
                 Op::Index => {
@@ -481,11 +504,10 @@ impl<'p> Runtime<'p> {
                 }
                 Op::MakeMap { keys, n } => {
                     let vals = stack.split_off(stack.len() - n as usize);
-                    let mut m = BTreeMap::new();
-                    for (j, v) in vals.into_iter().enumerate() {
-                        m.insert(code.strings[keys as usize + j].clone(), v);
-                    }
-                    stack.push(Value::from_map(m));
+                    let key_strs = &code.strings[keys as usize..(keys + n) as usize];
+                    stack.push(Value::from_pairs(
+                        key_strs.iter().cloned().zip(vals),
+                    ));
                 }
                 Op::MapInsert => {
                     let v = pop(stack);
@@ -1091,14 +1113,16 @@ impl<'p> Runtime<'p> {
             found: false,
             writer: None,
         };
-        let mut payload = BTreeMap::from([("ctx".to_string(), db.ctx.clone())]);
+        let keys = tx_payload_keys();
+        let mut payload: Vec<(Arc<str>, Value)> = Vec::with_capacity(5);
+        payload.push((Arc::clone(&keys.ctx), db.ctx.clone()));
         match db.kind {
             TxOpKind::Start => {
                 let txn = self.store.begin();
                 self.txnums.insert(txn, 0);
                 record.txn = txn;
-                payload.insert("ok".into(), Value::Bool(true));
-                payload.insert("tx".into(), Value::Int(txn.0 as i64));
+                payload.push((Arc::clone(&keys.ok), Value::Bool(true)));
+                payload.push((Arc::clone(&keys.tx), Value::Int(txn.0 as i64)));
             }
             _ => {
                 let txn = db.txn.expect("non-start ops carry a token");
@@ -1115,7 +1139,7 @@ impl<'p> Runtime<'p> {
                 };
                 record.txn = txn;
                 record.txnum = txnum;
-                payload.insert("tx".into(), Value::Int(txn.0 as i64));
+                payload.push((Arc::clone(&keys.tx), Value::Int(txn.0 as i64)));
                 let outcome: Result<(), TxError> = match db.kind {
                     TxOpKind::Get => {
                         let key = db.key.as_deref().expect("GET carries a key");
@@ -1124,8 +1148,8 @@ impl<'p> Runtime<'p> {
                                 record.found = r.value.is_some();
                                 record.value = r.value.clone();
                                 record.writer = r.writer;
-                                payload.insert("found".into(), Value::Bool(record.found));
-                                payload.insert("value".into(), r.value.unwrap_or(Value::Null));
+                                payload.push((Arc::clone(&keys.found), Value::Bool(record.found)));
+                                payload.push((Arc::clone(&keys.value), r.value.unwrap_or(Value::Null)));
                                 Ok(())
                             }
                             Err(e) => Err(e),
@@ -1143,14 +1167,14 @@ impl<'p> Runtime<'p> {
                 };
                 match outcome {
                     Ok(()) => {
-                        payload.insert("ok".into(), Value::Bool(true));
+                        payload.push((Arc::clone(&keys.ok), Value::Bool(true)));
                     }
                     Err(TxError::Conflict { .. }) => {
                         record.effective_abort = true;
                         record.value = None;
                         record.found = false;
                         record.writer = None;
-                        payload.insert("ok".into(), Value::Bool(false));
+                        payload.push((Arc::clone(&keys.ok), Value::Bool(false)));
                     }
                     Err(e) => {
                         return Err(RuntimeError::new(format!(
@@ -1167,7 +1191,7 @@ impl<'p> Runtime<'p> {
                 rid: db.rid,
                 hid: child,
                 function: db.on_done,
-                payload: Value::from_map(payload),
+                payload: Value::from_pairs(payload),
             }],
         });
         Ok(())
@@ -1242,11 +1266,11 @@ impl<'p> Runtime<'p> {
                     .collect::<Result<_, _>>()?,
             ),
             RExpr::MapLit(pairs) => {
-                let mut m = BTreeMap::new();
+                let mut entries = Vec::with_capacity(pairs.len());
                 for (k, e) in pairs {
-                    m.insert(k.clone(), self.eval(frame, e, hooks)?);
+                    entries.push((k.clone(), self.eval(frame, e, hooks)?));
                 }
-                Value::from_map(m)
+                Value::from_pairs(entries)
             }
             RExpr::MapInsert(m, k, v) => {
                 let m_v = self.eval(frame, m, hooks)?;

@@ -4,18 +4,22 @@
 //! core of JavaScript" (paper §5): null, booleans, 64-bit integers,
 //! strings, lists, and string-keyed maps. Values are immutable; updates
 //! produce new values (the interpreter exposes functional update
-//! expressions such as `MapInsert`). Maps are ordered (`BTreeMap`) so
-//! that equality, display, and iteration are deterministic — a
-//! requirement for deterministic replay.
+//! expressions such as `MapInsert`). Maps are ordered so that equality,
+//! display, and iteration are deterministic — a requirement for
+//! deterministic replay. Since PR 8 the containers are persistent
+//! ([`PMap`]/[`PList`], DESIGN.md §12): a functional update path-copies
+//! O(log n) chunked nodes and structurally shares the rest, instead of
+//! cloning the whole container.
 
+use crate::pvalue::{PList, PMap};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// A KJS runtime value.
-// The manual `PartialEq` below is semantically identical to the derived
-// one (its `Arc::ptr_eq` checks are pure shortcuts), so the derived
-// `Hash` stays consistent with equality.
+// The manual `PartialEq` below is semantically identical to a derived
+// one (the container `ptr_eq` checks are pure shortcuts), so the
+// derived `Hash` stays consistent with equality.
 #[allow(clippy::derived_hash_with_manual_eq)]
 #[derive(Debug, Clone, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Value {
@@ -29,11 +33,12 @@ pub enum Value {
     Int(i64),
     /// An immutable string.
     Str(Arc<str>),
-    /// A list of values. `Arc`-backed: cloning a value is O(1); the
-    /// functional-update operators copy-on-write.
-    List(Arc<Vec<Value>>),
-    /// A string-keyed ordered map. `Arc`-backed like lists.
-    Map(Arc<BTreeMap<String, Value>>),
+    /// A list of values. Persistent and chunked: cloning is O(1); the
+    /// functional-update operators path-copy O(log n) nodes.
+    List(PList),
+    /// A string-keyed ordered map. Persistent like lists: a counted
+    /// B-tree over `Arc`-shared nodes with `Arc<str>` keys.
+    Map(PMap),
 }
 
 impl Value {
@@ -48,35 +53,53 @@ impl Value {
         Value::Int(i)
     }
 
-    /// Builds a map value from `(key, value)` pairs.
+    /// Builds a map value from `(key, value)` pairs; on duplicate keys
+    /// the later pair wins.
     pub fn map<I, K>(pairs: I) -> Value
     where
         I: IntoIterator<Item = (K, Value)>,
         K: Into<String>,
     {
-        Value::Map(Arc::new(
-            pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        Value::Map(PMap::from_pairs(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (Arc::<str>::from(k.into().as_str()), v)),
         ))
+    }
+
+    /// Builds a map value from pairs with already-shared keys: the
+    /// allocation-free counterpart of [`Value::map`].
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Arc<str>, Value)>) -> Value {
+        Value::Map(PMap::from_pairs(pairs))
     }
 
     /// Builds a list value.
     pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
-        Value::List(Arc::new(items.into_iter().collect()))
+        Value::List(items.into_iter().collect())
     }
 
-    /// Wraps an already-built map.
+    /// Builds a map value from an ordered map (keys are re-shared as
+    /// `Arc<str>`).
     pub fn from_map(m: BTreeMap<String, Value>) -> Value {
-        Value::Map(Arc::new(m))
+        Value::Map(PMap::from_sorted_pairs(
+            m.into_iter().map(|(k, v)| (Arc::<str>::from(k.as_str()), v)),
+        ))
     }
 
-    /// Wraps an already-built vector.
+    /// Builds a list value from a vector.
     pub fn from_vec(v: Vec<Value>) -> Value {
-        Value::List(Arc::new(v))
+        Value::List(PList::from_vec(v))
     }
 
-    /// Empty map.
+    /// Empty map. Allocation-free: every empty map shares one static
+    /// root node.
     pub fn empty_map() -> Value {
-        Value::Map(Arc::new(BTreeMap::new()))
+        Value::Map(PMap::new())
+    }
+
+    /// Empty list. Allocation-free, like [`Value::empty_map`].
+    pub fn empty_list() -> Value {
+        Value::List(PList::new())
     }
 
     /// Truthiness, JavaScript-flavoured: `null`, `false`, `0`, `""`, and
@@ -113,7 +136,7 @@ impl Value {
 
     /// Returns the map if this is a `Map`.
     #[inline]
-    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+    pub fn as_map(&self) -> Option<&PMap> {
         match self {
             Value::Map(m) => Some(m),
             _ => None,
@@ -122,7 +145,7 @@ impl Value {
 
     /// Returns the list if this is a `List`.
     #[inline]
-    pub fn as_list(&self) -> Option<&[Value]> {
+    pub fn as_list(&self) -> Option<&PList> {
         match self {
             Value::List(l) => Some(l),
             _ => None,
@@ -230,8 +253,8 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
-            (Value::List(a), Value::List(b)) => Arc::ptr_eq(a, b) || a == b,
-            (Value::Map(a), Value::Map(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            (Value::Map(a), Value::Map(b)) => a == b,
             _ => false,
         }
     }
@@ -254,16 +277,7 @@ impl fmt::Display for Value {
                 }
                 f.write_str("]")
             }
-            Value::Map(m) => {
-                f.write_str("{")?;
-                for (i, (k, v)) in m.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(", ")?;
-                    }
-                    write!(f, "{k}: {v}")?;
-                }
-                f.write_str("}")
-            }
+            Value::Map(m) => write!(f, "{m}"),
         }
     }
 }
@@ -350,6 +364,7 @@ mod tests {
         assert!(Value::str("x").truthy());
         assert!(!Value::list([]).truthy());
         assert!(!Value::empty_map().truthy());
+        assert!(!Value::empty_list().truthy());
     }
 
     #[test]
@@ -406,11 +421,12 @@ mod more_tests {
         assert_eq!(Value::str("").is_empty(), Some(true));
         assert_eq!(Value::list([Value::Null]).is_empty(), Some(false));
         assert_eq!(Value::empty_map().is_empty(), Some(true));
+        assert_eq!(Value::empty_list().is_empty(), Some(true));
         assert_eq!(Value::Int(0).is_empty(), None);
     }
 
     #[test]
-    fn arc_sharing_makes_clones_cheap_and_equal() {
+    fn structural_sharing_makes_clones_cheap_and_equal() {
         let big = Value::map((0..100).map(|i| (format!("k{i}"), Value::int(i))));
         let copy = big.clone();
         // Pointer-equal clones compare equal via the fast path.
@@ -418,5 +434,19 @@ mod more_tests {
         // Structurally-equal but separately-built values also compare equal.
         let rebuilt = Value::map((0..100).map(|i| (format!("k{i}"), Value::int(i))));
         assert_eq!(big, rebuilt);
+    }
+
+    #[test]
+    fn empty_singletons_do_not_allocate_fresh_roots() {
+        let (a, b) = (Value::empty_map(), Value::empty_map());
+        match (&a, &b) {
+            (Value::Map(x), Value::Map(y)) => assert!(x.ptr_eq(y)),
+            _ => unreachable!(),
+        }
+        let (a, b) = (Value::empty_list(), Value::empty_list());
+        match (&a, &b) {
+            (Value::List(x), Value::List(y)) => assert!(x.ptr_eq(y)),
+            _ => unreachable!(),
+        }
     }
 }
