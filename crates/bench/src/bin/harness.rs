@@ -3,17 +3,47 @@
 //! ```text
 //! harness [figure] [--requests N] [--iters K] [--seed S] [--verify-threads T]
 //!         [--obs-out trace.json] [--metrics-out metrics.json]
+//!         [--prom-out prom.txt] [--prom-addr 127.0.0.1:9464]
 //!         [--dump-bytecode app]
 //!
 //!   figure ∈ { fig6, fig7, fig8, fig9, fig10, fig11, fig12, ratios,
 //!              errorbars, ablations, bench-pr3, bench-pr4, bench-pr5,
-//!              bench-pr6, bench-pr7, all }
+//!              bench-pr6, bench-pr7, bench-pr8, report, all }
+//!
+//! harness diff <a.json> <b.json> [--threshold-pct X]
+//! harness validate-metrics <schema.json> <metrics.json>
+//! harness validate-json <file.json>
+//! harness validate-prom <prom.txt>
+//! harness trend
 //! ```
 //!
 //! `--obs-out` / `--metrics-out` capture one fully-instrumented wiki
 //! run and write the Chrome `trace_event` / metrics-registry JSON
 //! exports (open the trace in Perfetto or `chrome://tracing`). With no
-//! explicit figure, the capture is the whole job.
+//! explicit figure, the capture is the whole job. `--prom-out` /
+//! `--prom-addr` (or `KAROUSOS_PROM_ADDR`) additionally run a live
+//! Prometheus text-format exporter for the duration of the capture —
+//! the file is atomically re-rendered every scrape interval and the
+//! address serves it over HTTP, so an external scraper watches the
+//! audit progress mid-flight.
+//!
+//! `report` captures one instrumented wiki run and prints the cost
+//! attribution: ledger totals, the most fuel-expensive re-execution
+//! groups, the per-handler-tree (digest) aggregation, and the most
+//! expensive served requests.
+//!
+//! `diff` flattens every numeric leaf of two machine-readable exports
+//! (metrics or BENCH_PR*.json) to dotted paths and prints per-counter
+//! deltas; with `--threshold-pct X` it exits nonzero when any relative
+//! delta exceeds X% (so `diff a.json a.json --threshold-pct 0` is a
+//! zero-delta smoke check).
+//!
+//! `validate-metrics` checks a metrics export against the checked-in
+//! schema (the draft-07 subset previously enforced by the retired
+//! `tools/validate_metrics.py`); `validate-json` checks any file
+//! parses as JSON; `validate-prom` checks a Prometheus exposition via
+//! `obs::check_exposition`. `trend` aggregates the committed
+//! `BENCH_PR*.json` evidence files into one trajectory table.
 //!
 //! `--dump-bytecode <motd|stacks|wiki>` prints the compiled replay
 //! bytecode of every function in the app's program (DESIGN.md §11) and
@@ -63,6 +93,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
         }
+        // Thread-local probe behind its own gate: lets the verifier's
+        // cost ledger attribute allocation events to the group each
+        // worker is replaying (advisory column; off unless a capture
+        // enables it).
+        obs::allocprobe::note();
         System.alloc(layout)
     }
 
@@ -74,6 +109,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
         }
+        obs::allocprobe::note();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -108,6 +144,18 @@ struct Opts {
     /// Metrics JSON destination (`--metrics-out`); enables telemetry
     /// capture for the run.
     metrics_out: Option<String>,
+    /// Prometheus text-format destination (`--prom-out`); enables
+    /// telemetry capture and a live background exporter for the run.
+    prom_out: Option<String>,
+    /// Prometheus HTTP listen address (`--prom-addr`, falling back to
+    /// `KAROUSOS_PROM_ADDR`); enables telemetry capture and a live
+    /// background exporter for the run.
+    prom_addr: Option<String>,
+    /// `diff`: fail when any relative delta exceeds this percentage.
+    threshold_pct: Option<f64>,
+    /// Positional arguments after the figure/subcommand name (file
+    /// paths for `diff` / `validate-*`).
+    positional: Vec<String>,
     /// `--dump-bytecode <app>`: print the compiled replay bytecode of
     /// every function in the named app's program and exit.
     dump_bytecode: Option<String>,
@@ -124,6 +172,10 @@ fn parse_args() -> Opts {
         verify_threads: 4,
         obs_out: None,
         metrics_out: None,
+        prom_out: None,
+        prom_addr: karousos::config::prom_addr_from_env(),
+        threshold_pct: None,
+        positional: Vec::new(),
         dump_bytecode: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -175,6 +227,32 @@ fn parse_args() -> Opts {
                 opts.metrics_out = Some(path.clone());
                 i += 2;
             }
+            "--prom-out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--prom-out requires a file path");
+                    std::process::exit(2);
+                };
+                opts.prom_out = Some(path.clone());
+                i += 2;
+            }
+            "--prom-addr" => {
+                let Some(addr) = args.get(i + 1) else {
+                    eprintln!("--prom-addr requires a listen address, e.g. 127.0.0.1:9464");
+                    std::process::exit(2);
+                };
+                opts.prom_addr = Some(addr.clone());
+                i += 2;
+            }
+            "--threshold-pct" => {
+                match args.get(i + 1).map(|r| r.parse::<f64>()) {
+                    Some(Ok(v)) if v >= 0.0 => opts.threshold_pct = Some(v),
+                    _ => {
+                        eprintln!("--threshold-pct requires a nonnegative number");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
             "--dump-bytecode" => {
                 let Some(app) = args.get(i + 1) else {
                     eprintln!("--dump-bytecode requires an app name (motd, stacks, wiki)");
@@ -184,8 +262,12 @@ fn parse_args() -> Opts {
                 i += 2;
             }
             other => {
-                opts.figure = other.to_string();
-                opts.figure_explicit = true;
+                if opts.figure_explicit {
+                    opts.positional.push(other.to_string());
+                } else {
+                    opts.figure = other.to_string();
+                    opts.figure_explicit = true;
+                }
                 i += 1;
             }
         }
@@ -670,14 +752,44 @@ fn bench_pr3(o: &Opts) {
 /// Captures one fully-instrumented run — advice collection plus the
 /// parallel audit — of the wiki workload and writes the exports named
 /// by `--obs-out` (Chrome `trace_event` JSON, loadable in Perfetto /
-/// `chrome://tracing`) and `--metrics-out` (metrics registry JSON).
-fn obs_capture(o: &Opts) {
+/// `chrome://tracing`) and `--metrics-out` (metrics registry JSON with
+/// the final progress heartbeat and the per-group/per-request cost
+/// ledger). With `--prom-out` / `--prom-addr` a background exporter
+/// additionally publishes live Prometheus snapshots for the duration
+/// of the run. Returns the populated handle so `report` can print the
+/// attribution from the same run.
+fn obs_capture(o: &Opts) -> obs::Obs {
     use karousos::{audit_with_obs, run_instrumented_server_with_obs, CollectorMode};
     let mut exp = workload::Experiment::paper_default(App::Wiki, Mix::Wiki, 8, o.seed);
     exp.requests = o.requests;
     let program = App::Wiki.program();
     let inputs = exp.inputs();
     let obs = obs::Obs::enabled();
+    let exporter = if o.prom_out.is_some() || o.prom_addr.is_some() {
+        match obs::PromExporter::start(
+            obs.clone(),
+            o.prom_out.as_ref().map(std::path::PathBuf::from),
+            o.prom_addr.as_deref(),
+            obs::DEFAULT_SCRAPE_INTERVAL,
+        ) {
+            Ok(ex) => {
+                if let Some(addr) = ex.local_addr() {
+                    println!("  serving live Prometheus metrics on http://{addr}/metrics");
+                }
+                Some(ex)
+            }
+            Err(e) => {
+                eprintln!("failed to start Prometheus exporter: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    // Attribute allocation events to ledger rows (the advisory column;
+    // the global allocator feeds the thread-local probe only while
+    // this is on).
+    obs::allocprobe::set_enabled(true);
     let (out, advice) = run_instrumented_server_with_obs(
         &program,
         &inputs,
@@ -695,12 +807,26 @@ fn obs_capture(o: &Opts) {
         &obs,
     )
     .expect("honest advice must be accepted");
+    obs::allocprobe::set_enabled(false);
+    let progress = obs.progress_snapshot();
     println!(
-        "== telemetry capture: wiki mixed, {} requests, {} groups, {} spans ==",
+        "== telemetry capture: wiki mixed, {} requests, {} groups, {} spans, phase {} \
+         ({}/{} groups replayed) ==",
         o.requests,
         report.reexec.groups,
-        obs.spans_snapshot().len()
+        obs.spans_snapshot().len(),
+        progress.phase.name(),
+        progress.groups_done,
+        progress.groups_total,
     );
+    if let Some(ex) = exporter {
+        // Final render happens on stop, so the file always ends on the
+        // completed run.
+        ex.stop();
+    }
+    if let Some(path) = &o.prom_out {
+        println!("  wrote {path} (Prometheus text format 0.0.4)");
+    }
     if let Some(path) = &o.obs_out {
         if let Err(e) = std::fs::write(path, obs.trace_json()) {
             eprintln!("failed to write {path}: {e}");
@@ -714,6 +840,312 @@ fn obs_capture(o: &Opts) {
             std::process::exit(1);
         }
         println!("  wrote {path}");
+    }
+    obs
+}
+
+/// `report`: one instrumented wiki run, then the cost attribution —
+/// where the audit's fuel, operations, and wall-clock actually went,
+/// by re-execution group, by handler tree (control-flow digest), and
+/// by served request.
+fn report(o: &Opts) {
+    let obs = obs_capture(o);
+    let ledger = obs.ledger_snapshot();
+    let t = ledger.totals();
+    println!(
+        "\n== cost attribution: wiki mixed, {} requests ==",
+        o.requests
+    );
+    println!(
+        "\n  totals: {} groups / {} requests replayed; {} fuel, {} ops \
+         ({} bytecode), {} dict feeds, {} var accesses, {} us wall, {} alloc events",
+        t.groups,
+        t.requests,
+        t.fuel,
+        t.ops,
+        t.bytecode_ops,
+        t.dict_feeds,
+        t.var_accesses,
+        t.wall_us,
+        t.alloc_events,
+    );
+
+    println!("\n  top groups by fuel:");
+    println!(
+        "    {:>6} {:>8} {:>10} {:>10} {:>8} {:>10} {:>8} {:>8} {:>18}",
+        "group", "requests", "fuel", "fuel/req", "ops", "dictfeeds", "wall us", "allocs", "digest"
+    );
+    for g in ledger.top_groups_by_fuel(10) {
+        println!(
+            "    {:>6} {:>8} {:>10} {:>10} {:>8} {:>10} {:>8} {:>8} {:>18x}",
+            g.group,
+            g.requests,
+            g.fuel,
+            g.fuel / g.requests.max(1),
+            g.uniform_ops + g.expanded_ops,
+            g.dict_feeds,
+            g.wall_us,
+            g.alloc_events,
+            g.digest,
+        );
+    }
+
+    println!("\n  by handler tree (control-flow digest):");
+    println!(
+        "    {:>18} {:>8} {:>10} {:>12} {:>10}",
+        "digest", "groups", "requests", "fuel", "ops"
+    );
+    for (digest, groups, requests, fuel, ops) in ledger.by_digest() {
+        println!("    {digest:>18x} {groups:>8} {requests:>10} {fuel:>12} {ops:>10}");
+    }
+
+    if !ledger.requests.is_empty() {
+        let mut rows = ledger.requests.clone();
+        rows.sort_by(|a, b| b.fuel.cmp(&a.fuel).then(a.rid.cmp(&b.rid)));
+        rows.truncate(10);
+        println!("\n  top served requests by fuel (server-side, advisory):");
+        println!(
+            "    {:>6} {:>12} {:>8} {:>10}",
+            "rid", "activations", "ops", "fuel"
+        );
+        for r in rows {
+            println!(
+                "    {:>6} {:>12} {:>8} {:>10}",
+                r.rid, r.activations, r.ops, r.fuel
+            );
+        }
+    }
+}
+
+fn read_or_die(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_or_die(path: &str) -> bench::json::Value {
+    match bench::json::parse(&read_or_die(path)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `diff <a.json> <b.json> [--threshold-pct X]`: per-counter deltas
+/// between two machine-readable exports. Every numeric leaf is
+/// flattened to a dotted path; leaves present in only one file count
+/// as differences. Exits nonzero when a threshold is set and any
+/// relative delta exceeds it.
+fn diff(o: &Opts) {
+    let [a_path, b_path] = o.positional.as_slice() else {
+        eprintln!("usage: harness diff <a.json> <b.json> [--threshold-pct X]");
+        std::process::exit(2);
+    };
+    let a = bench::json::flatten_numbers(&parse_or_die(a_path));
+    let b = bench::json::flatten_numbers(&parse_or_die(b_path));
+    let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    let mut changed = 0usize;
+    let mut breached = 0usize;
+    println!("== diff: {a_path} vs {b_path} ({} leaves) ==", keys.len());
+    for key in keys {
+        match (a.get(key), b.get(key)) {
+            (Some(&va), Some(&vb)) => {
+                if va == vb {
+                    continue;
+                }
+                changed += 1;
+                let delta = vb - va;
+                let pct = if va != 0.0 {
+                    delta / va.abs() * 100.0
+                } else {
+                    f64::INFINITY
+                };
+                let over = o.threshold_pct.map(|t| pct.abs() > t).unwrap_or(false);
+                if over {
+                    breached += 1;
+                }
+                println!(
+                    "  {key}: {va} -> {vb} ({delta:+} = {pct:+.2}%){}",
+                    if over { "  OVER THRESHOLD" } else { "" }
+                );
+            }
+            (Some(&va), None) => {
+                changed += 1;
+                breached += usize::from(o.threshold_pct.is_some());
+                println!("  {key}: {va} -> (absent in {b_path})");
+            }
+            (None, Some(&vb)) => {
+                changed += 1;
+                breached += usize::from(o.threshold_pct.is_some());
+                println!("  {key}: (absent in {a_path}) -> {vb}");
+            }
+            (None, None) => unreachable!("key came from one of the maps"),
+        }
+    }
+    match o.threshold_pct {
+        Some(t) if breached > 0 => {
+            eprintln!("{changed} leaves differ; {breached} exceed the {t}% threshold");
+            std::process::exit(1);
+        }
+        Some(t) => println!("  {changed} leaves differ; none exceed the {t}% threshold"),
+        None => println!("  {changed} leaves differ"),
+    }
+}
+
+/// `validate-metrics <schema.json> <metrics.json>`: the Rust
+/// replacement for the retired `tools/validate_metrics.py`.
+fn validate_metrics_cmd(o: &Opts) {
+    let [schema_path, json_path] = o.positional.as_slice() else {
+        eprintln!("usage: harness validate-metrics <schema.json> <metrics.json>");
+        std::process::exit(2);
+    };
+    let schema = parse_or_die(schema_path);
+    let value = parse_or_die(json_path);
+    let errors = bench::json::validate_schema(&value, &schema);
+    if errors.is_empty() {
+        println!("{json_path}: conforms to {schema_path}");
+    } else {
+        for e in &errors {
+            eprintln!("schema violation: {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `validate-json <file.json>`: the file parses as one JSON document.
+fn validate_json_cmd(o: &Opts) {
+    let [path] = o.positional.as_slice() else {
+        eprintln!("usage: harness validate-json <file.json>");
+        std::process::exit(2);
+    };
+    let _ = parse_or_die(path);
+    println!("{path}: valid JSON");
+}
+
+/// `validate-prom <prom.txt>`: the file is a well-formed Prometheus
+/// text-format 0.0.4 exposition (TYPE lines, cumulative `le` buckets,
+/// counter/gauge sign conventions).
+fn validate_prom_cmd(o: &Opts) {
+    let [path] = o.positional.as_slice() else {
+        eprintln!("usage: harness validate-prom <prom.txt>");
+        std::process::exit(2);
+    };
+    let text = read_or_die(path);
+    match obs::check_exposition(&text) {
+        Ok(()) => println!("{path}: well-formed Prometheus exposition"),
+        Err(e) => {
+            eprintln!("{path}: bad exposition: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One `trend` row: which committed evidence file, and which of its
+/// leaves to surface.
+const TREND_ROWS: &[(&str, &str, &str)] = &[
+    (
+        "BENCH_PR3.json",
+        "replay allocs/op (uniform n=64)",
+        "uniform_microbench/allocs_per_op",
+    ),
+    (
+        "BENCH_PR3.json",
+        "alloc reduction vs name-based interpreter",
+        "uniform_microbench/reduction_factor",
+    ),
+    (
+        "BENCH_PR4.json",
+        "wiki obs-enabled audit overhead %",
+        "apps/2/obs_overhead_pct",
+    ),
+    (
+        "BENCH_PR5.json",
+        "decode alloc reduction (zero-copy view)",
+        "decode/view_reduction_factor",
+    ),
+    (
+        "BENCH_PR5.json",
+        "decode alloc reduction (fast path)",
+        "decode/fast_reduction_factor",
+    ),
+    (
+        "BENCH_PR5.json",
+        "configs bit-identical",
+        "configs_bit_identical",
+    ),
+    (
+        "BENCH_PR6.json",
+        "fuel metering overhead %",
+        "metering_overhead_pct",
+    ),
+    (
+        "BENCH_PR6.json",
+        "honest wiki fuel bill",
+        "honest_fuel_spent",
+    ),
+    (
+        "BENCH_PR7.json",
+        "bytecode VM best replay speedup",
+        "target/best_speedup",
+    ),
+    (
+        "BENCH_PR7.json",
+        "bytecode VM best alloc reduction",
+        "target/best_alloc_reduction",
+    ),
+    (
+        "BENCH_PR7.json",
+        "configs bit-identical",
+        "configs_bit_identical",
+    ),
+    ("BENCH_PR8.json", "persistent-value gates met", "target/met"),
+    (
+        "BENCH_PR8.json",
+        "configs bit-identical",
+        "configs_bit_identical",
+    ),
+];
+
+/// `trend`: aggregates the committed `BENCH_PR*.json` evidence files
+/// into one markdown trajectory table (the copy committed to
+/// EXPERIMENTS.md §"Performance trajectory").
+fn trend() {
+    println!("| evidence file | metric | value |");
+    println!("|---|---|---|");
+    let mut cache: std::collections::BTreeMap<&str, Option<bench::json::Value>> =
+        std::collections::BTreeMap::new();
+    let mut missing = Vec::new();
+    for &(file, label, path) in TREND_ROWS {
+        let doc = cache.entry(file).or_insert_with(|| {
+            std::fs::read_to_string(file)
+                .ok()
+                .and_then(|s| bench::json::parse(&s).ok())
+        });
+        let Some(doc) = doc else {
+            if !missing.contains(&file) {
+                missing.push(file);
+            }
+            continue;
+        };
+        let rendered = match doc.at(path) {
+            Some(bench::json::Value::Bool(b)) => b.to_string(),
+            Some(v) => match v.as_f64() {
+                Some(n) if n.fract() == 0.0 => format!("{n}"),
+                Some(n) => format!("{n:.2}"),
+                None => "?".to_string(),
+            },
+            None => "?".to_string(),
+        };
+        println!("| {file} | {label} | {rendered} |");
+    }
+    for file in missing {
+        eprintln!("note: {file} not found in the working directory; rows skipped");
     }
 }
 
@@ -1505,7 +1937,8 @@ fn bench_pr8(o: &Opts) {
             );
             diverged = true;
         }
-        let fuel_matches_pr7 = o.requests != 600 || stats_tw.fuel_spent == baseline.fuel_spent_at_600;
+        let fuel_matches_pr7 =
+            o.requests != 600 || stats_tw.fuel_spent == baseline.fuel_spent_at_600;
         if !fuel_matches_pr7 {
             eprintln!(
                 "FUEL DRIFT vs PR 7: {} spends {} fuel, baseline recorded {}",
@@ -1627,9 +2060,7 @@ fn bench_pr8(o: &Opts) {
          container-attributable events dropped ~4.5x\", \
          \"met\": {gate_met}}},\n  \
          \"apps\": [\n{apps_json}\n  ]\n}}\n",
-        o.iters,
-        o.requests,
-        !diverged,
+        o.iters, o.requests, !diverged,
     );
     if let Err(e) = std::fs::write("BENCH_PR8.json", &json) {
         eprintln!("failed to write BENCH_PR8.json: {e}");
@@ -1666,6 +2097,16 @@ fn main() {
         dump_bytecode(app);
         return;
     }
+    // File-driven subcommands first: they must not trigger a capture
+    // even when --prom-out/--metrics-out/KAROUSOS_PROM_ADDR are set.
+    match o.figure.as_str() {
+        "diff" => return diff(&o),
+        "validate-metrics" => return validate_metrics_cmd(&o),
+        "validate-json" => return validate_json_cmd(&o),
+        "validate-prom" => return validate_prom_cmd(&o),
+        "trend" => return trend(),
+        _ => {}
+    }
     if o.verify_threads != 1
         && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) == 1
     {
@@ -1675,7 +2116,11 @@ fn main() {
             o.verify_threads
         );
     }
-    if o.obs_out.is_some() || o.metrics_out.is_some() {
+    if o.figure == "report" {
+        report(&o);
+        return;
+    }
+    if o.obs_out.is_some() || o.metrics_out.is_some() || o.prom_out.is_some() {
         obs_capture(&o);
         // Without an explicit figure, the capture is the whole job.
         if !o.figure_explicit {
@@ -1712,7 +2157,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure {other:?}; try fig6..fig12, ratios, errorbars, ablations, \
-                 bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, all"
+                 bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, report, \
+                 diff, validate-metrics, validate-json, validate-prom, trend, all"
             );
             std::process::exit(2);
         }

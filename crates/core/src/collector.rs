@@ -88,6 +88,10 @@ pub struct Collector {
     /// Orochi-JS order-sensitive tag chains.
     seq_digest: HashMap<RequestId, Fnv>,
     counters: CollectorCounters,
+    /// Per-request cost rows (activations / ops / fuel), accumulated
+    /// only when cost attribution is enabled — the default collection
+    /// path pays nothing.
+    req_costs: Option<std::collections::BTreeMap<u64, obs::RequestCost>>,
 }
 
 impl Collector {
@@ -102,6 +106,23 @@ impl Collector {
             per_request: HashMap::new(),
             seq_digest: HashMap::new(),
             counters: CollectorCounters::default(),
+            req_costs: None,
+        }
+    }
+
+    /// Enables per-request cost attribution: each served request gets
+    /// an [`obs::RequestCost`] row (activations, ops, fuel).
+    pub fn with_request_costs(mut self) -> Self {
+        self.req_costs = Some(std::collections::BTreeMap::new());
+        self
+    }
+
+    /// The accumulated per-request cost rows in ascending request
+    /// order (empty unless [`Collector::with_request_costs`]).
+    pub fn request_costs(&self) -> Vec<obs::RequestCost> {
+        match &self.req_costs {
+            Some(m) => m.values().copied().collect(),
+            None => Vec::new(),
         }
     }
 
@@ -199,6 +220,24 @@ impl ExecHooks for Collector {
         let seq = self.seq_digest.entry(rid).or_default();
         seq.write_u64(hid_digest(hid));
         seq.write_u64(digest);
+        if let Some(costs) = &mut self.req_costs {
+            let row = costs.entry(rid.0).or_insert(obs::RequestCost {
+                rid: rid.0,
+                ..Default::default()
+            });
+            row.activations += 1;
+            row.ops += opcount as u64;
+        }
+    }
+
+    fn on_handler_fuel(&mut self, rid: RequestId, _hid: &HandlerId, fuel: u64) {
+        if let Some(costs) = &mut self.req_costs {
+            let row = costs.entry(rid.0).or_insert(obs::RequestCost {
+                rid: rid.0,
+                ..Default::default()
+            });
+            row.fuel += fuel;
+        }
     }
 
     fn on_var_init(
@@ -532,8 +571,16 @@ pub fn run_instrumented_server_with_obs(
 ) -> Result<(kem::RunOutput, Advice), kem::RuntimeError> {
     let t_run = obs.span_start();
     let mut collector = Collector::new(mode);
+    if obs.is_enabled() {
+        collector = collector.with_request_costs();
+    }
     let out = kem::run_server(program, inputs, cfg, &mut collector)?;
     let c = collector.counters();
+    // Per-request ledger rows, in ascending request order (the
+    // BTreeMap iteration order) so the export is deterministic.
+    for row in collector.request_costs() {
+        obs.record_request_cost(row);
+    }
     let advice = collector.finish(&out.binlog);
     obs.record_span(
         "server-run",

@@ -14,6 +14,7 @@
 //! | `KAROUSOS_PIPELINE` | pipelined audit (`0`/`off`/`false`/empty disable) | on |
 //! | `KAROUSOS_BYTECODE` | bytecode-VM replay (`0`/`off`/`false`/empty fall back to the tree-walk) | on |
 //! | `KAROUSOS_OBS` | instrumented path for plain entry points (empty/`0` off) | off |
+//! | `KAROUSOS_PROM_ADDR` | serve live Prometheus metrics on this address (e.g. `127.0.0.1:9464`; empty off) | off |
 //! | `KAROUSOS_LIMITS_REPLAY_FUEL` | per-group replay step budget | `1<<26` |
 //! | `KAROUSOS_LIMITS_GROUP_DEADLINE_MS` | per-group wall-clock deadline (ms) | `60000` |
 //! | `KAROUSOS_LIMITS_DECODE_BYTES` | max advice wire size (bytes) | `1<<31` |
@@ -42,6 +43,11 @@ pub const ENV_BYTECODE: &str = kem::bytecode::ENV_BYTECODE;
 /// `KAROUSOS_OBS`: plain entry points record into an enabled
 /// observability handle (default off).
 pub const ENV_OBS: &str = "KAROUSOS_OBS";
+/// `KAROUSOS_PROM_ADDR`: address a capture/report run's background
+/// exporter serves live Prometheus text-format metrics on (default
+/// off; consumed by the bench harness, which owns the exporter
+/// thread — the verifier core never spawns one).
+pub const ENV_PROM_ADDR: &str = "KAROUSOS_PROM_ADDR";
 /// `KAROUSOS_LIMITS_REPLAY_FUEL`: [`Limits::replay_fuel`] override.
 pub const ENV_LIMITS_REPLAY_FUEL: &str = "KAROUSOS_LIMITS_REPLAY_FUEL";
 /// `KAROUSOS_LIMITS_GROUP_DEADLINE_MS`: [`Limits::group_deadline_ms`]
@@ -231,6 +237,23 @@ pub fn bytecode_from_env() -> bool {
     kem::bytecode::bytecode_from_env()
 }
 
+/// Parses one `KAROUSOS_PROM_ADDR` value: a non-empty trimmed address
+/// enables the live exporter, anything else (missing, empty,
+/// whitespace) leaves it off.
+pub fn parse_prom_addr(raw: Option<&str>) -> Option<String> {
+    let v = raw?.trim();
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.to_string())
+    }
+}
+
+/// Reads `KAROUSOS_PROM_ADDR` (see [`parse_prom_addr`]).
+pub fn prom_addr_from_env() -> Option<String> {
+    parse_prom_addr(env_var(ENV_PROM_ADDR).as_deref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +302,17 @@ mod tests {
         assert!(!parse_switch_default_off(Some("0")));
         assert!(parse_switch_default_off(Some("1")));
         assert!(parse_switch_default_off(Some("json")));
+    }
+
+    #[test]
+    fn karousos_prom_addr_parse() {
+        assert_eq!(parse_prom_addr(None), None);
+        assert_eq!(parse_prom_addr(Some("")), None);
+        assert_eq!(parse_prom_addr(Some("   ")), None);
+        assert_eq!(
+            parse_prom_addr(Some(" 127.0.0.1:9464 ")),
+            Some("127.0.0.1:9464".to_string())
+        );
     }
 
     #[test]

@@ -45,6 +45,64 @@ pub struct AuditDiagnostics {
     /// Minimal-cycle forensics, present iff the rejection is
     /// [`RejectReason::CycleInG`] and a cycle was extracted.
     pub cycle: Option<CycleReport>,
+    /// What the audit spent getting to this rejection (present iff
+    /// the audit ran with an enabled obs handle): totals plus the
+    /// top-cost groups from the cost ledger.
+    pub attribution: Option<CostAttribution>,
+}
+
+/// Cost context attached to a rejection: a REJECT names not just the
+/// reason but what the audit spent getting there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostAttribution {
+    /// Fuel spent by the groups that replayed before the rejection.
+    pub fuel_spent: u64,
+    /// Groups whose costs were recorded before the rejection.
+    pub groups_recorded: u64,
+    /// The most expensive recorded groups, descending by fuel.
+    pub top_groups: Vec<TopGroupCost>,
+}
+
+/// One top-cost group in a [`CostAttribution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopGroupCost {
+    /// Group index in replay order.
+    pub group: u64,
+    /// The group's handler-tree digest (control-flow tag).
+    pub digest: u64,
+    /// Requests in the group.
+    pub requests: u64,
+    /// Fuel the group's replay spent.
+    pub fuel: u64,
+}
+
+impl CostAttribution {
+    /// How many top groups a rejection names.
+    pub const TOP_K: usize = 3;
+
+    /// Builds attribution from an assembled cost ledger (`None` when
+    /// the ledger recorded nothing — e.g. the rejection predates
+    /// replay).
+    pub fn from_ledger(ledger: &obs::CostLedger) -> Option<Self> {
+        if ledger.groups.is_empty() {
+            return None;
+        }
+        let totals = ledger.totals();
+        Some(CostAttribution {
+            fuel_spent: totals.fuel,
+            groups_recorded: totals.groups,
+            top_groups: ledger
+                .top_groups_by_fuel(Self::TOP_K)
+                .into_iter()
+                .map(|g| TopGroupCost {
+                    group: g.group,
+                    digest: g.digest,
+                    requests: g.requests,
+                    fuel: g.fuel,
+                })
+                .collect(),
+        })
+    }
 }
 
 /// A minimal simple cycle of the execution graph.
@@ -81,6 +139,7 @@ impl AuditDiagnostics {
             kind: reason.kind(),
             reason: reason.to_string(),
             cycle: None,
+            attribution: None,
         }
     }
 
@@ -105,7 +164,7 @@ impl AuditDiagnostics {
         out.push_str(&format!("  \"kind\": \"{}\",\n", esc(self.kind)));
         out.push_str(&format!("  \"reason\": \"{}\",\n", esc(&self.reason)));
         match &self.cycle {
-            None => out.push_str("  \"cycle\": null\n"),
+            None => out.push_str("  \"cycle\": null,\n"),
             Some(c) => {
                 out.push_str("  \"cycle\": {\n    \"nodes\": [");
                 for (i, n) in c.nodes.iter().enumerate() {
@@ -131,7 +190,26 @@ impl AuditDiagnostics {
                         esc(&e.provenance)
                     ));
                 }
-                out.push_str("\n    ]\n  }\n");
+                out.push_str("\n    ]\n  },\n");
+            }
+        }
+        match &self.attribution {
+            None => out.push_str("  \"attribution\": null\n"),
+            Some(a) => {
+                out.push_str(&format!(
+                    "  \"attribution\": {{\"fuel_spent\": {}, \"groups_recorded\": {}, \"top_groups\": [",
+                    a.fuel_spent, a.groups_recorded
+                ));
+                for (i, g) in a.top_groups.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"group\": {}, \"digest\": {}, \"requests\": {}, \"fuel\": {}}}",
+                        g.group, g.digest, g.requests, g.fuel
+                    ));
+                }
+                out.push_str("]}\n");
             }
         }
         out.push_str("}\n");
@@ -286,12 +364,52 @@ mod tests {
                     provenance: "internal-state write-read on v3".into(),
                 }],
             }),
+            attribution: Some(CostAttribution {
+                fuel_spent: 42,
+                groups_recorded: 2,
+                top_groups: vec![TopGroupCost {
+                    group: 1,
+                    digest: 9,
+                    requests: 3,
+                    fuel: 40,
+                }],
+            }),
         };
         let json = d.to_json();
         assert!(json.contains("\\\"cycle\\\""));
         assert!(json.contains("\"kind\": \"wr\""));
         assert!(json.contains("\"var\": \"v3\""));
+        assert!(json.contains("\"attribution\": {\"fuel_spent\": 42"));
+        assert!(json.contains("\"top_groups\": [{\"group\": 1, \"digest\": 9"));
         assert!(d.summary().contains("1 edges"));
+    }
+
+    #[test]
+    fn attribution_from_ledger_ranks_groups() {
+        let ledger = obs::CostLedger {
+            groups: vec![
+                obs::GroupCost {
+                    group: 0,
+                    fuel: 5,
+                    digest: 1,
+                    requests: 1,
+                    ..Default::default()
+                },
+                obs::GroupCost {
+                    group: 1,
+                    fuel: 50,
+                    digest: 2,
+                    requests: 2,
+                    ..Default::default()
+                },
+            ],
+            requests: Vec::new(),
+        };
+        let a = CostAttribution::from_ledger(&ledger).unwrap();
+        assert_eq!(a.fuel_spent, 55);
+        assert_eq!(a.groups_recorded, 2);
+        assert_eq!(a.top_groups[0].group, 1);
+        assert!(CostAttribution::from_ledger(&obs::CostLedger::default()).is_none());
     }
 
     #[test]

@@ -19,7 +19,10 @@ mod reexec;
 mod reject;
 mod vars;
 
-pub use forensics::{cycle_report, AuditDiagnostics, AuditFailure, CycleEdgeReport, CycleReport};
+pub use forensics::{
+    cycle_report, AuditDiagnostics, AuditFailure, CostAttribution, CycleEdgeReport, CycleReport,
+    TopGroupCost,
+};
 pub use graph::{CycleEdge, CycleProbe, EdgeKind, GNode, Graph, HPos};
 pub use preprocess::{
     preprocess, preprocess_staged, DeferredEdges, OpMapEntry, PreStaged, Preprocessed,
@@ -236,6 +239,7 @@ pub fn audit_encoded_with_obs(
 ) -> Result<AuditReport, RejectReason> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let span = obs.span_start();
+        obs.progress_phase(obs::Phase::Decode);
         // Byte budget first: the cheapest check, applied before a
         // single advice byte is parsed.
         if advice_bytes.len() as u64 > opts.limits.decode_max_bytes {
@@ -570,7 +574,36 @@ fn fail(phase: &'static str, reason: RejectReason) -> Box<AuditFailure> {
 /// are wrapped in [`AuditFailure`] (cycle forensics only when
 /// `forensic` — extracting the minimal cycle costs an extra traversal,
 /// so the plain entry points skip it and return the bare reason).
+///
+/// This wrapper owns the progress heartbeat's terminal transitions
+/// and, on rejection, attaches cost attribution from the ledger: a
+/// REJECT then names not just why but what the audit spent getting
+/// there.
 fn audit_core(
+    program: &Program,
+    trace: &Trace,
+    advice: &Advice,
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+    obs: &Obs,
+    forensic: bool,
+) -> Result<AuditReport, Box<AuditFailure>> {
+    obs.progress_phase(obs::Phase::Preprocess);
+    let mut res = audit_core_inner(program, trace, advice, isolation, opts, obs, forensic);
+    match &mut res {
+        Ok(_) => obs.progress_phase(obs::Phase::Done),
+        Err(failure) => {
+            obs.progress_phase(obs::Phase::Rejected);
+            if obs.is_enabled() && failure.diagnostics.attribution.is_none() {
+                failure.diagnostics.attribution =
+                    CostAttribution::from_ledger(&obs.ledger_snapshot());
+            }
+        }
+    }
+    res
+}
+
+fn audit_core_inner(
     program: &Program,
     trace: &Trace,
     advice: &Advice,
@@ -675,6 +708,7 @@ fn audit_core(
     obs.count(CounterId::LoggedReads, feeds.logged_reads);
 
     // Postprocess: embed internal-state edges, check acyclicity.
+    obs.progress_phase(obs::Phase::GraphMerge);
     let t = Instant::now();
     let span = obs.span_start();
     if let Err(reason) = vars.add_internal_state_edges_sharded(&mut graph, threads) {
@@ -704,6 +738,7 @@ fn audit_core(
         return Err(fail("postprocess", reason));
     }
 
+    obs.progress_phase(obs::Phase::CycleCheck);
     let t = Instant::now();
     let span = obs.span_start();
     let probe = graph.probe_cycle();

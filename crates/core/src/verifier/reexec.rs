@@ -758,6 +758,8 @@ impl<'a> ReExecutor<'a> {
         let groups = self.advice.groups(&order);
         let ngroups = groups.len();
         let obs_handle = self.obs.clone();
+        obs_handle.progress_replay_total(ngroups as u64);
+        obs_handle.progress_phase(obs::Phase::Replay);
         let (program, trace, advice, pre, schedule, limits, bytecode) = (
             self.program,
             self.trace,
@@ -796,6 +798,13 @@ impl<'a> ReExecutor<'a> {
                     };
                 }
                 let mut shard = obs_handle.shard(lane);
+                // Charge this group's allocations (thread-local probe;
+                // reads 0 unless a counting allocator feeds it).
+                let alloc_before = if shard.is_enabled() {
+                    obs::allocprobe::reading()
+                } else {
+                    0
+                };
                 let t_group = shard.span_start();
                 let mut ex = ReExecutor::for_group(
                     program,
@@ -815,26 +824,33 @@ impl<'a> ReExecutor<'a> {
                     .err();
                 ex.stats.fuel_spent = ex.fuel_spent;
                 ex.stats.max_group_fuel = ex.fuel_spent;
+                // The group's handler-tree digest is its control-flow
+                // tag (equal across members by construction).
+                let digest = rids
+                    .first()
+                    .and_then(|r| advice.tags.get(r))
+                    .copied()
+                    .unwrap_or(0);
+                let mut dur = 0u64;
                 if shard.is_enabled() {
                     let size = rids.len() as u64;
-                    // The group's handler-tree digest is its control-flow
-                    // tag (equal across members by construction).
-                    let digest = rids
-                        .first()
-                        .and_then(|r| advice.tags.get(r))
-                        .copied()
-                        .unwrap_or(0);
                     shard.observe(HistogramId::GroupSize, size);
                     shard.count(CounterId::ReplayFuelSpent, ex.fuel_spent);
                     shard.count(CounterId::BytecodeOps, ex.vm_ops);
                     shard.observe(HistogramId::GroupFuelSpent, ex.fuel_spent);
-                    let dur = shard.record_span(
+                    dur = shard.record_span(
                         "group-replay",
                         t_group,
                         &[("group", gidx as u64), ("size", size), ("digest", digest)],
                     );
                     shard.observe(HistogramId::GroupReplayUs, dur);
                 }
+                // Group-local dictionary-feed counts, read before the
+                // event stream is moved out of the backend.
+                let feeds = match &ex.vars {
+                    VarBackend::Recording { local, .. } => local.feeds(),
+                    VarBackend::Global(_) => Default::default(),
+                };
                 let events = match ex.vars {
                     VarBackend::Recording { events, .. } => events,
                     // Statically impossible; losing the event stream would
@@ -846,6 +862,34 @@ impl<'a> ReExecutor<'a> {
                         Vec::new()
                     }
                 };
+                if shard.is_enabled() {
+                    let (mut var_reads, mut var_writes) = (0u64, 0u64);
+                    for ev in &events {
+                        match ev {
+                            VarEvent::Read { .. } => var_reads += 1,
+                            VarEvent::Write { .. } => var_writes += 1,
+                        }
+                    }
+                    shard.record_group_cost(obs::GroupCost {
+                        group: gidx as u64,
+                        requests: rids.len() as u64,
+                        first_rid: rids.first().map(|r| r.0).unwrap_or(0),
+                        digest,
+                        fuel: ex.fuel_spent,
+                        uniform_ops: ex.stats.uniform_ops,
+                        expanded_ops: ex.stats.expanded_ops,
+                        bytecode_ops: ex.vm_ops,
+                        dict_feeds: feeds.dict_feeds,
+                        logged_reads: feeds.logged_reads,
+                        var_reads,
+                        var_writes,
+                        wall_us: dur,
+                        alloc_events: obs::allocprobe::reading().saturating_sub(alloc_before),
+                    });
+                }
+                // Heartbeat: live even before the merge absorbs the
+                // shard (a noop handle makes this an early return).
+                obs_handle.progress_group_replayed(ex.fuel_spent);
                 GroupRun {
                     events,
                     error,
@@ -907,6 +951,9 @@ impl<'a> ReExecutor<'a> {
                 }
                 let unit = run_unit(gidx, rids, 0);
                 failed = unit.error.as_ref().is_some_and(|e| !e.quarantines());
+                if failed {
+                    obs_handle.progress_floor(gidx as u64);
+                }
                 units.push(Some(unit));
             }
             timing.group_replay = t_replay.elapsed();
@@ -1002,6 +1049,7 @@ impl<'a> ReExecutor<'a> {
                             let unit = run_unit_ref(i, &groups_ref[i], lane);
                             if unit.error.as_ref().is_some_and(|e| !e.quarantines()) {
                                 failed_floor.fetch_min(i, Ordering::Relaxed);
+                                obs_ref.progress_floor(i as u64);
                             }
                             if let Ok(mut slots) = board.lock() {
                                 slots[i] = Some(unit);
@@ -1057,6 +1105,7 @@ impl<'a> ReExecutor<'a> {
                         // Nothing past this group will merge; let the
                         // in-flight workers drain.
                         failed_floor.fetch_min(gidx, Ordering::Relaxed);
+                        obs_ref.progress_floor(gidx as u64);
                         out = Err(e);
                         break 'merge;
                     }
@@ -1105,6 +1154,7 @@ impl<'a> ReExecutor<'a> {
                     // Lane 0 is the coordinator; workers get 1..=n.
                     let lane = w as u32 + 1;
                     let (next, failed_floor) = (&next, &failed_floor);
+                    let obs_ref = &obs_handle;
                     s.spawn(move || {
                         let mut done: Vec<(usize, GroupRun)> = Vec::new();
                         loop {
@@ -1120,6 +1170,7 @@ impl<'a> ReExecutor<'a> {
                             // the merge skips them and keeps going.
                             if unit.error.as_ref().is_some_and(|e| !e.quarantines()) {
                                 failed_floor.fetch_min(i, Ordering::Relaxed);
+                                obs_ref.progress_floor(i as u64);
                             }
                             done.push((i, unit));
                         }

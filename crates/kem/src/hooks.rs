@@ -90,6 +90,12 @@ pub trait ExecHooks {
     /// A handler activation finished having issued `opcount` operations.
     fn on_handler_end(&mut self, rid: RequestId, hid: &HandlerId, opcount: u32) {}
 
+    /// A handler activation finished having burned `fuel` units
+    /// (reported right after [`ExecHooks::on_handler_end`]; the
+    /// default ignores it, so only cost-attributing collectors pay
+    /// for per-request fuel accounting).
+    fn on_handler_fuel(&mut self, rid: RequestId, hid: &HandlerId, fuel: u64) {}
+
     /// A loggable variable was initialized (during the initialization
     /// activation `I`).
     fn on_var_init(

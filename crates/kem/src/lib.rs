@@ -50,10 +50,10 @@ pub use ops::{
     eval_binop, eval_contains, eval_digest, eval_index, eval_keys, eval_len, eval_list_push,
     eval_map_insert, eval_map_remove, eval_to_str,
 };
+pub use pvalue::{PList, PMap};
 pub use resolve::{RExpr, RFunction, RStmt, Resolved};
 pub use runtime::{
     init_handler_id, run_server, RunOutput, Runtime, SchedPolicy, ServerConfig, INIT_FUNCTION,
 };
-pub use pvalue::{PList, PMap};
 pub use trace::{Trace, TraceEvent};
 pub use value::{Fnv, Value};

@@ -379,6 +379,7 @@ impl<'p> Runtime<'p> {
     ) -> Result<(), RuntimeError> {
         self.activations += 1;
         hooks.on_handler_start(act.rid, &act.hid);
+        let fuel_before = self.fuel;
         let resolved = self.resolved;
         let func = &resolved.functions[act.function.0 as usize];
         let mut frame = Frame {
@@ -399,6 +400,10 @@ impl<'p> Runtime<'p> {
             self.exec_block(&mut frame, &func.body, hooks)?;
         }
         hooks.on_handler_end(frame.rid, &frame.hid, frame.opnum);
+        // `self.fuel` is cumulative across the interleaved run, so the
+        // delta is exactly this activation's burn (activations run to
+        // completion; they are not reentrant).
+        hooks.on_handler_fuel(frame.rid, &frame.hid, self.fuel - fuel_before);
         Ok(())
     }
 
@@ -505,9 +510,7 @@ impl<'p> Runtime<'p> {
                 Op::MakeMap { keys, n } => {
                     let vals = stack.split_off(stack.len() - n as usize);
                     let key_strs = &code.strings[keys as usize..(keys + n) as usize];
-                    stack.push(Value::from_pairs(
-                        key_strs.iter().cloned().zip(vals),
-                    ));
+                    stack.push(Value::from_pairs(key_strs.iter().cloned().zip(vals)));
                 }
                 Op::MapInsert => {
                     let v = pop(stack);
@@ -1149,7 +1152,10 @@ impl<'p> Runtime<'p> {
                                 record.value = r.value.clone();
                                 record.writer = r.writer;
                                 payload.push((Arc::clone(&keys.found), Value::Bool(record.found)));
-                                payload.push((Arc::clone(&keys.value), r.value.unwrap_or(Value::Null)));
+                                payload.push((
+                                    Arc::clone(&keys.value),
+                                    r.value.unwrap_or(Value::Null),
+                                ));
                                 Ok(())
                             }
                             Err(e) => Err(e),

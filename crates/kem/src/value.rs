@@ -82,7 +82,8 @@ impl Value {
     /// `Arc<str>`).
     pub fn from_map(m: BTreeMap<String, Value>) -> Value {
         Value::Map(PMap::from_sorted_pairs(
-            m.into_iter().map(|(k, v)| (Arc::<str>::from(k.as_str()), v)),
+            m.into_iter()
+                .map(|(k, v)| (Arc::<str>::from(k.as_str()), v)),
         ))
     }
 

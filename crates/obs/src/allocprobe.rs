@@ -1,0 +1,74 @@
+//! Thread-local allocation probe.
+//!
+//! The obs crate cannot install a global allocator (binaries own that
+//! decision), so attribution of allocation events works the other way
+//! around: a binary that *does* count allocations (the bench harness's
+//! `CountingAlloc`) calls [`note`] from its `alloc` hook, and ledger
+//! call sites bracket a region with two [`reading`] calls to charge
+//! the delta to that region. Everything is per-thread, so a replay
+//! worker only ever observes its own allocations.
+//!
+//! The probe is off by default ([`set_enabled`]) and [`note`] is a
+//! single relaxed load on the off path, so allocator hot paths pay
+//! nothing unless a capture run opts in. Under the test allocator
+//! nothing feeds the probe and every delta reads 0 — which is exactly
+//! the deterministic value the ledger matrix tests pin.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turn the probe on or off process-wide (off by default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`note`] currently records.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record one allocation event on the calling thread. Safe to call
+/// from a `GlobalAlloc::alloc` implementation: it allocates nothing
+/// and tolerates TLS teardown.
+#[inline]
+pub fn note() {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let _ = ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// The calling thread's cumulative event count (0 during TLS
+/// teardown). Subtract two readings to charge a region.
+pub fn reading() -> u64 {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test (not two) because the enable flag is process-wide and
+    // parallel test threads would race on it.
+    #[test]
+    fn probe_counts_only_while_enabled() {
+        assert!(!is_enabled());
+        let before = reading();
+        note();
+        assert_eq!(reading(), before, "disabled probe must not record");
+        set_enabled(true);
+        note();
+        note();
+        let delta = reading() - before;
+        set_enabled(false);
+        note();
+        assert_eq!(delta, 2);
+        assert_eq!(reading(), before + 2);
+    }
+}

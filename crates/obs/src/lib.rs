@@ -22,12 +22,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocprobe;
+pub mod ledger;
 pub mod metrics;
+pub mod progress;
+pub mod prom;
 pub mod span;
 
+pub use ledger::{CostLedger, GroupCost, LedgerTotals, RequestCost};
 pub use metrics::{
     bucket_bound, bucket_index, CounterId, GaugeId, HistogramId, MetricsShard, NUM_BUCKETS,
 };
+pub use progress::{Phase, Progress, ProgressSnapshot};
+pub use prom::{check_exposition, prometheus_text, PromExporter, DEFAULT_SCRAPE_INTERVAL};
 pub use span::{chrome_trace_json, Span, SpanRing, MAX_SPAN_ARGS};
 
 use std::sync::{Arc, Mutex};
@@ -40,11 +47,13 @@ pub const DEFAULT_SPAN_CAPACITY: usize = 16_384;
 struct Recorded {
     metrics: MetricsShard,
     spans: SpanRing,
+    ledger: CostLedger,
 }
 
 struct Inner {
     epoch: Instant,
     state: Mutex<Recorded>,
+    progress: Progress,
 }
 
 /// Cloneable observability handle. The noop handle is a `None` and
@@ -90,7 +99,9 @@ impl Obs {
                 state: Mutex::new(Recorded {
                     metrics: MetricsShard::new(true),
                     spans: SpanRing::new(span_capacity),
+                    ledger: CostLedger::default(),
                 }),
+                progress: Progress::new(),
             })),
         }
     }
@@ -111,6 +122,7 @@ impl Obs {
                 epoch: inner.epoch,
                 metrics: MetricsShard::new(true),
                 spans: Vec::new(),
+                group_costs: Vec::new(),
             },
             None => ObsShard::disabled(),
         }
@@ -129,6 +141,7 @@ impl Obs {
             for s in shard.spans {
                 st.spans.push(s);
             }
+            st.ledger.groups.extend(shard.group_costs);
         }
     }
 
@@ -195,15 +208,102 @@ impl Obs {
     }
 
     /// Snapshot of the merged metrics (a disabled, empty shard when
-    /// the handle is noop).
+    /// the handle is noop). The span ring's drop count is folded into
+    /// the `spans_dropped` counter, so a saturated ring is visible in
+    /// every metrics surface, not just the JSON export.
     pub fn metrics_snapshot(&self) -> MetricsShard {
         match &self.inner {
             Some(inner) => match inner.state.lock() {
-                Ok(st) => st.metrics,
+                Ok(st) => {
+                    let mut m = st.metrics;
+                    let dropped = st.spans.dropped();
+                    if dropped > 0 {
+                        m.count(CounterId::SpansDropped, dropped);
+                    }
+                    m
+                }
                 Err(_) => MetricsShard::new(false),
             },
             None => MetricsShard::new(false),
         }
+    }
+
+    /// Snapshot of the assembled cost ledger (empty when noop).
+    pub fn ledger_snapshot(&self) -> CostLedger {
+        match &self.inner {
+            Some(inner) => match inner.state.lock() {
+                Ok(st) => st.ledger.clone(),
+                Err(_) => CostLedger::default(),
+            },
+            None => CostLedger::default(),
+        }
+    }
+
+    /// Appends one served-request row to the ledger. The collector
+    /// calls this once per request, in ascending request order, after
+    /// the server run completes.
+    pub fn record_request_cost(&self, cost: RequestCost) {
+        let Some(inner) = &self.inner else { return };
+        if let Ok(mut st) = inner.state.lock() {
+            st.ledger.requests.push(cost);
+        }
+    }
+
+    /// The live progress heartbeat (`None` when noop). Workers update
+    /// it through the convenience methods below; pollers snapshot it
+    /// without touching the metrics mutex.
+    pub fn progress(&self) -> Option<&Progress> {
+        self.inner.as_ref().map(|i| &i.progress)
+    }
+
+    /// A point-in-time progress reading (all-zero idle when noop).
+    pub fn progress_snapshot(&self) -> ProgressSnapshot {
+        match &self.inner {
+            Some(inner) => inner.progress.snapshot(),
+            None => ProgressSnapshot::default(),
+        }
+    }
+
+    /// Enter audit phase `phase` on the heartbeat.
+    #[inline]
+    pub fn progress_phase(&self, phase: Phase) {
+        if let Some(inner) = &self.inner {
+            inner.progress.set_phase(phase);
+        }
+    }
+
+    /// Announce the replay's total group count.
+    #[inline]
+    pub fn progress_replay_total(&self, total: u64) {
+        if let Some(inner) = &self.inner {
+            inner.progress.set_replay_total(total);
+        }
+    }
+
+    /// One group finished replaying, spending `fuel`.
+    #[inline]
+    pub fn progress_group_replayed(&self, fuel: u64) {
+        if let Some(inner) = &self.inner {
+            inner.progress.group_replayed(fuel);
+        }
+    }
+
+    /// A group hard-failed; lower the early-abort floor.
+    #[inline]
+    pub fn progress_floor(&self, group: u64) {
+        if let Some(inner) = &self.inner {
+            inner.progress.note_floor(group);
+        }
+    }
+
+    /// The current state as one Prometheus text-format page (metrics,
+    /// progress heartbeat, ledger totals).
+    pub fn prometheus_text(&self) -> String {
+        prom::prometheus_text(
+            &self.metrics_snapshot(),
+            &self.progress_snapshot(),
+            Some(&self.ledger_snapshot().totals()),
+        )
     }
 
     /// Snapshot of the retained spans in insertion order, including
@@ -219,19 +319,24 @@ impl Obs {
         }
     }
 
-    /// Metrics JSON export (see [`MetricsShard::to_json`]); the ring's
-    /// drop count is surfaced as the `spans_dropped` counter.
+    /// Metrics JSON export: [`MetricsShard::to_json`]'s sections
+    /// (with the ring's drop count folded into `spans_dropped`) plus
+    /// `"progress"` and `"ledger"` — the full shape
+    /// `schema/metrics.schema.json` pins.
     pub fn metrics_json(&self) -> String {
-        let mut m = self.metrics_snapshot();
-        if let Some(inner) = &self.inner {
-            if let Ok(st) = inner.state.lock() {
-                let dropped = st.spans.dropped();
-                if dropped > 0 {
-                    m.count(CounterId::SpansDropped, dropped);
-                }
-            }
-        }
-        m.to_json()
+        let shard_json = self.metrics_snapshot().to_json();
+        // `to_json` ends with "}\n"; splice the extra sections in
+        // before the closing brace.
+        let trimmed = shard_json.trim_end();
+        let base = trimmed.strip_suffix('}').unwrap_or(trimmed);
+        let mut out = String::with_capacity(shard_json.len() + 1024);
+        out.push_str(base.trim_end());
+        out.push_str(",\n  \"progress\": ");
+        out.push_str(&self.progress_snapshot().to_json());
+        out.push_str(",\n  \"ledger\": ");
+        out.push_str(&self.ledger_snapshot().to_json());
+        out.push_str("\n}\n");
+        out
     }
 
     /// Chrome `trace_event` JSON export of the retained spans.
@@ -251,6 +356,7 @@ pub struct ObsShard {
     /// The shard's metrics (public so absorbers can inspect/merge).
     pub metrics: MetricsShard,
     spans: Vec<Span>,
+    group_costs: Vec<GroupCost>,
 }
 
 impl Default for ObsShard {
@@ -268,6 +374,7 @@ impl ObsShard {
             epoch: Instant::now(),
             metrics: MetricsShard::new(false),
             spans: Vec::new(),
+            group_costs: Vec::new(),
         }
     }
 
@@ -330,6 +437,21 @@ impl ObsShard {
     /// Spans recorded into this shard so far.
     pub fn spans(&self) -> &[Span] {
         &self.spans
+    }
+
+    /// Records one group's cost-ledger row (no-op when disabled). The
+    /// rows land in the assembled [`CostLedger`] in absorb order — the
+    /// verifier absorbs shards in ascending group order, which is what
+    /// keeps the ledger bit-identical across replay configurations.
+    pub fn record_group_cost(&mut self, cost: GroupCost) {
+        if self.metrics.is_enabled() {
+            self.group_costs.push(cost);
+        }
+    }
+
+    /// Group-cost rows recorded into this shard so far.
+    pub fn group_costs(&self) -> &[GroupCost] {
+        &self.group_costs
     }
 }
 

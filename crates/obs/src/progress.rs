@@ -1,0 +1,217 @@
+//! Live audit progress: an atomics-only heartbeat that worker threads
+//! update as groups replay and that any thread can snapshot without
+//! taking the obs mutex.
+//!
+//! The [`Progress`] struct is the scrape surface for a long-running
+//! audit: phase, groups replayed / total, fuel spent, and the
+//! early-abort floor. Every field is a relaxed atomic — the counters
+//! are monotone within one audit (each worker only ever adds), so a
+//! mid-flight [`ProgressSnapshot`] is always consistent enough to
+//! answer "is it moving?" even while workers race, and the snapshot
+//! itself never blocks replay.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The audit phase a [`Progress`] heartbeat reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Phase {
+    /// No audit has started on this handle.
+    Idle = 0,
+    /// Decoding wire-form advice.
+    Decode = 1,
+    /// Advice checks, OpMap and base-graph construction, isolation.
+    Preprocess = 2,
+    /// Group replay (the parallel section).
+    Replay = 3,
+    /// Variable-stream merge + internal-state edge embedding.
+    GraphMerge = 4,
+    /// The post-merge acyclicity traversal.
+    CycleCheck = 5,
+    /// The audit ACCEPTed.
+    Done = 6,
+    /// The audit REJECTed.
+    Rejected = 7,
+}
+
+impl Phase {
+    /// Stable lower-snake name (used in JSON and Prometheus exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Idle => "idle",
+            Phase::Decode => "decode",
+            Phase::Preprocess => "preprocess",
+            Phase::Replay => "replay",
+            Phase::GraphMerge => "graph_merge",
+            Phase::CycleCheck => "cycle_check",
+            Phase::Done => "done",
+            Phase::Rejected => "rejected",
+        }
+    }
+
+    fn from_u8(v: u8) -> Phase {
+        match v {
+            1 => Phase::Decode,
+            2 => Phase::Preprocess,
+            3 => Phase::Replay,
+            4 => Phase::GraphMerge,
+            5 => Phase::CycleCheck,
+            6 => Phase::Done,
+            7 => Phase::Rejected,
+            _ => Phase::Idle,
+        }
+    }
+}
+
+/// Sentinel for "no early-abort floor": no group has hard-failed.
+const NO_FLOOR: u64 = u64::MAX;
+
+/// The atomics-only heartbeat. Lives inside the enabled `Obs` handle;
+/// the noop handle has none and every update is an early return.
+#[derive(Debug)]
+pub struct Progress {
+    phase: AtomicU8,
+    groups_total: AtomicU64,
+    groups_done: AtomicU64,
+    fuel_spent: AtomicU64,
+    floor: AtomicU64,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Progress::new()
+    }
+}
+
+impl Progress {
+    /// A fresh heartbeat: idle, nothing replayed, no floor.
+    pub fn new() -> Self {
+        Progress {
+            phase: AtomicU8::new(Phase::Idle as u8),
+            groups_total: AtomicU64::new(0),
+            groups_done: AtomicU64::new(0),
+            fuel_spent: AtomicU64::new(0),
+            floor: AtomicU64::new(NO_FLOOR),
+        }
+    }
+
+    /// Enter `phase`.
+    pub fn set_phase(&self, phase: Phase) {
+        self.phase.store(phase as u8, Ordering::Relaxed);
+    }
+
+    /// Announce the replay's group count (called once, before any
+    /// group replays).
+    pub fn set_replay_total(&self, total: u64) {
+        self.groups_total.store(total, Ordering::Relaxed);
+    }
+
+    /// One group finished replaying, spending `fuel` units.
+    pub fn group_replayed(&self, fuel: u64) {
+        self.groups_done.fetch_add(1, Ordering::Relaxed);
+        self.fuel_spent.fetch_add(fuel, Ordering::Relaxed);
+    }
+
+    /// A group hard-failed: lower the early-abort floor to `group`
+    /// (keeps the minimum across racing workers).
+    pub fn note_floor(&self, group: u64) {
+        self.floor.fetch_min(group, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time reading.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            phase: Phase::from_u8(self.phase.load(Ordering::Relaxed)),
+            groups_total: self.groups_total.load(Ordering::Relaxed),
+            groups_done: self.groups_done.load(Ordering::Relaxed),
+            fuel_spent: self.fuel_spent.load(Ordering::Relaxed),
+            failed_floor: match self.floor.load(Ordering::Relaxed) {
+                NO_FLOOR => None,
+                g => Some(g),
+            },
+        }
+    }
+}
+
+/// A point-in-time reading of a [`Progress`] heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// The phase the audit is in.
+    pub phase: Phase,
+    /// Total replay groups (0 until replay starts).
+    pub groups_total: u64,
+    /// Groups that have finished replaying.
+    pub groups_done: u64,
+    /// Fuel spent by finished groups.
+    pub fuel_spent: u64,
+    /// Smallest hard-failed group index, if any group hard-failed.
+    pub failed_floor: Option<u64>,
+}
+
+impl Default for ProgressSnapshot {
+    fn default() -> Self {
+        ProgressSnapshot {
+            phase: Phase::Idle,
+            groups_total: 0,
+            groups_done: 0,
+            fuel_spent: 0,
+            failed_floor: None,
+        }
+    }
+}
+
+impl ProgressSnapshot {
+    /// The snapshot as a JSON object (one line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"phase\": \"{}\", \"groups_total\": {}, \"groups_done\": {}, \"fuel_spent\": {}, \"failed_floor\": {}}}",
+            self.phase.name(),
+            self.groups_total,
+            self.groups_done,
+            self.fuel_spent,
+            match self.failed_floor {
+                Some(g) => g.to_string(),
+                None => "null".to_string(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_accumulate_and_snapshot() {
+        let p = Progress::new();
+        assert_eq!(p.snapshot(), ProgressSnapshot::default());
+        p.set_phase(Phase::Replay);
+        p.set_replay_total(4);
+        p.group_replayed(10);
+        p.group_replayed(32);
+        let s = p.snapshot();
+        assert_eq!(s.phase, Phase::Replay);
+        assert_eq!(s.groups_total, 4);
+        assert_eq!(s.groups_done, 2);
+        assert_eq!(s.fuel_spent, 42);
+        assert_eq!(s.failed_floor, None);
+    }
+
+    #[test]
+    fn floor_keeps_minimum() {
+        let p = Progress::new();
+        p.note_floor(7);
+        p.note_floor(3);
+        p.note_floor(9);
+        assert_eq!(p.snapshot().failed_floor, Some(3));
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let p = Progress::new();
+        p.set_phase(Phase::Done);
+        let j = p.snapshot().to_json();
+        assert!(j.contains("\"phase\": \"done\""));
+        assert!(j.contains("\"failed_floor\": null"));
+    }
+}

@@ -309,10 +309,7 @@ fn gen_container_program(seed: u64) -> Program {
                     "b",
                     mapv(vec![(
                         "c",
-                        listv(vec![
-                            lit(1i64),
-                            mapv(vec![("d", gen_int_expr(&mut r))]),
-                        ]),
+                        listv(vec![lit(1i64), mapv(vec![("d", gen_int_expr(&mut r))])]),
                     )]),
                 )]),
             )]),

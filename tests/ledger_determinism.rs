@@ -1,0 +1,155 @@
+//! Cost-ledger determinism: the per-group attribution rows are an
+//! *audit artifact*, so their deterministic columns must be
+//! bit-identical across every execution strategy — worker threads
+//! {1, 4} × phase ordering {barrier, pipelined} × interpreter
+//! {tree-walk, bytecode} — exactly like verdicts and metrics. The
+//! advisory columns (wall-clock, allocation events) and the
+//! per-interpreter `bytecode_ops` column are excluded from the
+//! deterministic key by construction; this file pins both halves of
+//! that contract, plus the power-of-two bucket classification the
+//! Prometheus histograms are built on.
+
+use apps::App;
+use karousos::{audit_with_obs, run_instrumented_server, AuditOptions, CollectorMode};
+use obs::Obs;
+use proptest::prelude::*;
+use workload::{Experiment, Mix};
+
+fn wiki_run() -> (
+    kem::Program,
+    kem::RunOutput,
+    karousos::Advice,
+    kvstore::IsolationLevel,
+) {
+    let mut exp = Experiment::paper_default(App::Wiki, Mix::Wiki, 8, 5);
+    exp.requests = 80;
+    let program = App::Wiki.program();
+    let inputs = exp.inputs();
+    let (out, advice) = run_instrumented_server(
+        &program,
+        &inputs,
+        &exp.server_config(),
+        CollectorMode::Karousos,
+    )
+    .expect("wiki app runs");
+    (program, out, advice, exp.isolation)
+}
+
+fn ledger_for(
+    program: &kem::Program,
+    out: &kem::RunOutput,
+    advice: &karousos::Advice,
+    iso: kvstore::IsolationLevel,
+    threads: usize,
+    pipeline: bool,
+    bytecode: bool,
+) -> obs::CostLedger {
+    let obs = Obs::enabled();
+    let mut opts = AuditOptions::with_threads(threads);
+    opts.pipeline = pipeline;
+    opts.bytecode = bytecode;
+    audit_with_obs(program, &out.trace, advice, iso, opts, &obs)
+        .expect("honest advice must be accepted");
+    obs.ledger_snapshot()
+}
+
+#[test]
+fn ledger_bit_identical_across_threads_pipeline_bytecode() {
+    let (program, out, advice, iso) = wiki_run();
+    let mut reference: Option<obs::CostLedger> = None;
+    for threads in [1usize, 4] {
+        for pipeline in [false, true] {
+            for bytecode in [false, true] {
+                let ledger = ledger_for(&program, &out, &advice, iso, threads, pipeline, bytecode);
+                assert!(!ledger.groups.is_empty(), "wiki audit must record groups");
+                // Rows arrive in ascending group order in every
+                // configuration (shards are absorbed in merge order).
+                for w in ledger.groups.windows(2) {
+                    assert!(
+                        w[0].group < w[1].group,
+                        "ledger rows out of order: {} then {}",
+                        w[0].group,
+                        w[1].group
+                    );
+                }
+                // bytecode_ops is the per-interpreter column: zero
+                // under the tree-walk, populated under the VM.
+                let vm_ops: u64 = ledger.groups.iter().map(|g| g.bytecode_ops).sum();
+                if bytecode {
+                    assert!(vm_ops > 0, "VM replay must meter bytecode ops");
+                } else {
+                    assert_eq!(vm_ops, 0, "tree-walk replay must not meter bytecode ops");
+                }
+                match &reference {
+                    None => reference = Some(ledger),
+                    Some(r) => {
+                        let keys: Vec<[u64; 10]> = ledger
+                            .groups
+                            .iter()
+                            .map(|g| g.deterministic_key())
+                            .collect();
+                        let ref_keys: Vec<[u64; 10]> =
+                            r.groups.iter().map(|g| g.deterministic_key()).collect();
+                        assert_eq!(
+                            ref_keys, keys,
+                            "ledger diverged at threads={threads} pipeline={pipeline} \
+                             bytecode={bytecode}"
+                        );
+                        // Totals over the deterministic columns agree
+                        // too (fuel, ops, feeds, var accesses).
+                        let (rt, lt) = (r.totals(), ledger.totals());
+                        assert_eq!(rt.groups, lt.groups);
+                        assert_eq!(rt.requests, lt.requests);
+                        assert_eq!(rt.fuel, lt.fuel);
+                        assert_eq!(rt.ops, lt.ops);
+                        assert_eq!(rt.dict_feeds, lt.dict_feeds);
+                        assert_eq!(rt.var_accesses, lt.var_accesses);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bytecode_ops_identical_across_schedules_within_interpreter() {
+    let (program, out, advice, iso) = wiki_run();
+    // The column is per-interpreter, not per-schedule: both VM cells
+    // at different thread counts must meter identically.
+    let a = ledger_for(&program, &out, &advice, iso, 1, false, true);
+    let b = ledger_for(&program, &out, &advice, iso, 4, true, true);
+    let ops = |l: &obs::CostLedger| l.groups.iter().map(|g| g.bytecode_ops).collect::<Vec<_>>();
+    assert_eq!(ops(&a), ops(&b));
+}
+
+proptest! {
+    /// Power-of-two bucket-edge classification: for any value, the
+    /// chosen bucket's bound contains it and the previous bucket's
+    /// bound does not — including exactly at the edges, where
+    /// `v == 2^i` must land in bucket `i`, not `i + 1`.
+    #[test]
+    fn bucket_classification_is_tight(v in any::<u64>()) {
+        let i = obs::bucket_index(v);
+        prop_assert!(i < obs::NUM_BUCKETS);
+        match obs::bucket_bound(i) {
+            Some(bound) => prop_assert!(v <= bound, "{v} > bound {bound} of its bucket {i}"),
+            None => {
+                // Overflow bucket: v exceeds the last finite bound.
+                let last = obs::bucket_bound(obs::NUM_BUCKETS - 2).expect("finite bound");
+                prop_assert!(v > last, "{v} <= {last} but classified overflow");
+            }
+        }
+        if i > 0 {
+            let prev = obs::bucket_bound(i - 1).expect("finite bound");
+            prop_assert!(v > prev, "{v} fits bucket {} too", i - 1);
+        }
+    }
+
+    /// Exact edges: `2^k` goes in bucket k, `2^k + 1` in bucket k+1.
+    #[test]
+    fn bucket_edges_classify_exactly(k in 0u32..14) {
+        let edge = 1u64 << k;
+        prop_assert_eq!(obs::bucket_index(edge), k as usize);
+        prop_assert_eq!(obs::bucket_index(edge + 1), k as usize + 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Live progress heartbeats and the Prometheus exporter: an audit
+//! observed mid-flight from another thread reports monotone progress
+//! through the phase sequence, the exporter's file sink ends on a
+//! well-formed exposition describing the completed run, and a REJECT
+//! carries the cost attribution of the work done up to the failure.
+
+use apps::App;
+use karousos::{
+    audit_forensic, audit_with_obs, decode_advice, run_instrumented_server, AuditOptions,
+    CollectorMode, Mutator,
+};
+use obs::{Obs, Phase};
+use workload::{Experiment, Mix};
+
+fn wiki_run(
+    requests: usize,
+) -> (
+    kem::Program,
+    kem::RunOutput,
+    karousos::Advice,
+    kvstore::IsolationLevel,
+) {
+    let mut exp = Experiment::paper_default(App::Wiki, Mix::Wiki, 8, 7);
+    exp.requests = requests;
+    let program = App::Wiki.program();
+    let inputs = exp.inputs();
+    let (out, advice) = run_instrumented_server(
+        &program,
+        &inputs,
+        &exp.server_config(),
+        CollectorMode::Karousos,
+    )
+    .expect("wiki app runs");
+    (program, out, advice, exp.isolation)
+}
+
+#[test]
+fn progress_is_monotone_and_reaches_done() {
+    let (program, out, advice, iso) = wiki_run(200);
+    let obs = Obs::enabled();
+    let watcher_obs = obs.clone();
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let done_flag = done.clone();
+
+    // Poll live snapshots from a second thread while the audit runs —
+    // the heartbeat is atomics-only, so mid-flight reads are safe and
+    // never block a worker.
+    let watcher = std::thread::spawn(move || {
+        let mut snaps = Vec::new();
+        while !done_flag.load(std::sync::atomic::Ordering::Relaxed) {
+            snaps.push(watcher_obs.progress_snapshot());
+            std::thread::yield_now();
+        }
+        snaps.push(watcher_obs.progress_snapshot());
+        snaps
+    });
+
+    audit_with_obs(
+        &program,
+        &out.trace,
+        &advice,
+        iso,
+        AuditOptions::with_threads(2),
+        &obs,
+    )
+    .expect("honest advice must be accepted");
+    done.store(true, std::sync::atomic::Ordering::Relaxed);
+    let snaps = watcher.join().expect("watcher thread joins");
+
+    // Monotonicity: phase ordinal, groups_done, and fuel only move
+    // forward; groups_done never exceeds groups_total once set.
+    for w in snaps.windows(2) {
+        assert!(
+            w[1].phase as u8 >= w[0].phase as u8,
+            "phase went backwards: {:?} -> {:?}",
+            w[0].phase,
+            w[1].phase
+        );
+        assert!(
+            w[1].groups_done >= w[0].groups_done,
+            "groups_done regressed"
+        );
+        assert!(w[1].fuel_spent >= w[0].fuel_spent, "fuel_spent regressed");
+        if w[1].groups_total > 0 {
+            assert!(w[1].groups_done <= w[1].groups_total);
+        }
+    }
+
+    // Final heartbeat: the run completed.
+    let last = snaps.last().expect("at least one snapshot");
+    assert_eq!(last.phase, Phase::Done);
+    assert!(last.groups_total > 0);
+    assert_eq!(last.groups_done, last.groups_total);
+    assert!(last.fuel_spent > 0);
+    assert_eq!(last.failed_floor, None);
+}
+
+#[test]
+fn prom_file_sink_ends_on_completed_exposition() {
+    let (program, out, advice, iso) = wiki_run(60);
+    let obs = Obs::enabled();
+    let dir = std::env::temp_dir().join(format!("karousos-prom-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("prom.txt");
+    let exporter = obs::PromExporter::start(
+        obs.clone(),
+        Some(path.clone()),
+        None,
+        std::time::Duration::from_millis(20),
+    )
+    .expect("exporter starts");
+    audit_with_obs(
+        &program,
+        &out.trace,
+        &advice,
+        iso,
+        AuditOptions::with_threads(2),
+        &obs,
+    )
+    .expect("honest advice must be accepted");
+    exporter.stop();
+
+    let text = std::fs::read_to_string(&path).expect("exporter wrote the file");
+    obs::check_exposition(&text).expect("file sink must be a well-formed exposition");
+    // The final render happens on stop, after the audit: the file
+    // describes the completed run.
+    let progress = obs.progress_snapshot();
+    assert_eq!(progress.phase, Phase::Done);
+    let gauge = |name: &str| -> i64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("gauge {name} missing from exposition:\n{text}"))
+    };
+    assert_eq!(gauge("karousos_progress_phase"), Phase::Done as u8 as i64);
+    assert_eq!(
+        gauge("karousos_progress_groups_done"),
+        progress.groups_total as i64
+    );
+    assert_eq!(gauge("karousos_progress_failed_floor"), -1);
+    assert!(text.contains("karousos_ledger_fuel"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A program whose handler logs have reorderable same-handler entries
+/// (the `eventful` scenario of tests/reject_forensics.rs): reordering
+/// them creates a cycle caught in the postprocess check, *after*
+/// group replay.
+fn eventful() -> (
+    kem::Program,
+    kem::RunOutput,
+    karousos::Advice,
+    kvstore::IsolationLevel,
+) {
+    use kem::dsl;
+    use kem::Value;
+    let mut b = kem::ProgramBuilder::new();
+    b.shared_var("cfg", Value::int(1), true);
+    b.function(
+        "handle",
+        vec![
+            dsl::register("ping", "on_ping"),
+            dsl::emit("ping", dsl::lit(1)),
+            dsl::listener_count("n", "ping"),
+            dsl::unregister("ping", "on_ping"),
+            dsl::respond(dsl::sread("cfg")),
+        ],
+    );
+    b.function("on_ping", vec![dsl::let_("z", dsl::payload())]);
+    b.request_handler("handle");
+    let program = b.build().expect("eventful program builds");
+    let cfg = kem::ServerConfig::default();
+    let inputs = vec![Value::Null; 4];
+    let (out, advice) = run_instrumented_server(&program, &inputs, &cfg, CollectorMode::Karousos)
+        .expect("eventful program runs");
+    (program, out, advice, cfg.isolation)
+}
+
+#[test]
+fn rejected_audit_attaches_cost_attribution() {
+    let (program, out, advice, iso) = eventful();
+    // Reordering a handler log creates a cycle: the failure lands in
+    // the postprocess cycle check, *after* group replay, so the ledger
+    // holds every replayed group and the REJECT can say where the fuel
+    // went.
+    let m = (0..200)
+        .find_map(|seed| {
+            let m = Mutator::ReorderHandlerLog.apply(&advice, seed)?;
+            let a = decode_advice(&m.bytes).expect("mutated advice re-decodes");
+            // Only keep a swap the cycle check (not an earlier replay
+            // check) rejects, so replay completes first.
+            match audit_with_obs(
+                &program,
+                &out.trace,
+                &a,
+                iso,
+                AuditOptions::default(),
+                &Obs::noop(),
+            ) {
+                Err(karousos::RejectReason::CycleInG) => Some(m),
+                _ => None,
+            }
+        })
+        .expect("some reorder seed must induce a cycle");
+    let mutated = decode_advice(&m.bytes).expect("mutated advice re-decodes");
+    let obs = Obs::enabled();
+    let failure = audit_forensic(
+        &program,
+        &out.trace,
+        &mutated,
+        iso,
+        AuditOptions::default(),
+        &obs,
+    )
+    .expect_err("reordered handler log must be rejected");
+    assert_eq!(obs.progress_snapshot().phase, Phase::Rejected);
+    let attribution = failure
+        .diagnostics
+        .attribution
+        .as_ref()
+        .expect("post-replay REJECT must carry cost attribution");
+    assert!(attribution.fuel_spent > 0);
+    assert!(attribution.groups_recorded > 0);
+    assert!(!attribution.top_groups.is_empty());
+    // The top group is the most fuel-expensive recorded row.
+    let ledger = obs.ledger_snapshot();
+    let max_fuel = ledger.groups.iter().map(|g| g.fuel).max().unwrap_or(0);
+    assert_eq!(attribution.top_groups[0].fuel, max_fuel);
+    // And the serialized diagnostics carry the section.
+    let json = failure.diagnostics.to_json();
+    assert!(json.contains("\"attribution\""), "{json}");
+    assert!(json.contains("\"top_groups\""), "{json}");
+}

@@ -188,6 +188,38 @@ fn chrome_trace_is_valid_json_with_expected_spans() {
     let metrics = obs.metrics_json();
     json::validate(&metrics).expect("metrics export must be valid JSON");
     assert!(metrics.contains("\"groups_formed\""));
+    // The export splices the final progress heartbeat and the cost
+    // ledger after the shard sections.
+    assert!(metrics.contains("\"progress\""), "{metrics}");
+    assert!(metrics.contains("\"phase\": \"done\""), "{metrics}");
+    assert!(metrics.contains("\"ledger\""), "{metrics}");
+    assert!(metrics.contains("\"first_rid\""), "{metrics}");
+}
+
+#[test]
+fn overflowing_span_ring_counts_drops_in_metrics() {
+    let (program, out, advice, iso) = wiki_run();
+    // Two span slots cannot hold the audit's span set; the overflow
+    // must be counted, not silently discarded.
+    let obs = Obs::with_capacity(2);
+    audit_with_obs(
+        &program,
+        &out.trace,
+        &advice,
+        iso,
+        AuditOptions::with_threads(4),
+        &obs,
+    )
+    .expect("honest advice must be accepted");
+    assert!(obs.spans_snapshot().len() <= 2);
+    let dropped = obs.metrics_snapshot().counter(CounterId::SpansDropped);
+    assert!(dropped > 0, "span overflow must surface in SpansDropped");
+    // And the exported JSON carries the same number.
+    let metrics = obs.metrics_json();
+    assert!(
+        metrics.contains(&format!("\"spans_dropped\": {dropped}")),
+        "{metrics}"
+    );
 }
 
 #[test]

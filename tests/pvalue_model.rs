@@ -264,7 +264,8 @@ fn str_arc(v: &Value) -> &Arc<str> {
 
 #[test]
 fn pmap_update_shares_untouched_values() {
-    let base = Value::map((0..200).map(|i| (key(i % 40) + &format!("{i}"), Value::str(format!("v{i}")))));
+    let base =
+        Value::map((0..200).map(|i| (key(i % 40) + &format!("{i}"), Value::str(format!("v{i}")))));
     let m = base.as_map().unwrap();
     let updated = m.insert(Arc::from("k00x42-new"), Value::str("fresh"));
     assert_eq!(updated.len(), m.len() + 1);
@@ -278,7 +279,7 @@ fn pmap_update_shares_untouched_values() {
     }
     // And the overwhelming majority of *nodes* are shared too: an
     // overwrite of one key keeps every other value ptr-identical.
-    let overwritten = m.insert(Arc::from(key(7).as_str()) , Value::str("new"));
+    let overwritten = m.insert(Arc::from(key(7).as_str()), Value::str("new"));
     for (k, v) in m.iter() {
         if k.as_ref() != key(7).as_str() {
             assert!(Arc::ptr_eq(
