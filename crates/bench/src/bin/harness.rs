@@ -159,6 +159,9 @@ struct Opts {
     /// `--dump-bytecode <app>`: print the compiled replay bytecode of
     /// every function in the named app's program and exit.
     dump_bytecode: Option<String>,
+    /// `--advice-mmap` (or `KAROUSOS_ADVICE_MMAP=1`): file-based audit
+    /// paths map the advice file instead of reading it onto the heap.
+    advice_mmap: bool,
 }
 
 fn parse_args() -> Opts {
@@ -177,6 +180,7 @@ fn parse_args() -> Opts {
         threshold_pct: None,
         positional: Vec::new(),
         dump_bytecode: None,
+        advice_mmap: karousos::config::advice_mmap_from_env(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -252,6 +256,10 @@ fn parse_args() -> Opts {
                     }
                 }
                 i += 2;
+            }
+            "--advice-mmap" => {
+                opts.advice_mmap = true;
+                i += 1;
             }
             "--dump-bytecode" => {
                 let Some(app) = args.get(i + 1) else {
@@ -639,6 +647,7 @@ fn uniform_replay_allocs(n: usize) -> (u64, u64) {
     )
     .expect("server run succeeds");
     let ops: u64 = advice.opcounts.values().map(|&c| c as u64).sum();
+    let advice = karousos::AdviceRef::from_advice(&advice);
     let pre = karousos::verifier::preprocess(&program, &out.trace, &advice, cfg.isolation)
         .expect("preprocess accepts honest advice");
     let mut vars = karousos::verifier::VarStates::new();
@@ -683,13 +692,13 @@ fn bench_pr3(o: &Opts) {
         let p = bench::prepare(app, mix, o.requests, 8, o.seed);
         let report = audit(&p.program, &p.trace, &p.karousos, p.exp.isolation)
             .expect("honest advice must be accepted");
-        let pre =
-            karousos::verifier::preprocess(&p.program, &p.trace, &p.karousos, p.exp.isolation)
-                .expect("preprocess accepts honest advice");
+        let advice = karousos::AdviceRef::from_advice(&p.karousos);
+        let pre = karousos::verifier::preprocess(&p.program, &p.trace, &advice, p.exp.isolation)
+            .expect("preprocess accepts honest advice");
         let mut vars = karousos::verifier::VarStates::new();
         karousos::verifier::init_vars(&p.program, &mut vars);
         let (stats, allocs) = count_allocs(|| {
-            karousos::verifier::ReExecutor::new(&p.program, &p.trace, &p.karousos, &pre, &mut vars)
+            karousos::verifier::ReExecutor::new(&p.program, &p.trace, &advice, &pre, &mut vars)
                 .run()
         });
         stats.expect("replay accepts honest advice");
@@ -1046,8 +1055,13 @@ fn validate_prom_cmd(o: &Opts) {
     }
 }
 
-/// One `trend` row: which committed evidence file, and which of its
-/// leaves to surface.
+/// Curated `trend` rows: which leaves of a known evidence file to
+/// surface, and under what label. Files themselves are *discovered*
+/// by globbing `BENCH_PR<digits>.json` (see [`trend`]); this table
+/// only decorates the ones with hand-picked headline metrics.
+/// Discovered files without curated rows fall back to their top-level
+/// scalar leaves, so future evidence files show up without a harness
+/// change.
 const TREND_ROWS: &[(&str, &str, &str)] = &[
     (
         "BENCH_PR3.json",
@@ -1110,42 +1124,103 @@ const TREND_ROWS: &[(&str, &str, &str)] = &[
         "configs bit-identical",
         "configs_bit_identical",
     ),
+    (
+        "BENCH_PR10.json",
+        "borrowed decode alloc reduction (10k req)",
+        "sizes/1/decode_allocs/borrowed_reduction_factor",
+    ),
+    (
+        "BENCH_PR10.json",
+        "mmap peak-RSS reduction KB (10k req)",
+        "rss_at_large/mmap_reduction_kb",
+    ),
+    ("BENCH_PR10.json", "borrowed-advice gates met", "gates/met"),
+    (
+        "BENCH_PR10.json",
+        "configs bit-identical",
+        "configs_bit_identical",
+    ),
 ];
+
+/// The PR number of a `BENCH_PR<digits>.json` file name, or `None` if
+/// the name is not an evidence file.
+fn bench_pr_number(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("BENCH_PR")?.strip_suffix(".json")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Renders one trend leaf: booleans verbatim, integers plain, floats
+/// to two places, anything else as `?`.
+fn render_trend_leaf(v: Option<&bench::json::Value>) -> String {
+    match v {
+        Some(bench::json::Value::Bool(b)) => b.to_string(),
+        Some(v) => match v.as_f64() {
+            Some(n) if n.fract() == 0.0 => format!("{n}"),
+            Some(n) => format!("{n:.2}"),
+            None => "?".to_string(),
+        },
+        None => "?".to_string(),
+    }
+}
 
 /// `trend`: aggregates the committed `BENCH_PR*.json` evidence files
 /// into one markdown trajectory table (the copy committed to
-/// EXPERIMENTS.md §"Performance trajectory").
+/// EXPERIMENTS.md §"Performance trajectory"). Evidence files are
+/// discovered by glob — `BENCH_PR<digits>.json` in the working
+/// directory, ascending by PR number, tolerating gaps in the sequence
+/// (not every PR ships a benchmark). Files with curated
+/// [`TREND_ROWS`] show those; others show their top-level scalar
+/// leaves.
 fn trend() {
     println!("| evidence file | metric | value |");
     println!("|---|---|---|");
-    let mut cache: std::collections::BTreeMap<&str, Option<bench::json::Value>> =
-        std::collections::BTreeMap::new();
-    let mut missing = Vec::new();
-    for &(file, label, path) in TREND_ROWS {
-        let doc = cache.entry(file).or_insert_with(|| {
-            std::fs::read_to_string(file)
-                .ok()
-                .and_then(|s| bench::json::parse(&s).ok())
-        });
-        let Some(doc) = doc else {
-            if !missing.contains(&file) {
-                missing.push(file);
+    let mut found: Vec<(u64, String)> = Vec::new();
+    if let Ok(dir) = std::fs::read_dir(".") {
+        for entry in dir.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(n) = bench_pr_number(&name) {
+                found.push((n, name));
             }
+        }
+    }
+    found.sort();
+    if found.is_empty() {
+        eprintln!("note: no BENCH_PR*.json evidence files in the working directory");
+        return;
+    }
+    for (_, file) in &found {
+        let doc = std::fs::read_to_string(file)
+            .ok()
+            .and_then(|s| bench::json::parse(&s).ok());
+        let Some(doc) = doc else {
+            eprintln!("note: {file} is unreadable or not JSON; rows skipped");
             continue;
         };
-        let rendered = match doc.at(path) {
-            Some(bench::json::Value::Bool(b)) => b.to_string(),
-            Some(v) => match v.as_f64() {
-                Some(n) if n.fract() == 0.0 => format!("{n}"),
-                Some(n) => format!("{n:.2}"),
-                None => "?".to_string(),
-            },
-            None => "?".to_string(),
-        };
-        println!("| {file} | {label} | {rendered} |");
-    }
-    for file in missing {
-        eprintln!("note: {file} not found in the working directory; rows skipped");
+        let curated: Vec<&(&str, &str, &str)> =
+            TREND_ROWS.iter().filter(|(f, _, _)| *f == file).collect();
+        if curated.is_empty() {
+            // No curated rows for this file (a future PR's evidence):
+            // surface its top-level scalar leaves so it still shows up.
+            if let bench::json::Value::Obj(members) = &doc {
+                for (key, value) in members {
+                    if matches!(
+                        value,
+                        bench::json::Value::Bool(_)
+                            | bench::json::Value::Int(_)
+                            | bench::json::Value::Float(_)
+                    ) {
+                        println!("| {file} | {key} | {} |", render_trend_leaf(Some(value)));
+                    }
+                }
+            }
+        } else {
+            for &&(_, label, path) in &curated {
+                println!("| {file} | {label} | {} |", render_trend_leaf(doc.at(path)));
+            }
+        }
     }
 }
 
@@ -1667,13 +1742,13 @@ fn bench_pr7(o: &Opts) {
         // Replay-phase comparison: preprocess once, then run the group
         // replay alone with each interpreter. Interleaved pairs so slow
         // drift on a shared runner lands on both sides.
-        let pre =
-            karousos::verifier::preprocess(&p.program, &p.trace, &p.karousos, p.exp.isolation)
-                .expect("preprocess accepts honest advice");
+        let advice = karousos::AdviceRef::from_advice(&p.karousos);
+        let pre = karousos::verifier::preprocess(&p.program, &p.trace, &advice, p.exp.isolation)
+            .expect("preprocess accepts honest advice");
         let replay = |bytecode: bool| {
             let mut vars = karousos::verifier::VarStates::new();
             karousos::verifier::init_vars(&p.program, &mut vars);
-            karousos::verifier::ReExecutor::new(&p.program, &p.trace, &p.karousos, &pre, &mut vars)
+            karousos::verifier::ReExecutor::new(&p.program, &p.trace, &advice, &pre, &mut vars)
                 .with_bytecode(bytecode)
                 .run()
                 .expect("replay accepts honest advice")
@@ -1913,13 +1988,13 @@ fn bench_pr8(o: &Opts) {
         // Replay-phase measurement: preprocess once, replay per
         // interpreter, count allocation events, then interleaved
         // wall-clock pairs (median ratio cancels runner drift).
-        let pre =
-            karousos::verifier::preprocess(&p.program, &p.trace, &p.karousos, p.exp.isolation)
-                .expect("preprocess accepts honest advice");
+        let advice = karousos::AdviceRef::from_advice(&p.karousos);
+        let pre = karousos::verifier::preprocess(&p.program, &p.trace, &advice, p.exp.isolation)
+            .expect("preprocess accepts honest advice");
         let replay = |bytecode: bool| {
             let mut vars = karousos::verifier::VarStates::new();
             karousos::verifier::init_vars(&p.program, &mut vars);
-            karousos::verifier::ReExecutor::new(&p.program, &p.trace, &p.karousos, &pre, &mut vars)
+            karousos::verifier::ReExecutor::new(&p.program, &p.trace, &advice, &pre, &mut vars)
                 .with_bytecode(bytecode)
                 .run()
                 .expect("replay accepts honest advice")
@@ -2072,6 +2147,444 @@ fn bench_pr8(o: &Opts) {
     }
 }
 
+/// Peak resident set size (VmHWM) of this process in kilobytes, from
+/// `/proc/self/status`. `None` off Linux or when `/proc` is
+/// unreadable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Resets the kernel's peak-RSS watermark to the current RSS (writes
+/// `5` to `/proc/self/clear_refs`), so a later [`peak_rss_kb`] covers
+/// only work after the reset. Returns `false` where unsupported
+/// (non-Linux, locked-down `/proc`).
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// The audit options shared by the mmap smoke test and bench-pr10.
+fn file_audit_opts(o: &Opts) -> karousos::AuditOptions {
+    let mut opts = karousos::AuditOptions::with_threads(o.verify_threads.max(1));
+    opts.advice_mmap = o.advice_mmap;
+    opts
+}
+
+/// A scratch advice file that cleans up after itself.
+struct ScratchAdvice(std::path::PathBuf);
+
+impl ScratchAdvice {
+    fn write(tag: &str, bytes: &[u8]) -> ScratchAdvice {
+        let path = std::env::temp_dir().join(format!(
+            "karousos-harness-{tag}-{}.advice",
+            std::process::id()
+        ));
+        if let Err(e) = std::fs::write(&path, bytes) {
+            eprintln!("cannot write scratch advice file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        ScratchAdvice(path)
+    }
+}
+
+impl Drop for ScratchAdvice {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// `mmap-smoke`: the large-trace disk round-trip. Writes the wiki
+/// advice (`--requests`, default 600; CI runs 10000) to a scratch
+/// file, audits it through the read-backed source, the mapped source,
+/// and the `--advice-mmap`-honoring file entry point, and requires
+/// every verdict to match the in-memory baseline bit for bit. Exits
+/// nonzero on any divergence.
+fn mmap_smoke(o: &Opts) {
+    use obs::Obs;
+
+    println!(
+        "== mmap-smoke: wiki {} requests, seed {}, advice_mmap flag {} ==",
+        o.requests, o.seed, o.advice_mmap
+    );
+    let p = bench::prepare(App::Wiki, Mix::Wiki, o.requests, 8, o.seed);
+    let opts = file_audit_opts(o);
+    let baseline = karousos::audit_encoded_with_options(
+        &p.program,
+        &p.trace,
+        &p.karousos_bytes,
+        p.exp.isolation,
+        opts,
+    )
+    .expect("honest wiki advice must be accepted");
+    println!(
+        "  in-memory baseline: {} groups, fuel {}, {} nodes / {} edges, {} wire bytes",
+        baseline.reexec.groups,
+        baseline.reexec.fuel_spent,
+        baseline.graph_nodes,
+        baseline.graph_edges,
+        p.karousos_bytes.len()
+    );
+
+    let scratch = ScratchAdvice::write("mmap-smoke", &p.karousos_bytes);
+    let mut diverged = false;
+    let mut check = |label: &str, report: karousos::AuditReport| {
+        let same = report.reexec == baseline.reexec
+            && report.graph_nodes == baseline.graph_nodes
+            && report.graph_edges == baseline.graph_edges;
+        if same {
+            println!("  {label}: verdict identical to in-memory baseline");
+        } else {
+            eprintln!("DIVERGENCE: {label} disagrees with the in-memory baseline");
+            diverged = true;
+        }
+    };
+    for use_mmap in [false, true] {
+        let source = karousos::AdviceSource::open(&scratch.0, use_mmap).unwrap_or_else(|e| {
+            eprintln!("cannot open advice source (mmap={use_mmap}): {e}");
+            std::process::exit(1);
+        });
+        let label = if source.is_mmap() {
+            "mapped source"
+        } else {
+            "read source"
+        };
+        let report = karousos::audit_source_with_obs(
+            &p.program,
+            &p.trace,
+            &source,
+            p.exp.isolation,
+            opts,
+            &Obs::noop(),
+        )
+        .expect("file-backed audit must accept honest advice");
+        check(label, report);
+    }
+    let report =
+        karousos::audit_file_with_options(&p.program, &p.trace, &scratch.0, p.exp.isolation, opts)
+            .expect("file entry point must accept honest advice");
+    check("audit_file_with_options", report);
+    if diverged {
+        std::process::exit(1);
+    }
+    println!("  mmap-smoke PASS");
+}
+
+/// `rss-probe <owned|memory|mmap>`: child-process half of the
+/// bench-pr10 peak-RSS measurement. Prepares the wiki workload, parks
+/// the advice in a scratch file, drops every in-memory copy, resets
+/// the peak-RSS watermark, audits through the named path, and prints
+/// one parseable line. One child per mode keeps the three paths'
+/// allocator high-water marks from contaminating each other.
+fn rss_probe(o: &Opts) {
+    use obs::Obs;
+
+    let mode = o
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_default()
+        .to_string();
+    if !matches!(mode.as_str(), "owned" | "memory" | "mmap") {
+        eprintln!("rss-probe requires a mode: owned, memory, or mmap");
+        std::process::exit(2);
+    }
+    let p = bench::prepare(App::Wiki, Mix::Wiki, o.requests, 8, o.seed);
+    let scratch = ScratchAdvice::write(&format!("rss-{mode}"), &p.karousos_bytes);
+    let bench::Prepared {
+        program,
+        trace,
+        exp,
+        ..
+    } = p; // advice + in-memory wire copies drop here
+    let opts = file_audit_opts(o);
+    let reset_ok = reset_peak_rss();
+    let report = match mode.as_str() {
+        "owned" => {
+            let bytes = std::fs::read(&scratch.0).expect("scratch advice file reads");
+            let (advice, _) = karousos::decode_advice_fast(&bytes).expect("advice decodes");
+            karousos::audit_with_options(&program, &trace, &advice, exp.isolation, opts)
+        }
+        _ => {
+            let source = karousos::AdviceSource::open(&scratch.0, mode == "mmap")
+                .expect("advice source opens");
+            karousos::audit_source_with_obs(
+                &program,
+                &trace,
+                &source,
+                exp.isolation,
+                opts,
+                &Obs::noop(),
+            )
+        }
+    };
+    let hwm = peak_rss_kb().unwrap_or(0);
+    match report {
+        Ok(r) => println!(
+            "rss-probe mode={mode} hwm_kb={hwm} reset={reset_ok} groups={} fuel={} \
+             nodes={} edges={}",
+            r.reexec.groups, r.reexec.fuel_spent, r.graph_nodes, r.graph_edges
+        ),
+        Err(e) => {
+            eprintln!("rss-probe mode={mode}: audit rejected honest advice: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One parsed `rss-probe` line.
+struct RssProbe {
+    hwm_kb: u64,
+    reset: bool,
+    fingerprint: String,
+}
+
+/// Spawns `rss-probe <mode>` as a child process and parses its report
+/// line. `None` when the child cannot run or its output is malformed
+/// (the RSS gate is then skipped, not failed).
+fn spawn_rss_probe(mode: &str, requests: usize, seed: u64, threads: usize) -> Option<RssProbe> {
+    let exe = std::env::current_exe().ok()?;
+    let out = std::process::Command::new(exe)
+        .args([
+            "rss-probe",
+            mode,
+            "--requests",
+            &requests.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--verify-threads",
+            &threads.to_string(),
+        ])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        eprintln!(
+            "rss-probe {mode} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        );
+        return None;
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().find(|l| l.starts_with("rss-probe "))?;
+    let mut hwm_kb = None;
+    let mut reset = false;
+    let mut fingerprint = Vec::new();
+    for token in line.split_whitespace() {
+        if let Some(v) = token.strip_prefix("hwm_kb=") {
+            hwm_kb = v.parse().ok();
+        } else if let Some(v) = token.strip_prefix("reset=") {
+            reset = v == "true";
+        } else if token.starts_with("groups=")
+            || token.starts_with("fuel=")
+            || token.starts_with("nodes=")
+            || token.starts_with("edges=")
+        {
+            fingerprint.push(token.to_string());
+        }
+    }
+    Some(RssProbe {
+        hwm_kb: hwm_kb?,
+        reset,
+        fingerprint: fingerprint.join(" "),
+    })
+}
+
+/// Decode-phase and wall-clock numbers for one trace size, plus the
+/// JSON fragment they render to.
+struct Pr10Row {
+    json: String,
+    decode_gate_met: bool,
+    diverged: bool,
+}
+
+/// Measures one bench-pr10 size: decode-phase allocation events for
+/// the owned / fast / borrowed decoders, end-to-end audit wall-clock
+/// for the owned, borrowed, and mapped paths, and verdict equality
+/// across all three.
+fn bench_pr10_size(o: &Opts, requests: usize, iters: usize) -> Pr10Row {
+    use obs::Obs;
+
+    let p = bench::prepare(App::Wiki, Mix::Wiki, requests, 8, o.seed);
+    let bytes = &p.karousos_bytes;
+    let opts = file_audit_opts(o);
+
+    // Decode phase: materializing `Advice` (plain and interning-fast)
+    // vs the borrowed view + `AdviceRef` the accept path uses.
+    let _ = karousos::decode_advice(bytes).expect("advice decodes");
+    let _ = karousos::decode_advice_fast(bytes).expect("advice decodes");
+    let (_, owned_allocs) = count_allocs(|| karousos::decode_advice(bytes).map(|_| ()));
+    let (_, fast_allocs) = count_allocs(|| karousos::decode_advice_fast(bytes).map(|_| ()));
+    let (_, borrowed_allocs) = count_allocs(|| {
+        let view = karousos::decode_advice_view(bytes).expect("advice decodes");
+        let mut interner = kem::ValueInterner::new();
+        let advice = karousos::AdviceRef::from_view(&view, &mut interner);
+        advice.tags.len()
+    });
+    let borrowed_reduction = owned_allocs as f64 / borrowed_allocs.max(1) as f64;
+    let decode_gate_met = borrowed_allocs.saturating_mul(2) <= owned_allocs;
+
+    // Wall-clock: the old accept path (fast decode into owned advice,
+    // then audit) vs the borrowed accept path vs the mapped file.
+    let scratch = ScratchAdvice::write(&format!("pr10-{requests}"), bytes);
+    let (t_owned, r_owned) = bench::time_median(iters, || {
+        let (advice, _) = karousos::decode_advice_fast(bytes).expect("advice decodes");
+        karousos::audit_with_options(&p.program, &p.trace, &advice, p.exp.isolation, opts)
+            .expect("honest advice must be accepted")
+    });
+    let (t_borrowed, r_borrowed) = bench::time_median(iters, || {
+        karousos::audit_encoded_with_options(&p.program, &p.trace, bytes, p.exp.isolation, opts)
+            .expect("honest advice must be accepted")
+    });
+    let (t_mmap, r_mmap) = bench::time_median(iters, || {
+        let source =
+            karousos::AdviceSource::open(&scratch.0, true).expect("mapped advice source opens");
+        karousos::audit_source_with_obs(
+            &p.program,
+            &p.trace,
+            &source,
+            p.exp.isolation,
+            opts,
+            &Obs::noop(),
+        )
+        .expect("honest advice must be accepted")
+    });
+    let same = |r: &karousos::AuditReport| {
+        r.reexec == r_owned.reexec
+            && r.graph_nodes == r_owned.graph_nodes
+            && r.graph_edges == r_owned.graph_edges
+    };
+    let diverged = !same(&r_borrowed) || !same(&r_mmap);
+    if diverged {
+        eprintln!("DIVERGENCE: owned / borrowed / mmap audits disagree at {requests} requests");
+    }
+
+    println!(
+        "  {requests:>6} req: decode allocs owned {owned_allocs} / fast {fast_allocs} / \
+         borrowed {borrowed_allocs} ({borrowed_reduction:.1}x fewer); audit owned {} / \
+         borrowed {} / mmap {} ms",
+        ms(t_owned),
+        ms(t_borrowed),
+        ms(t_mmap),
+    );
+
+    let json = format!(
+        "{{\n      \"requests\": {requests},\n      \"wire_bytes\": {},\n      \
+         \"decode_allocs\": {{\"owned\": {owned_allocs}, \"fast\": {fast_allocs}, \
+         \"borrowed\": {borrowed_allocs}, \
+         \"borrowed_reduction_factor\": {borrowed_reduction:.1}}},\n      \
+         \"audit_us\": {{\"owned\": {}, \"borrowed\": {}, \"mmap\": {}}},\n      \
+         \"verdicts_identical\": {}\n    }}",
+        bytes.len(),
+        t_owned.as_micros(),
+        t_borrowed.as_micros(),
+        t_mmap.as_micros(),
+        !diverged,
+    );
+    Pr10Row {
+        json,
+        decode_gate_met,
+        diverged,
+    }
+}
+
+/// `bench-pr10`: machine-readable evidence for the borrowed advice
+/// path. Writes `BENCH_PR10.json` with, at `--requests` (default 600)
+/// and 10k requests: decode-phase allocation events (owned vs fast vs
+/// borrowed view), end-to-end audit wall-clock (owned vs borrowed vs
+/// mapped file), verdict equality across the three paths, and — via
+/// per-mode child processes at the large size — peak RSS for the
+/// owned, read-backed, and mapped audits. Gates: the borrowed decode
+/// phase must allocate >= 2x fewer events than materializing `Advice`
+/// at both sizes, and the mapped audit must peak below the read-backed
+/// one (skipped where `/proc/self/clear_refs` is unavailable). Exits
+/// nonzero when a gate fails or any verdict diverges.
+fn bench_pr10(o: &Opts) {
+    let small = o.requests;
+    let large = o.requests.max(10_000);
+    println!(
+        "== bench-pr10: borrowed advice end-to-end (wiki {small} and {large} requests, \
+         {} iters) ==",
+        o.iters
+    );
+    let row_small = bench_pr10_size(o, small, o.iters);
+    let row_large = bench_pr10_size(o, large, 1);
+
+    // Peak RSS, one child process per path so the watermarks are
+    // independent. The mapped run's advice stays on disk: its peak
+    // must come in under the read-backed run's.
+    let mut rss_json = "null".to_string();
+    let mut rss_gate: Option<bool> = None;
+    let probes: Vec<Option<RssProbe>> = ["owned", "memory", "mmap"]
+        .iter()
+        .map(|mode| spawn_rss_probe(mode, large, o.seed, o.verify_threads))
+        .collect();
+    if let [Some(owned), Some(memory), Some(mmap)] = &probes[..] {
+        if owned.fingerprint != memory.fingerprint || owned.fingerprint != mmap.fingerprint {
+            eprintln!("DIVERGENCE: rss-probe children disagree on the verdict");
+            rss_gate = Some(false);
+        }
+        let supported = owned.reset && memory.reset && mmap.reset;
+        if supported {
+            rss_gate = Some(rss_gate.unwrap_or(true) && mmap.hwm_kb < memory.hwm_kb);
+        } else {
+            println!("  note: peak-RSS watermark reset unsupported here; RSS gate skipped");
+        }
+        println!(
+            "  {large:>6} req: peak RSS owned {} KB / memory {} KB / mmap {} KB{}",
+            owned.hwm_kb,
+            memory.hwm_kb,
+            mmap.hwm_kb,
+            if supported { "" } else { " [no reset]" }
+        );
+        rss_json = format!(
+            "{{\"owned_kb\": {}, \"memory_kb\": {}, \"mmap_kb\": {}, \
+             \"mmap_reduction_kb\": {}, \"watermark_reset_supported\": {supported}}}",
+            owned.hwm_kb,
+            memory.hwm_kb,
+            mmap.hwm_kb,
+            memory.hwm_kb as i64 - mmap.hwm_kb as i64,
+        );
+    } else {
+        println!("  note: rss-probe children unavailable; RSS comparison skipped");
+    }
+
+    let decode_met = row_small.decode_gate_met && row_large.decode_gate_met;
+    let diverged = row_small.diverged || row_large.diverged;
+    let met = decode_met && !diverged && rss_gate != Some(false);
+    let json = format!(
+        "{{\n  \"bench\": \"pr10-borrowed-advice\",\n  \"iters\": {},\n  \
+         \"sizes\": [\n    {},\n    {}\n  ],\n  \
+         \"rss_at_large\": {rss_json},\n  \
+         \"configs_bit_identical\": {},\n  \
+         \"gates\": {{\"decode_alloc_min_reduction\": 2, \"decode_alloc_met\": {decode_met}, \
+         \"mmap_rss_reduced\": {}, \"met\": {met}}}\n}}\n",
+        o.iters,
+        row_small.json,
+        row_large.json,
+        !diverged,
+        match rss_gate {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        },
+    );
+    if let Err(e) = std::fs::write("BENCH_PR10.json", &json) {
+        eprintln!("failed to write BENCH_PR10.json: {e}");
+        std::process::exit(1);
+    }
+    println!("  wrote BENCH_PR10.json");
+    if !met {
+        eprintln!(
+            "BENCH-PR10 GATES FAILED: decode_alloc_met={decode_met}, diverged={diverged}, \
+             rss_gate={rss_gate:?}"
+        );
+        std::process::exit(1);
+    }
+}
+
 /// `--dump-bytecode <app>`: disassembles the compiled replay bytecode
 /// of every function in the app's program (DESIGN.md §11) — blocks,
 /// pc, fuel charge, and pool-resolved operands.
@@ -2105,6 +2618,7 @@ fn main() {
         "validate-json" => return validate_json_cmd(&o),
         "validate-prom" => return validate_prom_cmd(&o),
         "trend" => return trend(),
+        "rss-probe" => return rss_probe(&o),
         _ => {}
     }
     if o.verify_threads != 1
@@ -2144,6 +2658,8 @@ fn main() {
         "bench-pr6" => bench_pr6(&o),
         "bench-pr7" => bench_pr7(&o),
         "bench-pr8" => bench_pr8(&o),
+        "bench-pr10" => bench_pr10(&o),
+        "mmap-smoke" => mmap_smoke(&o),
         "all" => {
             fig6(&o);
             fig7(&o);
@@ -2157,8 +2673,9 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure {other:?}; try fig6..fig12, ratios, errorbars, ablations, \
-                 bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, report, \
-                 diff, validate-metrics, validate-json, validate-prom, trend, all"
+                 bench-pr3, bench-pr4, bench-pr5, bench-pr6, bench-pr7, bench-pr8, bench-pr10, \
+                 mmap-smoke, report, diff, validate-metrics, validate-json, validate-prom, \
+                 trend, all"
             );
             std::process::exit(2);
         }

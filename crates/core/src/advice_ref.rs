@@ -1,0 +1,596 @@
+//! Borrowed, index-backed advice: the verifier's working form.
+//!
+//! PR 5 gave the wire layer a zero-copy [`AdviceView`]: every section a
+//! `Vec` in wire order, strings borrowing the input buffer. But the
+//! verifier still materialized a fully-owned [`Advice`] (`BTreeMap`s,
+//! `String`s, owned values) before preprocess/replay — an allocation
+//! per log entry and a resident copy of the whole advice. This module
+//! closes that gap. [`AdviceRef`] is a *logical map* form of the
+//! advice, built either
+//!
+//! * **borrowed**, straight from an [`AdviceView`]
+//!   ([`AdviceRef::from_view`]): strings stay `&str` slices of the wire
+//!   buffer (or the mmapped advice file), handler logs borrow the
+//!   view's entry vectors outright, and the only owned copies are the
+//!   [`Value`]s replay actually retains — interned through
+//!   [`kem::ValueInterner`] so repeated content costs an `Arc` bump; or
+//! * **owned**, from an [`Advice`] ([`AdviceRef::from_advice`]): cheap
+//!   borrows and `Arc` bumps, so the owned decoder stays alive as the
+//!   differential oracle against the borrowed path.
+//!
+//! Lookups go through [`VecMap`], a sorted-unique `Vec` with a
+//! `BTreeMap`-shaped read API. **Duplicate-key semantics**: the wire
+//! sections of hostile advice may repeat keys; the owned decoder's
+//! `BTreeMap::insert` makes the *later* entry win, and
+//! [`VecMap::from_wire`] reproduces exactly that (stable sort by key,
+//! keep the last occurrence of each run) — this is what keeps verdicts
+//! bit-identical between the two paths on the hostile corpus.
+
+use std::collections::BTreeMap;
+
+use kem::{HandlerId, OpRef, RequestId, Value, ValueInterner, VarId};
+
+use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType, TxPos, VarLogEntry};
+use crate::wire::{view_to_value, AdviceView, HandlerLogEntryView, HandlerOpView};
+
+/// A sorted-unique `Vec<(K, V)>` exposing the read-side `BTreeMap` API
+/// the verifier uses (`get`, `contains_key`, ascending iteration).
+///
+/// Lookups are binary searches; construction from wire order is
+/// [`VecMap::from_wire`] (later duplicate wins, like map insertion).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VecMap<K, V>(Vec<(K, V)>);
+
+impl<K: Ord, V> VecMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        VecMap(Vec::new())
+    }
+
+    /// Builds from entries in wire order. Already-ascending input (the
+    /// honest encoder always produces it) is taken as-is with no extra
+    /// work; otherwise the entries are stable-sorted by key and each
+    /// run of equal keys collapses to its **last** occurrence —
+    /// `BTreeMap::insert` semantics, which the owned decode oracle has.
+    pub fn from_wire(mut entries: Vec<(K, V)>) -> Self {
+        let ascending = entries.windows(2).all(|w| w[0].0 < w[1].0);
+        if !ascending {
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut out: Vec<(K, V)> = Vec::with_capacity(entries.len());
+            for e in entries {
+                match out.last_mut() {
+                    Some(last) if last.0 == e.0 => *last = e,
+                    _ => out.push(e),
+                }
+            }
+            entries = out;
+        }
+        VecMap(entries)
+    }
+
+    /// Inserts or replaces, keeping the ascending invariant.
+    pub fn insert(&mut self, key: K, value: V) {
+        match self.0.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => self.0[i].1 = value,
+            Err(i) => self.0.insert(i, (key, value)),
+        }
+    }
+
+    /// Looks up by key.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.0
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| &self.0[i].1)
+    }
+
+    /// Whether the key is present.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.0.binary_search_by(|(k, _)| k.cmp(key)).is_ok()
+    }
+
+    /// Keys, ascending.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.0.iter().map(|(k, _)| k)
+    }
+
+    /// Values, in ascending-key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.0.iter().map(|(_, v)| v)
+    }
+
+    /// `(key, value)` pairs, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.0.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Entry count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for VecMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        VecMap::from_wire(iter.into_iter().collect())
+    }
+}
+
+impl<'m, K: Ord, V> IntoIterator for &'m VecMap<K, V> {
+    type Item = (&'m K, &'m V);
+    type IntoIter = std::iter::Map<std::slice::Iter<'m, (K, V)>, fn(&'m (K, V)) -> (&'m K, &'m V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// One variable's log in verifier form: sorted by coordinate, entries
+/// own the values replay retains (everything else in the entry is `Arc`
+/// shared).
+pub type VarLogRef = VecMap<OpRef, VarLogEntry>;
+
+/// Contents of a borrowed transaction-log entry: like
+/// [`TxOpContents`], but `PUT` values are interned [`Value`]s (a copy
+/// replay retains) while everything else stays borrowed/shared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxContentsRef {
+    /// No contents (`tx_start`, `tx_commit`, `tx_abort`).
+    None,
+    /// `PUT`: the value written.
+    Put {
+        /// The written value.
+        value: Value,
+    },
+    /// `GET`: the position of the dictating `PUT`.
+    Get {
+        /// Dictating write position.
+        from: Option<TxPos>,
+    },
+}
+
+/// A borrowed transaction-log entry: the key is a slice of the advice
+/// bytes, the rest is shared or retained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxEntryRef<'a> {
+    /// Issuing handler.
+    pub hid: HandlerId,
+    /// Operation number within the handler.
+    pub opnum: u32,
+    /// Operation type as logged.
+    pub optype: TxOpType,
+    /// Row key (`GET`/`PUT`), borrowing the advice bytes.
+    pub key: Option<&'a str>,
+    /// Operation contents.
+    pub contents: TxContentsRef,
+}
+
+/// One request's handler log: borrowed wholesale from the wire view on
+/// the hot path, or owned when rebuilt from decoded [`Advice`].
+///
+/// This is `Cow<'a, [HandlerLogEntryView<'a>]>` by shape, hand-rolled
+/// because `Cow`'s `ToOwned` projection makes it *invariant* in `'a` —
+/// and [`AdviceRef`] must stay covariant so the owned entry points can
+/// build one from a local and pass it where a shorter-lived borrow is
+/// expected. Dereferences to the entry slice.
+#[derive(Debug, Clone)]
+pub enum HandlerLog<'a> {
+    /// Entries borrowed from the decoded view (zero-copy path).
+    Borrowed(&'a [HandlerLogEntryView<'a>]),
+    /// Entries rebuilt from owned advice (oracle path).
+    Owned(Vec<HandlerLogEntryView<'a>>),
+}
+
+// Like `Cow`, equality is by contents, not by variant — the
+// differential tests compare a borrowed build against an owned one.
+impl PartialEq for HandlerLog<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> HandlerLog<'a> {
+    /// The log entries, whichever variant holds them.
+    #[inline]
+    pub fn as_slice(&self) -> &[HandlerLogEntryView<'a>] {
+        match self {
+            HandlerLog::Borrowed(s) => s,
+            HandlerLog::Owned(v) => v,
+        }
+    }
+}
+
+impl<'a> std::ops::Deref for HandlerLog<'a> {
+    type Target = [HandlerLogEntryView<'a>];
+    #[inline]
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+/// The advice in the verifier's working form: logical maps over
+/// borrowed or shared storage. See the module docs for the two
+/// constructors and the duplicate-key argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdviceRef<'a> {
+    /// Control-flow tag per request (§4.1).
+    pub tags: VecMap<RequestId, u64>,
+    /// Handler logs per request; borrowed straight from the view when
+    /// built with [`AdviceRef::from_view`].
+    pub handler_logs: VecMap<RequestId, HandlerLog<'a>>,
+    /// Variable logs per loggable variable.
+    pub var_logs: VecMap<VarId, VarLogRef>,
+    /// Transaction logs.
+    pub tx_logs: VecMap<KTxId, Vec<TxEntryRef<'a>>>,
+    /// Alleged global order of committed final writes.
+    pub write_order: &'a [TxPos],
+    /// For each request: the handler that sent the response and the
+    /// number of operations it had issued beforehand.
+    pub response_emitted_by: VecMap<RequestId, (HandlerId, u32)>,
+    /// Total operations issued by each executed handler.
+    pub opcounts: VecMap<(RequestId, HandlerId), u32>,
+    /// Recorded nondeterministic values.
+    pub nondet: VecMap<OpRef, Value>,
+}
+
+impl<'a> AdviceRef<'a> {
+    /// Builds the verifier form straight from a decoded [`AdviceView`] —
+    /// the hot path. Strings stay borrowed; handler logs are borrowed
+    /// wholesale; var-log / tx-log / nondet values are materialized
+    /// through `interner` (they are the copies replay retains).
+    pub fn from_view(view: &'a AdviceView<'a>, interner: &mut ValueInterner<'a>) -> AdviceRef<'a> {
+        let tags = VecMap::from_wire(view.tags.clone());
+        let handler_logs = VecMap::from_wire(
+            view.handler_logs
+                .iter()
+                .map(|(rid, log)| (*rid, HandlerLog::Borrowed(log.as_slice())))
+                .collect(),
+        );
+        let var_logs = VecMap::from_wire(
+            view.var_logs
+                .iter()
+                .map(|(var, log)| {
+                    let entries: Vec<(OpRef, VarLogEntry)> = log
+                        .iter()
+                        .map(|(op, e)| {
+                            (
+                                op.clone(),
+                                VarLogEntry {
+                                    access: e.access,
+                                    value: e.value.as_ref().map(|v| view_to_value(v, interner)),
+                                    prec: e.prec.clone(),
+                                },
+                            )
+                        })
+                        .collect();
+                    (*var, VecMap::from_wire(entries))
+                })
+                .collect(),
+        );
+        let tx_logs = VecMap::from_wire(
+            view.tx_logs
+                .iter()
+                .map(|(tx, log)| {
+                    let entries: Vec<TxEntryRef<'a>> = log
+                        .iter()
+                        .map(|e| TxEntryRef {
+                            hid: e.hid.clone(),
+                            opnum: e.opnum,
+                            optype: e.optype,
+                            key: e.key,
+                            contents: match &e.contents {
+                                crate::wire::TxOpContentsView::None => TxContentsRef::None,
+                                crate::wire::TxOpContentsView::Put { value } => {
+                                    TxContentsRef::Put {
+                                        value: view_to_value(value, interner),
+                                    }
+                                }
+                                crate::wire::TxOpContentsView::Get { from } => {
+                                    TxContentsRef::Get { from: from.clone() }
+                                }
+                            },
+                        })
+                        .collect();
+                    (tx.clone(), entries)
+                })
+                .collect(),
+        );
+        let nondet = VecMap::from_wire(
+            view.nondet
+                .iter()
+                .map(|(op, v)| (op.clone(), view_to_value(v, interner)))
+                .collect(),
+        );
+        AdviceRef {
+            tags,
+            handler_logs,
+            var_logs,
+            tx_logs,
+            write_order: &view.write_order,
+            response_emitted_by: VecMap::from_wire(view.response_emitted_by.clone()),
+            opcounts: VecMap::from_wire(view.opcounts.clone()),
+            nondet,
+        }
+    }
+
+    /// Builds the verifier form from owned advice: borrows and `Arc`
+    /// bumps only. This is how the owned entry points (and the
+    /// differential oracle) reach the single shared audit path.
+    pub fn from_advice(a: &'a Advice) -> AdviceRef<'a> {
+        let handler_logs = a
+            .handler_logs
+            .iter()
+            .map(|(rid, log)| {
+                let entries: Vec<HandlerLogEntryView<'a>> = log
+                    .iter()
+                    .map(|e| HandlerLogEntryView {
+                        hid: e.hid.clone(),
+                        opnum: e.opnum,
+                        op: match &e.op {
+                            HandlerOp::Register { event, function } => HandlerOpView::Register {
+                                event: event.as_str(),
+                                function: *function,
+                            },
+                            HandlerOp::Unregister { event, function } => {
+                                HandlerOpView::Unregister {
+                                    event: event.as_str(),
+                                    function: *function,
+                                }
+                            }
+                            HandlerOp::Emit { event } => HandlerOpView::Emit {
+                                event: event.as_str(),
+                            },
+                            HandlerOp::Check { event } => HandlerOpView::Check {
+                                event: event.as_str(),
+                            },
+                        },
+                    })
+                    .collect();
+                (*rid, HandlerLog::Owned(entries))
+            })
+            .collect();
+        let tx_logs = a
+            .tx_logs
+            .iter()
+            .map(|(tx, log)| {
+                let entries: Vec<TxEntryRef<'a>> = log
+                    .iter()
+                    .map(|e| TxEntryRef {
+                        hid: e.hid.clone(),
+                        opnum: e.opnum,
+                        optype: e.optype,
+                        key: e.key.as_deref(),
+                        contents: match &e.contents {
+                            TxOpContents::None => TxContentsRef::None,
+                            TxOpContents::Put { value } => TxContentsRef::Put {
+                                value: value.clone(),
+                            },
+                            TxOpContents::Get { from } => TxContentsRef::Get { from: from.clone() },
+                        },
+                    })
+                    .collect();
+                (tx.clone(), entries)
+            })
+            .collect();
+        AdviceRef {
+            tags: a.tags.iter().map(|(k, v)| (*k, *v)).collect(),
+            handler_logs,
+            var_logs: a
+                .var_logs
+                .iter()
+                .map(|(var, log)| {
+                    (
+                        *var,
+                        log.iter().map(|(op, e)| (op.clone(), e.clone())).collect(),
+                    )
+                })
+                .collect(),
+            tx_logs,
+            write_order: &a.write_order,
+            response_emitted_by: a
+                .response_emitted_by
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            opcounts: a.opcounts.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            nondet: a
+                .nondet
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Groups request ids by tag, preserving first-appearance order —
+    /// the same bucketing [`Advice::groups`] performs.
+    pub fn groups(&self, trace_order: &[RequestId]) -> Vec<Vec<RequestId>> {
+        let mut order: Vec<u64> = Vec::new();
+        let mut by_tag: BTreeMap<u64, Vec<RequestId>> = BTreeMap::new();
+        for rid in trace_order {
+            if let Some(tag) = self.tags.get(rid) {
+                let bucket = by_tag.entry(*tag).or_default();
+                if bucket.is_empty() {
+                    order.push(*tag);
+                }
+                bucket.push(*rid);
+            }
+        }
+        order
+            .into_iter()
+            .filter_map(|t| by_tag.remove(&t))
+            .collect()
+    }
+
+    /// Looks up a transaction-log entry by position.
+    pub fn tx_entry(&self, pos: &TxPos) -> Option<&TxEntryRef<'a>> {
+        self.tx_logs.get(&pos.tx)?.get(pos.index as usize)
+    }
+
+    /// Total number of variable-log entries (all variables).
+    pub fn var_log_entries(&self) -> usize {
+        self.var_logs.values().map(VecMap::len).sum()
+    }
+
+    /// Total number of handler-log entries (all requests).
+    pub fn handler_log_entries(&self) -> usize {
+        self.handler_logs.values().map(|l| l.len()).sum()
+    }
+
+    /// Total number of transaction-log entries.
+    pub fn tx_log_entries(&self) -> usize {
+        self.tx_logs.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_advice, decode_advice_view, encode_advice};
+    use kem::FunctionId;
+
+    #[test]
+    fn vecmap_from_wire_keeps_last_duplicate() {
+        let m = VecMap::from_wire(vec![(2, "b"), (1, "a"), (2, "c"), (1, "d")]);
+        assert_eq!(m.get(&1), Some(&"d"));
+        assert_eq!(m.get(&2), Some(&"c"));
+        assert_eq!(m.len(), 2);
+        let keys: Vec<_> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn vecmap_ascending_input_is_preserved() {
+        let m = VecMap::from_wire(vec![(1, "a"), (2, "b"), (3, "c")]);
+        assert_eq!(m.len(), 3);
+        assert!(m.contains_key(&2));
+        assert!(!m.contains_key(&4));
+        let pairs: Vec<_> = (&m).into_iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn vecmap_insert_replaces_and_orders() {
+        let mut m = VecMap::new();
+        m.insert(5, "e");
+        m.insert(1, "a");
+        m.insert(5, "E");
+        assert_eq!(m.get(&5), Some(&"E"));
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    fn sample_advice() -> Advice {
+        let mut a = Advice::default();
+        let hid = HandlerId::root(FunctionId(0));
+        a.tags.insert(RequestId(0), 7);
+        a.tags.insert(RequestId(1), 7);
+        a.handler_logs.insert(
+            RequestId(0),
+            vec![crate::advice::HandlerLogEntry {
+                hid: hid.clone(),
+                opnum: 1,
+                op: HandlerOp::Emit {
+                    event: "boot".into(),
+                },
+            }],
+        );
+        let mut vl = crate::advice::VarLog::new();
+        vl.insert(
+            OpRef::new(RequestId(0), hid.clone(), 2),
+            VarLogEntry {
+                access: crate::advice::AccessType::Write,
+                value: Some(Value::str("payload")),
+                prec: None,
+            },
+        );
+        a.var_logs.insert(VarId(3), vl);
+        let tx = KTxId {
+            rid: RequestId(0),
+            hid: hid.clone(),
+            opnum: 3,
+        };
+        a.tx_logs.insert(
+            tx.clone(),
+            vec![
+                crate::advice::TxLogEntry {
+                    hid: hid.clone(),
+                    opnum: 3,
+                    optype: TxOpType::Start,
+                    key: None,
+                    contents: TxOpContents::None,
+                },
+                crate::advice::TxLogEntry {
+                    hid: hid.clone(),
+                    opnum: 4,
+                    optype: TxOpType::Put,
+                    key: Some("row".into()),
+                    contents: TxOpContents::Put {
+                        value: Value::int(9),
+                    },
+                },
+            ],
+        );
+        a.write_order.push(TxPos { tx, index: 1 });
+        a.response_emitted_by.insert(RequestId(0), (hid.clone(), 1));
+        a.opcounts.insert((RequestId(0), hid.clone()), 4);
+        a.nondet
+            .insert(OpRef::new(RequestId(0), hid, 1), Value::str("rand"));
+        a
+    }
+
+    /// The two constructors must agree: owned advice round-tripped
+    /// through the wire and rebuilt from the view equals the direct
+    /// owned build.
+    #[test]
+    fn from_view_equals_from_advice() {
+        let a = sample_advice();
+        let bytes = encode_advice(&a);
+        let view = decode_advice_view(&bytes).unwrap();
+        let mut interner = ValueInterner::new();
+        let from_view = AdviceRef::from_view(&view, &mut interner);
+        let from_owned = AdviceRef::from_advice(&a);
+        assert_eq!(from_view, from_owned);
+        assert_eq!(from_view.var_log_entries(), 1);
+        assert_eq!(from_view.handler_log_entries(), 1);
+        assert_eq!(from_view.tx_log_entries(), 2);
+        assert!(from_view
+            .tx_entry(&a.write_order[0])
+            .is_some_and(|e| e.optype == TxOpType::Put));
+    }
+
+    /// Duplicate outer keys in the wire sections must resolve exactly
+    /// like the owned decoder's `BTreeMap::insert` (later entry wins).
+    #[test]
+    fn duplicate_sections_resolve_like_owned_decode() {
+        let a = sample_advice();
+        let bytes = encode_advice(&a);
+        let mut view = decode_advice_view(&bytes).unwrap();
+        // Forge a duplicate tag (later wins) and a duplicate opcount.
+        view.tags.push((RequestId(0), 99));
+        let dup_opcount = view.opcounts[0].clone();
+        view.opcounts.insert(0, ((dup_opcount.0.clone()), 1234));
+        let bytes2 = view.encode();
+        let owned = decode_advice(&bytes2).unwrap();
+        let view2 = decode_advice_view(&bytes2).unwrap();
+        let mut interner = ValueInterner::new();
+        let borrowed = AdviceRef::from_view(&view2, &mut interner);
+        assert_eq!(borrowed, AdviceRef::from_advice(&owned));
+        assert_eq!(borrowed.tags.get(&RequestId(0)), Some(&99));
+    }
+
+    #[test]
+    fn groups_match_owned_groups() {
+        let a = sample_advice();
+        let r = AdviceRef::from_advice(&a);
+        let order = [RequestId(1), RequestId(0), RequestId(9)];
+        assert_eq!(r.groups(&order), a.groups(&order));
+    }
+}

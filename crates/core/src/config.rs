@@ -14,6 +14,7 @@
 //! | `KAROUSOS_PIPELINE` | pipelined audit (`0`/`off`/`false`/empty disable) | on |
 //! | `KAROUSOS_BYTECODE` | bytecode-VM replay (`0`/`off`/`false`/empty fall back to the tree-walk) | on |
 //! | `KAROUSOS_OBS` | instrumented path for plain entry points (empty/`0` off) | off |
+//! | `KAROUSOS_ADVICE_MMAP` | file-backed audits memory-map the advice file (empty/`0` off) | off |
 //! | `KAROUSOS_PROM_ADDR` | serve live Prometheus metrics on this address (e.g. `127.0.0.1:9464`; empty off) | off |
 //! | `KAROUSOS_LIMITS_REPLAY_FUEL` | per-group replay step budget | `1<<26` |
 //! | `KAROUSOS_LIMITS_GROUP_DEADLINE_MS` | per-group wall-clock deadline (ms) | `60000` |
@@ -43,6 +44,11 @@ pub const ENV_BYTECODE: &str = kem::bytecode::ENV_BYTECODE;
 /// `KAROUSOS_OBS`: plain entry points record into an enabled
 /// observability handle (default off).
 pub const ENV_OBS: &str = "KAROUSOS_OBS";
+/// `KAROUSOS_ADVICE_MMAP`: file-backed audit entry points memory-map
+/// the advice file instead of reading it into a heap buffer (default
+/// off; mapping failures fall back to a plain read). Cannot change
+/// verdicts — both paths hand the decoder the same bytes.
+pub const ENV_ADVICE_MMAP: &str = "KAROUSOS_ADVICE_MMAP";
 /// `KAROUSOS_PROM_ADDR`: address a capture/report run's background
 /// exporter serves live Prometheus text-format metrics on (default
 /// off; consumed by the bench harness, which owns the exporter
@@ -230,6 +236,11 @@ pub fn obs_from_env() -> bool {
     parse_switch_default_off(env_var(ENV_OBS).as_deref())
 }
 
+/// Reads `KAROUSOS_ADVICE_MMAP` (see [`parse_switch_default_off`]).
+pub fn advice_mmap_from_env() -> bool {
+    parse_switch_default_off(env_var(ENV_ADVICE_MMAP).as_deref())
+}
+
 /// Reads `KAROUSOS_BYTECODE` (see
 /// [`kem::bytecode::parse_bytecode_switch`]; same contract as
 /// [`parse_switch_default_on`]).
@@ -302,6 +313,17 @@ mod tests {
         assert!(!parse_switch_default_off(Some("0")));
         assert!(parse_switch_default_off(Some("1")));
         assert!(parse_switch_default_off(Some("json")));
+    }
+
+    #[test]
+    fn karousos_advice_mmap_parse() {
+        // Same default-off switch contract as `KAROUSOS_OBS`: unset,
+        // empty, and "0" are off; any other non-empty value is on.
+        assert!(!parse_switch_default_off(None));
+        assert!(!parse_switch_default_off(Some("0")));
+        assert!(!parse_switch_default_off(Some("  ")));
+        assert!(parse_switch_default_off(Some("1")));
+        assert!(parse_switch_default_off(Some("mmap")));
     }
 
     #[test]

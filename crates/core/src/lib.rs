@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod advice;
+pub mod advice_ref;
 pub mod collector;
 pub mod config;
 pub mod faultinject;
@@ -52,6 +53,7 @@ pub use advice::{
     AccessType, Advice, HandlerLogEntry, HandlerOp, KTxId, TxLogEntry, TxOpContents, TxOpType,
     TxPos, VarLog, VarLogEntry,
 };
+pub use advice_ref::{AdviceRef, HandlerLog, TxContentsRef, TxEntryRef, VarLogRef, VecMap};
 pub use collector::{
     run_instrumented_server, run_instrumented_server_encoded, run_instrumented_server_with_obs,
     Collector, CollectorCounters, CollectorMode,
@@ -65,14 +67,15 @@ pub use lint::{lint_advice, LintWarning};
 pub use multivalue::{MultiValue, MultiValueIter};
 pub use rorder::{r_concurrent, r_ordered, r_precedes};
 pub use verifier::{
-    audit, audit_encoded, audit_encoded_with_obs, audit_encoded_with_options, audit_forensic,
-    audit_with_obs, audit_with_options, audit_with_schedule, cycle_report, ooo_audit,
-    ooo_audit_with_options, AuditDiagnostics, AuditFailure, AuditOptions, AuditReport,
-    CycleEdgeReport, CycleProbe, CycleReport, EdgeKind, FeedCounters, PhaseTiming, ReexecStats,
-    RejectReason, ReplaySchedule, ResourceKind,
+    audit, audit_encoded, audit_encoded_with_obs, audit_encoded_with_options,
+    audit_file_with_options, audit_forensic, audit_source_with_obs, audit_with_obs,
+    audit_with_options, audit_with_schedule, cycle_report, ooo_audit, ooo_audit_with_options,
+    AuditDiagnostics, AuditFailure, AuditOptions, AuditReport, CycleEdgeReport, CycleProbe,
+    CycleReport, EdgeKind, FeedCounters, PhaseTiming, ReexecStats, RejectReason, ReplaySchedule,
+    ResourceKind,
 };
 pub use wire::{
     advice_sizes, decode_advice, decode_advice_fast, decode_advice_fast_bounded,
-    decode_advice_view, encode_advice, owned_decode_copy_bytes, AdviceSizes, AdviceView,
-    BoundedDecodeError, DecodeStats, ValueView,
+    decode_advice_view, decode_advice_view_bounded, encode_advice, owned_decode_copy_bytes,
+    AdviceSizes, AdviceSource, AdviceView, BoundedDecodeError, DecodeStats, ValueView,
 };

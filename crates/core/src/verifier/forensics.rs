@@ -254,10 +254,7 @@ pub fn cycle_report(graph: &Graph) -> Option<CycleReport> {
         })
         .collect();
     Some(CycleReport {
-        nodes: nodes
-            .iter()
-            .map(|&n| graph.node_label(n).to_string())
-            .collect(),
+        nodes: nodes.iter().map(|&n| graph.node_label(n)).collect(),
         edges,
     })
 }

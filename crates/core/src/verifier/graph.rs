@@ -165,7 +165,11 @@ pub struct CycleEdge {
 #[derive(Debug, Default)]
 pub struct Graph {
     ids: HashMap<GNode, u32>,
-    names: Vec<String>,
+    /// Interned nodes by id, for label rendering. `GNode` clones are
+    /// refcount bumps (the handler id is an `Arc` path), so keeping the
+    /// reverse index costs no per-node heap traffic — labels are
+    /// rendered lazily, only when diagnostics ask for them.
+    nodes: Vec<GNode>,
     edges: Vec<Edge>,
 }
 
@@ -181,7 +185,7 @@ impl Graph {
         match self.ids.entry(node) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(e) => {
-                self.names.push(render(e.key()));
+                self.nodes.push(e.key().clone());
                 *e.insert(next)
             }
         }
@@ -222,7 +226,7 @@ impl Graph {
     /// edge merge does not rehash or reallocate per insertion).
     pub fn reserve(&mut self, nodes: usize, edges: usize) {
         self.ids.reserve(nodes);
-        self.names.reserve(nodes);
+        self.nodes.reserve(nodes);
         self.edges.reserve(edges);
     }
 
@@ -236,12 +240,11 @@ impl Graph {
         self.edges.len()
     }
 
-    /// Rendered label of node `id` (empty if out of range).
-    pub fn node_label(&self, id: u32) -> &str {
-        self.names
-            .get(id as usize)
-            .map(String::as_str)
-            .unwrap_or("")
+    /// Rendered label of node `id` (empty if out of range). Labels are
+    /// rendered on demand — only rejection diagnostics and `dot`
+    /// exports pay for them, never the accept path.
+    pub fn node_label(&self, id: u32) -> String {
+        self.nodes.get(id as usize).map(render).unwrap_or_default()
     }
 
     /// Number of edges of each kind, indexed like [`EdgeKind::ALL`].
@@ -262,8 +265,8 @@ impl Graph {
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph G {\n  rankdir=LR;\n  node [shape=box,fontsize=9];\n");
-        for (i, name) in self.names.iter().enumerate() {
-            let _ = writeln!(out, "  n{i} [label=\"{name}\"];");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let _ = writeln!(out, "  n{i} [label=\"{}\"];", render(node));
         }
         for e in &self.edges {
             let _ = writeln!(
@@ -441,8 +444,8 @@ impl Graph {
             out.push(CycleEdge {
                 from,
                 to,
-                from_label: self.node_label(from).to_string(),
-                to_label: self.node_label(to).to_string(),
+                from_label: self.node_label(from),
+                to_label: self.node_label(to),
                 kind,
                 var,
             });

@@ -10,15 +10,17 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use crate::advice::{Advice, KTxId, TxOpContents, TxOpType, TxPos};
+use crate::advice::{KTxId, TxOpType, TxPos};
+use crate::advice_ref::{AdviceRef, TxContentsRef};
 use crate::verifier::reject::RejectReason;
 
 /// Verifies the write order against the transaction logs and runs the
-/// per-level Adya checks.
-pub fn verify_isolation(
-    advice: &Advice,
+/// per-level Adya checks. Keys borrow the advice bytes (`'a`) all the
+/// way through — this pass materializes nothing.
+pub fn verify_isolation<'a>(
+    advice: &AdviceRef<'a>,
     committed: &HashSet<KTxId>,
-    last_modification: &HashMap<(KTxId, String), u32>,
+    last_modification: &HashMap<(KTxId, &'a str), u32>,
     isolation: kvstore::IsolationLevel,
 ) -> Result<(), RejectReason> {
     // ExtractWriteOrderPerKey's validations (Fig. 17 lines 22–28), plus
@@ -29,7 +31,7 @@ pub fn verify_isolation(
         });
     }
     let mut seen: HashSet<&TxPos> = HashSet::new();
-    for pos in &advice.write_order {
+    for pos in advice.write_order {
         if !seen.insert(pos) {
             return Err(RejectReason::WriteOrderMismatch {
                 why: "duplicate entry",
@@ -45,7 +47,7 @@ pub fn verify_isolation(
                 why: "entry is not a PUT",
             });
         }
-        let Some(key) = entry.key.clone() else {
+        let Some(key) = entry.key else {
             return Err(RejectReason::WriteOrderMismatch {
                 why: "entry is a PUT without a key",
             });
@@ -91,7 +93,7 @@ pub fn verify_isolation(
         builder.touch(id);
         for entry in log {
             let key = || {
-                entry.key.as_deref().ok_or(RejectReason::TxLogMalformed {
+                entry.key.ok_or(RejectReason::TxLogMalformed {
                     tx: tx.clone(),
                     why: "state operation without key",
                 })
@@ -101,7 +103,7 @@ pub fn verify_isolation(
                     builder.put(id, key()?);
                 }
                 TxOpType::Get => {
-                    let TxOpContents::Get { from } = &entry.contents else {
+                    let TxContentsRef::Get { from } = &entry.contents else {
                         return Err(RejectReason::TxLogMalformed {
                             tx: tx.clone(),
                             why: "GET with non-GET contents",

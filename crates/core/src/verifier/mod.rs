@@ -39,7 +39,9 @@ use kem::{init_handler_id, OpRef, Program, RequestId, Trace, VarId};
 use obs::{CounterId, GaugeId, HistogramId, Obs};
 
 use crate::advice::Advice;
+use crate::advice_ref::AdviceRef;
 use crate::config::Limits;
+use crate::wire::AdviceSource;
 
 /// Knobs for how an audit executes. None of them can change the
 /// verdict — a parallel audit produces bit-identical statistics and the
@@ -69,6 +71,14 @@ pub struct AuditOptions {
     /// resolved AST. Off falls back to the tree-walk; verdicts,
     /// statistics, and fuel bills are bit-identical either way.
     pub bytecode: bool,
+    /// Memory-map advice files instead of reading them into a buffer
+    /// (file-backed entry points only; [`audit_encoded`] takes whatever
+    /// bytes it is handed). The borrowed decode path reads the mapped
+    /// pages in place, so a mapped audit's resident advice footprint is
+    /// the page cache's problem, not the verifier heap's. Mapping
+    /// failures fall back to a plain read; verdicts are identical
+    /// either way.
+    pub advice_mmap: bool,
 }
 
 impl Default for AuditOptions {
@@ -79,6 +89,7 @@ impl Default for AuditOptions {
             pipeline: true,
             limits: Limits::default(),
             bytecode: true,
+            advice_mmap: false,
         }
     }
 }
@@ -107,6 +118,7 @@ impl AuditOptions {
             pipeline: crate::config::pipeline_from_env(),
             limits: Limits::from_env(),
             bytecode: crate::config::bytecode_from_env(),
+            advice_mmap: crate::config::advice_mmap_from_env(),
             ..AuditOptions::with_threads(crate::config::verify_threads_from_env())
         }
     }
@@ -250,14 +262,18 @@ pub fn audit_encoded_with_obs(
                 limit: opts.limits.decode_max_bytes,
             });
         }
-        // Zero-copy decode: borrow strings out of the wire buffer and
-        // only copy what survives into the owned advice (interned
-        // values, map keys). The view decoder reads the same bytes with
+        // Zero-copy decode: the audit runs over a borrowed
+        // [`AdviceRef`] built straight from the wire view, so the only
+        // copies on the accept path are the values replay actually
+        // retains (interned `Value`s and map keys) — handler events,
+        // store keys, and the write order stay pointers into
+        // `advice_bytes`. The view decoder reads the same bytes with
         // the same budgets, so malformed advice rejects with the same
-        // positioned error the owned decoder gave. The node budget caps
+        // positioned error the owned decoder gives (`decode_advice_fast`
+        // stays alive as the differential oracle). The node budget caps
         // total declared collection elements across all sections.
-        let (advice, decode_stats) =
-            crate::wire::decode_advice_fast_bounded(advice_bytes, opts.limits.decode_max_nodes)
+        let (view, decode_stats) =
+            crate::wire::decode_advice_view_bounded(advice_bytes, opts.limits.decode_max_nodes)
                 .map_err(|e| match e {
                     crate::wire::BoundedDecodeError::NodesExhausted { offset: _, limit } => {
                         RejectReason::ResourceExhausted {
@@ -276,16 +292,16 @@ pub fn audit_encoded_with_obs(
                         }
                     }
                 })?;
+        let mut interner = kem::ValueInterner::new();
+        let advice = AdviceRef::from_view(&view, &mut interner);
+        let copied = decode_stats.bytes_copied + interner.bytes_copied;
         obs.count(CounterId::BytesDecoded, advice_bytes.len() as u64);
-        obs.count(CounterId::DecodeBytesCopied, decode_stats.bytes_copied);
+        obs.count(CounterId::DecodeBytesCopied, copied);
         obs.record_span(
             "decode-advice",
             0,
             span,
-            &[
-                ("bytes", advice_bytes.len() as u64),
-                ("copied", decode_stats.bytes_copied),
-            ],
+            &[("bytes", advice_bytes.len() as u64), ("copied", copied)],
         );
         audit_core(program, trace, &advice, isolation, opts, obs, false).map_err(|f| f.reason)
     })) {
@@ -300,6 +316,44 @@ pub fn audit_encoded_with_obs(
             })
         }
     }
+}
+
+/// Audits from an [`AdviceSource`] — in-memory bytes or a memory-mapped
+/// advice file. This is the entry point for traces too large to keep
+/// resident: combined with the borrowed decode path, a mapped audit
+/// touches advice pages on demand and retains only the values replay
+/// keeps. Records the source's heap-resident advice footprint in the
+/// `advice_bytes_resident` gauge (a mapped source reports `0`).
+pub fn audit_source_with_obs(
+    program: &Program,
+    trace: &Trace,
+    source: &AdviceSource,
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+    obs: &Obs,
+) -> Result<AuditReport, RejectReason> {
+    obs.gauge(GaugeId::AdviceBytesResident, source.resident_bytes());
+    audit_encoded_with_obs(program, trace, source.bytes(), isolation, opts, obs)
+}
+
+/// Audits from an advice file on disk, honoring `opts.advice_mmap`
+/// (set from `KAROUSOS_ADVICE_MMAP` by [`AuditOptions::from_env`], or
+/// by the harness `--advice-mmap` flag). An unreadable file is a
+/// rejection: the advice is part of the server's obligation, and a
+/// server that cannot produce it fails its audit.
+pub fn audit_file_with_options(
+    program: &Program,
+    trace: &Trace,
+    advice_path: &std::path::Path,
+    isolation: kvstore::IsolationLevel,
+    opts: AuditOptions,
+) -> Result<AuditReport, RejectReason> {
+    let source = AdviceSource::open(advice_path, opts.advice_mmap).map_err(|e| {
+        RejectReason::MalformedAdvice {
+            what: format!("advice file unreadable: {e}"),
+        }
+    })?;
+    audit_source_with_obs(program, trace, &source, isolation, opts, &env_obs())
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -378,6 +432,7 @@ pub fn ooo_audit_with_options(
 ) -> Result<AuditReport, RejectReason> {
     let threads = opts.effective_threads();
     let mut timing = PhaseTiming::default();
+    let advice = &AdviceRef::from_advice(advice);
     check_advice_volume(advice, &opts.limits)?;
     let t = Instant::now();
     let mut staged = preprocess_staged(program, trace, advice, isolation, threads)?;
@@ -435,7 +490,8 @@ pub fn audit_with_options(
     isolation: kvstore::IsolationLevel,
     opts: AuditOptions,
 ) -> Result<AuditReport, RejectReason> {
-    audit_core(program, trace, advice, isolation, opts, &env_obs(), false).map_err(|f| f.reason)
+    let advice = AdviceRef::from_advice(advice);
+    audit_core(program, trace, &advice, isolation, opts, &env_obs(), false).map_err(|f| f.reason)
 }
 
 /// [`audit_with_options`] recording spans and metrics into an explicit
@@ -450,7 +506,8 @@ pub fn audit_with_obs(
     opts: AuditOptions,
     obs: &Obs,
 ) -> Result<AuditReport, RejectReason> {
-    audit_core(program, trace, advice, isolation, opts, obs, false).map_err(|f| f.reason)
+    let advice = AdviceRef::from_advice(advice);
+    audit_core(program, trace, &advice, isolation, opts, obs, false).map_err(|f| f.reason)
 }
 
 /// [`audit_with_options`] with REJECT forensics: on rejection the
@@ -465,7 +522,8 @@ pub fn audit_forensic(
     opts: AuditOptions,
     obs: &Obs,
 ) -> Result<AuditReport, Box<AuditFailure>> {
-    audit_core(program, trace, advice, isolation, opts, obs, true)
+    let advice = AdviceRef::from_advice(advice);
+    audit_core(program, trace, &advice, isolation, opts, obs, true)
 }
 
 /// Whether `KAROUSOS_OBS` asks the plain entry points to exercise the
@@ -509,7 +567,7 @@ fn edge_counter(kind: EdgeKind) -> CounterId {
 /// begin/end pair per handler). Both are sums the verifier can compute
 /// in one cheap walk *before* committing to preprocess allocations, so
 /// flood advice rejects in O(advice) instead of O(allocated).
-fn check_advice_volume(advice: &Advice, limits: &Limits) -> Result<(), RejectReason> {
+fn check_advice_volume(advice: &AdviceRef<'_>, limits: &Limits) -> Result<(), RejectReason> {
     let dict_entries: u64 = advice.var_logs.values().map(|l| l.len() as u64).sum();
     if dict_entries > limits.dict_max_entries {
         return Err(RejectReason::ResourceExhausted {
@@ -582,7 +640,7 @@ fn fail(phase: &'static str, reason: RejectReason) -> Box<AuditFailure> {
 fn audit_core(
     program: &Program,
     trace: &Trace,
-    advice: &Advice,
+    advice: &AdviceRef<'_>,
     isolation: kvstore::IsolationLevel,
     opts: AuditOptions,
     obs: &Obs,
@@ -603,10 +661,10 @@ fn audit_core(
     res
 }
 
-fn audit_core_inner(
+fn audit_core_inner<'a>(
     program: &Program,
     trace: &Trace,
-    advice: &Advice,
+    advice: &'a AdviceRef<'a>,
     isolation: kvstore::IsolationLevel,
     opts: AuditOptions,
     obs: &Obs,

@@ -34,12 +34,12 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use kem::{HandlerId, OpRef, Program, RequestId, Trace, TraceEvent};
 
-use crate::advice::{
-    Advice, HandlerLogEntry, HandlerOp, KTxId, TxLogEntry, TxOpContents, TxOpType, TxPos,
-};
+use crate::advice::{KTxId, TxOpType, TxPos};
+use crate::advice_ref::{AdviceRef, TxContentsRef, TxEntryRef};
 use crate::verifier::graph::{EdgeKind, GNode, Graph, HPos};
 use crate::verifier::isolation::verify_isolation;
 use crate::verifier::reject::RejectReason;
+use crate::wire::{HandlerLogEntryView, HandlerOpView};
 
 /// Where a re-executed operation's log entry lives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,10 +122,10 @@ pub struct PreStaged {
 
 /// Runs `Preprocess`. `isolation` is the level the store is deployed at
 /// (known to the principal).
-pub fn preprocess(
+pub fn preprocess<'a>(
     program: &Program,
     trace: &Trace,
-    advice: &Advice,
+    advice: &'a AdviceRef<'a>,
     isolation: kvstore::IsolationLevel,
 ) -> Result<Preprocessed, RejectReason> {
     let mut staged = preprocess_staged(program, trace, advice, isolation, 1)?;
@@ -146,7 +146,8 @@ const SECTIONS: usize = 6;
 
 /// Everything one request's shard reads: borrowed slices of the advice
 /// maps, grouped by request id on the coordinator (cheap ascending
-/// walks over the `BTreeMap`s, no per-entry checks).
+/// walks over the sorted maps, no per-entry checks). `'x` is the advice
+/// storage — ultimately the wire bytes on the borrowed path.
 struct RidWork<'x> {
     rid: RequestId,
     in_trace: bool,
@@ -154,31 +155,32 @@ struct RidWork<'x> {
     trace_pos: Option<usize>,
     /// This request's `(hid, count)` entries, ascending `hid`.
     opcounts: Vec<(&'x HandlerId, u32)>,
-    handler_log: Option<&'x [HandlerLogEntry]>,
+    handler_log: Option<&'x [HandlerLogEntryView<'x>]>,
     /// This request's transactions, ascending `KTxId`.
-    tx_logs: Vec<(&'x KTxId, &'x [TxLogEntry])>,
+    tx_logs: Vec<(&'x KTxId, &'x [TxEntryRef<'x>])>,
 }
 
 /// One request's preprocess output: per-section edge fragments, local
 /// map fragments, and the first error (tagged with its section).
 #[derive(Default)]
-struct RidShard {
+struct RidShard<'x> {
     edges: [Vec<PendingEdge>; SECTIONS],
     op_map: HashMap<OpRef, OpMapEntry>,
     activated: Vec<(OpRef, Vec<HandlerId>)>,
     check_counts: Vec<(OpRef, i64)>,
     committed: Vec<KTxId>,
-    last_modification: Vec<((KTxId, String), u32)>,
+    /// Keys borrow the advice bytes: no per-PUT `String` copies.
+    last_modification: Vec<((KTxId, &'x str), u32)>,
     err: Option<(usize, RejectReason)>,
 }
 
 /// [`preprocess`] with the advice-driven sections sharded per request
 /// over `threads` workers and the edge merge deferred (see the module
 /// docs for the determinism argument).
-pub fn preprocess_staged(
+pub fn preprocess_staged<'a>(
     program: &Program,
     trace: &Trace,
-    advice: &Advice,
+    advice: &'a AdviceRef<'a>,
     isolation: kvstore::IsolationLevel,
     threads: usize,
 ) -> Result<PreStaged, RejectReason> {
@@ -227,7 +229,7 @@ pub fn preprocess_staged(
     }
     for (rid, log) in &advice.handler_logs {
         if let Some(&i) = index.get(rid) {
-            work[i].handler_log = Some(log.as_slice());
+            work[i].handler_log = Some(log.as_ref());
         }
     }
     for (tx, log) in &advice.tx_logs {
@@ -247,7 +249,7 @@ pub fn preprocess_staged(
     }
 
     let nshards = work.len();
-    let mut shards: Vec<RidShard> = if threads <= 1 || nshards <= 1 {
+    let mut shards: Vec<RidShard<'a>> = if threads <= 1 || nshards <= 1 {
         work.iter()
             .map(|w| run_rid_shard(&global_by_event, advice, w))
             .collect()
@@ -256,7 +258,7 @@ pub fn preprocess_staged(
         let next = AtomicUsize::new(0);
         let work_ref = &work;
         let global_ref = &global_by_event;
-        let mut slots: Vec<Option<RidShard>> = Vec::new();
+        let mut slots: Vec<Option<RidShard<'a>>> = Vec::new();
         slots.resize_with(nshards, || None);
         let workers = threads.min(nshards);
         std::thread::scope(|s| {
@@ -331,7 +333,7 @@ pub fn preprocess_staged(
     let mut activated: HashMap<OpRef, Vec<HandlerId>> = HashMap::new();
     let mut check_counts: HashMap<OpRef, i64> = HashMap::new();
     let mut committed: HashSet<KTxId> = HashSet::new();
-    let mut last_modification: HashMap<(KTxId, String), u32> = HashMap::new();
+    let mut last_modification: HashMap<(KTxId, &'a str), u32> = HashMap::new();
     for shard in &mut shards {
         op_map.extend(shard.op_map.drain());
         activated.extend(shard.activated.drain(..));
@@ -374,12 +376,26 @@ pub fn preprocess_staged(
 /// order, stopping at the first error. Within a shard the first error
 /// found is its `(section, position)` minimum, because sections run in
 /// ascending order and the position (this request's rank) is fixed.
-fn run_rid_shard(
+fn run_rid_shard<'a>(
     global_by_event: &HashMap<&str, Vec<kem::FunctionId>>,
-    advice: &Advice,
-    work: &RidWork<'_>,
-) -> RidShard {
+    advice: &AdviceRef<'a>,
+    work: &RidWork<'a>,
+) -> RidShard<'a> {
     let mut shard = RidShard::default();
+    // Pre-size the hot fragments from the work item — the op counts
+    // fix every section's edge count up front, so each container does
+    // one exact allocation instead of doubling its way up. The
+    // remaining containers see at most a handful of pushes per
+    // request; their lazy first allocation is already the minimum.
+    let total_ops: usize = work.opcounts.iter().map(|(_, c)| *c as usize).sum();
+    let log_len = work.handler_log.map_or(0, <[_]>::len);
+    let tx_entries: usize = work.tx_logs.iter().map(|(_, log)| log.len()).sum();
+    shard.edges[SEC_PROGRAM].reserve_exact(total_ops + work.opcounts.len());
+    if log_len > 1 {
+        shard.edges[SEC_HANDLER].reserve_exact(log_len - 1);
+    }
+    shard.edges[SEC_EXTERNAL].reserve_exact(tx_entries);
+    shard.op_map.reserve(log_len + tx_entries);
     let result = (|| -> Result<(), (usize, RejectReason)> {
         section_program(&mut shard, work).map_err(|e| (SEC_PROGRAM, e))?;
         section_boundary_roots(&mut shard, work);
@@ -416,7 +432,7 @@ fn add_time_precedence_edges(graph: &mut Graph, trace: &Trace) {
 }
 
 /// `AddProgramEdges` (Fig. 14 lines 33–44), for one request.
-fn section_program(shard: &mut RidShard, work: &RidWork<'_>) -> Result<(), RejectReason> {
+fn section_program(shard: &mut RidShard<'_>, work: &RidWork<'_>) -> Result<(), RejectReason> {
     let rid = work.rid;
     for (hid, count) in &work.opcounts {
         if !work.in_trace {
@@ -451,7 +467,7 @@ fn section_program(shard: &mut RidShard, work: &RidWork<'_>) -> Result<(), Rejec
 
 /// `AddBoundaryEdges` (Fig. 15), arrival half: request arrival precedes
 /// every root handler's start. No errors.
-fn section_boundary_roots(shard: &mut RidShard, work: &RidWork<'_>) {
+fn section_boundary_roots(shard: &mut RidShard<'_>, work: &RidWork<'_>) {
     let rid = work.rid;
     for (hid, _) in &work.opcounts {
         if hid.parent().is_none() {
@@ -473,8 +489,8 @@ fn section_boundary_roots(shard: &mut RidShard, work: &RidWork<'_>) {
 /// emitter. Serial iteration is trace order, which the coordinator's
 /// merge reproduces via `trace_pos`.
 fn section_boundary_response(
-    shard: &mut RidShard,
-    advice: &Advice,
+    shard: &mut RidShard<'_>,
+    advice: &AdviceRef<'_>,
     work: &RidWork<'_>,
 ) -> Result<(), RejectReason> {
     if work.trace_pos.is_none() {
@@ -524,8 +540,8 @@ fn section_boundary_response(
 /// checks in [`section_handler`], and database-completion activations
 /// are validated by re-execution itself.
 fn section_activation(
-    shard: &mut RidShard,
-    advice: &Advice,
+    shard: &mut RidShard<'_>,
+    advice: &AdviceRef<'_>,
     work: &RidWork<'_>,
 ) -> Result<(), RejectReason> {
     let rid = work.rid;
@@ -556,7 +572,7 @@ fn section_activation(
 /// carries that request's id, and within a request the shard preserves
 /// the serial handler-log-before-tx-log insertion order.
 fn check_op_is_valid(
-    advice: &Advice,
+    advice: &AdviceRef<'_>,
     op_map: &HashMap<OpRef, OpMapEntry>,
     op: &OpRef,
 ) -> Result<(), RejectReason> {
@@ -584,7 +600,7 @@ fn check_op_is_valid(
 /// Range-only validity for *referenced* operations (dictating writes):
 /// they must exist within a reported handler but have already been (or
 /// will be) mapped by their own log.
-fn check_op_in_range(advice: &Advice, op: &OpRef) -> Result<(), RejectReason> {
+fn check_op_in_range(advice: &AdviceRef<'_>, op: &OpRef) -> Result<(), RejectReason> {
     let Some(count) = advice.opcounts.get(&(op.rid, op.hid.clone())) else {
         return Err(RejectReason::InvalidLogOp {
             at: op.clone(),
@@ -602,9 +618,9 @@ fn check_op_in_range(advice: &Advice, op: &OpRef) -> Result<(), RejectReason> {
 
 /// `AddHandlerRelatedEdges` (Fig. 16 lines 3–28), for one request.
 fn section_handler(
-    shard: &mut RidShard,
+    shard: &mut RidShard<'_>,
     global_by_event: &HashMap<&str, Vec<kem::FunctionId>>,
-    advice: &Advice,
+    advice: &AdviceRef<'_>,
     work: &RidWork<'_>,
 ) -> Result<(), RejectReason> {
     let Some(log) = work.handler_log else {
@@ -614,7 +630,9 @@ fn section_handler(
     if !work.in_trace {
         return Err(RejectReason::UnknownRequest { rid });
     }
-    let mut registered: Vec<(String, kem::FunctionId)> = Vec::new();
+    // Event names stay borrowed from the advice bytes: the registration
+    // scan allocates nothing per entry.
+    let mut registered: Vec<(&str, kem::FunctionId)> = Vec::new();
     let mut prev: Option<OpRef> = None;
     for (i, entry) in log.iter().enumerate() {
         let op = OpRef::new(rid, entry.hid.clone(), entry.opnum);
@@ -630,26 +648,23 @@ fn section_handler(
             ));
         }
         prev = Some(op.clone());
-        match &entry.op {
-            HandlerOp::Register { event, function } => {
-                registered.push((event.clone(), *function));
+        match entry.op {
+            HandlerOpView::Register { event, function } => {
+                registered.push((event, function));
             }
-            HandlerOp::Unregister { event, function } => {
-                registered.retain(|(e, f)| !(e == event && f == function));
+            HandlerOpView::Unregister { event, function } => {
+                registered.retain(|(e, f)| !(*e == event && *f == function));
             }
-            HandlerOp::Emit { event } => {
+            HandlerOpView::Emit { event } => {
                 // All functions registered for the event at this
                 // point: global registrations first, then the
                 // request's own, in registration order.
-                let globals = global_by_event
-                    .get(event.as_str())
-                    .map(Vec::as_slice)
-                    .unwrap_or(&[]);
+                let globals = global_by_event.get(event).map(Vec::as_slice).unwrap_or(&[]);
                 let mut fns: Vec<kem::FunctionId> = globals.to_vec();
                 fns.extend(
                     registered
                         .iter()
-                        .filter(|(e, _)| e == event)
+                        .filter(|(e, _)| *e == event)
                         .map(|(_, f)| *f),
                 );
                 let mut hids = Vec::with_capacity(fns.len());
@@ -662,12 +677,12 @@ fn section_handler(
                 }
                 shard.activated.push((op, hids));
             }
-            HandlerOp::Check { event } => {
+            HandlerOpView::Check { event } => {
                 // The count a check op observes: global
                 // registrations plus this request's live ones for
                 // the event, at this point in the handler log.
-                let count = global_by_event.get(event.as_str()).map_or(0, Vec::len)
-                    + registered.iter().filter(|(e, _)| e == event).count();
+                let count = global_by_event.get(event).map_or(0, Vec::len)
+                    + registered.iter().filter(|(e, _)| *e == event).count();
                 shard.check_counts.push((op, count as i64));
             }
         }
@@ -678,10 +693,10 @@ fn section_handler(
 /// `AddExternalStateEdges` (Fig. 16 lines 30–56), for one request's
 /// transactions (ascending `KTxId`), recording the committed set and
 /// `lastModification` entries.
-fn section_external(
-    shard: &mut RidShard,
-    advice: &Advice,
-    work: &RidWork<'_>,
+fn section_external<'a>(
+    shard: &mut RidShard<'a>,
+    advice: &AdviceRef<'a>,
+    work: &RidWork<'a>,
 ) -> Result<(), RejectReason> {
     for (tx, log) in &work.tx_logs {
         let tx = *tx;
@@ -705,7 +720,7 @@ fn section_external(
             shard.committed.push(tx.clone());
         }
 
-        let mut my_writes: BTreeMap<String, u32> = BTreeMap::new();
+        let mut my_writes: BTreeMap<&str, u32> = BTreeMap::new();
         for (i, entry) in log.iter().enumerate() {
             if i > 0 && entry.optype == TxOpType::Start {
                 return Err(RejectReason::TxLogMalformed {
@@ -731,13 +746,13 @@ fn section_external(
 
             match entry.optype {
                 TxOpType::Get => {
-                    let Some(key) = &entry.key else {
+                    let Some(key) = entry.key else {
                         return Err(RejectReason::TxLogMalformed {
                             tx: tx.clone(),
                             why: "GET without key",
                         });
                     };
-                    let TxOpContents::Get { from } = &entry.contents else {
+                    let TxContentsRef::Get { from } = &entry.contents else {
                         return Err(RejectReason::TxLogMalformed {
                             tx: tx.clone(),
                             why: "GET with non-GET contents",
@@ -747,7 +762,7 @@ fn section_external(
                         let Some(opw) = advice.tx_entry(pos) else {
                             return Err(RejectReason::BadDictatingWrite { at: op });
                         };
-                        if opw.optype != TxOpType::Put || opw.key.as_ref() != Some(key) {
+                        if opw.optype != TxOpType::Put || opw.key != Some(key) {
                             return Err(RejectReason::BadDictatingWrite { at: op });
                         }
                         let w_op = OpRef::new(pos.tx.rid, opw.hid.clone(), opw.opnum);
@@ -776,27 +791,25 @@ fn section_external(
                     }
                 }
                 TxOpType::Put => {
-                    let Some(key) = &entry.key else {
+                    let Some(key) = entry.key else {
                         return Err(RejectReason::TxLogMalformed {
                             tx: tx.clone(),
                             why: "PUT without key",
                         });
                     };
-                    if !matches!(entry.contents, TxOpContents::Put { .. }) {
+                    if !matches!(entry.contents, TxContentsRef::Put { .. }) {
                         return Err(RejectReason::TxLogMalformed {
                             tx: tx.clone(),
                             why: "PUT with non-PUT contents",
                         });
                     }
-                    my_writes.insert(key.clone(), i as u32);
+                    my_writes.insert(key, i as u32);
                     if is_committed {
-                        shard
-                            .last_modification
-                            .push(((tx.clone(), key.clone()), i as u32));
+                        shard.last_modification.push(((tx.clone(), key), i as u32));
                     }
                 }
                 TxOpType::Start | TxOpType::Commit | TxOpType::Abort => {
-                    if !matches!(entry.contents, TxOpContents::None) {
+                    if !matches!(entry.contents, TxContentsRef::None) {
                         return Err(RejectReason::TxLogMalformed {
                             tx: tx.clone(),
                             why: "control entry with contents",

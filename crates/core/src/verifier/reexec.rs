@@ -33,12 +33,14 @@ use kem::{
 
 use obs::{CounterId, HistogramId, Obs, ObsShard};
 
-use crate::advice::{Advice, HandlerOp, KTxId, TxOpContents, TxOpType, VarLog};
+use crate::advice::{KTxId, TxOpType};
+use crate::advice_ref::{AdviceRef, TxContentsRef, TxEntryRef};
 use crate::config::Limits;
 use crate::multivalue::MultiValue;
 use crate::verifier::preprocess::{OpMapEntry, Preprocessed};
 use crate::verifier::reject::{RejectReason, ResourceKind};
 use crate::verifier::vars::VarStates;
+use crate::wire::HandlerOpView;
 
 /// Iteration guard for `While` loops driven by (possibly forged) advice.
 /// Per-loop only — nested loops multiply, which is why the fuel meter
@@ -196,7 +198,7 @@ impl VarBackend<'_> {
         &mut self,
         var: VarId,
         op: OpRef,
-        log: Option<&VarLog>,
+        log: Option<&crate::advice_ref::VarLogRef>,
     ) -> Result<Value, RejectReason> {
         match self {
             VarBackend::Global(vars) => vars.on_read(var, op, log),
@@ -215,7 +217,7 @@ impl VarBackend<'_> {
         var: VarId,
         op: OpRef,
         value: Value,
-        log: Option<&VarLog>,
+        log: Option<&crate::advice_ref::VarLogRef>,
     ) -> Result<(), RejectReason> {
         match self {
             VarBackend::Global(vars) => vars.on_write(var, op, value, log),
@@ -298,9 +300,9 @@ impl Quarantine {
 }
 
 /// The re-executed operation a handler-log entry must match, borrowing
-/// the interned event name. The advice-side [`HandlerOp`] owns its
-/// strings (it is a wire type); comparing field-wise against this
-/// borrowed form keeps the per-request check loop allocation-free.
+/// the interned event name. The advice-side [`HandlerOpView`] borrows
+/// its strings from the advice bytes; comparing field-wise keeps the
+/// per-request check loop allocation-free.
 enum ExpectedOp<'e> {
     /// `register(event, function)`.
     Register {
@@ -329,25 +331,25 @@ enum ExpectedOp<'e> {
 }
 
 impl ExpectedOp<'_> {
-    /// Structural equality against an owned advice-side handler op.
-    fn matches(&self, entry: &HandlerOp) -> bool {
+    /// Structural equality against an advice-side handler op view.
+    fn matches(&self, entry: &HandlerOpView<'_>) -> bool {
         match (self, entry) {
             (
                 ExpectedOp::Register { event, function },
-                HandlerOp::Register {
+                HandlerOpView::Register {
                     event: e,
                     function: f,
                 },
             )
             | (
                 ExpectedOp::Unregister { event, function },
-                HandlerOp::Unregister {
+                HandlerOpView::Unregister {
                     event: e,
                     function: f,
                 },
-            ) => *event == e.as_str() && function == f,
-            (ExpectedOp::Emit { event }, HandlerOp::Emit { event: e })
-            | (ExpectedOp::Check { event }, HandlerOp::Check { event: e }) => *event == e.as_str(),
+            ) => event == e && function == f,
+            (ExpectedOp::Emit { event }, HandlerOpView::Emit { event: e })
+            | (ExpectedOp::Check { event }, HandlerOpView::Check { event: e }) => event == e,
             _ => false,
         }
     }
@@ -357,7 +359,7 @@ impl ExpectedOp<'_> {
 pub struct ReExecutor<'a> {
     program: &'a Program,
     trace: &'a Trace,
-    advice: &'a Advice,
+    advice: &'a AdviceRef<'a>,
     pre: &'a Preprocessed,
     vars: VarBackend<'a>,
     schedule: ReplaySchedule,
@@ -459,7 +461,7 @@ impl<'a> ReExecutor<'a> {
     pub fn new(
         program: &'a Program,
         trace: &'a Trace,
-        advice: &'a Advice,
+        advice: &'a AdviceRef<'a>,
         pre: &'a Preprocessed,
         vars: &'a mut VarStates,
     ) -> Self {
@@ -507,7 +509,7 @@ impl<'a> ReExecutor<'a> {
     fn for_group(
         program: &'a Program,
         trace: &'a Trace,
-        advice: &'a Advice,
+        advice: &'a AdviceRef<'a>,
         pre: &'a Preprocessed,
         init_vars: VarStates,
         schedule: ReplaySchedule,
@@ -2453,7 +2455,7 @@ impl<'a> ReExecutor<'a> {
         idx: u32,
         ktx: &KTxId,
         txnum: u32,
-    ) -> Result<&'a crate::advice::TxLogEntry, RejectReason> {
+    ) -> Result<&'a TxEntryRef<'a>, RejectReason> {
         let op = OpRef::new(rid, hid.clone(), idx);
         match self.pre.op_map.get(&op) {
             Some(OpMapEntry::TxLog { tx, index }) if tx == ktx && *index == txnum as usize => self
@@ -2550,8 +2552,8 @@ impl<'a> ReExecutor<'a> {
                 // transaction (the paper's retry-error path); feed the
                 // failure result. If the log recorded the contested key
                 // it must match.
-                if let (Some(logged), Some(kv)) = (&entry.key, &key_v) {
-                    if kv.get(i).as_str() != Some(logged.as_str()) {
+                if let (Some(logged), Some(kv)) = (entry.key, &key_v) {
+                    if kv.get(i).as_str() != Some(logged) {
                         return Err(RejectReason::StateOpMismatch {
                             at,
                             why: "conflict record key mismatch",
@@ -2574,13 +2576,13 @@ impl<'a> ReExecutor<'a> {
                     let kv = key_v
                         .as_ref()
                         .ok_or_else(|| internal("GET re-executed without a key expression"))?;
-                    if entry.key.as_deref() != kv.get(i).as_str() {
+                    if entry.key != kv.get(i).as_str() {
                         return Err(RejectReason::StateOpMismatch {
                             at,
                             why: "key mismatch",
                         });
                     }
-                    let TxOpContents::Get { from } = &entry.contents else {
+                    let TxContentsRef::Get { from } = &entry.contents else {
                         return Err(RejectReason::MalformedAdviceAt {
                             at,
                             what: "GET with non-GET contents",
@@ -2599,7 +2601,7 @@ impl<'a> ReExecutor<'a> {
                                     what: "dictating write outside any transaction log",
                                 });
                             };
-                            let TxOpContents::Put { value } = &w.contents else {
+                            let TxContentsRef::Put { value } = &w.contents else {
                                 return Err(RejectReason::MalformedAdviceAt {
                                     at,
                                     what: "dictating write is not a PUT",
@@ -2615,13 +2617,13 @@ impl<'a> ReExecutor<'a> {
                     let kv = key_v
                         .as_ref()
                         .ok_or_else(|| internal("PUT re-executed without a key expression"))?;
-                    if entry.key.as_deref() != kv.get(i).as_str() {
+                    if entry.key != kv.get(i).as_str() {
                         return Err(RejectReason::StateOpMismatch {
                             at,
                             why: "key mismatch",
                         });
                     }
-                    let TxOpContents::Put { value: logged } = &entry.contents else {
+                    let TxContentsRef::Put { value: logged } = &entry.contents else {
                         return Err(RejectReason::MalformedAdviceAt {
                             at,
                             what: "PUT with non-PUT contents",
@@ -2899,7 +2901,7 @@ impl<'a> ReExecutor<'a> {
 #[allow(clippy::too_many_arguments)]
 fn merge_unit(
     global: &mut VarStates,
-    advice: &Advice,
+    advice: &AdviceRef<'_>,
     obs_handle: &Obs,
     stats: &mut ReexecStats,
     executed: &mut HashSet<(RequestId, HandlerId)>,
@@ -2957,7 +2959,7 @@ fn merge_unit(
 /// 62–64).
 fn final_checks(
     trace: &Trace,
-    advice: &Advice,
+    advice: &AdviceRef<'_>,
     pre: &Preprocessed,
     order: &[RequestId],
     executed: &HashSet<(RequestId, HandlerId)>,

@@ -24,7 +24,8 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use kem::{HandlerId, OpRef, RequestId, Value, VarId};
 
-use crate::advice::{AccessType, VarLog};
+use crate::advice::AccessType;
+use crate::advice_ref::VarLogRef;
 use crate::verifier::graph::{EdgeKind, GNode, Graph};
 use crate::verifier::reject::RejectReason;
 
@@ -192,7 +193,7 @@ impl VarStates {
         &mut self,
         var: VarId,
         op: OpRef,
-        log: Option<&VarLog>,
+        log: Option<&VarLogRef>,
     ) -> Result<Value, RejectReason> {
         let logged = log.and_then(|l| l.get(&op));
         if logged.is_some() {
@@ -276,7 +277,7 @@ impl VarStates {
         var: VarId,
         op: OpRef,
         value: Value,
-        log: Option<&VarLog>,
+        log: Option<&VarLogRef>,
     ) -> Result<(), RejectReason> {
         let state = self.state_mut(var);
         dict_insert(
@@ -568,7 +569,7 @@ mod tests {
         let w_a = OpRef::new(RequestId(0), root_a.clone(), 1);
         vs.on_write(var(), w_a.clone(), Value::int(7), None)
             .unwrap();
-        let mut log: VarLog = BTreeMap::new();
+        let mut log = VarLogRef::new();
         let w_b = OpRef::new(RequestId(1), root_b.clone(), 1);
         log.insert(
             w_b.clone(),
@@ -638,7 +639,7 @@ mod tests {
         let h = HandlerId::root(FunctionId(0));
         let w_op = OpRef::new(RequestId(1), h.clone(), 1);
         let r_op = OpRef::new(RequestId(0), h.clone(), 1);
-        let mut log: VarLog = BTreeMap::new();
+        let mut log = VarLogRef::new();
         log.insert(
             w_op.clone(),
             VarLogEntry {
@@ -664,7 +665,7 @@ mod tests {
         let mut vs = VarStates::new();
         let h = HandlerId::root(FunctionId(0));
         let r_op = OpRef::new(RequestId(0), h.clone(), 1);
-        let mut log: VarLog = BTreeMap::new();
+        let mut log = VarLogRef::new();
         log.insert(
             r_op.clone(),
             VarLogEntry {
@@ -683,7 +684,7 @@ mod tests {
         vs.on_initialize(var(), init_op(), Value::int(0));
         let h = HandlerId::root(FunctionId(0));
         let w_op = OpRef::new(RequestId(0), h, 1);
-        let mut log: VarLog = BTreeMap::new();
+        let mut log = VarLogRef::new();
         log.insert(
             w_op.clone(),
             VarLogEntry {
@@ -710,7 +711,7 @@ mod tests {
         vs.on_initialize(var(), init_op(), Value::int(0));
         let h0 = HandlerId::root(FunctionId(0));
         let h1 = HandlerId::root(FunctionId(1));
-        let mut log: VarLog = BTreeMap::new();
+        let mut log = VarLogRef::new();
         for (rid, h) in [(RequestId(0), &h0), (RequestId(1), &h1)] {
             log.insert(
                 OpRef::new(rid, h.clone(), 1),
@@ -746,7 +747,7 @@ mod tests {
         let h0 = HandlerId::root(FunctionId(0));
         let h1 = HandlerId::root(FunctionId(1));
         let w1 = OpRef::new(RequestId(0), h0.clone(), 1);
-        let mut log: VarLog = BTreeMap::new();
+        let mut log = VarLogRef::new();
         log.insert(
             w1.clone(),
             VarLogEntry {
@@ -781,7 +782,7 @@ mod tests {
         let h = HandlerId::root(FunctionId(0));
         let phantom = OpRef::new(RequestId(7), h.clone(), 3);
         let r = OpRef::new(RequestId(0), h.clone(), 1);
-        let mut log: VarLog = BTreeMap::new();
+        let mut log = VarLogRef::new();
         log.insert(
             phantom.clone(),
             VarLogEntry {

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use kem::{FunctionId, HandlerId, OpRef, RequestId, Value, VarId};
+use kem::{FunctionId, HandlerId, OpRef, RequestId, Value, ValueInterner, VarId};
 
 use crate::advice::{
     AccessType, Advice, HandlerLogEntry, HandlerOp, KTxId, TxLogEntry, TxOpContents, TxOpType,
@@ -1173,15 +1173,15 @@ fn decode_advice_view_inner<'a>(
 /// memo and value strings interned, so repeated advice content costs an
 /// `Arc` bump instead of a fresh copy.
 pub fn decode_advice_fast(bytes: &[u8]) -> Result<(Advice, DecodeStats), WireError> {
-    let mut cache = HidCache::default();
-    let view = decode_advice_view_inner(bytes, &mut cache, u64::MAX)?;
-    let mut stats = DecodeStats {
-        hid_cache_hits: cache.hits,
-        hid_cache_misses: cache.misses,
-        ..Default::default()
-    };
-    let advice = view.to_advice_with(&mut stats);
-    Ok((advice, stats))
+    decode_advice_fast_bounded(bytes, u64::MAX).map_err(|e| match e {
+        BoundedDecodeError::Malformed(e) => e,
+        // Unreachable with a u64::MAX budget, but keep the error
+        // positioned rather than panicking.
+        BoundedDecodeError::NodesExhausted { offset, .. } => WireError {
+            offset,
+            what: NODE_BUDGET_LABEL,
+        },
+    })
 }
 
 /// How a bounded decode failed: structurally malformed bytes, or
@@ -1225,6 +1225,21 @@ pub fn decode_advice_fast_bounded(
     bytes: &[u8],
     max_nodes: u64,
 ) -> Result<(Advice, DecodeStats), BoundedDecodeError> {
+    let (view, mut stats) = decode_advice_view_bounded(bytes, max_nodes)?;
+    let advice = view.to_advice_with(&mut stats);
+    Ok((advice, stats))
+}
+
+/// The budgeted decoder entry point every audit decode goes through:
+/// borrowed view out, no owned materialization. The per-collection byte
+/// budget in [`Decoder::len`] stops a single huge length claim, and
+/// `max_nodes` stops death-by-a-thousand small collections across
+/// nesting levels. [`decode_advice_fast_bounded`] is this plus the
+/// owned conversion; the verifier's accept path uses the view directly.
+pub fn decode_advice_view_bounded(
+    bytes: &[u8],
+    max_nodes: u64,
+) -> Result<(AdviceView<'_>, DecodeStats), BoundedDecodeError> {
     let mut cache = HidCache::default();
     let view = match decode_advice_view_inner(bytes, &mut cache, max_nodes) {
         Ok(v) => v,
@@ -1236,58 +1251,31 @@ pub fn decode_advice_fast_bounded(
         }
         Err(e) => return Err(BoundedDecodeError::Malformed(e)),
     };
-    let mut stats = DecodeStats {
+    let stats = DecodeStats {
         hid_cache_hits: cache.hits,
         hid_cache_misses: cache.misses,
         ..Default::default()
     };
-    let advice = view.to_advice_with(&mut stats);
-    Ok((advice, stats))
+    Ok((view, stats))
 }
 
-fn view_to_value<'a>(
-    v: &ValueView<'a>,
-    interner: &mut HashMap<&'a str, Value>,
-    stats: &mut DecodeStats,
-) -> Value {
+/// Materializes a borrowed value as an owned [`Value`], interning
+/// string content (values *and* map keys share one vocabulary) so
+/// repeated advice content costs an `Arc` bump instead of a fresh copy.
+pub(crate) fn view_to_value<'a>(v: &ValueView<'a>, interner: &mut ValueInterner<'a>) -> Value {
     match v {
         ValueView::Null => Value::Null,
         ValueView::Bool(b) => Value::Bool(*b),
         ValueView::Int(i) => Value::Int(*i),
-        ValueView::Str(s) => {
-            if let Some(v) = interner.get(s) {
-                stats.strings_interned += 1;
-                return v.clone();
-            }
-            stats.bytes_copied += s.len() as u64;
-            let v = Value::str(*s);
-            interner.insert(s, v.clone());
-            v
+        ValueView::Str(s) => interner.intern_value(s),
+        ValueView::List(items) => {
+            Value::from_vec(items.iter().map(|i| view_to_value(i, interner)).collect())
         }
-        ValueView::List(items) => Value::from_vec(
-            items
+        ValueView::Map(entries) => Value::from_pairs(
+            entries
                 .iter()
-                .map(|i| view_to_value(i, interner, stats))
-                .collect(),
+                .map(|(k, val)| (interner.intern(k), view_to_value(val, interner))),
         ),
-        ValueView::Map(entries) => Value::from_pairs(entries.iter().map(|(k, val)| {
-            // Map keys go through the same interner as string values:
-            // advice maps repeat a small key vocabulary, so nearly every
-            // key after the first is a free `Arc` clone.
-            let key: std::sync::Arc<str> = match interner.get(*k) {
-                Some(Value::Str(s)) => {
-                    stats.strings_interned += 1;
-                    std::sync::Arc::clone(s)
-                }
-                _ => {
-                    stats.bytes_copied += k.len() as u64;
-                    let arc: std::sync::Arc<str> = std::sync::Arc::from(*k);
-                    interner.insert(k, Value::Str(std::sync::Arc::clone(&arc)));
-                    arc
-                }
-            };
-            (key, view_to_value(val, interner, stats))
-        })),
     }
 }
 
@@ -1300,7 +1288,7 @@ impl<'a> AdviceView<'a> {
     }
 
     fn to_advice_with(&self, stats: &mut DecodeStats) -> Advice {
-        let mut interner: HashMap<&'a str, Value> = HashMap::new();
+        let mut interner = ValueInterner::new();
         let copied_str = |s: &str, stats: &mut DecodeStats| -> String {
             stats.bytes_copied += s.len() as u64;
             s.to_string()
@@ -1342,10 +1330,7 @@ impl<'a> AdviceView<'a> {
                     op.clone(),
                     VarLogEntry {
                         access: e.access,
-                        value: e
-                            .value
-                            .as_ref()
-                            .map(|v| view_to_value(v, &mut interner, stats)),
+                        value: e.value.as_ref().map(|v| view_to_value(v, &mut interner)),
                         prec: e.prec.clone(),
                     },
                 );
@@ -1363,7 +1348,7 @@ impl<'a> AdviceView<'a> {
                     contents: match &e.contents {
                         TxOpContentsView::None => TxOpContents::None,
                         TxOpContentsView::Put { value } => TxOpContents::Put {
-                            value: view_to_value(value, &mut interner, stats),
+                            value: view_to_value(value, &mut interner),
                         },
                         TxOpContentsView::Get { from } => TxOpContents::Get { from: from.clone() },
                     },
@@ -1379,9 +1364,10 @@ impl<'a> AdviceView<'a> {
             a.opcounts.insert((*rid, hid.clone()), *count);
         }
         for (op, v) in &self.nondet {
-            a.nondet
-                .insert(op.clone(), view_to_value(v, &mut interner, stats));
+            a.nondet.insert(op.clone(), view_to_value(v, &mut interner));
         }
+        stats.bytes_copied += interner.bytes_copied;
+        stats.strings_interned += interner.hits;
         a
     }
 
@@ -1594,6 +1580,85 @@ pub fn owned_decode_copy_bytes(a: &Advice) -> u64 {
         total += value_bytes(v);
     }
     total
+}
+
+/// Where the encoded advice bytes live while the audit runs: an
+/// in-memory buffer, or a read-only memory-mapped advice file.
+///
+/// The verifier only ever sees `&[u8]` (via [`AdviceSource::bytes`]);
+/// the variants differ in *residency*. `Memory` holds a heap copy of
+/// the whole report; `Mmap` keeps the bytes on disk and lets the page
+/// cache fault them in as the decode walks, so the audit's resident
+/// footprint no longer includes the advice. The bytes-resident gauge
+/// ([`AdviceSource::resident_bytes`]) reports exactly this difference.
+#[derive(Debug)]
+pub enum AdviceSource {
+    /// The advice is a heap buffer (the default, and the only option
+    /// for advice that never touched disk).
+    Memory(Vec<u8>),
+    /// The advice is a read-only, page-aligned, private mapping of a
+    /// file. Unmapped when the source drops.
+    Mmap(kmmap::Mmap),
+}
+
+impl AdviceSource {
+    /// Wraps an in-memory advice buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> AdviceSource {
+        AdviceSource::Memory(bytes)
+    }
+
+    /// Opens an advice file. With `use_mmap` the file is memory-mapped
+    /// read-only; if the platform or the mapping refuses (non-unix,
+    /// exotic filesystems), this **falls back to reading** the file
+    /// into memory — the contract is "bytes of the file", and the
+    /// caller can check [`AdviceSource::is_mmap`] to see which backing
+    /// it got. Without `use_mmap` the file is simply read.
+    pub fn open(path: &std::path::Path, use_mmap: bool) -> std::io::Result<AdviceSource> {
+        if use_mmap {
+            match std::fs::File::open(path).and_then(|f| kmmap::Mmap::map_readonly(&f)) {
+                Ok(map) => return Ok(AdviceSource::Mmap(map)),
+                Err(_) => {
+                    // Explicit fallback-to-read path: any mapping
+                    // failure degrades to a plain read of the same
+                    // bytes, never to a hard error.
+                }
+            }
+        }
+        Ok(AdviceSource::Memory(std::fs::read(path)?))
+    }
+
+    /// The encoded advice bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            AdviceSource::Memory(b) => b,
+            AdviceSource::Mmap(m) => m.as_slice(),
+        }
+    }
+
+    /// Whether the backing is a memory mapping.
+    pub fn is_mmap(&self) -> bool {
+        matches!(self, AdviceSource::Mmap(_))
+    }
+
+    /// Length of the advice in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the advice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes().is_empty()
+    }
+
+    /// Heap-resident bytes attributable to holding the advice: the full
+    /// buffer for `Memory`, zero for `Mmap` (pages are clean, file-backed
+    /// and evictable). Feeds the `advice_bytes_resident` gauge.
+    pub fn resident_bytes(&self) -> u64 {
+        match self {
+            AdviceSource::Memory(b) => b.len() as u64,
+            AdviceSource::Mmap(_) => 0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -267,6 +267,19 @@ proptest! {
     }
 
     #[test]
+    fn borrowed_adviceref_matches_owned_oracle(a in arb_advice()) {
+        // The verifier's working form built straight from the view must
+        // equal the one rebuilt from the owned decode — including
+        // duplicate-key resolution, entry order, and interned values.
+        let bytes = encode_advice(&a);
+        let view = decode_advice_view(&bytes).expect("own encoding decodes as view");
+        let mut interner = kem::ValueInterner::new();
+        let borrowed = karousos::AdviceRef::from_view(&view, &mut interner);
+        let (owned, _) = decode_advice_fast(&bytes).expect("own encoding fast-decodes");
+        prop_assert_eq!(borrowed, karousos::AdviceRef::from_advice(&owned));
+    }
+
+    #[test]
     fn view_and_owned_agree_on_truncation(a in arb_advice(), cut_frac in 0.0f64..1.0) {
         let bytes = encode_advice(&a);
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
@@ -358,12 +371,24 @@ fn hostile_wire_mutations_error_identically_on_both_decoders() {
                 decode_advice(&mutation.bytes),
                 decode_advice_view(&mutation.bytes),
             ) {
-                (Ok(owned), Ok(view)) => assert_eq!(
-                    owned,
-                    view.to_advice(),
-                    "{} seed {seed}: accepted advice differs",
-                    mutation.mutator
-                ),
+                (Ok(owned), Ok(view)) => {
+                    assert_eq!(
+                        owned,
+                        view.to_advice(),
+                        "{} seed {seed}: accepted advice differs",
+                        mutation.mutator
+                    );
+                    // The borrowed working form must also agree —
+                    // hostile duplicate keys resolve the same way in
+                    // `VecMap::from_wire` as in `BTreeMap::insert`.
+                    let mut interner = kem::ValueInterner::new();
+                    assert_eq!(
+                        karousos::AdviceRef::from_view(&view, &mut interner),
+                        karousos::AdviceRef::from_advice(&owned),
+                        "{} seed {seed}: borrowed working form differs",
+                        mutation.mutator
+                    );
+                }
                 (Err(oe), Err(ve)) => {
                     assert_eq!(
                         oe, ve,

@@ -11,6 +11,12 @@ use kvstore::IsolationLevel;
 
 const SER: IsolationLevel = IsolationLevel::Serializable;
 
+/// Runs `preprocess` over owned advice (the verifier's working form is
+/// the borrowed [`karousos::AdviceRef`]) and returns the rejection.
+fn pp_err(p: &kem::Program, t: &Trace, a: &Advice, iso: IsolationLevel) -> RejectReason {
+    preprocess(p, t, &karousos::AdviceRef::from_advice(a), iso).unwrap_err()
+}
+
 /// Minimal program with one handler doing one loggable write.
 fn tiny_program() -> kem::Program {
     let mut b = ProgramBuilder::new();
@@ -35,6 +41,7 @@ fn tiny_honest() -> (kem::Program, Trace, Advice) {
 #[test]
 fn preprocess_builds_expected_graph() {
     let (p, t, a) = tiny_honest();
+    let a = karousos::AdviceRef::from_advice(&a);
     let pre = preprocess(&p, &t, &a, SER).unwrap();
     // Nodes: ReqStart, ReqEnd, handler Start/Op(1)/End = 5.
     assert_eq!(pre.graph.node_count(), 5);
@@ -67,6 +74,7 @@ fn op_map_locates_handler_log_entries() {
         CollectorMode::Karousos,
     )
     .unwrap();
+    let a = karousos::AdviceRef::from_advice(&a);
     let pre = preprocess(&p, &out.trace, &a, SER).unwrap();
     let hid = HandlerId::root(p.function_id("handle").unwrap());
     assert_eq!(
@@ -117,7 +125,7 @@ fn duplicate_log_coordinates_rejected() {
         opnum: first.opnum,
         op: log[1].op.clone(),
     };
-    let err = preprocess(&p, &t, &a, SER).unwrap_err();
+    let err = pp_err(&p, &t, &a, SER);
     assert!(
         matches!(
             err,
@@ -144,7 +152,7 @@ fn out_of_range_log_opnum_rejected() {
             },
         }],
     );
-    let err = preprocess(&p, &t, &a, SER).unwrap_err();
+    let err = pp_err(&p, &t, &a, SER);
     assert!(
         matches!(
             err,
@@ -171,7 +179,7 @@ fn log_for_unknown_handler_rejected() {
             },
         }],
     );
-    let err = preprocess(&p, &t, &a, SER).unwrap_err();
+    let err = pp_err(&p, &t, &a, SER);
     assert!(
         matches!(
             err,
@@ -216,7 +224,7 @@ fn emit_of_registered_event_requires_reported_handler() {
             },
         }],
     );
-    let err = preprocess(&p, &out.trace, &a, SER).unwrap_err();
+    let err = pp_err(&p, &out.trace, &a, SER);
     assert!(
         matches!(err, RejectReason::MissingActivatedHandler { .. }),
         "{err}"
@@ -229,7 +237,7 @@ fn response_emitter_beyond_opcount_rejected() {
     let rid = RequestId(0);
     let (hid, _) = a.response_emitted_by.get(&rid).unwrap().clone();
     a.response_emitted_by.insert(rid, (hid, 50));
-    let err = preprocess(&p, &t, &a, SER).unwrap_err();
+    let err = pp_err(&p, &t, &a, SER);
     assert!(
         matches!(
             err,
@@ -246,10 +254,7 @@ fn response_emitter_beyond_opcount_rejected() {
 fn unbalanced_trace_rejected_in_preprocess() {
     let (p, mut t, a) = tiny_honest();
     t.push_request(RequestId(9), Value::Null);
-    assert_eq!(
-        preprocess(&p, &t, &a, SER).unwrap_err(),
-        RejectReason::UnbalancedTrace
-    );
+    assert_eq!(pp_err(&p, &t, &a, SER), RejectReason::UnbalancedTrace);
 }
 
 #[test]
@@ -259,7 +264,7 @@ fn activation_edge_requires_in_range_parent_op() {
     let parent = HandlerId::root(p.function_id("handle").unwrap());
     let child = HandlerId::child(&parent, p.function_id("handle").unwrap(), 40);
     a.opcounts.insert((RequestId(0), child), 0);
-    let err = preprocess(&p, &t, &a, SER).unwrap_err();
+    let err = pp_err(&p, &t, &a, SER);
     assert!(
         matches!(err, RejectReason::BadActivationParent { .. }),
         "{err}"

@@ -307,6 +307,50 @@ impl From<String> for Value {
     }
 }
 
+/// A string-keyed [`Value`] interner over borrowed source text.
+///
+/// Advice (and other wire payloads) repeat a small string vocabulary —
+/// map keys, event names, row values — so materializing each occurrence
+/// separately costs an allocation per repeat. The interner hands every
+/// occurrence after the first the same `Arc<str>` for an atomic bump,
+/// and keeps the books (`bytes_copied`, `hits`) the decode metrics
+/// report. The lifetime `'a` is the source buffer the borrowed keys
+/// point into (e.g. a wire buffer or an mmapped advice file).
+#[derive(Debug, Default)]
+pub struct ValueInterner<'a> {
+    map: std::collections::HashMap<&'a str, Arc<str>>,
+    /// String bytes copied out of the source into owned storage
+    /// (first occurrences only).
+    pub bytes_copied: u64,
+    /// Materializations avoided: occurrences served as `Arc` clones.
+    pub hits: u64,
+}
+
+impl<'a> ValueInterner<'a> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning a shared `Arc<str>`: a clone of the
+    /// first occurrence's allocation on a hit, a fresh copy on a miss.
+    pub fn intern(&mut self, s: &'a str) -> Arc<str> {
+        if let Some(arc) = self.map.get(s) {
+            self.hits += 1;
+            return Arc::clone(arc);
+        }
+        self.bytes_copied += s.len() as u64;
+        let arc: Arc<str> = Arc::from(s);
+        self.map.insert(s, Arc::clone(&arc));
+        arc
+    }
+
+    /// Interns `s` as a string [`Value`].
+    pub fn intern_value(&mut self, s: &'a str) -> Value {
+        Value::Str(self.intern(s))
+    }
+}
+
 /// A small FNV-1a hasher; stable across runs and platforms, unlike
 /// `DefaultHasher`.
 #[derive(Debug, Clone)]
@@ -416,6 +460,19 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
+
+    #[test]
+    fn interner_shares_and_counts() {
+        let src = String::from("abcabc");
+        let mut i = ValueInterner::new();
+        let a = i.intern(&src[0..3]);
+        let b = i.intern(&src[3..6]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(i.bytes_copied, 3);
+        assert_eq!(i.hits, 1);
+        assert_eq!(i.intern_value(&src[0..3]), Value::str("abc"));
+        assert_eq!(i.hits, 2);
+    }
 
     #[test]
     fn is_empty_semantics() {

@@ -1,0 +1,196 @@
+//! Minimal read-only memory mapping, std-only.
+//!
+//! The verifier wants to audit multi-gigabyte advice files without
+//! holding a heap copy resident; all it needs from the OS is "give me a
+//! read-only, page-aligned window onto this file". The build
+//! environment has no registry access, so instead of `memmap2` this
+//! tiny shim declares the two libc symbols (`mmap`/`munmap`) that every
+//! unix toolchain already links and wraps them in a safe owner type.
+//!
+//! Scope is deliberately narrow:
+//!
+//! * **read-only** (`PROT_READ`) and **private** (`MAP_PRIVATE`) — the
+//!   mapping can never write back to the advice file, and concurrent
+//!   writers can at worst change which bytes the audit reads, which the
+//!   audit already treats as untrusted input;
+//! * **whole-file** maps only, page-aligned by construction (offset 0);
+//! * on non-unix targets [`Mmap::map_readonly`] returns
+//!   [`std::io::ErrorKind::Unsupported`], and callers are expected to
+//!   fall back to `std::fs::read` — the caller-visible contract is
+//!   "bytes of the file", never "mmap or bust".
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+
+/// An owned read-only memory mapping of an entire file.
+///
+/// Dereferences to `&[u8]`; unmapped on drop. A zero-length file maps
+/// to an empty slice without touching the OS (`mmap(len=0)` is
+/// `EINVAL`).
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE; the kernel will never
+// mutate it through this handle and we expose only shared `&[u8]`
+// access, so moving or sharing the owner across threads is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// Errors are ordinary [`io::Error`]s: metadata failures, the OS
+    /// refusing the mapping, or [`io::ErrorKind::Unsupported`] on
+    /// non-unix targets (and for files whose length overflows `usize`).
+    /// Callers treat any error as "fall back to reading the file".
+    #[cfg(unix)]
+    pub fn map_readonly(file: &File) -> io::Result<Mmap> {
+        use std::os::fd::AsRawFd;
+
+        let len64 = file.metadata()?.len();
+        let len = usize::try_from(len64)
+            .map_err(|_| io::Error::new(io::ErrorKind::Unsupported, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: fd is a valid open file descriptor for the lifetime of
+        // the call; len is its current size; we request a fresh private
+        // read-only mapping at a kernel-chosen (page-aligned) address.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        // MAP_FAILED is (void*)-1.
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    /// Non-unix targets: always `Unsupported`; callers fall back to
+    /// `std::fs::read`.
+    #[cfg(not(unix))]
+    pub fn map_readonly(_file: &File) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap not supported on this platform",
+        ))
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len came from a successful whole-file mmap that
+        // stays valid until drop; the mapping is read-only.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len != 0 {
+            // SAFETY: ptr/len are the exact values returned by mmap;
+            // nothing can still borrow the slice (drop takes &mut self,
+            // and all loans of as_slice() end before drop).
+            unsafe {
+                sys::munmap(self.ptr as *mut std::os::raw::c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    #[cfg(unix)]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join(format!("kmmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("payload.bin");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello mapped world").unwrap();
+        f.sync_all().unwrap();
+        let ro = File::open(&path).unwrap();
+        let map = Mmap::map_readonly(&ro).unwrap();
+        assert_eq!(&*map, b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        // Page alignment: the kernel picked the address.
+        assert_eq!(map.as_slice().as_ptr() as usize % 4096, 0);
+        drop(map);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn empty_file_maps_to_empty_slice() {
+        let dir = std::env::temp_dir().join(format!("kmmap-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        File::create(&path).unwrap();
+        let ro = File::open(&path).unwrap();
+        let map = Mmap::map_readonly(&ro).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&*map, b"");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
